@@ -1,0 +1,115 @@
+"""Ablation — incremental update (Lemma 2) vs recomputation.
+
+The design choice DESIGN.md calls out: when B new points arrive, TSUBASA can
+(a) update incrementally with Lemma 2 (the paper's real-time path), (b)
+re-run Lemma 1 over the sketched windows of the new query window, or (c)
+recompute from raw data. This bench measures all three as the query window
+length grows, at fixed B.
+
+Expected shape: Lemma 2's cost is independent of the query window length
+(only the entering window is touched), Lemma 1 recomputation grows with
+l / B, and the raw recompute grows with l — so the incremental advantage
+widens with l.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.core.lemma1 import combine_matrix
+from repro.core.lemma2 import SlidingCorrelationState
+from repro.core.sketch import build_sketch
+
+BASIC_WINDOW = 50
+QUERY_LENGTHS = (500, 1000, 2000, 3000)
+
+
+def _setup(data, length):
+    history = data[:, :length]
+    sketch = build_sketch(history, BASIC_WINDOW)
+    state = SlidingCorrelationState(sketch, length // BASIC_WINDOW)
+    return sketch, state
+
+
+@pytest.mark.parametrize("length", QUERY_LENGTHS)
+def test_lemma2_update(benchmark, ncea_like, length):
+    _, state = _setup(ncea_like.values, length)
+    block = ncea_like.values[:, -BASIC_WINDOW:]
+
+    def update():
+        state.slide_raw(block)
+        return state.correlation_matrix()
+
+    result = benchmark.pedantic(update, rounds=5, iterations=1)
+    assert result.shape[0] == ncea_like.n_series
+
+
+@pytest.mark.parametrize("length", QUERY_LENGTHS)
+def test_lemma1_recompute(benchmark, ncea_like, length):
+    sketch, _ = _setup(ncea_like.values, length)
+    idx = np.arange(sketch.n_windows)
+
+    def recompute():
+        return combine_matrix(
+            sketch.means[:, idx], sketch.stds[:, idx], sketch.covs[idx],
+            sketch.sizes[idx],
+        )
+
+    benchmark.pedantic(recompute, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("length", QUERY_LENGTHS)
+def test_raw_recompute(benchmark, ncea_like, length):
+    data = ncea_like.values[:, :length]
+    benchmark.pedantic(
+        baseline_correlation_matrix, args=(data,), rounds=5, iterations=1
+    )
+
+
+def test_ablation_incremental_report(benchmark, ncea_like):
+    """Print the three strategies' costs across query lengths."""
+    import time
+
+    rows = []
+    lemma2_times = []
+    for length in QUERY_LENGTHS:
+        sketch, state = _setup(ncea_like.values, length)
+        block = ncea_like.values[:, -BASIC_WINDOW:]
+        idx = np.arange(sketch.n_windows)
+
+        def timed(f, repeats=10):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                f()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        t_lemma2 = timed(
+            lambda: (state.slide_raw(block), state.correlation_matrix())
+        )
+        t_lemma1 = timed(
+            lambda: combine_matrix(
+                sketch.means[:, idx], sketch.stds[:, idx], sketch.covs[idx],
+                sketch.sizes[idx],
+            )
+        )
+        t_raw = timed(
+            lambda: baseline_correlation_matrix(ncea_like.values[:, :length])
+        )
+        lemma2_times.append(t_lemma2)
+        rows.append((length, t_lemma2, t_lemma1, t_raw))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: Lemma 2 vs recomputation (B={BASIC_WINDOW})",
+        ["l", "lemma2_update_s", "lemma1_recompute_s", "raw_recompute_s"],
+        rows,
+    )
+    # Shape: Lemma 2's cost stays flat in l while recomputes grow; at the
+    # largest l the incremental path must win against both.
+    assert lemma2_times[-1] < rows[-1][2]
+    assert lemma2_times[-1] < rows[-1][3]
+    assert lemma2_times[-1] < lemma2_times[0] * 6  # roughly length-invariant

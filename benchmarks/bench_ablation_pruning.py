@@ -1,0 +1,108 @@
+"""Ablation — threshold-matrix pruning (§3.5, Algorithm 5).
+
+Not a paper figure (the paper lists threshold-based pruning as future work
+and sketches the inference machinery in §3.5); this bench quantifies how much
+of the boolean network matrix Eq. 7 inference decides without exact
+correlation computation, as a function of the threshold and the anchor
+budget.
+
+Expected shape: higher thresholds are easier to decide (the blue/red regions
+of Fig. 4 grow), so the pruning rate rises with theta; more anchors decide
+more pairs; and the pruned matrix always equals exact thresholding.
+
+Finding worth recording: on moderately correlated climate fields the Eq. 7
+bounds almost never decide a pair (the anchor correlations are too far from
+±1 — the white region of Fig. 4 dominates), so we report both the NCEA-like
+field *and* a strongly clustered field where inference genuinely fires. This
+is consistent with the paper deferring a practical pruning algorithm to
+future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.core.matrix import threshold_adjacency
+from repro.core.pruning import prune_threshold_matrix
+
+THETAS = (0.5, 0.7, 0.8, 0.9)
+ANCHOR_BUDGETS = (1, 4, None)
+
+
+@pytest.fixture(scope="module")
+def corr(ncea_like):
+    return baseline_correlation_matrix(ncea_like.values)
+
+
+@pytest.fixture(scope="module")
+def clustered_corr():
+    """Strongly clustered field: 4 tight clusters of 15 series each."""
+    rng = np.random.default_rng(99)
+    signals = rng.normal(size=(4, 1500))
+    rows = [
+        signals[k] + 0.15 * rng.normal(size=1500)
+        for k in range(4)
+        for _ in range(15)
+    ]
+    return baseline_correlation_matrix(np.vstack(rows))
+
+
+@pytest.mark.parametrize("theta", THETAS)
+def test_pruning_time(benchmark, corr, theta):
+    n = corr.shape[0]
+    result = benchmark(
+        prune_threshold_matrix, lambda i: corr[i], n, theta
+    )
+    np.testing.assert_array_equal(
+        result.matrix, threshold_adjacency(corr, theta)
+    )
+
+
+def _sweep(matrix):
+    n = matrix.shape[0]
+    rows = []
+    for theta in THETAS:
+        for budget in ANCHOR_BUDGETS:
+            result = prune_threshold_matrix(
+                lambda i: matrix[i], n, theta, max_anchors=budget
+            )
+            np.testing.assert_array_equal(
+                result.matrix, threshold_adjacency(matrix, theta)
+            )
+            rows.append(
+                (theta, budget if budget is not None else "all",
+                 result.decided_by_inference, result.computed_exactly,
+                 result.rows_computed, result.pruning_rate)
+            )
+    return rows
+
+
+def test_ablation_pruning_report(benchmark, corr, clustered_corr):
+    """Print pruning rates across thresholds, anchors, and field types."""
+    field_rows = _sweep(corr)
+    cluster_rows = _sweep(clustered_corr)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: Eq. 7 pruning, NCEA-like field (N={corr.shape[0]})",
+        ["theta", "anchors", "inferred_pairs", "computed_pairs", "rows",
+         "pruning_rate"],
+        field_rows,
+    )
+    print_table(
+        f"Ablation: Eq. 7 pruning, clustered field (N={clustered_corr.shape[0]})",
+        ["theta", "anchors", "inferred_pairs", "computed_pairs", "rows",
+         "pruning_rate"],
+        cluster_rows,
+    )
+    # Shape: on the clustered field, inference decides a meaningful share of
+    # pairs and the strictest threshold prunes at least as well as the
+    # loosest at the full anchor budget.
+    cluster_full = [r[5] for r in cluster_rows if r[1] == "all"]
+    assert cluster_full[0] > 0.1
+    assert cluster_full[-1] >= cluster_full[0] * 0.5
+    # On the moderate field the bounds rarely fire — record, don't require.
+    field_full = [r[5] for r in field_rows if r[1] == "all"]
+    assert all(0.0 <= r <= 1.0 for r in field_full)

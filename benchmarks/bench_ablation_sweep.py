@@ -1,0 +1,109 @@
+"""Ablation — window sweeps: prefix sums vs per-position Lemma 1 queries.
+
+The paper's motivating workflow constructs a network per hypothesized
+window. Answering each position with a Lemma 1 query costs O((l/B) * N^2)
+per position; the :class:`~repro.core.sweep.SweepPlan` prefix sums reduce
+that to O(N^2) per position independent of l/B. This bench sweeps the
+query-window length and measures the per-position advantage.
+
+Expected shape: per-query Lemma 1 cost grows with the window length (more
+basic windows to fold); the prefix-sum cost stays flat, so the speedup grows
+with the window length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.lemma1 import combine_matrix
+from repro.core.sketch import build_sketch
+from repro.core.sweep import SweepPlan
+
+BASIC_WINDOW = 50
+WINDOW_LENGTHS = (4, 10, 20, 40)  # in basic windows
+STRIDE = 1
+
+
+@pytest.fixture(scope="module")
+def sketch(ncea_like):
+    return build_sketch(ncea_like.values, BASIC_WINDOW)
+
+
+def _sweep_with_plan(plan, n_windows):
+    return [
+        plan.correlation_matrix(first, n_windows)
+        for first in range(0, plan.n_windows - n_windows + 1, STRIDE)
+    ]
+
+
+def _sweep_with_lemma1(sketch, n_windows):
+    out = []
+    for first in range(0, sketch.n_windows - n_windows + 1, STRIDE):
+        idx = np.arange(first, first + n_windows)
+        out.append(
+            combine_matrix(
+                sketch.means[:, idx], sketch.stds[:, idx],
+                sketch.covs[idx], sketch.sizes[idx],
+            )
+        )
+    return out
+
+
+@pytest.mark.parametrize("n_windows", WINDOW_LENGTHS)
+def test_prefix_sum_sweep(benchmark, sketch, n_windows):
+    plan = SweepPlan(sketch)
+    results = benchmark.pedantic(
+        _sweep_with_plan, args=(plan, n_windows), rounds=3, iterations=1
+    )
+    assert len(results) == sketch.n_windows - n_windows + 1
+
+
+@pytest.mark.parametrize("n_windows", WINDOW_LENGTHS)
+def test_per_query_sweep(benchmark, sketch, n_windows):
+    benchmark.pedantic(
+        _sweep_with_lemma1, args=(sketch, n_windows), rounds=3, iterations=1
+    )
+
+
+def test_ablation_sweep_report(benchmark, sketch, ncea_like):
+    """Print the sweep comparison and check exactness + shape."""
+    import time
+
+    plan = SweepPlan(sketch)
+    rows = []
+    speedups = []
+    for n_windows in WINDOW_LENGTHS:
+        positions = sketch.n_windows - n_windows + 1
+
+        def timed(f, *args, repeats=3):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                f(*args)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        t_plan = timed(_sweep_with_plan, plan, n_windows)
+        t_query = timed(_sweep_with_lemma1, sketch, n_windows)
+        speedups.append(t_query / t_plan)
+        rows.append(
+            (n_windows * BASIC_WINDOW, positions,
+             t_plan / positions, t_query / positions, t_query / t_plan)
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        f"Ablation: prefix-sum sweep vs per-position Lemma 1 "
+        f"(B={BASIC_WINDOW}, stride={STRIDE})",
+        ["window_len", "positions", "plan_s_per_pos", "lemma1_s_per_pos",
+         "speedup"],
+        rows,
+    )
+    # Exactness of one arbitrary position.
+    first, n_windows = 7, 20
+    got = plan.correlation_matrix(first, n_windows).values
+    raw = ncea_like.values[:, first * 50 : (first + n_windows) * 50]
+    np.testing.assert_allclose(got, np.corrcoef(raw), atol=1e-9)
+    # Shape: the advantage grows with the window length.
+    assert speedups[-1] > speedups[0]

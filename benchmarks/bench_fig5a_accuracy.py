@@ -1,0 +1,86 @@
+"""Figure 5a — Network Accuracy Comparison.
+
+Paper setting: NCEA data, basic window 200, threshold 0.75; the DFT-based
+network's edge count and similarity ratio versus the number of DFT
+coefficients (50..200). Exact TSUBASA (basic-window correlations) is the
+solid reference line, independent of coefficient count.
+
+Expected shape (paper): the DFT network has *extra* (false-positive) edges
+that vanish only when all coefficients are used; similarity ratio rises with
+the coefficient count and hits 1.0 at n = B.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.accuracy import compare_matrices
+from repro.approx.combine import eq5_correlation
+from repro.approx.sketch import build_approx_sketch
+from repro.core.exact import TsubasaHistorical
+
+BASIC_WINDOW = 200
+THETA = 0.75
+COEFF_COUNTS = (50, 100, 150, 200)
+
+
+@pytest.fixture(scope="module")
+def exact_matrix(ncea_like):
+    engine = TsubasaHistorical(ncea_like.values, BASIC_WINDOW)
+    return engine.correlation_matrix((ncea_like.n_points - 1,
+                                      ncea_like.n_points)).values
+
+
+def _approx_matrix(data, n_coeffs):
+    sketch = build_approx_sketch(
+        data, BASIC_WINDOW, n_coeffs=n_coeffs, method="fft"
+    )
+    return eq5_correlation(sketch, np.arange(sketch.n_windows))
+
+
+@pytest.mark.parametrize("n_coeffs", COEFF_COUNTS)
+def test_dft_network_accuracy(benchmark, ncea_like, exact_matrix, n_coeffs):
+    approx = benchmark.pedantic(
+        _approx_matrix, args=(ncea_like.values, n_coeffs),
+        rounds=1, iterations=1,
+    )
+    comparison = compare_matrices(exact_matrix, approx, THETA)
+    # Eq. 4: the approximate network never loses a true edge.
+    assert comparison.false_negatives == 0
+    if n_coeffs == BASIC_WINDOW:
+        # All coefficients => identical to the exact network.
+        assert comparison.similarity == 1.0
+        assert comparison.approx_edges == comparison.exact_edges
+
+
+def test_fig5a_report(benchmark, ncea_like, exact_matrix):
+    """Print the full Figure 5a series and assert its qualitative shape."""
+    rows = []
+    similarities = []
+    edge_counts = []
+    for n_coeffs in COEFF_COUNTS:
+        approx = _approx_matrix(ncea_like.values, n_coeffs)
+        comparison = compare_matrices(exact_matrix, approx, THETA)
+        similarities.append(comparison.similarity)
+        edge_counts.append(comparison.approx_edges)
+        rows.append(
+            (n_coeffs, comparison.exact_edges, comparison.approx_edges,
+             comparison.false_positives, comparison.false_negatives,
+             comparison.similarity)
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        "Figure 5a: accuracy vs number of DFT coefficients "
+        f"(B={BASIC_WINDOW}, theta={THETA})",
+        ["n_coeffs", "exact_edges", "dft_edges", "false_pos", "false_neg",
+         "similarity"],
+        rows,
+    )
+    # Shape: similarity non-decreasing in coefficients, exact at n = B;
+    # DFT edge count shrinks toward the exact count from above.
+    assert similarities[-1] == 1.0
+    assert all(a <= b + 1e-12 for a, b in zip(similarities, similarities[1:]))
+    assert edge_counts[0] >= edge_counts[-1]
+    assert rows[0][3] > 0  # few coefficients => spurious edges exist

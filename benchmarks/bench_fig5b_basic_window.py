@@ -1,0 +1,90 @@
+"""Figure 5b — Basic Window Size Analysis (sketch + query time).
+
+Paper setting: query window of 3,000 points; vary the basic window size and
+compare total (sketch + query) time of TSUBASA against the DFT approximation
+with 100% and 75% of coefficients.
+
+Expected shape (paper): TSUBASA's sketch time grows only gradually with B,
+while the DFT sketch time *increases* with B because the per-window DFT is
+O(B^2); TSUBASA's query time is on par with the approximation's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.approx.combine import eq5_correlation
+from repro.approx.sketch import build_approx_sketch
+from repro.core.lemma1 import combine_matrix
+from repro.core.sketch import build_sketch
+
+BASIC_WINDOWS = (50, 100, 150, 200, 300)
+QUERY_LENGTH = 3000
+
+
+def _tsubasa_sketch_and_query(data, window_size):
+    sketch = build_sketch(data, window_size)
+    return combine_matrix(sketch.means, sketch.stds, sketch.covs, sketch.sizes)
+
+
+def _approx_sketch_and_query(data, window_size, fraction):
+    sketch = build_approx_sketch(
+        data, window_size, coeff_fraction=fraction, method="direct"
+    )
+    return eq5_correlation(sketch, np.arange(sketch.n_windows))
+
+
+@pytest.mark.parametrize("window_size", BASIC_WINDOWS)
+def test_tsubasa_total_time(benchmark, ncea_like, window_size):
+    data = ncea_like.values[:, :QUERY_LENGTH]
+    result = benchmark.pedantic(
+        _tsubasa_sketch_and_query, args=(data, window_size),
+        rounds=3, iterations=1,
+    )
+    np.testing.assert_allclose(result, np.corrcoef(data), atol=1e-9)
+
+
+@pytest.mark.parametrize("window_size", BASIC_WINDOWS)
+@pytest.mark.parametrize("fraction", (1.0, 0.75))
+def test_approx_total_time(benchmark, ncea_like, window_size, fraction):
+    data = ncea_like.values[:, :QUERY_LENGTH]
+    benchmark.pedantic(
+        _approx_sketch_and_query, args=(data, window_size, fraction),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig5b_report(benchmark, ncea_like):
+    """Print the Figure 5b series and assert the paper's shape."""
+    import time
+
+    data = ncea_like.values[:, :QUERY_LENGTH]
+    rows = []
+    tsubasa_times, approx_times = [], []
+    for window_size in BASIC_WINDOWS:
+        start = time.perf_counter()
+        _tsubasa_sketch_and_query(data, window_size)
+        t_tsubasa = time.perf_counter() - start
+        start = time.perf_counter()
+        _approx_sketch_and_query(data, window_size, 1.0)
+        t_full = time.perf_counter() - start
+        start = time.perf_counter()
+        _approx_sketch_and_query(data, window_size, 0.75)
+        t_75 = time.perf_counter() - start
+        tsubasa_times.append(t_tsubasa)
+        approx_times.append(t_full)
+        rows.append((window_size, t_tsubasa, t_full, t_75))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        f"Figure 5b: sketch+query time vs basic window size (l={QUERY_LENGTH})",
+        ["B", "tsubasa_s", "dft_all_s", "dft_75pct_s"],
+        rows,
+    )
+    # Shape: TSUBASA beats the DFT method at every B, and the DFT method's
+    # relative cost grows with B (its DFT is O(B^2) per window).
+    assert all(t <= a for t, a in zip(tsubasa_times, approx_times))
+    assert (approx_times[-1] / tsubasa_times[-1]) > (
+        approx_times[0] / tsubasa_times[0]
+    ) * 0.5  # ratio does not collapse as B grows

@@ -1,0 +1,98 @@
+"""Figure 5d — Network Update Time (real-time data).
+
+Paper setting: query window of 3,000 points; after B new points arrive, both
+algorithms update the correlation matrix incrementally — TSUBASA with
+Lemma 2 (sketch the new window: O(B) per series + O(1) combination per pair)
+and the DFT method with Eq. 6 (normalize + DFT the new window: O(B^2) per
+series under the paper's cost model, 75% of coefficients).
+
+Expected shape (paper): TSUBASA is at least an order of magnitude faster,
+and the gap widens with the basic window size because of the DFT's O(B^2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.approx.realtime import ApproxSlidingState
+from repro.approx.sketch import build_approx_sketch
+from repro.core.lemma2 import SlidingCorrelationState
+from repro.core.sketch import build_sketch
+
+BASIC_WINDOWS = (50, 100, 150, 200, 300)
+QUERY_LENGTH = 3000
+
+
+def _fresh_states(data, window_size):
+    history = data[:, :QUERY_LENGTH]
+    exact = SlidingCorrelationState(
+        build_sketch(history, window_size), QUERY_LENGTH // window_size
+    )
+    approx = ApproxSlidingState(
+        build_approx_sketch(history, window_size, coeff_fraction=0.75,
+                            method="fft"),
+        QUERY_LENGTH // window_size,
+        dft_method="direct",
+    )
+    return exact, approx
+
+
+@pytest.mark.parametrize("window_size", BASIC_WINDOWS)
+def test_tsubasa_update_time(benchmark, ncea_like, window_size):
+    exact, _ = _fresh_states(ncea_like.values, window_size)
+    block = ncea_like.values[:, -window_size:]
+
+    def update():
+        exact.slide_raw(block)
+        return exact.correlation_matrix()
+
+    benchmark.pedantic(update, rounds=5, iterations=1)
+
+
+@pytest.mark.parametrize("window_size", BASIC_WINDOWS)
+def test_approx_update_time(benchmark, ncea_like, window_size):
+    _, approx = _fresh_states(ncea_like.values, window_size)
+    block = ncea_like.values[:, -window_size:]
+
+    def update():
+        approx.slide_raw(block)
+        return approx.correlation_matrix()
+
+    benchmark.pedantic(update, rounds=5, iterations=1)
+
+
+def test_fig5d_report(benchmark, ncea_like):
+    """Print the Figure 5d series and assert the paper's shape."""
+    import time
+
+    rows = []
+    ratios = []
+    for window_size in BASIC_WINDOWS:
+        exact, approx = _fresh_states(ncea_like.values, window_size)
+        block = ncea_like.values[:, -window_size:]
+
+        def timed(state, repeats=10):
+            best = float("inf")
+            for _ in range(repeats):
+                start = time.perf_counter()
+                state.slide_raw(block)
+                state.correlation_matrix()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        t_exact = timed(exact)
+        t_approx = timed(approx)
+        ratios.append(t_approx / t_exact)
+        rows.append((window_size, t_exact, t_approx, t_approx / t_exact))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        f"Figure 5d: network update time vs basic window size "
+        f"(l={QUERY_LENGTH})",
+        ["B", "tsubasa_s", "dft_75pct_s", "dft/tsubasa"],
+        rows,
+    )
+    # Shape: the DFT update is slower everywhere, and the gap grows with B.
+    assert all(r > 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,78 @@
+"""Figure 6b — Parallel/disk-based Query Time Breakdown.
+
+Paper setting: Berkeley Earth data, basic window 120, query window 960
+(8 basic windows); database read time versus correlation-matrix calculation
+time, for growing numbers of time-series, with partitioned workers reading
+sketches straight from the database.
+
+Expected shape (paper): read time is a small share of total query time (it
+matters relatively more for small N), total query time grows quadratically
+with N, and even the largest setting answers in far less than a minute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table, worker_count
+from repro.parallel.executor import parallel_query, parallel_sketch
+
+BASIC_WINDOW = 120
+QUERY_WINDOWS = 960 // BASIC_WINDOW  # 8 basic windows, as in the paper
+SERIES_COUNTS = (100, 200, 400)
+
+
+@pytest.fixture(scope="module")
+def stores(berkeley_like, tmp_path_factory):
+    """One populated sketch store per series count."""
+    root = tmp_path_factory.mktemp("fig6b")
+    paths = {}
+    for n_series in SERIES_COUNTS:
+        path = root / f"sketch_{n_series}.db"
+        parallel_sketch(
+            berkeley_like.subset(n_series).values, BASIC_WINDOW,
+            n_workers=worker_count(), store_path=path,
+        )
+        paths[n_series] = path
+    return paths
+
+
+@pytest.mark.parametrize("n_series", SERIES_COUNTS)
+def test_parallel_query_time(benchmark, berkeley_like, stores, n_series):
+    result = benchmark.pedantic(
+        parallel_query,
+        args=(np.arange(QUERY_WINDOWS), worker_count()),
+        kwargs={"store_path": stores[n_series]},
+        rounds=2, iterations=1,
+    )
+    data = berkeley_like.subset(n_series).values[:, : 960]
+    np.testing.assert_allclose(result.matrix, np.corrcoef(data), atol=1e-9)
+
+
+def test_fig6b_report(benchmark, stores):
+    """Print the Figure 6b breakdown and assert its shape."""
+    rows = []
+    totals = []
+    read_shares = []
+    for n_series in SERIES_COUNTS:
+        result = parallel_query(
+            np.arange(QUERY_WINDOWS), worker_count(),
+            store_path=stores[n_series],
+        )
+        totals.append(result.total_seconds)
+        read_shares.append(result.read_seconds / result.total_seconds)
+        rows.append(
+            (n_series, result.read_seconds, result.calc_seconds,
+             result.total_seconds, result.read_seconds / result.total_seconds)
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print_table(
+        f"Figure 6b: query time breakdown (B={BASIC_WINDOW}, "
+        f"query={QUERY_WINDOWS} windows, workers={worker_count()})",
+        ["N", "read_s", "calc_s", "total_s", "read_share"],
+        rows,
+    )
+    # Shape: total grows with N; queries stay interactive (well under 60 s).
+    assert totals[-1] > totals[0] * 0.8
+    assert all(t < 60.0 for t in totals)

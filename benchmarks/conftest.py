@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every figure of the paper's evaluation (Figures 5a–5d in-memory, 6a–6d
+parallel/disk-based) has a dedicated ``bench_fig*.py`` module. Workload sizes
+are scaled down from the paper's testbed (64-core Xeon, 18k-node Berkeley
+grid) to laptop scale; EXPERIMENTS.md records the mapping and compares the
+measured *shapes* against the paper's claims.
+
+Each bench module both:
+
+* registers ``pytest-benchmark`` timings for the series the figure plots, and
+* prints the figure's rows (``--benchmark-only -s`` shows them; the asserted
+  qualitative shape guards against regressions either way).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.synthetic import generate_gridded_dataset, generate_station_dataset
+
+
+def worker_count() -> int:
+    """Computation workers: all cores minus one for the database worker."""
+    return max(1, min((os.cpu_count() or 2) - 1, 8))
+
+
+@pytest.fixture(scope="session")
+def ncea_like():
+    """NCEA-stand-in: 60 stations x 3000 hourly points (in-memory figures)."""
+    return generate_station_dataset(n_stations=60, n_points=3000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def berkeley_like():
+    """Berkeley-Earth stand-in: gridded daily series, 1920 points (B=120 x 16).
+
+    The paper uses 18,638 land nodes x 3,652 points; scalability sweeps here
+    subset this grid (400 nodes) to stay laptop-sized.
+    """
+    return generate_gridded_dataset(
+        lat_min=24.0, lat_max=49.0, lon_min=-124.0, lon_max=-69.0,
+        resolution_deg=1.4, n_points=1920, seed=7,
+    )
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print one figure's series as an aligned table."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(h)), *(len(f"{r[i]:.6g}" if isinstance(r[i], float) else str(r[i]))
+                           for r in rows))
+        for i, h in enumerate(headers)
+    ]
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        cells = [
+            (f"{c:.6g}" if isinstance(c, float) else str(c)).ljust(w)
+            for c, w in zip(row, widths)
+        ]
+        print("  ".join(cells))

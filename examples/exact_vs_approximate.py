@@ -1,0 +1,86 @@
+"""Exact vs DFT-approximate networks: the accuracy story of Figure 5a.
+
+Builds the same climate network three ways — exact TSUBASA, StatStream-style
+averaging, and the Eq. 5 combination — across coefficient budgets, and shows
+where the approximation's false-positive edges come from and why TSUBASA's
+exact sketches make the trade-off unnecessary.
+
+Run:  python examples/exact_vs_approximate.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import (
+    TsubasaApproximate,
+    TsubasaHistorical,
+    build_approx_sketch,
+    generate_station_dataset,
+)
+from repro.analysis import compare_matrices
+
+BASIC_WINDOW = 200
+THETA = 0.75
+
+
+def main() -> None:
+    dataset = generate_station_dataset(n_stations=80, n_points=4000, seed=13)
+    data = dataset.values
+    query = (3999, 4000)
+
+    exact_engine = TsubasaHistorical(data, BASIC_WINDOW, names=dataset.names)
+    exact = exact_engine.correlation_matrix(query)
+    exact_edges = exact.n_edges(THETA)
+    print(f"exact network (theta={THETA}): {exact_edges} edges")
+
+    print(f"\n{'coeffs':>6} {'edges':>6} {'false_pos':>9} {'false_neg':>9} "
+          f"{'similarity':>10}")
+    for n_coeffs in (25, 50, 100, 150, 200):
+        sketch = build_approx_sketch(
+            data, BASIC_WINDOW, n_coeffs=n_coeffs, method="fft",
+            names=dataset.names,
+        )
+        approx_engine = TsubasaApproximate(sketch)
+        approx = approx_engine.correlation_matrix(query)
+        comparison = compare_matrices(exact.values, approx.values, THETA)
+        print(f"{n_coeffs:>6} {comparison.approx_edges:>6} "
+              f"{comparison.false_positives:>9} "
+              f"{comparison.false_negatives:>9} "
+              f"{comparison.similarity:>10.4f}")
+
+    print("\nnote: false negatives are always 0 (Eq. 4 guarantees a superset)"
+          "\nand only n = B recovers the exact network — for climate data the"
+          "\nmajority of coefficients are needed, which is the paper's case"
+          "\nfor exact sketches.")
+
+    # StatStream averaging vs Eq. 5 on drifting (uncooperative) series.
+    drift = np.linspace(0.0, 4.0, data.shape[1]) * np.random.default_rng(5) \
+        .normal(size=(data.shape[0], 1))
+    drifting = data + drift
+    exact_drift = np.corrcoef(drifting)
+    sketch = build_approx_sketch(drifting, BASIC_WINDOW, method="fft")
+    idx = np.arange(sketch.n_windows)
+    from repro.approx import eq5_correlation, statstream_correlation
+
+    avg_err = np.abs(statstream_correlation(sketch, idx) - exact_drift).max()
+    eq5_err = np.abs(eq5_correlation(sketch, idx) - exact_drift).max()
+    print(f"\nuncooperative series, all coefficients:")
+    print(f"  StatStream averaging max error: {avg_err:.4f}")
+    print(f"  Eq. 5 combination max error:    {eq5_err:.2e}")
+
+    # And the cost side: sketching time, the paper's Figure 5b argument.
+    start = time.perf_counter()
+    TsubasaHistorical(data, BASIC_WINDOW)
+    t_exact = time.perf_counter() - start
+    start = time.perf_counter()
+    build_approx_sketch(data, BASIC_WINDOW, coeff_fraction=0.75)
+    t_approx = time.perf_counter() - start
+    print(f"\nsketch time: TSUBASA {t_exact:.3f}s vs DFT(75%) {t_approx:.3f}s "
+          f"({t_approx / t_exact:.1f}x)")
+
+
+if __name__ == "__main__":
+    main()

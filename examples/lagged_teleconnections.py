@@ -1,0 +1,91 @@
+"""Lagged teleconnections: directed lead/lag structure from sketches.
+
+Extends the paper (its future work points toward unaligned series): climate
+teleconnections often act with a delay — an anomaly at one location today
+correlates with another location's anomaly days or weeks later. The lagged
+sketch (:mod:`repro.core.lagged`) answers ``Corr(x_t, y_{t+L})`` exactly for
+lags that are multiples of the basic window size, from one extra per-window
+statistic.
+
+This example builds a field where a "source" region drives a "downstream"
+region with a known delay, then shows the lagged network recovering both the
+direction and the lag.
+
+Run:  python examples/lagged_teleconnections.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lagged import build_lagged_sketch, lagged_correlation_matrix
+from repro.core.queries import top_k_pairs
+from repro.data.synthetic import ar1_series
+
+BASIC_WINDOW = 30  # days
+TRUE_LAG_WINDOWS = 2  # downstream follows source by 60 days
+N_POINTS = 3000
+
+
+def build_field(seed: int = 3) -> tuple[np.ndarray, list[str]]:
+    """5 source series, 5 downstream series lagged by 60 days, 5 noise."""
+    rng = np.random.default_rng(seed)
+    driver = ar1_series(rng, 1, N_POINTS + 60, phi=0.97, scale=1.0)[0]
+    lag = TRUE_LAG_WINDOWS * BASIC_WINDOW
+    series, names = [], []
+    for i in range(5):
+        series.append(driver[lag:] + 0.3 * rng.normal(size=N_POINTS))
+        names.append(f"source{i}")
+    for i in range(5):
+        series.append(driver[:-lag] + 0.3 * rng.normal(size=N_POINTS))
+        names.append(f"downstream{i}")
+    for i in range(5):
+        series.append(ar1_series(rng, 1, N_POINTS, phi=0.8, scale=1.0)[0])
+        names.append(f"noise{i}")
+    return np.vstack(series), names
+
+
+def main() -> None:
+    data, names = build_field()
+    sketch = build_lagged_sketch(
+        data, BASIC_WINDOW, max_lag=4, names=names
+    )
+    print(f"sketched {sketch.n_windows} windows x lags 0..{sketch.max_lag} "
+          f"for {sketch.n_series} series")
+
+    # Mean source->downstream correlation at each lag: the true lag peaks.
+    src = [i for i, n in enumerate(names) if n.startswith("source")]
+    dst = [i for i, n in enumerate(names) if n.startswith("downstream")]
+    print("\nlag (windows)  mean corr(source_t, downstream_{t+lag})")
+    best_lag, best_value = 0, -2.0
+    for lag in range(sketch.max_lag + 1):
+        matrix = lagged_correlation_matrix(sketch, lag)
+        value = float(np.mean(matrix.values[np.ix_(src, dst)]))
+        marker = ""
+        if value > best_value:
+            best_lag, best_value = lag, value
+            marker = "  <-- best so far"
+        print(f"{lag:>13}  {value:+.4f}{marker}")
+    print(f"\nrecovered lag: {best_lag} windows "
+          f"(ground truth: {TRUE_LAG_WINDOWS})")
+
+    # Direction: at the true lag, source leads downstream — the transpose
+    # direction is much weaker.
+    matrix = lagged_correlation_matrix(sketch, TRUE_LAG_WINDOWS)
+    forward = float(np.mean(matrix.values[np.ix_(src, dst)]))
+    backward = float(np.mean(matrix.values[np.ix_(dst, src)]))
+    print(f"\nat lag {TRUE_LAG_WINDOWS}: source->downstream {forward:+.3f}, "
+          f"downstream->source {backward:+.3f}")
+
+    # The instantaneous (lag-0) network alone would miss the link strength.
+    lag0 = lagged_correlation_matrix(sketch, 0)
+    print("\nstrongest lag-0 pairs:")
+    for a, b, c in top_k_pairs(lag0, 3):
+        print(f"  {a} -- {b}: {c:+.3f}")
+    print("strongest source/downstream pair at the true lag: "
+          f"{matrix.values[np.ix_(src, dst)].max():+.3f} "
+          f"(vs {lag0.values[np.ix_(src, dst)].max():+.3f} at lag 0)")
+
+
+if __name__ == "__main__":
+    main()

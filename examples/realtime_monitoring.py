@@ -1,0 +1,75 @@
+"""Real-time network monitoring: Algorithm 3 with blinking-link analysis.
+
+Simulates the paper's real-time setting: a standing query
+``w = ("now", m)`` over a feed that delivers observations in batches. Every
+time a full basic window accumulates, the network is updated incrementally
+with Lemma 2 — never recomputed — and the edge churn between snapshots is
+tracked, the signal the climate literature calls "blinking links"
+(Gozolchiani et al., cited in the paper's introduction).
+
+Run:  python examples/realtime_monitoring.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import TsubasaRealtime, generate_station_dataset
+from repro.analysis import summarize_dynamics
+from repro.streams import ReplaySource, StreamIngestor
+
+BASIC_WINDOW = 120
+INITIAL_POINTS = 2400  # query window: the most recent 2,400 points
+THETA = 0.6
+
+
+def main() -> None:
+    # Two years of hourly data; the first 2,400 points seed the window,
+    # the rest arrives as a "live" feed in uneven batches.
+    dataset = generate_station_dataset(n_stations=40, n_points=8760, seed=21)
+    history = dataset.values[:, :INITIAL_POINTS]
+
+    engine = TsubasaRealtime(
+        history, BASIC_WINDOW, names=dataset.names,
+        coordinates=dataset.coordinates,
+    )
+    print(f"initial network over the last {INITIAL_POINTS} points: "
+          f"{engine.network(THETA).n_edges} edges (theta={THETA})")
+
+    # NOAA uploads in 24-hour increments; replay the rest of the year in
+    # batches of 24 points (the ingestor buffers until B accumulate).
+    source = ReplaySource(dataset.values, batch_size=24, start=INITIAL_POINTS)
+    ingestor = StreamIngestor(engine, theta=THETA)
+
+    start = time.perf_counter()
+    snapshots = ingestor.run(source, max_updates=30)
+    elapsed = time.perf_counter() - start
+    print(f"\nprocessed {len(snapshots)} window updates in {elapsed:.3f}s "
+          f"({elapsed / len(snapshots) * 1e3:.2f} ms/update, Lemma 2)")
+
+    print("\nupdate log (last 10):")
+    for snap in snapshots[-10:]:
+        print(f"  t={snap.timestamp}: {snap.network.n_edges:4d} edges "
+              f"(+{len(snap.appeared)} / -{len(snap.disappeared)})")
+
+    # Verify the incremental state never drifted from ground truth.
+    now = engine.now
+    truth = np.corrcoef(dataset.values[:, now - INITIAL_POINTS : now])
+    drift = np.abs(engine.correlation_matrix().values - truth).max()
+    print(f"\nmax drift vs recomputation after {len(snapshots)} slides: "
+          f"{drift:.2e}")
+
+    dynamics = summarize_dynamics([s.network for s in snapshots])
+    print(f"\nnetwork dynamics over {dynamics.n_snapshots} snapshots:")
+    print(f"  mean edges per snapshot: {dynamics.mean_edges:.1f}")
+    print(f"  mean churn per update:   {dynamics.mean_churn:.1f}")
+    print(f"  always-present edges:    {len(dynamics.stable_edges)}")
+    print(f"  blinking links:          {len(dynamics.blinking_edges)}")
+    for a, b in sorted(dynamics.blinking_edges)[:5]:
+        print(f"    {a} <-> {b}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""TSUBASA: climate network construction on historical and real-time data.
+
+A faithful, production-quality reproduction of *TSUBASA: Climate Network
+Construction on Historical and Real-Time Data* (Xu, Liu, Nargesian —
+SIGMOD 2022). The library provides:
+
+* the exact basic-window sketch and Lemma 1/Lemma 2 correlation engines
+  (:mod:`repro.core`),
+* the DFT-based approximate competitor (:mod:`repro.approx`),
+* the raw-data baseline (:mod:`repro.baseline`),
+* disk-backed sketch stores and the parallel pair-partitioned executor
+  (:mod:`repro.storage`, :mod:`repro.parallel`),
+* stream ingestion utilities (:mod:`repro.streams`),
+* climate data substrates — synthetic spatially correlated fields plus
+  format loaders (:mod:`repro.data`), and
+* network-science analysis on constructed networks (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import TsubasaHistorical, generate_station_dataset
+
+    dataset = generate_station_dataset(n_stations=50, n_points=2000, seed=7)
+    engine = TsubasaHistorical(dataset.values, window_size=50,
+                               names=dataset.names,
+                               coordinates=dataset.coordinates)
+    network = engine.network(query=(1999, 730), theta=0.75)
+    print(network.n_edges)
+"""
+
+from repro.approx import (
+    ApproxSketch,
+    ApproxSlidingState,
+    TsubasaApproximate,
+    build_approx_sketch,
+)
+from repro.baseline import BaselineExact, baseline_correlation_matrix, pearson
+from repro.core import (
+    BasicWindowPlan,
+    ClimateNetwork,
+    CorrelationMatrix,
+    QueryWindow,
+    Sketch,
+    SlidingCorrelationState,
+    TsubasaHistorical,
+    TsubasaRealtime,
+    build_sketch,
+    count_edges,
+    prune_threshold_matrix,
+    similarity_ratio,
+)
+from repro.data import (
+    StationDataset,
+    generate_gridded_dataset,
+    generate_station_dataset,
+)
+from repro.exceptions import (
+    DataError,
+    SegmentationError,
+    SketchError,
+    StorageError,
+    StreamError,
+    TsubasaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TsubasaHistorical",
+    "TsubasaRealtime",
+    "TsubasaApproximate",
+    "BaselineExact",
+    "BasicWindowPlan",
+    "QueryWindow",
+    "Sketch",
+    "ApproxSketch",
+    "SlidingCorrelationState",
+    "ApproxSlidingState",
+    "CorrelationMatrix",
+    "ClimateNetwork",
+    "build_sketch",
+    "build_approx_sketch",
+    "baseline_correlation_matrix",
+    "pearson",
+    "count_edges",
+    "similarity_ratio",
+    "prune_threshold_matrix",
+    "StationDataset",
+    "generate_station_dataset",
+    "generate_gridded_dataset",
+    "TsubasaError",
+    "SegmentationError",
+    "SketchError",
+    "StorageError",
+    "StreamError",
+    "DataError",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Network science on constructed climate networks."""
+
+from repro.analysis.accuracy import (
+    NetworkComparison,
+    compare_matrices,
+    compare_networks,
+)
+from repro.analysis.communities import (
+    CommunityPartition,
+    detect_communities,
+    partition_modularity,
+)
+from repro.analysis.export import (
+    read_adjacency_npz,
+    write_adjacency_npz,
+    write_edge_csv,
+    write_graphml,
+    write_matrix_csv,
+)
+from repro.analysis.reporting import (
+    ascii_degree_map,
+    dynamics_report,
+    topology_report,
+)
+from repro.analysis.geography import (
+    correlation_vs_distance,
+    degree_field,
+    edge_lengths,
+    teleconnection_edges,
+)
+from repro.analysis.dynamics import (
+    EdgeDynamics,
+    blinking_links,
+    churn_series,
+    edge_presence,
+    edge_stability,
+    summarize_dynamics,
+)
+from repro.analysis.topology import (
+    TopologySummary,
+    average_clustering,
+    connected_components,
+    degree_distribution,
+    hub_nodes,
+    summarize_topology,
+)
+
+__all__ = [
+    "ascii_degree_map",
+    "dynamics_report",
+    "topology_report",
+    "read_adjacency_npz",
+    "write_adjacency_npz",
+    "write_edge_csv",
+    "write_graphml",
+    "write_matrix_csv",
+    "correlation_vs_distance",
+    "degree_field",
+    "edge_lengths",
+    "teleconnection_edges",
+    "NetworkComparison",
+    "compare_matrices",
+    "compare_networks",
+    "CommunityPartition",
+    "detect_communities",
+    "partition_modularity",
+    "EdgeDynamics",
+    "blinking_links",
+    "churn_series",
+    "edge_presence",
+    "edge_stability",
+    "summarize_dynamics",
+    "TopologySummary",
+    "average_clustering",
+    "connected_components",
+    "degree_distribution",
+    "hub_nodes",
+    "summarize_topology",
+]

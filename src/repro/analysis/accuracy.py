@@ -1,0 +1,71 @@
+"""Network accuracy comparison (§4.1's measures, used by Fig. 5a).
+
+Compares an approximate network against the exact one with the paper's two
+measures — edge count and the correlation similarity ratio ``D_p`` — plus
+explicit false-positive / false-negative counts, which make the paper's
+"superset, never false negatives" claim (Eq. 4) directly assertable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.matrix import count_edges, similarity_ratio, threshold_adjacency
+from repro.exceptions import DataError
+
+__all__ = ["NetworkComparison", "compare_networks", "compare_matrices"]
+
+
+@dataclass(frozen=True)
+class NetworkComparison:
+    """Agreement statistics between an approximate and an exact network.
+
+    Attributes:
+        exact_edges: Edge count of the exact (reference) network.
+        approx_edges: Edge count of the approximate network.
+        similarity: Correlation similarity ratio ``D_p``.
+        false_positives: Approximate edges absent from the exact network.
+        false_negatives: Exact edges missing from the approximate network.
+    """
+
+    exact_edges: int
+    approx_edges: int
+    similarity: float
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def is_superset(self) -> bool:
+        """Whether the approximate network is a superset of the exact one."""
+        return self.false_negatives == 0
+
+
+def compare_networks(
+    exact_adjacency: np.ndarray, approx_adjacency: np.ndarray
+) -> NetworkComparison:
+    """Compare two boolean adjacency matrices (exact as reference)."""
+    exact = np.asarray(exact_adjacency, dtype=bool)
+    approx = np.asarray(approx_adjacency, dtype=bool)
+    if exact.shape != approx.shape:
+        raise DataError(f"shape mismatch: {exact.shape} vs {approx.shape}")
+    false_pos = count_edges(approx & ~exact)
+    false_neg = count_edges(exact & ~approx)
+    return NetworkComparison(
+        exact_edges=count_edges(exact),
+        approx_edges=count_edges(approx),
+        similarity=similarity_ratio(exact, approx),
+        false_positives=false_pos,
+        false_negatives=false_neg,
+    )
+
+
+def compare_matrices(
+    exact_corr: np.ndarray, approx_corr: np.ndarray, theta: float
+) -> NetworkComparison:
+    """Threshold two correlation matrices at ``theta`` and compare them."""
+    return compare_networks(
+        threshold_adjacency(exact_corr, theta),
+        threshold_adjacency(approx_corr, theta),
+    )

@@ -1,0 +1,118 @@
+"""Network dynamics over time (the "blinking links" line of analysis).
+
+Climate studies track how network structure evolves as the query window
+slides: links that flicker on and off around events like El Niño carry
+signal (Gozolchiani et al., cited in §1). These helpers consume the snapshot
+history produced by :class:`~repro.streams.ingestion.StreamIngestor` (or any
+sequence of :class:`~repro.core.network.ClimateNetwork`) and quantify
+stability and churn.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+__all__ = [
+    "EdgeDynamics",
+    "edge_presence",
+    "edge_stability",
+    "churn_series",
+    "blinking_links",
+    "summarize_dynamics",
+]
+
+
+@dataclass(frozen=True)
+class EdgeDynamics:
+    """Aggregate dynamics of a network sequence.
+
+    Attributes:
+        n_snapshots: Number of snapshots analyzed.
+        mean_edges: Mean edge count per snapshot.
+        mean_churn: Mean number of edge changes between snapshots.
+        stable_edges: Edges present in every snapshot.
+        blinking_edges: Edges that both appeared and disappeared at least
+            once across the sequence.
+    """
+
+    n_snapshots: int
+    mean_edges: float
+    mean_churn: float
+    stable_edges: frozenset[tuple[str, str]]
+    blinking_edges: frozenset[tuple[str, str]]
+
+
+def _edge_sets(networks: list[ClimateNetwork]) -> list[set[tuple[str, str]]]:
+    if not networks:
+        raise DataError("need at least one network snapshot")
+    names = networks[0].names
+    for network in networks[1:]:
+        if network.names != names:
+            raise DataError("snapshots must share an identical node set")
+    return [network.edge_set() for network in networks]
+
+
+def edge_presence(networks: list[ClimateNetwork]) -> Counter:
+    """Count, per edge, the number of snapshots it appears in."""
+    counts: Counter = Counter()
+    for edges in _edge_sets(networks):
+        counts.update(edges)
+    return counts
+
+
+def edge_stability(networks: list[ClimateNetwork]) -> dict[tuple[str, str], float]:
+    """Fraction of snapshots each ever-present edge appears in."""
+    total = len(networks)
+    return {
+        edge: count / total for edge, count in edge_presence(networks).items()
+    }
+
+
+def churn_series(networks: list[ClimateNetwork]) -> list[int]:
+    """Edge changes (appearances + disappearances) between snapshots."""
+    edge_sets = _edge_sets(networks)
+    return [
+        len(edge_sets[i] ^ edge_sets[i - 1]) for i in range(1, len(edge_sets))
+    ]
+
+
+def blinking_links(
+    networks: list[ClimateNetwork],
+) -> frozenset[tuple[str, str]]:
+    """Edges that toggled state at least twice across the sequence.
+
+    A blinking link is present in some snapshot, absent in a later one, and
+    present again later (or the mirror pattern) — i.e. its presence sequence
+    changes value at least twice.
+    """
+    edge_sets = _edge_sets(networks)
+    all_edges = set().union(*edge_sets)
+    blinking = set()
+    for edge in all_edges:
+        flips = sum(
+            (edge in edge_sets[i]) != (edge in edge_sets[i - 1])
+            for i in range(1, len(edge_sets))
+        )
+        if flips >= 2:
+            blinking.add(edge)
+    return frozenset(blinking)
+
+
+def summarize_dynamics(networks: list[ClimateNetwork]) -> EdgeDynamics:
+    """Compute the full :class:`EdgeDynamics` of a snapshot sequence."""
+    edge_sets = _edge_sets(networks)
+    churn = churn_series(networks)
+    stable = (
+        frozenset(set.intersection(*edge_sets)) if edge_sets else frozenset()
+    )
+    return EdgeDynamics(
+        n_snapshots=len(networks),
+        mean_edges=sum(len(e) for e in edge_sets) / len(edge_sets),
+        mean_churn=sum(churn) / len(churn) if churn else 0.0,
+        stable_edges=stable,
+        blinking_edges=blinking_links(networks),
+    )

@@ -1,0 +1,97 @@
+"""Exporting networks and matrices to downstream tools.
+
+The right-hand side of the paper's Figure 1: the constructed correlation
+matrix and climate network feed "visualization and network science tools".
+These writers cover the common interchange formats:
+
+* :func:`write_edge_csv` — one row per edge with weight and, when known,
+  node coordinates (ready for GIS / flow-map tools).
+* :func:`write_graphml` — GraphML via ``networkx`` (Gephi, Cytoscape, igraph).
+* :func:`write_adjacency_npz` — compressed adjacency + weights + names for
+  numpy pipelines.
+* :func:`write_matrix_csv` — the full labeled correlation matrix.
+
+Every writer has a matching reader or round-trip test.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+__all__ = [
+    "write_edge_csv",
+    "write_graphml",
+    "write_adjacency_npz",
+    "read_adjacency_npz",
+    "write_matrix_csv",
+]
+
+
+def write_edge_csv(network: ClimateNetwork, path: str | Path) -> int:
+    """Write one row per edge: names, weight, and coordinates when known.
+
+    Returns:
+        The number of edge rows written.
+    """
+    has_coords = bool(network.coordinates)
+    header = ["source", "target", "weight"]
+    if has_coords:
+        header += ["source_lat", "source_lon", "target_lat", "target_lon"]
+    edges = sorted(network.edge_set())
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for a, b in edges:
+            row: list[object] = [a, b, f"{network.edge_weight(a, b):.10g}"]
+            if has_coords:
+                coords = network.coordinates
+                row += [*coords.get(a, ("", "")), *coords.get(b, ("", ""))]
+            writer.writerow(row)
+    return len(edges)
+
+
+def write_graphml(network: ClimateNetwork, path: str | Path) -> None:
+    """Write the network as GraphML (node lat/lon + edge weights preserved)."""
+    nx.write_graphml(network.to_networkx(), str(path))
+
+
+def write_adjacency_npz(network: ClimateNetwork, path: str | Path) -> None:
+    """Write adjacency, weights, names, and threshold as a ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        names=np.array(network.names),
+        adjacency=network.adjacency,
+        weights=network.weights,
+        threshold=np.float64(network.threshold),
+    )
+
+
+def read_adjacency_npz(path: str | Path) -> ClimateNetwork:
+    """Load a network written by :func:`write_adjacency_npz`."""
+    with np.load(path) as archive:
+        for key in ("names", "adjacency", "weights", "threshold"):
+            if key not in archive:
+                raise DataError(f"{path}: missing archive key {key!r}")
+        return ClimateNetwork(
+            names=[str(n) for n in archive["names"]],
+            adjacency=archive["adjacency"],
+            weights=archive["weights"],
+            threshold=float(archive["threshold"]),
+        )
+
+
+def write_matrix_csv(matrix: CorrelationMatrix, path: str | Path) -> None:
+    """Write the full labeled correlation matrix as CSV (header row+column)."""
+    with open(path, "w", newline="", encoding="ascii") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["", *matrix.names])
+        for name, row in zip(matrix.names, matrix.values):
+            writer.writerow([name, *(f"{v:.10g}" for v in row)])

@@ -1,0 +1,114 @@
+"""Plain-text reports and ASCII maps for terminal-first analysis.
+
+The reproduction environment has no plotting stack, and the paper's Fig. 1
+routes networks to external visualization tools anyway. For quick looks from
+the CLI and examples, this module renders:
+
+* :func:`ascii_degree_map` — the degree field binned onto a lat/lon character
+  grid, intensity-coded (the terminal version of a hub map).
+* :func:`topology_report` — a multi-line summary of a network's topology.
+* :func:`dynamics_report` — a summary of a snapshot sequence including a
+  sparkline of edge counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.dynamics import summarize_dynamics
+from repro.analysis.topology import hub_nodes, summarize_topology
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+__all__ = ["ascii_degree_map", "topology_report", "dynamics_report"]
+
+_INTENSITY = " .:-=+*#%@"
+
+
+def ascii_degree_map(
+    network: ClimateNetwork, width: int = 60, height: int = 20
+) -> str:
+    """Render the degree field as an intensity-coded character grid.
+
+    Each cell shows the maximum degree of the nodes falling into it, scaled
+    to the ``' .:-=+*#%@'`` ramp; empty cells are blank. North is up.
+
+    Args:
+        network: A network with node coordinates.
+        width: Grid columns.
+        height: Grid rows.
+
+    Returns:
+        The rendered multi-line string (no trailing newline).
+    """
+    if not network.coordinates:
+        raise DataError("network carries no node coordinates")
+    if width < 2 or height < 2:
+        raise DataError("map must be at least 2x2")
+    lats = np.array([network.coordinates[n][0] for n in network.names])
+    lons = np.array([network.coordinates[n][1] for n in network.names])
+    degrees = network.degrees().astype(np.float64)
+
+    lat_span = max(lats.max() - lats.min(), 1e-9)
+    lon_span = max(lons.max() - lons.min(), 1e-9)
+    rows = ((lats.max() - lats) / lat_span * (height - 1)).astype(int)
+    cols = ((lons - lons.min()) / lon_span * (width - 1)).astype(int)
+
+    grid = np.full((height, width), -1.0)
+    for r, c, d in zip(rows, cols, degrees):
+        grid[r, c] = max(grid[r, c], d)
+
+    max_degree = max(degrees.max(), 1.0)
+    lines = []
+    for r in range(height):
+        chars = []
+        for c in range(width):
+            if grid[r, c] < 0:
+                chars.append(" ")
+            else:
+                level = int(grid[r, c] / max_degree * (len(_INTENSITY) - 1))
+                chars.append(_INTENSITY[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def topology_report(network: ClimateNetwork, top_hubs: int = 5) -> str:
+    """Multi-line topology summary of one network."""
+    summary = summarize_topology(network)
+    lines = [
+        f"nodes              {summary.n_nodes}",
+        f"edges              {summary.n_edges}",
+        f"density            {summary.density:.4f}",
+        f"mean degree        {summary.mean_degree:.2f}",
+        f"max degree         {summary.max_degree}",
+        f"components         {summary.n_components}",
+        f"largest component  {summary.largest_component}",
+        f"avg clustering     {summary.average_clustering:.3f}",
+    ]
+    hubs = hub_nodes(network, top_k=top_hubs)
+    if hubs and hubs[0][1] > 0:
+        lines.append("hubs               " + ", ".join(
+            f"{name}({degree})" for name, degree in hubs if degree > 0
+        ))
+    return "\n".join(lines)
+
+
+def dynamics_report(networks: list[ClimateNetwork]) -> str:
+    """Summary of a snapshot sequence with an edge-count sparkline."""
+    dynamics = summarize_dynamics(networks)
+    counts = np.array([net.n_edges for net in networks], dtype=np.float64)
+    top = max(counts.max(), 1.0)
+    ramp = "▁▂▃▄▅▆▇█"
+    spark = "".join(
+        ramp[int(c / top * (len(ramp) - 1))] for c in counts
+    )
+    return "\n".join(
+        [
+            f"snapshots       {dynamics.n_snapshots}",
+            f"edges           {spark}  (max {int(counts.max())})",
+            f"mean edges      {dynamics.mean_edges:.1f}",
+            f"mean churn      {dynamics.mean_churn:.1f}",
+            f"stable edges    {len(dynamics.stable_edges)}",
+            f"blinking links  {len(dynamics.blinking_edges)}",
+        ]
+    )

@@ -1,0 +1,100 @@
+"""Network topology analysis for climate networks.
+
+Climate-network studies read physics off topology: node degree fields locate
+teleconnection hubs (El Niño studies), clustering and component structure
+track regime shifts, degree distributions reveal scale-free behavior
+(earthquake networks). These helpers operate directly on
+:class:`~repro.core.network.ClimateNetwork` objects and return plain numpy
+structures; heavier algorithms delegate to ``networkx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.core.network import ClimateNetwork
+
+__all__ = [
+    "TopologySummary",
+    "summarize_topology",
+    "degree_distribution",
+    "connected_components",
+    "average_clustering",
+    "hub_nodes",
+]
+
+
+@dataclass(frozen=True)
+class TopologySummary:
+    """Headline topology statistics of a climate network.
+
+    Attributes:
+        n_nodes: Node count.
+        n_edges: Undirected edge count.
+        density: Fraction of possible edges present.
+        mean_degree: Average node degree.
+        max_degree: Maximum node degree.
+        n_components: Number of connected components.
+        largest_component: Size of the largest component.
+        average_clustering: Mean local clustering coefficient.
+    """
+
+    n_nodes: int
+    n_edges: int
+    density: float
+    mean_degree: float
+    max_degree: int
+    n_components: int
+    largest_component: int
+    average_clustering: float
+
+
+def degree_distribution(network: ClimateNetwork) -> dict[int, int]:
+    """Histogram ``degree -> node count``."""
+    degrees = network.degrees()
+    values, counts = np.unique(degrees, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def connected_components(network: ClimateNetwork) -> list[set[str]]:
+    """Connected components as sets of node names, largest first."""
+    graph = network.to_networkx()
+    components = [set(c) for c in nx.connected_components(graph)]
+    return sorted(components, key=len, reverse=True)
+
+
+def average_clustering(network: ClimateNetwork) -> float:
+    """Mean local clustering coefficient (0 for an empty network)."""
+    graph = network.to_networkx()
+    if graph.number_of_nodes() == 0:
+        return 0.0
+    return float(nx.average_clustering(graph))
+
+
+def hub_nodes(network: ClimateNetwork, top_k: int = 10) -> list[tuple[str, int]]:
+    """The ``top_k`` highest-degree nodes as ``(name, degree)`` pairs."""
+    degrees = network.degrees()
+    order = np.argsort(-degrees, kind="stable")[:top_k]
+    return [(network.names[i], int(degrees[i])) for i in order]
+
+
+def summarize_topology(network: ClimateNetwork) -> TopologySummary:
+    """Compute the full :class:`TopologySummary` of a network."""
+    n = network.n_nodes
+    edges = network.n_edges
+    degrees = network.degrees()
+    components = connected_components(network)
+    possible = n * (n - 1) / 2
+    return TopologySummary(
+        n_nodes=n,
+        n_edges=edges,
+        density=edges / possible if possible else 0.0,
+        mean_degree=float(degrees.mean()) if n else 0.0,
+        max_degree=int(degrees.max()) if n else 0,
+        n_components=len(components),
+        largest_component=len(components[0]) if components else 0,
+        average_clustering=average_clustering(network),
+    )

@@ -1,0 +1,39 @@
+"""DFT-based approximate correlation (the StatStream-style competitor)."""
+
+from repro.approx.combine import (
+    eq5_correlation,
+    statstream_correlation,
+    window_statistics_spread,
+)
+from repro.approx.projection import (
+    ProjectionSketch,
+    build_projection_sketch,
+    projection_correlation,
+)
+from repro.approx.dft import (
+    dft_coefficients,
+    epsilon_for_threshold,
+    normalize_windows,
+    pairwise_sq_distances,
+)
+from repro.approx.network import TsubasaApproximate, approximate_correlation_matrix
+from repro.approx.realtime import ApproxSlidingState
+from repro.approx.sketch import ApproxSketch, build_approx_sketch
+
+__all__ = [
+    "eq5_correlation",
+    "statstream_correlation",
+    "window_statistics_spread",
+    "ProjectionSketch",
+    "build_projection_sketch",
+    "projection_correlation",
+    "dft_coefficients",
+    "epsilon_for_threshold",
+    "normalize_windows",
+    "pairwise_sq_distances",
+    "TsubasaApproximate",
+    "approximate_correlation_matrix",
+    "ApproxSlidingState",
+    "ApproxSketch",
+    "build_approx_sketch",
+]

@@ -1,0 +1,129 @@
+"""Combining per-window DFT distances into query-window correlations.
+
+Two strategies from the paper:
+
+* **StatStream averaging** (§2.2, §4.1): assume every basic window has
+  statistics similar to the query window and average the per-window
+  correlations ``c_j = 1 - d_j^2 / 2`` — i.e. the query correlation estimate
+  is ``1 - mean(d_j^2) / 2``. Cheap, but biased whenever window statistics
+  drift (uncooperative series).
+* **Eq. 5 (TSUBASA-style combination)**: substitute the DFT estimate
+  ``sigma_xj * sigma_yj * (1 - d_j^2 / 2)`` for the per-window covariance in
+  Lemma 1, correctly re-weighting windows by their means/stds. With all
+  coefficients (``d_j`` exact) this equals the exact correlation.
+
+Both return full matrices; Algorithm 4's thresholding (with the Eq. 4
+no-false-negative radius) lives in :mod:`repro.approx.network`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.sketch import ApproxSketch
+from repro.core.lemma1 import combine_matrix
+from repro.exceptions import SketchError
+
+__all__ = [
+    "statstream_correlation",
+    "eq5_correlation",
+    "pseudo_covariances",
+    "window_statistics_spread",
+]
+
+
+def window_statistics_spread(
+    sketch: ApproxSketch, window_indices: np.ndarray
+) -> float:
+    """How much basic-window statistics drift across a query window.
+
+    Algorithm 4 (line 6) averages per-window distances only when "stats of
+    basic windows ≃ w" — the similar-statistics assumption of StatStream.
+    This scores the assumption: for each series, the dispersion of its
+    per-window means (relative to its typical window std) and the relative
+    dispersion of its per-window stds; the score is the maximum over series
+    of the larger of the two. Near 0 means cooperative/homogeneous windows;
+    values around 1 or above mean the assumption is badly violated and Eq. 5
+    should be used.
+
+    Args:
+        sketch: The approximate sketch.
+        window_indices: Basic windows forming the query window.
+
+    Returns:
+        A non-negative drift score (0 for perfectly homogeneous windows).
+    """
+    idx = _check_selection(sketch, window_indices)
+    means = sketch.means[:, idx]
+    stds = sketch.stds[:, idx]
+    typical_std = np.maximum(stds.mean(axis=1), 1e-12)
+    mean_drift = means.std(axis=1) / typical_std
+    std_drift = stds.std(axis=1) / typical_std
+    return float(np.maximum(mean_drift, std_drift).max())
+
+
+def _check_selection(sketch: ApproxSketch, window_indices: np.ndarray) -> np.ndarray:
+    idx = np.asarray(window_indices, dtype=np.int64)
+    if idx.size == 0:
+        raise SketchError("query window must cover at least one basic window")
+    if idx.min() < 0 or idx.max() >= sketch.n_windows:
+        raise SketchError(f"window indices out of range [0, {sketch.n_windows})")
+    return idx
+
+
+def statstream_correlation(
+    sketch: ApproxSketch, window_indices: np.ndarray
+) -> np.ndarray:
+    """StatStream estimate: average per-window correlations over the query.
+
+    Args:
+        sketch: The approximate sketch.
+        window_indices: Basic windows forming the (aligned) query window.
+
+    Returns:
+        ``(n, n)`` approximate correlation matrix with unit diagonal.
+    """
+    idx = _check_selection(sketch, window_indices)
+    mean_dist_sq = sketch.dists_sq[idx].mean(axis=0)
+    corr = 1.0 - 0.5 * mean_dist_sq
+    np.fill_diagonal(corr, 1.0)
+    return corr
+
+
+def pseudo_covariances(
+    sketch: ApproxSketch, window_indices: np.ndarray
+) -> np.ndarray:
+    """Per-window covariance estimates ``sigma_x sigma_y (1 - d^2/2)`` (Eq. 5).
+
+    Args:
+        sketch: The approximate sketch.
+        window_indices: Basic windows to extract.
+
+    Returns:
+        ``(len(idx), n, n)`` estimated covariance matrices.
+    """
+    idx = _check_selection(sketch, window_indices)
+    stds = sketch.stds[:, idx]
+    # Per-window outer products of stds, all windows at once.
+    sigma = np.einsum("aj,bj->jab", stds, stds)
+    return sigma * (1.0 - 0.5 * sketch.dists_sq[idx])
+
+
+def eq5_correlation(sketch: ApproxSketch, window_indices: np.ndarray) -> np.ndarray:
+    """Eq. 5: window-statistics-aware combination of DFT distances.
+
+    Args:
+        sketch: The approximate sketch.
+        window_indices: Basic windows forming the (aligned) query window.
+
+    Returns:
+        ``(n, n)`` approximate correlation matrix; exact when the sketch was
+        built with all coefficients.
+    """
+    idx = _check_selection(sketch, window_indices)
+    return combine_matrix(
+        means=sketch.means[:, idx],
+        stds=sketch.stds[:, idx],
+        covs=pseudo_covariances(sketch, idx),
+        sizes=sketch.sizes[idx],
+    )

@@ -1,0 +1,159 @@
+"""DFT primitives for the StatStream-style approximation (§2.2, Eq. 2–3).
+
+The approximate competitor normalizes each basic window, computes its DFT,
+and keeps the first ``n`` coefficients; the Euclidean distance between two
+windows' coefficient prefixes under-estimates the distance between the
+normalized windows (Parseval), which maps to an *over*-estimate of their
+correlation — hence false positives but never false negatives (Eq. 4).
+
+Normalization convention: we scale to **unit norm**,
+``x_hat = (x - mean) / (std * sqrt(B))``, so that ``||x_hat|| = 1`` and the
+correlation identity of Eq. 3 holds exactly as printed::
+
+    c = 1 - d(x_hat, y_hat)^2 / 2
+
+The DFT uses the paper's unitary scaling (Eq. 2 has a ``1/sqrt(k)`` factor),
+so distances are preserved between windows and coefficient vectors; with all
+``B`` coefficients the approximation is exact.
+
+Cost model: the paper's analysis (and the systems it compares against) price
+the DFT at ``O(B^2)`` per window, and the measured sketch-time curves
+(Fig. 5b, 6a) depend on that. :func:`dft_coefficients` therefore defaults to
+the direct ``O(B^2)`` matrix-product transform; ``method="fft"`` switches to
+``numpy``'s FFT when only the values (not the cost shape) matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = [
+    "normalize_windows",
+    "dft_matrix",
+    "dft_coefficients",
+    "coefficient_count",
+    "pairwise_sq_distances",
+    "distance_to_correlation",
+    "correlation_to_distance_sq",
+    "epsilon_for_threshold",
+]
+
+_DFT_CACHE: dict[int, np.ndarray] = {}
+
+
+def normalize_windows(blocks: np.ndarray) -> np.ndarray:
+    """Normalize windows to zero mean and unit norm (rows are windows).
+
+    Args:
+        blocks: ``(n, B)`` matrix; each row is one window.
+
+    Returns:
+        ``(n, B)`` matrix with zero-mean unit-norm rows; constant windows
+        normalize to all-zero rows (their correlation contribution is zero).
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    if blocks.ndim != 2:
+        raise DataError(f"expected (n, B) windows, got shape {blocks.shape}")
+    size = blocks.shape[1]
+    mean = blocks.mean(axis=1, keepdims=True)
+    std = blocks.std(axis=1, keepdims=True)
+    scale = std * np.sqrt(size)
+    out = np.zeros_like(blocks)
+    np.divide(blocks - mean, scale, out=out, where=scale > 0.0)
+    return out
+
+
+def dft_matrix(size: int) -> np.ndarray:
+    """Unitary DFT matrix of the given size (cached per size)."""
+    if size <= 0:
+        raise DataError(f"DFT size must be positive, got {size}")
+    cached = _DFT_CACHE.get(size)
+    if cached is None:
+        grid = np.arange(size)
+        cached = np.exp(-2j * np.pi * np.outer(grid, grid) / size) / np.sqrt(size)
+        _DFT_CACHE[size] = cached
+    return cached
+
+
+def dft_coefficients(
+    windows: np.ndarray, n_coeffs: int, method: str = "direct"
+) -> np.ndarray:
+    """First ``n`` unitary DFT coefficients of each (already normalized) row.
+
+    Args:
+        windows: ``(n, B)`` matrix of normalized windows.
+        n_coeffs: How many leading coefficients to keep (``1..B``).
+        method: ``"direct"`` for the ``O(B^2)`` transform the paper's cost
+            model assumes; ``"fft"`` for ``numpy.fft`` (same values).
+
+    Returns:
+        Complex ``(n, n_coeffs)`` coefficient matrix.
+    """
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim != 2:
+        raise DataError(f"expected (n, B) windows, got shape {windows.shape}")
+    size = windows.shape[1]
+    if not 1 <= n_coeffs <= size:
+        raise DataError(f"n_coeffs must be in [1, {size}], got {n_coeffs}")
+    if method == "direct":
+        transform = dft_matrix(size)[:, :n_coeffs]
+        return windows @ transform
+    if method == "fft":
+        return np.fft.fft(windows, axis=1)[:, :n_coeffs] / np.sqrt(size)
+    raise DataError(f"unknown DFT method {method!r}")
+
+
+def coefficient_count(window_size: int, fraction: float) -> int:
+    """Number of coefficients for a fraction of the window (e.g. the 75% runs)."""
+    if not 0.0 < fraction <= 1.0:
+        raise DataError(f"fraction must be in (0, 1], got {fraction}")
+    return max(1, int(round(window_size * fraction)))
+
+
+def pairwise_sq_distances(coeffs: np.ndarray) -> np.ndarray:
+    """All-pair squared Euclidean distances between coefficient rows.
+
+    Uses the Gram-matrix identity ``d_ij^2 = g_ii + g_jj - 2 Re(g_ij)`` so the
+    whole ``(n, n)`` distance matrix is one complex matmul.
+
+    Args:
+        coeffs: Complex ``(n, k)`` coefficient matrix.
+
+    Returns:
+        Real ``(n, n)`` matrix of squared distances (zero diagonal).
+    """
+    coeffs = np.asarray(coeffs)
+    gram = coeffs @ coeffs.conj().T
+    norms = np.real(np.diag(gram))
+    dists = norms[:, None] + norms[None, :] - 2.0 * np.real(gram)
+    np.maximum(dists, 0.0, out=dists)
+    np.fill_diagonal(dists, 0.0)
+    return dists
+
+
+def distance_to_correlation(dist_sq: np.ndarray) -> np.ndarray:
+    """Eq. 3: correlation from squared distance of unit-norm windows."""
+    return 1.0 - 0.5 * np.asarray(dist_sq)
+
+
+def correlation_to_distance_sq(corr: np.ndarray) -> np.ndarray:
+    """Inverse of Eq. 3: squared distance from correlation."""
+    return 2.0 * (1.0 - np.asarray(corr))
+
+
+def epsilon_for_threshold(theta: float) -> float:
+    """Eq. 4 pruning radius for threshold ``theta`` (unit-norm convention).
+
+    ``Corr >= theta  ⇒  d^2 <= 2 * (1 - theta)``; because coefficient-prefix
+    distances under-estimate true distances, testing the prefix distance
+    against this radius yields a superset of the true edge set (no false
+    negatives).
+
+    Returns:
+        The *squared* distance radius ``2 * (1 - theta)``.
+    """
+    if not -1.0 <= theta <= 1.0:
+        raise DataError(f"theta must be in [-1, 1], got {theta}")
+    return 2.0 * (1.0 - theta)

@@ -1,0 +1,118 @@
+"""Network-Approximate (Algorithm 4): approximate climate networks.
+
+Builds a network from an :class:`~repro.approx.sketch.ApproxSketch` over an
+aligned query window. Two combination strategies are offered (Algorithm 4,
+lines 6–9): StatStream averaging when per-window statistics resemble the
+query window's, and Eq. 5 otherwise. Thresholding follows Eq. 4: a pair is an
+edge when its estimated distance is within the pruning radius, which (because
+coefficient prefixes under-estimate distances) yields a superset of the exact
+network — false positives, never false negatives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.combine import eq5_correlation, statstream_correlation
+from repro.approx.sketch import ApproxSketch
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.core.segmentation import BasicWindowPlan, QueryWindow
+from repro.exceptions import DataError, SketchError
+
+__all__ = ["approximate_correlation_matrix", "TsubasaApproximate"]
+
+
+def approximate_correlation_matrix(
+    sketch: ApproxSketch,
+    window_indices: np.ndarray,
+    method: str = "eq5",
+    drift_tolerance: float = 0.25,
+) -> np.ndarray:
+    """Approximate all-pairs correlation over an aligned query window.
+
+    Args:
+        sketch: The approximate sketch.
+        window_indices: Basic windows forming the query window.
+        method: ``"eq5"`` (statistics-aware, §3.2), ``"average"``
+            (StatStream's similar-statistics assumption, §2.2), or
+            ``"auto"`` — Algorithm 4's dispatch: average when the windows'
+            statistics are homogeneous, Eq. 5 otherwise.
+        drift_tolerance: Homogeneity cutoff for ``"auto"`` (see
+            :func:`~repro.approx.combine.window_statistics_spread`).
+
+    Returns:
+        ``(n, n)`` approximate correlation matrix.
+    """
+    if method == "auto":
+        from repro.approx.combine import window_statistics_spread
+
+        drift = window_statistics_spread(sketch, window_indices)
+        method = "average" if drift <= drift_tolerance else "eq5"
+    if method == "eq5":
+        return eq5_correlation(sketch, window_indices)
+    if method == "average":
+        return statstream_correlation(sketch, window_indices)
+    raise DataError(f"unknown combination method {method!r}")
+
+
+class TsubasaApproximate:
+    """The DFT-based approximate engine (the paper's competitor).
+
+    Args:
+        sketch: A pre-built :class:`ApproxSketch`.
+        coordinates: Optional node positions attached to networks.
+    """
+
+    def __init__(
+        self,
+        sketch: ApproxSketch,
+        coordinates: dict[str, tuple[float, float]] | None = None,
+    ) -> None:
+        self._sketch = sketch
+        self._plan = BasicWindowPlan(
+            length=int(sketch.sizes.sum()), window_size=sketch.window_size
+        )
+        self._coordinates = coordinates
+
+    @property
+    def sketch(self) -> ApproxSketch:
+        """The underlying approximate sketch."""
+        return self._sketch
+
+    def _window_indices(self, query: QueryWindow | tuple[int, int]) -> np.ndarray:
+        if not isinstance(query, QueryWindow):
+            end, length = query
+            query = QueryWindow(end=end, length=length)
+        selection = self._plan.align(query)
+        if not selection.is_aligned:
+            raise SketchError(
+                "the DFT-based method only supports query windows that are "
+                "integral multiples of the basic window size (§2.2); use the "
+                "exact TSUBASA engine for arbitrary windows"
+            )
+        return selection.full_windows
+
+    def correlation_matrix(
+        self, query: QueryWindow | tuple[int, int], method: str = "eq5"
+    ) -> CorrelationMatrix:
+        """Approximate correlation matrix over an aligned query window."""
+        idx = self._window_indices(query)
+        values = approximate_correlation_matrix(self._sketch, idx, method=method)
+        return CorrelationMatrix(names=list(self._sketch.names), values=values)
+
+    def network(
+        self,
+        query: QueryWindow | tuple[int, int],
+        theta: float,
+        method: str = "eq5",
+    ) -> ClimateNetwork:
+        """Algorithm 4: approximate network with Eq. 4 thresholding.
+
+        The estimated correlation being ``>= theta`` is equivalent to the
+        estimated squared distance being within ``2 * (1 - theta)`` (Eq. 4 in
+        the unit-norm convention); since prefix distances under-estimate,
+        the result is a superset of the exact network.
+        """
+        matrix = self.correlation_matrix(query, method=method)
+        return ClimateNetwork.from_matrix(matrix, theta, self._coordinates)

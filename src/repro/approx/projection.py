@@ -1,0 +1,188 @@
+"""Random-projection sketches for uncooperative time-series (§2.2).
+
+StatStream's answer to series whose energy is not concentrated in the first
+few DFT coefficients ("uncooperative" series) is random projection: project
+each normalized basic window onto ``k`` random vectors and estimate distances
+in the projected space. The Johnson-Lindenstrauss property makes the
+projected squared distance an unbiased estimator of the true squared
+distance, regardless of where the signal's energy lives — at the cost of
+being an *estimate* (both over- and under-shooting), so unlike the DFT
+prefix it cannot guarantee the no-false-negative property of Eq. 4.
+
+We implement the classic ±1 (Achlioptas) scheme with the ``1/sqrt(k)``
+scaling. Per window per series the sketch is ``k`` floats (vs. ``2n`` floats
+for ``n`` complex DFT coefficients); the projection itself costs ``O(k * B)``
+per window instead of the DFT's ``O(B^2)``.
+
+The paper notes this approach "similar to DFT coefficient calculation
+approximates correlation and has high overhead" — the comparison bench in
+``tests`` and the accuracy contrast with Eq. 5 make both halves observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.dft import normalize_windows
+from repro.core.lemma1 import combine_matrix
+from repro.core.segmentation import BasicWindowPlan
+from repro.core.stats import series_window_stats
+from repro.exceptions import DataError, SketchError
+
+__all__ = [
+    "projection_matrix",
+    "ProjectionSketch",
+    "build_projection_sketch",
+    "projection_correlation",
+]
+
+
+def projection_matrix(
+    window_size: int, n_components: int, seed: int
+) -> np.ndarray:
+    """Random ±1 projection matrix with JL scaling, shape ``(B, k)``.
+
+    Deterministic for a seed so sketch-time and query-time (or two workers')
+    projections agree.
+    """
+    if window_size <= 0 or n_components <= 0:
+        raise DataError("window_size and n_components must be positive")
+    rng = np.random.default_rng(seed)
+    signs = rng.integers(0, 2, size=(window_size, n_components)) * 2 - 1
+    return signs.astype(np.float64) / np.sqrt(n_components)
+
+
+@dataclass
+class ProjectionSketch:
+    """Random-projection statistics per basic window.
+
+    Attributes:
+        names: Series identifiers, in row order.
+        window_size: Basic window size ``B``.
+        n_components: Projection dimension ``k``.
+        seed: Seed of the shared projection matrix.
+        means: Per-series per-window means, shape ``(n, ns)``.
+        stds: Per-series per-window population stds, shape ``(n, ns)``.
+        dists_sq: Estimated per-window all-pair squared distances between
+            normalized windows, shape ``(ns, n, n)``.
+        sizes: Per-window sizes, shape ``(ns,)``.
+    """
+
+    names: list[str]
+    window_size: int
+    n_components: int
+    seed: int
+    means: np.ndarray
+    stds: np.ndarray
+    dists_sq: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        n, ns = self.means.shape
+        if len(self.names) != n:
+            raise SketchError(f"{len(self.names)} names for {n} series")
+        if self.dists_sq.shape != (ns, n, n):
+            raise SketchError(
+                f"dists_sq shape {self.dists_sq.shape} != ({ns}, {n}, {n})"
+            )
+
+    @property
+    def n_series(self) -> int:
+        """Number of sketched series."""
+        return self.means.shape[0]
+
+    @property
+    def n_windows(self) -> int:
+        """Number of sketched basic windows."""
+        return self.means.shape[1]
+
+
+def build_projection_sketch(
+    data: np.ndarray,
+    window_size: int,
+    n_components: int,
+    seed: int = 0,
+    names: list[str] | None = None,
+) -> ProjectionSketch:
+    """Sketch a collection with random projections of normalized windows.
+
+    Args:
+        data: ``(n, L)`` matrix of synchronized series.
+        window_size: Basic window size ``B``.
+        n_components: Projection dimension ``k`` (accuracy grows with k;
+            ``k = B`` is still an estimate, unlike the DFT with all
+            coefficients).
+        seed: Projection-matrix seed.
+        names: Optional series identifiers.
+
+    Returns:
+        The :class:`ProjectionSketch`.
+    """
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DataError(f"expected a 2-D series matrix, got shape {matrix.shape}")
+    plan = BasicWindowPlan(length=matrix.shape[1], window_size=window_size)
+    bounds = plan.boundaries
+    means, stds, sizes = series_window_stats(matrix, bounds)
+
+    n_series, n_windows = matrix.shape[0], sizes.size
+    dists = np.empty((n_windows, n_series, n_series))
+    for j in range(n_windows):
+        block = matrix[:, bounds[j] : bounds[j + 1]]
+        normalized = normalize_windows(block)
+        projector = projection_matrix(block.shape[1], n_components,
+                                      seed + j)
+        projected = normalized @ projector  # (n, k)
+        gram = projected @ projected.T
+        norms = np.diag(gram)
+        d = norms[:, None] + norms[None, :] - 2.0 * gram
+        np.maximum(d, 0.0, out=d)
+        np.fill_diagonal(d, 0.0)
+        dists[j] = d
+
+    if names is None:
+        names = [f"s{i:04d}" for i in range(n_series)]
+    return ProjectionSketch(
+        names=list(names),
+        window_size=window_size,
+        n_components=n_components,
+        seed=seed,
+        means=means,
+        stds=stds,
+        dists_sq=dists,
+        sizes=sizes,
+    )
+
+
+def projection_correlation(
+    sketch: ProjectionSketch, window_indices: np.ndarray
+) -> np.ndarray:
+    """Estimated all-pairs correlation via the Eq. 5 combination.
+
+    Identical recombination to the DFT path, with projected distances in
+    place of coefficient distances: pseudo-covariance
+    ``sigma_x sigma_y (1 - d^2 / 2)`` per window, pooled by Lemma 1.
+
+    Args:
+        sketch: The projection sketch.
+        window_indices: Basic windows forming the (aligned) query window.
+
+    Returns:
+        ``(n, n)`` estimated correlation matrix.
+    """
+    idx = np.asarray(window_indices, dtype=np.int64)
+    if idx.size == 0:
+        raise SketchError("query window must cover at least one basic window")
+    if idx.min() < 0 or idx.max() >= sketch.n_windows:
+        raise SketchError(f"window indices out of range [0, {sketch.n_windows})")
+    stds = sketch.stds[:, idx]
+    sigma = np.einsum("aj,bj->jab", stds, stds)
+    pseudo = sigma * (1.0 - 0.5 * sketch.dists_sq[idx])
+    return combine_matrix(
+        means=sketch.means[:, idx],
+        stds=stds,
+        covs=pseudo,
+        sizes=sketch.sizes[idx],
+    )

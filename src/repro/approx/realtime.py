@@ -1,0 +1,101 @@
+"""Eq. 6: incremental update of the approximate correlation (real-time).
+
+The approximate competitor's real-time path mirrors TSUBASA's (Lemma 2) but
+each entering basic window must be normalized and transformed (``O(B^2)``
+DFT under the paper's cost model) before its pairwise coefficient distances
+can be folded in — which is exactly why the approximate update is at least an
+order of magnitude slower than TSUBASA's in Fig. 5d.
+
+Implementation note: Eq. 6 is Lemma 2 with every per-window covariance
+replaced by its DFT estimate ``sigma_x sigma_y (1 - d^2/2)``. We therefore
+reuse :class:`~repro.core.lemma2.SlidingCorrelationState` over pseudo
+covariances: the sliding algebra is identical, only the per-window sketch of
+the entering window differs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.combine import pseudo_covariances
+from repro.approx.sketch import ApproxSketch, sketch_block
+from repro.core.lemma2 import SlidingCorrelationState
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.core.sketch import Sketch
+from repro.exceptions import SketchError, StreamError
+
+__all__ = ["ApproxSlidingState"]
+
+
+class ApproxSlidingState:
+    """Sliding approximate correlation over the most recent basic windows.
+
+    Args:
+        sketch: Approximate sketch whose trailing windows seed the query
+            window.
+        n_windows: Number of trailing basic windows in the query window.
+        dft_method: DFT evaluation for entering windows (``"direct"`` matches
+            the paper's cost model; ``"fft"`` for speed).
+    """
+
+    def __init__(
+        self, sketch: ApproxSketch, n_windows: int, dft_method: str = "direct"
+    ) -> None:
+        if n_windows <= 0:
+            raise StreamError("query window must cover at least one basic window")
+        if n_windows > sketch.n_windows:
+            raise SketchError(
+                f"query window of {n_windows} windows exceeds sketched "
+                f"{sketch.n_windows}"
+            )
+        start = sketch.n_windows - n_windows
+        idx = np.arange(start, sketch.n_windows)
+        seed = Sketch(
+            names=list(sketch.names),
+            window_size=sketch.window_size,
+            means=sketch.means[:, idx],
+            stds=sketch.stds[:, idx],
+            covs=pseudo_covariances(sketch, idx),
+            sizes=sketch.sizes[idx],
+        )
+        self._n_coeffs = sketch.n_coeffs
+        self._dft_method = dft_method
+        self._state = SlidingCorrelationState(seed, n_windows)
+
+    @property
+    def names(self) -> list[str]:
+        """Series identifiers, in matrix order."""
+        return self._state.names
+
+    @property
+    def n_windows(self) -> int:
+        """Number of basic windows in the sliding query window."""
+        return self._state.n_windows
+
+    def slide_raw(self, block: np.ndarray) -> None:
+        """Sketch an entering raw block (normalize + DFT + distances) and slide.
+
+        This is the per-update work Eq. 6 charges the approximate method for:
+        the DFT of the newest basic window dominates.
+        """
+        block = np.asarray(block, dtype=np.float64)
+        if block.ndim != 2 or block.shape[0] != self._state.n_series:
+            raise StreamError(
+                f"expected a ({self._state.n_series}, B) block, got {block.shape}"
+            )
+        k = min(self._n_coeffs, block.shape[1])
+        mean, std, dist_sq = sketch_block(block, k, method=self._dft_method)
+        pseudo_cov = np.outer(std, std) * (1.0 - 0.5 * dist_sq)
+        self._state.slide(mean, std, pseudo_cov, block.shape[1])
+
+    def correlation_matrix(self) -> CorrelationMatrix:
+        """Approximate correlation matrix of the current query window."""
+        return CorrelationMatrix(
+            names=list(self._state.names),
+            values=self._state.correlation_matrix(),
+        )
+
+    def network(self, theta: float) -> ClimateNetwork:
+        """Approximate network for threshold ``theta`` (Eq. 4 semantics)."""
+        return ClimateNetwork.from_matrix(self.correlation_matrix(), theta)

@@ -1,0 +1,185 @@
+"""Sketching for the DFT-based approximation (Algorithm 1, lines 8–10).
+
+The approximate sketch stores, per basic window:
+
+* per-series mean and population std (needed by Eq. 5 to recombine windows
+  with heterogeneous statistics — exactly the quantities TSUBASA keeps), and
+* per-pair squared distances between the first ``n`` DFT coefficients of the
+  normalized windows (the ``d_j`` of §2.2/§3.2).
+
+Sketch-time cost is dominated by the DFT (``O(B^2)`` per window per series
+under the paper's cost model — see :mod:`repro.approx.dft`) plus the pairwise
+distance products, which is why the approximate sketch time grows with the
+basic window size (Fig. 5b) while TSUBASA's stays nearly flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.approx.dft import (
+    coefficient_count,
+    dft_coefficients,
+    normalize_windows,
+    pairwise_sq_distances,
+)
+from repro.core.segmentation import BasicWindowPlan
+from repro.core.stats import series_window_stats
+from repro.exceptions import DataError, SketchError
+
+__all__ = ["ApproxSketch", "build_approx_sketch", "sketch_block"]
+
+
+@dataclass
+class ApproxSketch:
+    """Pre-computed DFT-based statistics for a series collection.
+
+    Attributes:
+        names: Series identifiers, in row order.
+        window_size: Basic window size ``B``.
+        n_coeffs: Number of DFT coefficients used per window.
+        means: Per-series per-window means, shape ``(n, ns)``.
+        stds: Per-series per-window population stds, shape ``(n, ns)``.
+        dists_sq: Per-window all-pair squared coefficient distances, shape
+            ``(ns, n, n)``.
+        sizes: Per-window sizes, shape ``(ns,)``.
+    """
+
+    names: list[str]
+    window_size: int
+    n_coeffs: int
+    means: np.ndarray
+    stds: np.ndarray
+    dists_sq: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        n, ns = self.means.shape
+        if len(self.names) != n:
+            raise SketchError(f"{len(self.names)} names for {n} sketched series")
+        if self.stds.shape != (n, ns):
+            raise SketchError(f"stds shape {self.stds.shape} != ({n}, {ns})")
+        if self.dists_sq.shape != (ns, n, n):
+            raise SketchError(
+                f"dists_sq shape {self.dists_sq.shape} != ({ns}, {n}, {n})"
+            )
+        if self.sizes.shape != (ns,):
+            raise SketchError(f"sizes shape {self.sizes.shape} != ({ns},)")
+
+    @property
+    def n_series(self) -> int:
+        """Number of sketched series."""
+        return self.means.shape[0]
+
+    @property
+    def n_windows(self) -> int:
+        """Number of sketched basic windows."""
+        return self.means.shape[1]
+
+    def window_correlations(self) -> np.ndarray:
+        """Per-window approximate correlations ``c_j = 1 - d_j^2 / 2``."""
+        return 1.0 - 0.5 * self.dists_sq
+
+    def select(self, window_indices: np.ndarray) -> "ApproxSketch":
+        """Restrict the sketch to a subset of basic windows."""
+        idx = np.asarray(window_indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_windows):
+            raise SketchError(
+                f"window indices out of range [0, {self.n_windows}): {idx}"
+            )
+        return ApproxSketch(
+            names=self.names,
+            window_size=self.window_size,
+            n_coeffs=self.n_coeffs,
+            means=self.means[:, idx],
+            stds=self.stds[:, idx],
+            dists_sq=self.dists_sq[idx],
+            sizes=self.sizes[idx],
+        )
+
+
+def sketch_block(
+    block: np.ndarray, n_coeffs: int, method: str = "direct"
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sketch one raw basic-window block for the approximate method.
+
+    Args:
+        block: ``(n, B)`` raw values of one basic window.
+        n_coeffs: DFT coefficients to keep.
+        method: DFT evaluation method (see :func:`dft_coefficients`).
+
+    Returns:
+        ``(means, stds, dists_sq)`` for the block.
+    """
+    block = np.asarray(block, dtype=np.float64)
+    if block.ndim != 2 or block.shape[1] == 0:
+        raise DataError(f"expected a non-empty (n, B) block, got {block.shape}")
+    normalized = normalize_windows(block)
+    coeffs = dft_coefficients(normalized, n_coeffs, method=method)
+    return block.mean(axis=1), block.std(axis=1), pairwise_sq_distances(coeffs)
+
+
+def build_approx_sketch(
+    data: np.ndarray,
+    window_size: int,
+    n_coeffs: int | None = None,
+    coeff_fraction: float | None = None,
+    names: list[str] | None = None,
+    method: str = "direct",
+) -> ApproxSketch:
+    """Algorithm 1 with the DFT lines (8–10) enabled.
+
+    Exactly one of ``n_coeffs`` / ``coeff_fraction`` may be given; the default
+    is all coefficients (``n_coeffs = B``), where the approximation is exact.
+
+    Args:
+        data: ``(n, L)`` matrix of synchronized series.
+        window_size: Basic window size ``B``.
+        n_coeffs: Absolute number of DFT coefficients to keep.
+        coeff_fraction: Fraction of ``B`` to keep (e.g. 0.75 for the paper's
+            75% configuration).
+        names: Optional series identifiers.
+        method: DFT evaluation method (see :func:`dft_coefficients`).
+
+    Returns:
+        The complete :class:`ApproxSketch`.
+    """
+    if n_coeffs is not None and coeff_fraction is not None:
+        raise DataError("give at most one of n_coeffs / coeff_fraction")
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DataError(f"expected a 2-D series matrix, got shape {matrix.shape}")
+    plan = BasicWindowPlan(length=matrix.shape[1], window_size=window_size)
+    boundaries = plan.boundaries
+    if coeff_fraction is not None:
+        n_coeffs = coefficient_count(window_size, coeff_fraction)
+    if n_coeffs is None:
+        n_coeffs = window_size
+    if not 1 <= n_coeffs <= window_size:
+        raise DataError(f"n_coeffs must be in [1, {window_size}], got {n_coeffs}")
+
+    means, stds, sizes = series_window_stats(matrix, boundaries)
+    n_series = matrix.shape[0]
+    n_windows = sizes.size
+    dists = np.empty((n_windows, n_series, n_series), dtype=np.float64)
+    for j in range(n_windows):
+        block = matrix[:, boundaries[j] : boundaries[j + 1]]
+        normalized = normalize_windows(block)
+        # A short trailing window may have fewer points than n_coeffs.
+        k = min(n_coeffs, block.shape[1])
+        coeffs = dft_coefficients(normalized, k, method=method)
+        dists[j] = pairwise_sq_distances(coeffs)
+
+    if names is None:
+        names = [f"s{i:04d}" for i in range(n_series)]
+    return ApproxSketch(
+        names=list(names),
+        window_size=window_size,
+        n_coeffs=n_coeffs,
+        means=means,
+        stds=stds,
+        dists_sq=dists,
+        sizes=sizes,
+    )

@@ -1,0 +1,15 @@
+"""Raw-data baseline: exact Pearson with no sketching (§4.2)."""
+
+from repro.baseline.naive import (
+    BaselineExact,
+    baseline_correlation_matrix,
+    baseline_pairwise_loop,
+    pearson,
+)
+
+__all__ = [
+    "BaselineExact",
+    "baseline_correlation_matrix",
+    "baseline_pairwise_loop",
+    "pearson",
+]

@@ -1,0 +1,311 @@
+"""Command-line interface for the TSUBASA reproduction.
+
+Subcommands mirror the system's life cycle::
+
+    tsubasa generate --stations 157 --points 8760 --out data.npz
+    tsubasa sketch   --data data.npz --window-size 200 --store sketch.db
+    tsubasa query    --store sketch.db --end 8759 --length 3000 --theta 0.75
+    tsubasa stream   --data data.npz --window-size 200 --initial 3000 \
+                     --theta 0.75 --updates 10
+    tsubasa topk     --store sketch.db --end 8759 --length 3000 --k 10
+    tsubasa sweep    --store sketch.db --windows 15 --stride 5 --theta 0.75
+    tsubasa info     --store sketch.db
+
+Datasets travel as ``.npz`` archives with ``values``/``names``/``lats``/
+``lons`` arrays (see ``tsubasa generate``); sketches live in SQLite stores
+(:mod:`repro.storage`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis.topology import summarize_topology
+from repro.core.exact import TsubasaHistorical
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.core.realtime import TsubasaRealtime
+from repro.core.segmentation import BasicWindowPlan, QueryWindow
+from repro.core.sketch import build_sketch
+from repro.data.synthetic import StationDataset, generate_station_dataset
+from repro.exceptions import TsubasaError
+from repro.storage.serialize import load_sketch, save_sketch
+from repro.storage.sqlite_store import SqliteSketchStore
+from repro.streams.ingestion import StreamIngestor
+from repro.streams.sources import ReplaySource
+
+__all__ = ["main", "build_parser"]
+
+
+def _save_dataset(path: str, dataset: StationDataset) -> None:
+    np.savez_compressed(
+        path,
+        values=dataset.values,
+        names=np.array(dataset.names),
+        lats=dataset.lats,
+        lons=dataset.lons,
+        resolution_hours=np.float64(dataset.resolution_hours),
+    )
+
+
+def _load_dataset(path: str) -> StationDataset:
+    with np.load(path) as archive:
+        return StationDataset(
+            names=[str(n) for n in archive["names"]],
+            values=archive["values"],
+            lats=archive["lats"],
+            lons=archive["lons"],
+            resolution_hours=float(archive["resolution_hours"]),
+        )
+
+
+def _print_network(network: ClimateNetwork, max_edges: int) -> None:
+    summary = summarize_topology(network)
+    print(f"nodes={summary.n_nodes} edges={summary.n_edges} "
+          f"density={summary.density:.4f} components={summary.n_components} "
+          f"clustering={summary.average_clustering:.3f}")
+    edges = sorted(
+        network.edge_set(),
+        key=lambda e: -network.edge_weight(*e),
+    )[:max_edges]
+    for a, b in edges:
+        print(f"  {a} -- {b}  corr={network.edge_weight(a, b):+.4f}")
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_station_dataset(
+        n_stations=args.stations, n_points=args.points, seed=args.seed
+    )
+    _save_dataset(args.out, dataset)
+    print(f"wrote {dataset.n_series} series x {dataset.n_points} points "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_sketch(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.data)
+    start = time.perf_counter()
+    sketch = build_sketch(dataset.values, args.window_size, names=dataset.names)
+    elapsed = time.perf_counter() - start
+    with SqliteSketchStore(args.store) as store:
+        save_sketch(store, sketch)
+        size = store.size_bytes()
+    print(f"sketched {sketch.n_series} series into {sketch.n_windows} "
+          f"windows (B={args.window_size}) in {elapsed:.2f}s; "
+          f"store={size / 1e6:.2f} MB")
+    return 0
+
+
+def _aligned_matrix(store_path: str, end: int, length: int):
+    """Load a store and answer an aligned query; None when not aligned."""
+    with SqliteSketchStore(store_path) as store:
+        sketch = load_sketch(store)
+    plan = BasicWindowPlan(length=sketch.length, window_size=sketch.window_size)
+    selection = plan.align(QueryWindow(end=end, length=length))
+    if not selection.is_aligned:
+        return None, sketch
+    subset = sketch.select(selection.full_windows)
+    from repro.core.lemma1 import combine_matrix
+
+    values = combine_matrix(subset.means, subset.stds, subset.covs,
+                            subset.sizes)
+    return CorrelationMatrix(names=list(sketch.names), values=values), sketch
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    start = time.perf_counter()
+    matrix, _ = _aligned_matrix(args.store, args.end, args.length)
+    elapsed = time.perf_counter() - start
+    if matrix is None:
+        print("error: query window is not aligned to basic windows and the "
+              "store holds no raw data; adjust --end/--length",
+              file=sys.stderr)
+        return 2
+    theta = args.theta
+    if args.alpha is not None:
+        from repro.core.significance import critical_correlation
+
+        n = matrix.n_series
+        theta = critical_correlation(
+            args.length, args.alpha, n_comparisons=n * (n - 1) // 2
+        )
+        print(f"significance level {args.alpha} -> theta={theta:.4f} "
+              f"(Bonferroni over {n * (n - 1) // 2} pairs)")
+    network = ClimateNetwork.from_matrix(matrix, theta)
+    print(f"query answered from sketches in {elapsed * 1e3:.1f} ms")
+    _print_network(network, args.max_edges)
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import ascii_degree_map, topology_report
+
+    dataset = _load_dataset(args.data)
+    engine = TsubasaHistorical(
+        dataset.values, args.window_size, names=dataset.names,
+        coordinates=dataset.coordinates,
+    )
+    network = engine.network((args.end, args.length), args.theta)
+    print(topology_report(network))
+    print()
+    print(ascii_degree_map(network, width=args.width, height=args.height))
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    from repro.core.queries import most_anticorrelated_pairs, top_k_pairs
+
+    matrix, _ = _aligned_matrix(args.store, args.end, args.length)
+    if matrix is None:
+        print("error: query window is not aligned to basic windows",
+              file=sys.stderr)
+        return 2
+    print(f"top {args.k} correlated pairs:")
+    for a, b, corr in top_k_pairs(matrix, args.k):
+        print(f"  {a} -- {b}  corr={corr:+.4f}")
+    if args.anticorrelated:
+        print(f"top {args.k} anti-correlated pairs:")
+        for a, b, corr in most_anticorrelated_pairs(matrix, args.k):
+            print(f"  {a} -- {b}  corr={corr:+.4f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.dynamics import summarize_dynamics
+    from repro.core.sweep import sliding_networks
+
+    with SqliteSketchStore(args.store) as store:
+        sketch = load_sketch(store)
+    results = sliding_networks(
+        sketch, n_windows=args.windows, theta=args.theta,
+        stride_windows=args.stride,
+    )
+    for first, network in results:
+        start = first * sketch.window_size
+        stop = (first + args.windows) * sketch.window_size
+        print(f"[{start:>7}, {stop:>7}): {network.n_edges} edges")
+    dynamics = summarize_dynamics([net for _, net in results])
+    print(f"mean edges {dynamics.mean_edges:.1f}, "
+          f"mean churn {dynamics.mean_churn:.1f}, "
+          f"stable {len(dynamics.stable_edges)}, "
+          f"blinking {len(dynamics.blinking_edges)}")
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.data)
+    if args.initial >= dataset.n_points:
+        print("error: --initial must leave data to stream", file=sys.stderr)
+        return 2
+    engine = TsubasaRealtime(
+        dataset.values[:, : args.initial], args.window_size, names=dataset.names
+    )
+    ingestor = StreamIngestor(engine, theta=args.theta)
+    source = ReplaySource(dataset.values, args.window_size, start=args.initial)
+    snapshots = ingestor.run(source, max_updates=args.updates)
+    for snap in snapshots:
+        print(f"t={snap.timestamp}: edges={snap.network.n_edges} "
+              f"(+{len(snap.appeared)} / -{len(snap.disappeared)})")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    with SqliteSketchStore(args.store) as store:
+        metadata = store.read_metadata()
+        count = store.window_count()
+        size = store.size_bytes()
+    print(f"kind={metadata.kind} series={len(metadata.names)} "
+          f"B={metadata.window_size} windows={count} "
+          f"size={size / 1e6:.2f} MB")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``tsubasa`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tsubasa",
+        description="Climate network construction on historical and "
+                    "real-time data (SIGMOD 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--stations", type=int, default=157)
+    gen.add_argument("--points", type=int, default=8760)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    sk = sub.add_parser("sketch", help="sketch a dataset into a store")
+    sk.add_argument("--data", required=True)
+    sk.add_argument("--window-size", type=int, required=True)
+    sk.add_argument("--store", required=True)
+    sk.set_defaults(func=_cmd_sketch)
+
+    qr = sub.add_parser("query", help="build a network from a sketch store")
+    qr.add_argument("--store", required=True)
+    qr.add_argument("--end", type=int, required=True)
+    qr.add_argument("--length", type=int, required=True)
+    qr.add_argument("--theta", type=float, default=0.75)
+    qr.add_argument("--alpha", type=float, default=None,
+                    help="derive theta from a significance level instead")
+    qr.add_argument("--max-edges", type=int, default=10)
+    qr.set_defaults(func=_cmd_query)
+
+    tk = sub.add_parser("topk", help="most correlated pairs in a window")
+    tk.add_argument("--store", required=True)
+    tk.add_argument("--end", type=int, required=True)
+    tk.add_argument("--length", type=int, required=True)
+    tk.add_argument("--k", type=int, default=10)
+    tk.add_argument("--anticorrelated", action="store_true")
+    tk.set_defaults(func=_cmd_topk)
+
+    sw = sub.add_parser("sweep", help="networks over a sliding window sweep")
+    sw.add_argument("--store", required=True)
+    sw.add_argument("--windows", type=int, required=True,
+                    help="query window length in basic windows")
+    sw.add_argument("--stride", type=int, default=1)
+    sw.add_argument("--theta", type=float, default=0.75)
+    sw.set_defaults(func=_cmd_sweep)
+
+    mp = sub.add_parser("map", help="ASCII degree map of a network")
+    mp.add_argument("--data", required=True)
+    mp.add_argument("--window-size", type=int, required=True)
+    mp.add_argument("--end", type=int, required=True)
+    mp.add_argument("--length", type=int, required=True)
+    mp.add_argument("--theta", type=float, default=0.75)
+    mp.add_argument("--width", type=int, default=60)
+    mp.add_argument("--height", type=int, default=20)
+    mp.set_defaults(func=_cmd_map)
+
+    st = sub.add_parser("stream", help="simulate real-time updates")
+    st.add_argument("--data", required=True)
+    st.add_argument("--window-size", type=int, required=True)
+    st.add_argument("--initial", type=int, required=True)
+    st.add_argument("--theta", type=float, default=0.75)
+    st.add_argument("--updates", type=int, default=10)
+    st.set_defaults(func=_cmd_stream)
+
+    info = sub.add_parser("info", help="describe a sketch store")
+    info.add_argument("--store", required=True)
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TsubasaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

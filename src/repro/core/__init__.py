@@ -1,0 +1,64 @@
+"""Core TSUBASA algorithms: exact sketch-based correlation and networks."""
+
+from repro.core.exact import TsubasaHistorical, query_correlation_row
+from repro.core.lagged import (
+    LaggedSketch,
+    build_lagged_sketch,
+    lagged_correlation_matrix,
+    lagged_network,
+)
+from repro.core.lemma1 import combine_matrix, combine_pair
+from repro.core.lemma2 import SlidingCorrelationState, lemma2_update_pair
+from repro.core.matrix import CorrelationMatrix, count_edges, similarity_ratio
+from repro.core.network import ClimateNetwork
+from repro.core.pruning import correlation_bounds, prune_threshold_matrix
+from repro.core.queries import (
+    degree_at_threshold,
+    most_anticorrelated_pairs,
+    neighbors,
+    pairs_in_range,
+    top_k_pairs,
+)
+from repro.core.realtime import TsubasaRealtime
+from repro.core.segmentation import BasicWindowPlan, QueryWindow
+from repro.core.significance import (
+    correlation_pvalues,
+    critical_correlation,
+    significant_adjacency,
+)
+from repro.core.sketch import Sketch, build_sketch
+from repro.core.sweep import SweepPlan, sliding_networks
+
+__all__ = [
+    "TsubasaHistorical",
+    "query_correlation_row",
+    "LaggedSketch",
+    "build_lagged_sketch",
+    "lagged_correlation_matrix",
+    "lagged_network",
+    "degree_at_threshold",
+    "most_anticorrelated_pairs",
+    "neighbors",
+    "pairs_in_range",
+    "top_k_pairs",
+    "correlation_pvalues",
+    "critical_correlation",
+    "significant_adjacency",
+    "TsubasaRealtime",
+    "combine_matrix",
+    "combine_pair",
+    "SlidingCorrelationState",
+    "lemma2_update_pair",
+    "CorrelationMatrix",
+    "count_edges",
+    "similarity_ratio",
+    "ClimateNetwork",
+    "correlation_bounds",
+    "prune_threshold_matrix",
+    "BasicWindowPlan",
+    "QueryWindow",
+    "Sketch",
+    "build_sketch",
+    "SweepPlan",
+    "sliding_networks",
+]

@@ -1,0 +1,256 @@
+"""Network-Construct-Histo (Algorithm 2): exact historical queries.
+
+Given a pre-computed :class:`~repro.core.sketch.Sketch`, an arbitrary query
+window is answered by:
+
+1. aligning the query against the basic-window plan
+   (:meth:`BasicWindowPlan.align`),
+2. reading the sketch slices of the fully covered basic windows,
+3. sketching the (possibly empty) partial head/tail fragments from raw data
+   on the fly — these are just two extra variable-size "basic windows" as far
+   as Lemma 1 is concerned, and
+4. combining everything with the vectorized Lemma 1 into the complete, exact
+   correlation matrix, from which any threshold yields the climate network.
+
+:class:`TsubasaHistorical` is the user-facing engine bundling data, plan and
+sketch. Raw data may be withheld (``keep_raw=False``) to model the
+sketch-only deployment; in that case only aligned queries are answerable and
+arbitrary ones raise :class:`~repro.exceptions.SketchError`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lemma1 import combine_matrix
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.core.segmentation import BasicWindowPlan, QueryWindow, WindowSelection
+from repro.core.sketch import Sketch, build_sketch
+from repro.exceptions import DataError, SketchError
+
+__all__ = [
+    "fragment_stats",
+    "query_correlation_matrix",
+    "query_correlation_row",
+    "TsubasaHistorical",
+]
+
+
+def query_correlation_row(
+    sketch: Sketch, window_indices: np.ndarray, row: int
+) -> np.ndarray:
+    """Exact correlations of one series against all others (Lemma 1, one row).
+
+    This is the ``Computecorr(L, i)`` primitive of Algorithm 5: the pruning
+    path materializes single anchor rows instead of the full matrix.
+
+    Args:
+        sketch: The pre-computed sketch.
+        window_indices: Basic windows forming the (aligned) query window.
+        row: Index of the anchor series.
+
+    Returns:
+        Length-``n`` array of exact correlations (entry ``row`` is 1.0).
+    """
+    idx = np.asarray(window_indices, dtype=np.int64)
+    if idx.size == 0:
+        raise SketchError("query window must cover at least one basic window")
+    if not 0 <= row < sketch.n_series:
+        raise SketchError(f"row {row} out of range [0, {sketch.n_series})")
+    sizes = sketch.sizes[idx].astype(np.float64)
+    total = float(sizes.sum())
+    means = sketch.means[:, idx]
+    stds = sketch.stds[:, idx]
+    grand = means @ sizes / total
+    delta = means - grand[:, None]
+
+    numer = np.einsum("j,ja->a", sizes, sketch.covs[idx][:, row, :])
+    numer += (delta[row] * sizes) @ delta.T
+    pooled_var = np.sum(sizes * (stds**2 + delta**2), axis=1)
+    scale = np.sqrt(np.maximum(pooled_var, 0.0))
+    denom = scale[row] * scale
+
+    out = np.zeros(sketch.n_series)
+    np.divide(numer, denom, out=out, where=denom > 0.0)
+    np.clip(out, -1.0, 1.0, out=out)
+    out[row] = 1.0
+    return out
+
+
+def fragment_stats(
+    data: np.ndarray, start: int, stop: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Sketch one raw fragment ``data[:, start:stop]`` on the fly.
+
+    Used for the partial head/tail windows of arbitrary queries (§3.1.1).
+
+    Returns:
+        ``(means, stds, cov, size)`` of the fragment across all series.
+    """
+    block = np.asarray(data, dtype=np.float64)[:, start:stop]
+    if block.shape[1] == 0:
+        raise DataError(f"empty fragment [{start}, {stop})")
+    mean = block.mean(axis=1)
+    centered = block - mean[:, None]
+    cov = centered @ centered.T / block.shape[1]
+    return mean, block.std(axis=1), cov, block.shape[1]
+
+
+def query_correlation_matrix(
+    sketch: Sketch,
+    selection: WindowSelection,
+    data: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact all-pairs correlation for an aligned window selection.
+
+    Args:
+        sketch: The pre-computed sketch.
+        selection: Alignment of the query window against the sketch's plan.
+        data: Raw series matrix, required when ``selection`` has partial
+            head/tail fragments.
+
+    Returns:
+        The exact ``(n, n)`` Pearson correlation matrix over the query window.
+    """
+    means = [sketch.means[:, selection.full_windows]]
+    stds = [sketch.stds[:, selection.full_windows]]
+    covs = [sketch.covs[selection.full_windows]]
+    sizes = [sketch.sizes[selection.full_windows]]
+
+    for fragment in (selection.head, selection.tail):
+        if fragment is None:
+            continue
+        if data is None:
+            raise SketchError(
+                "query window is not aligned to basic windows and no raw data "
+                "is available to sketch the partial fragments"
+            )
+        mean, std, cov, size = fragment_stats(data, *fragment)
+        means.append(mean[:, None])
+        stds.append(std[:, None])
+        covs.append(cov[None])
+        sizes.append(np.array([size], dtype=np.int64))
+
+    return combine_matrix(
+        means=np.concatenate(means, axis=1),
+        stds=np.concatenate(stds, axis=1),
+        covs=np.concatenate(covs, axis=0),
+        sizes=np.concatenate(sizes),
+    )
+
+
+class TsubasaHistorical:
+    """The TSUBASA historical engine: sketch once, query any window exactly.
+
+    Args:
+        data: ``(n, L)`` matrix of synchronized series.
+        window_size: Basic window size ``B``.
+        names: Optional series identifiers.
+        coordinates: Optional ``name -> (lat, lon)`` node positions, attached
+            to constructed networks.
+        keep_raw: Keep the raw matrix for arbitrary (non-aligned) queries.
+            With ``False`` the engine stores only the sketch (the paper's
+            sketch-only deployment) and supports aligned queries only.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        window_size: int,
+        names: list[str] | None = None,
+        coordinates: dict[str, tuple[float, float]] | None = None,
+        keep_raw: bool = True,
+    ) -> None:
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DataError(f"expected a 2-D series matrix, got shape {matrix.shape}")
+        self._plan = BasicWindowPlan(length=matrix.shape[1], window_size=window_size)
+        self._sketch = build_sketch(matrix, window_size, names=names)
+        self._data = matrix if keep_raw else None
+        self._coordinates = coordinates
+
+    @property
+    def sketch(self) -> Sketch:
+        """The underlying pre-computed sketch."""
+        return self._sketch
+
+    @property
+    def plan(self) -> BasicWindowPlan:
+        """The basic-window segmentation plan."""
+        return self._plan
+
+    @property
+    def names(self) -> list[str]:
+        """Series identifiers, in matrix order."""
+        return self._sketch.names
+
+    def _resolve(self, query: QueryWindow | tuple[int, int]) -> QueryWindow:
+        if isinstance(query, QueryWindow):
+            return query
+        end, length = query
+        return QueryWindow(end=end, length=length)
+
+    def correlation_matrix(
+        self, query: QueryWindow | tuple[int, int]
+    ) -> CorrelationMatrix:
+        """Exact correlation matrix over ``query`` (Algorithm 2, lines 2–5).
+
+        Args:
+            query: A :class:`QueryWindow` or an ``(end, length)`` tuple.
+
+        Returns:
+            The labeled exact correlation matrix.
+        """
+        window = self._resolve(query)
+        selection = self._plan.align(window)
+        values = query_correlation_matrix(self._sketch, selection, self._data)
+        return CorrelationMatrix(names=list(self._sketch.names), values=values)
+
+    def network(
+        self, query: QueryWindow | tuple[int, int], theta: float
+    ) -> ClimateNetwork:
+        """Construct the climate network over ``query`` with threshold ``theta``.
+
+        This is the full Algorithm 2: exact matrix plus threshold pruning of
+        edges (Algorithm 2, lines 6–7).
+        """
+        matrix = self.correlation_matrix(query)
+        return ClimateNetwork.from_matrix(matrix, theta, self._coordinates)
+
+    def network_pruned(
+        self,
+        query: QueryWindow | tuple[int, int],
+        theta: float,
+        max_anchors: int | None = None,
+    ):
+        """Algorithm 5 network construction: infer entries from Eq. 7 bounds.
+
+        Computes anchor *rows* of the correlation matrix from the sketch and
+        decides as many boolean entries as the bounds allow; only aligned
+        query windows are supported (anchor rows read sketches directly).
+
+        Args:
+            query: The (aligned) query window.
+            theta: Correlation threshold in ``(0, 1)``.
+            max_anchors: Anchor budget (``None`` = up to every series).
+
+        Returns:
+            A :class:`~repro.core.pruning.PruningResult`; its boolean matrix
+            equals exact thresholding (tested).
+        """
+        from repro.core.pruning import prune_threshold_matrix
+
+        window = self._resolve(query)
+        selection = self._plan.align(window)
+        if not selection.is_aligned:
+            raise SketchError(
+                "pruned construction requires an aligned query window"
+            )
+        idx = selection.full_windows
+        return prune_threshold_matrix(
+            lambda i: query_correlation_row(self._sketch, idx, i),
+            self._sketch.n_series,
+            theta,
+            max_anchors=max_anchors,
+        )

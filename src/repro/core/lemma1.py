@@ -1,0 +1,213 @@
+"""Lemma 1: exact Pearson correlation from basic-window statistics.
+
+Given per-window means, population standard deviations, sizes, and per-pair
+per-window correlations (or covariances), the exact Pearson correlation over
+the concatenation of the windows is::
+
+    Corr(x, y) = sum_j B_j * (sigma_xj * sigma_yj * c_j + delta_xj * delta_yj)
+                 / sqrt(sum_i B_i * (sigma_xi^2 + delta_xi^2))
+                 / sqrt(sum_i B_i * (sigma_yi^2 + delta_yi^2))
+
+with ``delta_xj = mean_xj - grand_mean(x)``. This is the pooled
+variance/covariance decomposition; the numerator term
+``sigma_xj * sigma_yj * c_j`` is exactly the per-window covariance.
+
+Note on the grand mean: the paper prints ``delta_xi = x_i - (sum_k x_k)/ns``
+(the *unweighted* mean of window means). That equals the true query-window
+mean only when all windows have equal size. Since Lemma 1 explicitly covers
+variable window sizes (that is what enables arbitrary query windows), we use
+the *weighted* grand mean ``sum_k B_k * mean_k / sum_k B_k``, which is exact
+in every case and identical to the paper's expression for equal sizes.
+DESIGN.md records this correction.
+
+Two implementations are provided:
+
+* :func:`combine_pair` — scalar, mirroring the lemma term by term; useful for
+  clarity, tests, and the real-time per-pair state.
+* :func:`combine_matrix` — vectorized all-pairs version used by network
+  construction; one shot for the full ``n x n`` correlation matrix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.stats import PairWindowStats, WindowStats
+from repro.exceptions import SketchError
+
+__all__ = [
+    "combine_pair",
+    "combine_pair_arrays",
+    "combine_matrix",
+    "pooled_mean",
+    "pooled_variance",
+]
+
+
+def pooled_mean(means: np.ndarray, sizes: np.ndarray) -> float | np.ndarray:
+    """Grand mean of a concatenation of windows from per-window means.
+
+    Args:
+        means: Per-window means; last axis indexes windows.
+        sizes: Per-window sizes ``B_j``, broadcastable against ``means``.
+
+    Returns:
+        The weighted grand mean along the last axis.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    return np.sum(np.asarray(means) * sizes, axis=-1) / np.sum(sizes)
+
+def pooled_variance(
+    means: np.ndarray, stds: np.ndarray, sizes: np.ndarray
+) -> float | np.ndarray:
+    """Population variance of a concatenation of windows (proof of Lemma 1).
+
+    Implements ``sigma^2 = (1/T) * sum_i B_i * (sigma_i^2 + delta_i^2)``.
+
+    Args:
+        means: Per-window means; last axis indexes windows.
+        stds: Per-window population stds, same shape as ``means``.
+        sizes: Per-window sizes, broadcastable along the last axis.
+
+    Returns:
+        The pooled population variance along the last axis.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    total = np.sum(sizes)
+    grand = np.expand_dims(np.sum(np.asarray(means) * sizes, axis=-1) / total, -1)
+    delta = np.asarray(means) - grand
+    return np.sum(sizes * (np.asarray(stds) ** 2 + delta**2), axis=-1) / total
+
+
+def combine_pair(
+    x_stats: Sequence[WindowStats],
+    y_stats: Sequence[WindowStats],
+    pair_stats: Sequence[PairWindowStats],
+) -> float:
+    """Exact Pearson correlation of one pair from per-window sketches.
+
+    This is the literal Lemma 1 computation for a single pair, accepting the
+    dataclass form of the sketch. Windows may have different sizes.
+
+    Args:
+        x_stats: Per-window stats of series ``x``, in window order.
+        y_stats: Per-window stats of series ``y``, aligned with ``x_stats``.
+        pair_stats: Per-window pair stats of ``(x, y)``, aligned with both.
+
+    Returns:
+        ``Corr(x, y)`` over the concatenated windows; 0.0 when either series
+        is constant over the query window (zero variance).
+    """
+    if not (len(x_stats) == len(y_stats) == len(pair_stats)):
+        raise SketchError(
+            "per-window stat sequences must have equal length "
+            f"({len(x_stats)}, {len(y_stats)}, {len(pair_stats)})"
+        )
+    if not x_stats:
+        raise SketchError("cannot combine an empty window sequence")
+    for xs, ys, ps in zip(x_stats, y_stats, pair_stats):
+        if not (xs.size == ys.size == ps.size):
+            raise SketchError(
+                f"window size mismatch across sketches: {xs.size}, {ys.size}, {ps.size}"
+            )
+
+    sizes = np.array([s.size for s in x_stats], dtype=np.float64)
+    mx = np.array([s.mean for s in x_stats])
+    my = np.array([s.mean for s in y_stats])
+    sx = np.array([s.std for s in x_stats])
+    sy = np.array([s.std for s in y_stats])
+    cov = np.array([p.cov for p in pair_stats])
+
+    return combine_pair_arrays(mx, sx, my, sy, cov, sizes)
+
+
+def combine_pair_arrays(
+    means_x: np.ndarray,
+    stds_x: np.ndarray,
+    means_y: np.ndarray,
+    stds_y: np.ndarray,
+    covs: np.ndarray,
+    sizes: np.ndarray,
+) -> float:
+    """Array form of :func:`combine_pair` (one pair, ``ns`` windows).
+
+    Args:
+        means_x: Per-window means of ``x``, shape ``(ns,)``.
+        stds_x: Per-window population stds of ``x``.
+        means_y: Per-window means of ``y``.
+        stds_y: Per-window population stds of ``y``.
+        covs: Per-window covariances ``sigma_xj * sigma_yj * c_j``.
+        sizes: Per-window sizes ``B_j``.
+
+    Returns:
+        The exact Pearson correlation over the concatenation.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    total = float(np.sum(sizes))
+    grand_x = float(np.sum(means_x * sizes) / total)
+    grand_y = float(np.sum(means_y * sizes) / total)
+    dx = np.asarray(means_x) - grand_x
+    dy = np.asarray(means_y) - grand_y
+
+    numer = float(np.sum(sizes * (np.asarray(covs) + dx * dy)))
+    var_x = float(np.sum(sizes * (np.asarray(stds_x) ** 2 + dx**2)))
+    var_y = float(np.sum(sizes * (np.asarray(stds_y) ** 2 + dy**2)))
+    denom = np.sqrt(var_x) * np.sqrt(var_y)
+    if denom <= 0.0:
+        return 0.0
+    return float(np.clip(numer / denom, -1.0, 1.0))
+
+
+def combine_matrix(
+    means: np.ndarray,
+    stds: np.ndarray,
+    covs: np.ndarray,
+    sizes: np.ndarray,
+) -> np.ndarray:
+    """Vectorized Lemma 1 for all pairs at once.
+
+    Args:
+        means: Per-series per-window means, shape ``(n, ns)``.
+        stds: Per-series per-window population stds, shape ``(n, ns)``.
+        covs: Per-window all-pair covariance matrices, shape ``(ns, n, n)``.
+        sizes: Per-window sizes, shape ``(ns,)``.
+
+    Returns:
+        The exact ``(n, n)`` Pearson correlation matrix over the concatenated
+        windows, with unit diagonal. Rows/columns of constant series are zero
+        off-diagonal.
+    """
+    means = np.asarray(means, dtype=np.float64)
+    stds = np.asarray(stds, dtype=np.float64)
+    covs = np.asarray(covs, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if means.shape != stds.shape:
+        raise SketchError(f"means/stds shape mismatch: {means.shape} vs {stds.shape}")
+    n, ns = means.shape
+    if covs.shape != (ns, n, n):
+        raise SketchError(
+            f"covs shape {covs.shape} incompatible with {ns} windows of {n} series"
+        )
+    if sizes.shape != (ns,):
+        raise SketchError(f"sizes shape {sizes.shape} != ({ns},)")
+
+    total = float(np.sum(sizes))
+    grand = means @ sizes / total  # (n,)
+    delta = means - grand[:, None]  # (n, ns)
+
+    # Numerator: sum_j B_j * (cov_j + delta_xj * delta_yj), all pairs at once.
+    numer = np.einsum("j,jab->ab", sizes, covs)
+    numer += (delta * sizes) @ delta.T
+
+    # Denominator: pooled per-series variances.
+    pooled_var = np.sum(sizes * (stds**2 + delta**2), axis=1) / total
+    scale = np.sqrt(np.maximum(pooled_var, 0.0)) * np.sqrt(total)
+    denom = np.outer(scale, scale)
+
+    corr = np.zeros((n, n), dtype=np.float64)
+    np.divide(numer, denom, out=corr, where=denom > 0.0)
+    np.clip(corr, -1.0, 1.0, out=corr)
+    np.fill_diagonal(corr, 1.0)
+    return corr

@@ -1,0 +1,114 @@
+"""Query operators over correlation matrices.
+
+The complete-matrix design of TSUBASA (vs. threshold-only competitors) means
+classic correlated-time-series queries become cheap post-processing of the
+matrix: top-k most correlated pairs, per-node neighborhoods, range queries,
+and anti-correlation search. These operators are what a network analyst (or
+the visualization layer of Fig. 1) actually calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrix import CorrelationMatrix
+from repro.exceptions import DataError
+
+__all__ = [
+    "top_k_pairs",
+    "neighbors",
+    "pairs_in_range",
+    "most_anticorrelated_pairs",
+    "degree_at_threshold",
+]
+
+
+def _upper_pairs(matrix: CorrelationMatrix) -> tuple[np.ndarray, np.ndarray]:
+    n = matrix.n_series
+    return np.triu_indices(n, k=1)
+
+
+def top_k_pairs(
+    matrix: CorrelationMatrix, k: int
+) -> list[tuple[str, str, float]]:
+    """The ``k`` most positively correlated distinct pairs, descending.
+
+    Args:
+        matrix: A labeled correlation matrix.
+        k: Number of pairs to return (capped at the number of pairs).
+
+    Returns:
+        ``(name_a, name_b, correlation)`` triples, strongest first; ties are
+        broken by row order for determinism.
+    """
+    if k <= 0:
+        raise DataError(f"k must be positive, got {k}")
+    rows, cols = _upper_pairs(matrix)
+    values = matrix.values[rows, cols]
+    k = min(k, values.size)
+    # argsort is stable, so equal correlations keep row order.
+    order = np.argsort(-values, kind="stable")[:k]
+    return [
+        (matrix.names[rows[i]], matrix.names[cols[i]], float(values[i]))
+        for i in order
+    ]
+
+
+def most_anticorrelated_pairs(
+    matrix: CorrelationMatrix, k: int
+) -> list[tuple[str, str, float]]:
+    """The ``k`` most *negatively* correlated pairs, most negative first.
+
+    Anti-correlated teleconnections (seesaw patterns like the Southern
+    Oscillation) are as physically meaningful as positive ones.
+    """
+    if k <= 0:
+        raise DataError(f"k must be positive, got {k}")
+    rows, cols = _upper_pairs(matrix)
+    values = matrix.values[rows, cols]
+    k = min(k, values.size)
+    order = np.argsort(values, kind="stable")[:k]
+    return [
+        (matrix.names[rows[i]], matrix.names[cols[i]], float(values[i]))
+        for i in order
+    ]
+
+
+def neighbors(
+    matrix: CorrelationMatrix, name: str, theta: float
+) -> list[tuple[str, float]]:
+    """Nodes correlated with ``name`` above ``theta``, strongest first."""
+    if name not in matrix.names:
+        raise DataError(f"unknown series {name!r}")
+    index = matrix.names.index(name)
+    row = matrix.values[index].copy()
+    row[index] = -np.inf  # exclude self
+    hits = np.nonzero(row > theta)[0]
+    order = hits[np.argsort(-row[hits], kind="stable")]
+    return [(matrix.names[j], float(row[j])) for j in order]
+
+
+def pairs_in_range(
+    matrix: CorrelationMatrix, low: float, high: float
+) -> list[tuple[str, str, float]]:
+    """All distinct pairs with correlation in ``[low, high]``.
+
+    Useful for isolating the "uncertain band" around a threshold, e.g. the
+    pairs Eq. 7 inference cannot decide.
+    """
+    if low > high:
+        raise DataError(f"empty range [{low}, {high}]")
+    rows, cols = _upper_pairs(matrix)
+    values = matrix.values[rows, cols]
+    mask = (values >= low) & (values <= high)
+    return [
+        (matrix.names[i], matrix.names[j], float(v))
+        for i, j, v in zip(rows[mask], cols[mask], values[mask])
+    ]
+
+
+def degree_at_threshold(matrix: CorrelationMatrix, theta: float) -> dict[str, int]:
+    """Node degree of the θ-thresholded network, keyed by series name."""
+    adjacency = matrix.threshold(theta)
+    degrees = adjacency.sum(axis=1)
+    return {name: int(d) for name, d in zip(matrix.names, degrees)}

@@ -1,0 +1,152 @@
+"""Network-Construct-RealTime (Algorithm 3): streaming network maintenance.
+
+The real-time engine answers the standing query ``w = ("now", m)``: the
+network over the most recent ``m`` observed points. Data is ingested in
+arbitrary-sized batches; the engine buffers until a full basic window of
+``B`` points has accumulated (Algorithm 3, lines 5–6), sketches that window
+on the fly, and advances the all-pairs correlation state with one Lemma 2
+step — never recomputing from scratch.
+
+Edge *churn* between consecutive network snapshots (appearing/disappearing
+edges, the "blinking links" of the climate literature) is exposed through
+:meth:`TsubasaRealtime.diff_network`, which downstream dynamics analysis
+(:mod:`repro.analysis.dynamics`) builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.lemma2 import SlidingCorrelationState
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.core.sketch import Sketch, build_sketch
+from repro.exceptions import DataError, StreamError
+
+__all__ = ["TsubasaRealtime"]
+
+
+class TsubasaRealtime:
+    """Maintain an exact climate network over a sliding real-time window.
+
+    Args:
+        initial_data: ``(n, m)`` matrix seeding the query window. ``m`` must
+            be a multiple of ``window_size`` (the real-time path processes
+            whole basic windows, per §3.1.2).
+        window_size: Basic window size ``B``.
+        names: Optional series identifiers.
+        coordinates: Optional ``name -> (lat, lon)`` positions for networks.
+    """
+
+    def __init__(
+        self,
+        initial_data: np.ndarray,
+        window_size: int,
+        names: list[str] | None = None,
+        coordinates: dict[str, tuple[float, float]] | None = None,
+    ) -> None:
+        matrix = np.asarray(initial_data, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DataError(f"expected a 2-D series matrix, got shape {matrix.shape}")
+        if matrix.shape[1] % window_size != 0:
+            raise StreamError(
+                f"initial window length {matrix.shape[1]} must be a multiple of "
+                f"the basic window size {window_size}"
+            )
+        sketch = build_sketch(matrix, window_size, names=names)
+        self._window_size = window_size
+        self._state = SlidingCorrelationState(sketch, sketch.n_windows)
+        self._buffer = np.empty((matrix.shape[0], 0), dtype=np.float64)
+        self._coordinates = coordinates
+        self._timestamp = matrix.shape[1]
+        self._windows_processed = 0
+
+    @property
+    def names(self) -> list[str]:
+        """Series identifiers, in matrix order."""
+        return self._state.names
+
+    @property
+    def window_size(self) -> int:
+        """Basic window size ``B``."""
+        return self._window_size
+
+    @property
+    def now(self) -> int:
+        """Offset of the most recent point folded into the network."""
+        return self._timestamp
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered points not yet forming a full basic window."""
+        return self._buffer.shape[1]
+
+    @property
+    def windows_processed(self) -> int:
+        """Number of Lemma 2 slides performed since construction."""
+        return self._windows_processed
+
+    def ingest(self, values: np.ndarray) -> int:
+        """Ingest a batch of new observations (Algorithm 3, lines 4–9).
+
+        Args:
+            values: ``(n, k)`` batch of new synchronized points, ``k >= 0``.
+                A 1-D array of length ``n`` is accepted as a single tick.
+
+        Returns:
+            The number of basic windows completed (and Lemma 2 slides
+            performed) by this batch.
+        """
+        batch = np.asarray(values, dtype=np.float64)
+        if batch.ndim == 1:
+            batch = batch[:, None]
+        if batch.ndim != 2 or batch.shape[0] != self._state.n_series:
+            raise StreamError(
+                f"expected a ({self._state.n_series}, k) batch, got shape "
+                f"{batch.shape}"
+            )
+        if not np.all(np.isfinite(batch)):
+            raise DataError("ingested batch contains NaN or infinite values")
+
+        self._buffer = np.concatenate([self._buffer, batch], axis=1)
+        slides = 0
+        while self._buffer.shape[1] >= self._window_size:
+            block = self._buffer[:, : self._window_size]
+            self._buffer = self._buffer[:, self._window_size :]
+            self._state.slide_raw(block)
+            self._timestamp += self._window_size
+            self._windows_processed += 1
+            slides += 1
+        return slides
+
+    def correlation_matrix(self) -> CorrelationMatrix:
+        """Exact correlation matrix over the current query window."""
+        return CorrelationMatrix(
+            names=list(self._state.names),
+            values=self._state.correlation_matrix(),
+        )
+
+    def network(self, theta: float) -> ClimateNetwork:
+        """Current climate network for threshold ``theta``."""
+        return ClimateNetwork.from_matrix(
+            self.correlation_matrix(), theta, self._coordinates
+        )
+
+    def diff_network(
+        self, previous: ClimateNetwork, theta: float
+    ) -> tuple[set[tuple[str, str]], set[tuple[str, str]]]:
+        """Edge churn between a previous snapshot and the current network.
+
+        Args:
+            previous: An earlier network over the same node set.
+            theta: Threshold for the current snapshot.
+
+        Returns:
+            ``(appeared, disappeared)`` sets of undirected edges.
+        """
+        current = self.network(theta)
+        if previous.names != current.names:
+            raise StreamError("cannot diff networks over different node sets")
+        old_edges = previous.edge_set()
+        new_edges = current.edge_set()
+        return new_edges - old_edges, old_edges - new_edges

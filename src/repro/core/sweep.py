@@ -1,0 +1,153 @@
+"""Window sweeps: networks for every hypothesized time-window at once.
+
+The paper's motivating workflow (§1): "The common way for network dynamics
+analysis is to construct networks for each hypothesized time-window and
+analyze them separately." Issuing one TSUBASA query per position already
+avoids touching raw data, but a *sweep* of aligned positions can share work:
+with prefix sums over the window axis of the sketch's pooled aggregates
+(per-series sums ``S``, sums of squares ``Q``, all-pair cross sums ``P``),
+the exact correlation matrix of *any* contiguous window range costs one
+subtraction per aggregate — ``O(N^2)`` per position with no per-window loop,
+independent of the range length.
+
+:class:`SweepPlan` precomputes the prefixes once (same memory as the sketch)
+and then answers arbitrary aligned ranges; :func:`sliding_networks` drives it
+over a stride to produce the network-evolution series that
+:mod:`repro.analysis.dynamics` consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.core.sketch import Sketch
+from repro.exceptions import SketchError
+
+__all__ = ["SweepPlan", "sliding_networks"]
+
+
+class SweepPlan:
+    """Prefix-summed sketch aggregates for O(N^2)-per-range exact queries.
+
+    Args:
+        sketch: The exact sketch to sweep over.
+    """
+
+    def __init__(self, sketch: Sketch) -> None:
+        if sketch.n_windows == 0:
+            raise SketchError("cannot sweep an empty sketch")
+        self._names = list(sketch.names)
+        n, ns = sketch.n_series, sketch.n_windows
+        sizes = sketch.sizes.astype(np.float64)
+        means = sketch.means
+        stds = sketch.stds
+
+        # Per-window pooled contributions (same algebra as Lemma 2's state).
+        s = sizes[None, :] * means                        # (n, ns)
+        q = sizes[None, :] * (stds**2 + means**2)         # (n, ns)
+        p = sketch.covs + np.einsum("aj,bj->jab", means, means)
+        p = p * sizes[:, None, None]                      # (ns, n, n)
+
+        # Prefix sums with a leading zero slot: range [i, j) = prefix[j] - prefix[i].
+        self._sum = np.zeros((n, ns + 1))
+        self._sum[:, 1:] = np.cumsum(s, axis=1)
+        self._sumsq = np.zeros((n, ns + 1))
+        self._sumsq[:, 1:] = np.cumsum(q, axis=1)
+        self._cross = np.zeros((ns + 1, n, n))
+        np.cumsum(p, axis=0, out=self._cross[1:])
+        self._totals = np.zeros(ns + 1)
+        self._totals[1:] = np.cumsum(sizes)
+        self._n_windows = ns
+
+    @property
+    def names(self) -> list[str]:
+        """Series identifiers, in matrix order."""
+        return self._names
+
+    @property
+    def n_windows(self) -> int:
+        """Number of basic windows available to sweep over."""
+        return self._n_windows
+
+    def correlation_matrix(
+        self, first_window: int, n_windows: int
+    ) -> CorrelationMatrix:
+        """Exact matrix over basic windows ``[first, first + n_windows)``.
+
+        Args:
+            first_window: First basic window of the range.
+            n_windows: Number of basic windows in the range.
+
+        Returns:
+            The labeled exact correlation matrix; identical (tested) to a
+            Lemma 1 query over the same windows.
+        """
+        if n_windows <= 0:
+            raise SketchError("range must cover at least one basic window")
+        if first_window < 0 or first_window + n_windows > self._n_windows:
+            raise SketchError(
+                f"range [{first_window}, {first_window + n_windows}) outside "
+                f"[0, {self._n_windows})"
+            )
+        lo, hi = first_window, first_window + n_windows
+        total = self._totals[hi] - self._totals[lo]
+        s = self._sum[:, hi] - self._sum[:, lo]
+        q = self._sumsq[:, hi] - self._sumsq[:, lo]
+        p = self._cross[hi] - self._cross[lo]
+
+        numer = total * p - np.outer(s, s)
+        var = np.maximum(total * q - s**2, 0.0)
+        scale = np.sqrt(var)
+        denom = np.outer(scale, scale)
+        corr = np.zeros_like(numer)
+        np.divide(numer, denom, out=corr, where=denom > 0.0)
+        np.clip(corr, -1.0, 1.0, out=corr)
+        np.fill_diagonal(corr, 1.0)
+        return CorrelationMatrix(names=list(self._names), values=corr)
+
+    def network(
+        self,
+        first_window: int,
+        n_windows: int,
+        theta: float,
+        coordinates: dict[str, tuple[float, float]] | None = None,
+    ) -> ClimateNetwork:
+        """Thresholded network over the given basic-window range."""
+        matrix = self.correlation_matrix(first_window, n_windows)
+        return ClimateNetwork.from_matrix(matrix, theta, coordinates)
+
+
+def sliding_networks(
+    sketch: Sketch,
+    n_windows: int,
+    theta: float,
+    stride_windows: int = 1,
+    coordinates: dict[str, tuple[float, float]] | None = None,
+) -> list[tuple[int, ClimateNetwork]]:
+    """Networks for every position of a sliding aligned window.
+
+    Args:
+        sketch: The exact sketch to sweep over.
+        n_windows: Query window length, in basic windows.
+        theta: Correlation threshold.
+        stride_windows: Step between consecutive positions.
+        coordinates: Optional node positions attached to each network.
+
+    Returns:
+        ``(first_window, network)`` pairs, in temporal order.
+    """
+    if stride_windows <= 0:
+        raise SketchError("stride must be positive")
+    plan = SweepPlan(sketch)
+    if n_windows > plan.n_windows:
+        raise SketchError(
+            f"window of {n_windows} basic windows exceeds sketched "
+            f"{plan.n_windows}"
+        )
+    positions = range(0, plan.n_windows - n_windows + 1, stride_windows)
+    return [
+        (first, plan.network(first, n_windows, theta, coordinates))
+        for first in positions
+    ]

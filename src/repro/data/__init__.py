@@ -1,0 +1,52 @@
+"""Climate data substrates: synthetic generators and file-format loaders."""
+
+from repro.data.grid import (
+    EARTH_RADIUS_KM,
+    grid_node_name,
+    haversine_km,
+    regular_grid,
+    station_node_name,
+)
+from repro.data.gridded import load_gridded_npz, save_gridded_npz
+from repro.data.indices import (
+    RegionBox,
+    attach_index,
+    box_index,
+    index_correlations,
+)
+from repro.data.synthetic import (
+    StationDataset,
+    ar1_series,
+    generate_gridded_dataset,
+    generate_station_dataset,
+)
+from repro.data.uscrn import (
+    MISSING_SENTINEL,
+    interpolate_missing,
+    load_uscrn_directory,
+    read_uscrn_file,
+    write_uscrn_file,
+)
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "grid_node_name",
+    "haversine_km",
+    "regular_grid",
+    "station_node_name",
+    "load_gridded_npz",
+    "save_gridded_npz",
+    "RegionBox",
+    "attach_index",
+    "box_index",
+    "index_correlations",
+    "StationDataset",
+    "ar1_series",
+    "generate_gridded_dataset",
+    "generate_station_dataset",
+    "MISSING_SENTINEL",
+    "interpolate_missing",
+    "load_uscrn_directory",
+    "read_uscrn_file",
+    "write_uscrn_file",
+]

@@ -1,0 +1,84 @@
+"""Geographic grid utilities for climate datasets.
+
+Climate networks label nodes with geographic locations (§2.1: gridded data at
+e.g. 2.5° x 2.5° resolution, or in-situ stations). This module provides the
+coordinate plumbing shared by the synthetic generators and the file loaders:
+regular lat/lon grids, great-circle distances, and stable node naming.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = [
+    "EARTH_RADIUS_KM",
+    "haversine_km",
+    "regular_grid",
+    "grid_node_name",
+    "station_node_name",
+]
+
+EARTH_RADIUS_KM = 6371.0
+
+
+def haversine_km(
+    lat1: np.ndarray, lon1: np.ndarray, lat2: np.ndarray, lon2: np.ndarray
+) -> np.ndarray:
+    """Great-circle distance in kilometers (broadcasting over inputs).
+
+    Args:
+        lat1: Latitude(s) of the first point(s), degrees.
+        lon1: Longitude(s) of the first point(s), degrees.
+        lat2: Latitude(s) of the second point(s), degrees.
+        lon2: Longitude(s) of the second point(s), degrees.
+
+    Returns:
+        Distances in kilometers, broadcast over the inputs.
+    """
+    phi1, phi2 = np.radians(lat1), np.radians(lat2)
+    dphi = phi2 - phi1
+    dlam = np.radians(np.asarray(lon2) - np.asarray(lon1))
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(a, 0.0, 1.0)))
+
+
+def regular_grid(
+    lat_min: float,
+    lat_max: float,
+    lon_min: float,
+    lon_max: float,
+    resolution: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flattened node coordinates of a regular lat/lon grid.
+
+    Args:
+        lat_min: Southern edge (degrees).
+        lat_max: Northern edge.
+        lon_min: Western edge.
+        lon_max: Eastern edge.
+        resolution: Grid spacing in degrees (e.g. 1.0 for Berkeley Earth).
+
+    Returns:
+        ``(lats, lons)`` flat arrays, one entry per grid node, scanning
+        latitude-major.
+    """
+    if resolution <= 0.0:
+        raise DataError(f"grid resolution must be positive, got {resolution}")
+    if lat_max < lat_min or lon_max < lon_min:
+        raise DataError("grid bounds are inverted")
+    lat_axis = np.arange(lat_min, lat_max + 1e-9, resolution)
+    lon_axis = np.arange(lon_min, lon_max + 1e-9, resolution)
+    lats, lons = np.meshgrid(lat_axis, lon_axis, indexing="ij")
+    return lats.ravel(), lons.ravel()
+
+
+def grid_node_name(lat: float, lon: float) -> str:
+    """Stable identifier for a grid node, e.g. ``g+41.00-087.50``."""
+    return f"g{lat:+07.2f}{lon:+08.2f}"
+
+
+def station_node_name(index: int) -> str:
+    """Stable identifier for a station node, e.g. ``stn042``."""
+    return f"stn{index:03d}"

@@ -1,0 +1,99 @@
+"""Gridded dataset files (NetCDF substitute for Berkeley Earth data).
+
+The paper's scalability experiments read Berkeley Earth's 1°x1° NetCDF
+gridded temperatures. NetCDF libraries are not installed in this offline
+environment, so we persist gridded datasets as ``.npz`` archives with the
+same logical schema a climate NetCDF carries: coordinate axes, a land mask,
+and a ``(lat, lon, time)`` value cube. Loading flattens land nodes into the
+synchronized ``(n, L)`` matrix TSUBASA ingests, exactly as the paper "uses
+the land time-series" of the grid.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.grid import grid_node_name
+from repro.data.synthetic import StationDataset
+from repro.exceptions import DataError
+
+__all__ = ["save_gridded_npz", "load_gridded_npz"]
+
+_SCHEMA_KEYS = ("lat", "lon", "land_mask", "values")
+
+
+def save_gridded_npz(
+    path: str | Path,
+    lat_axis: np.ndarray,
+    lon_axis: np.ndarray,
+    cube: np.ndarray,
+    land_mask: np.ndarray | None = None,
+) -> None:
+    """Persist a gridded dataset in the NetCDF-like ``.npz`` schema.
+
+    Args:
+        path: Destination ``.npz`` file.
+        lat_axis: Grid latitudes, shape ``(n_lat,)``.
+        lon_axis: Grid longitudes, shape ``(n_lon,)``.
+        cube: Value cube, shape ``(n_lat, n_lon, n_time)``.
+        land_mask: Boolean ``(n_lat, n_lon)``; ``True`` marks land nodes kept
+            at load time. Defaults to all-land.
+    """
+    lat_axis = np.asarray(lat_axis, dtype=np.float64)
+    lon_axis = np.asarray(lon_axis, dtype=np.float64)
+    cube = np.asarray(cube, dtype=np.float64)
+    if cube.shape[:2] != (lat_axis.size, lon_axis.size):
+        raise DataError(
+            f"cube shape {cube.shape} does not match axes "
+            f"({lat_axis.size}, {lon_axis.size})"
+        )
+    if land_mask is None:
+        land_mask = np.ones((lat_axis.size, lon_axis.size), dtype=bool)
+    land_mask = np.asarray(land_mask, dtype=bool)
+    if land_mask.shape != cube.shape[:2]:
+        raise DataError(
+            f"land mask shape {land_mask.shape} does not match grid "
+            f"{cube.shape[:2]}"
+        )
+    np.savez_compressed(
+        path, lat=lat_axis, lon=lon_axis, land_mask=land_mask, values=cube
+    )
+
+
+def load_gridded_npz(path: str | Path) -> StationDataset:
+    """Load a gridded ``.npz`` archive into a flattened land-node dataset.
+
+    Args:
+        path: Source ``.npz`` in the :func:`save_gridded_npz` schema.
+
+    Returns:
+        A :class:`StationDataset` with one series per land grid node, daily
+        resolution, named by grid coordinates.
+    """
+    with np.load(path) as archive:
+        missing = [key for key in _SCHEMA_KEYS if key not in archive]
+        if missing:
+            raise DataError(f"{path}: missing archive keys {missing}")
+        lat_axis = archive["lat"]
+        lon_axis = archive["lon"]
+        land_mask = archive["land_mask"].astype(bool)
+        cube = archive["values"]
+
+    if cube.shape[:2] != (lat_axis.size, lon_axis.size):
+        raise DataError(f"{path}: cube shape {cube.shape} does not match axes")
+    lat_grid, lon_grid = np.meshgrid(lat_axis, lon_axis, indexing="ij")
+    rows = lat_grid[land_mask]
+    cols = lon_grid[land_mask]
+    values = cube[land_mask]
+    if values.size == 0:
+        raise DataError(f"{path}: land mask selects no nodes")
+    names = [grid_node_name(float(a), float(o)) for a, o in zip(rows, cols)]
+    return StationDataset(
+        names=names,
+        values=np.ascontiguousarray(values),
+        lats=rows.astype(np.float64),
+        lons=cols.astype(np.float64),
+        resolution_hours=24.0,
+    )

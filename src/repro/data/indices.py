@@ -1,0 +1,140 @@
+"""Climate indices: regional aggregate series from gridded datasets.
+
+Climate-network studies routinely relate network structure to *indices* —
+area-averaged anomaly series over named boxes (Niño-3.4 is the canonical
+example the paper's El Niño citations build on). An index is itself a
+time-series synchronized with the grid, so it can join the collection and be
+sketched, correlated, and networked like any node.
+
+* :class:`RegionBox` — a lat/lon rectangle.
+* :func:`box_index` — the area-weighted mean series over a box (weights
+  ``cos(lat)`` approximate the shrinking area of grid cells toward the
+  poles, the standard convention).
+* :func:`attach_index` — append an index as an extra series to a dataset, so
+  the engines treat it as one more node.
+* :func:`index_correlations` — correlation of an index against every node
+  over a query window (the "teleconnection map" of the index).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.core.segmentation import QueryWindow
+from repro.data.synthetic import StationDataset
+from repro.exceptions import DataError
+
+__all__ = ["RegionBox", "box_index", "attach_index", "index_correlations"]
+
+
+@dataclass(frozen=True)
+class RegionBox:
+    """A latitude/longitude rectangle.
+
+    Attributes:
+        lat_min: Southern edge (degrees).
+        lat_max: Northern edge.
+        lon_min: Western edge.
+        lon_max: Eastern edge.
+        name: Label for the derived index series.
+    """
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    name: str = "index"
+
+    def __post_init__(self) -> None:
+        if self.lat_max < self.lat_min or self.lon_max < self.lon_min:
+            raise DataError("region box bounds are inverted")
+
+    def contains(self, lats: np.ndarray, lons: np.ndarray) -> np.ndarray:
+        """Boolean mask of nodes inside the box (edges inclusive)."""
+        lats = np.asarray(lats)
+        lons = np.asarray(lons)
+        return (
+            (lats >= self.lat_min)
+            & (lats <= self.lat_max)
+            & (lons >= self.lon_min)
+            & (lons <= self.lon_max)
+        )
+
+
+def box_index(dataset: StationDataset, box: RegionBox) -> np.ndarray:
+    """Area-weighted mean series over the nodes inside ``box``.
+
+    Args:
+        dataset: A geo-labeled dataset.
+        box: The region to aggregate.
+
+    Returns:
+        Length-``n_points`` index series.
+
+    Raises:
+        DataError: If no node falls inside the box.
+    """
+    mask = box.contains(dataset.lats, dataset.lons)
+    if not mask.any():
+        raise DataError(f"no nodes inside region {box.name!r}")
+    weights = np.cos(np.radians(dataset.lats[mask]))
+    weights = weights / weights.sum()
+    return weights @ dataset.values[mask]
+
+
+def attach_index(dataset: StationDataset, box: RegionBox) -> StationDataset:
+    """Return a new dataset with the box index appended as an extra node.
+
+    The index node's coordinates are the box center, so network analysis and
+    maps place it geographically.
+    """
+    if box.name in dataset.names:
+        raise DataError(f"dataset already has a series named {box.name!r}")
+    series = box_index(dataset, box)
+    return StationDataset(
+        names=[*dataset.names, box.name],
+        values=np.vstack([dataset.values, series]),
+        lats=np.append(dataset.lats, (box.lat_min + box.lat_max) / 2.0),
+        lons=np.append(dataset.lons, (box.lon_min + box.lon_max) / 2.0),
+        resolution_hours=dataset.resolution_hours,
+    )
+
+
+def index_correlations(
+    dataset: StationDataset,
+    box: RegionBox,
+    query: QueryWindow | tuple[int, int] | None = None,
+) -> dict[str, float]:
+    """Correlation of the box index against every node over a window.
+
+    This is the per-index "teleconnection map": thresholding it gives the
+    index's edges in the climate network.
+
+    Args:
+        dataset: A geo-labeled dataset.
+        box: The index region.
+        query: Optional ``(end, length)`` window; defaults to all points.
+
+    Returns:
+        ``name -> correlation`` for every node (nodes inside the box
+        included; they correlate strongly by construction).
+    """
+    if query is None:
+        window = slice(None)
+    else:
+        if not isinstance(query, QueryWindow):
+            query = QueryWindow(end=query[0], length=query[1])
+        if query.stop > dataset.n_points:
+            raise DataError(
+                f"query window ends at {query.end} but the dataset has "
+                f"{dataset.n_points} points"
+            )
+        window = query.slice()
+    series = box_index(dataset, box)[window]
+    values = dataset.values[:, window]
+    stacked = np.vstack([values, series])
+    corr = baseline_correlation_matrix(stacked)[-1, :-1]
+    return {name: float(c) for name, c in zip(dataset.names, corr)}

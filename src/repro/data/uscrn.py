@@ -1,0 +1,150 @@
+"""NOAA USCRN hourly file support (the paper's "NCEA" dataset format).
+
+The paper's in-memory experiments use NOAA USCRN hourly products
+(``hourly02``): one whitespace-delimited text file per station per year, one
+row per hour, with the station's temperature in a fixed column and sentinel
+values for missing data. With no network access we cannot fetch the real
+files, so this module provides both directions:
+
+* :func:`write_uscrn_file` — serialize a series into the same row layout
+  (used by tests and by :func:`repro.data.synthetic` users who want on-disk
+  fixtures), and
+* :func:`read_uscrn_file` / :func:`load_uscrn_directory` — parse that layout
+  back, apply the sentinel handling and gap interpolation of §2.1 (missing
+  values are interpolated onto the fixed time resolution), and assemble the
+  synchronized matrix TSUBASA ingests.
+
+The layout mirrors the real product's leading columns: WBAN id, UTC date
+``YYYYMMDD``, UTC time ``HHMM``, then the air-temperature value. Sentinel
+``-9999.0`` marks missing observations, as in the real files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.synthetic import StationDataset
+from repro.exceptions import DataError
+
+__all__ = [
+    "MISSING_SENTINEL",
+    "write_uscrn_file",
+    "read_uscrn_file",
+    "load_uscrn_directory",
+    "interpolate_missing",
+]
+
+MISSING_SENTINEL = -9999.0
+
+
+def interpolate_missing(values: np.ndarray) -> np.ndarray:
+    """Linearly interpolate NaN gaps (§2.1 missing-value handling).
+
+    Interior gaps are linearly interpolated from their finite neighbors;
+    leading/trailing gaps are filled with the nearest finite value. An
+    all-NaN series raises :class:`~repro.exceptions.DataError`.
+    """
+    arr = np.asarray(values, dtype=np.float64).copy()
+    finite = np.isfinite(arr)
+    if not finite.any():
+        raise DataError("series has no finite values to interpolate from")
+    if finite.all():
+        return arr
+    idx = np.arange(arr.size)
+    arr[~finite] = np.interp(idx[~finite], idx[finite], arr[finite])
+    return arr
+
+
+def write_uscrn_file(
+    path: str | Path,
+    values: np.ndarray,
+    station_id: int,
+    start_date: tuple[int, int, int] = (2020, 1, 1),
+) -> None:
+    """Write a series in the USCRN hourly row layout.
+
+    Args:
+        path: Destination file.
+        values: 1-D hourly values; NaNs are written as the missing sentinel.
+        station_id: Numeric WBAN-style identifier for column 1.
+        start_date: ``(year, month, day)`` of the first observation (UTC).
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DataError(f"expected a 1-D series, got shape {arr.shape}")
+    year, month, day = start_date
+    base = np.datetime64(f"{year:04d}-{month:02d}-{day:02d}T00:00")
+    stamps = base + np.arange(arr.size).astype("timedelta64[h]")
+    with open(path, "w", encoding="ascii") as handle:
+        for stamp, value in zip(stamps, arr):
+            text = str(stamp)  # YYYY-MM-DDTHH:MM
+            date = text[:10].replace("-", "")
+            time = text[11:13] + text[14:16]
+            out = MISSING_SENTINEL if not np.isfinite(value) else value
+            handle.write(f"{station_id:5d} {date} {time} {out:9.1f}\n")
+
+
+def read_uscrn_file(path: str | Path, interpolate: bool = True) -> np.ndarray:
+    """Parse one USCRN hourly file into an hourly series.
+
+    Args:
+        path: Source file in the :func:`write_uscrn_file` layout.
+        interpolate: Replace sentinel gaps via :func:`interpolate_missing`;
+            with ``False`` gaps come back as NaN.
+
+    Returns:
+        1-D float array of hourly values in file order.
+    """
+    rows: list[float] = []
+    with open(path, "r", encoding="ascii") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) < 4:
+                raise DataError(f"{path}: malformed row at line {line_no}")
+            try:
+                value = float(parts[3])
+            except ValueError as exc:
+                raise DataError(
+                    f"{path}: non-numeric value at line {line_no}"
+                ) from exc
+            rows.append(np.nan if value == MISSING_SENTINEL else value)
+    if not rows:
+        raise DataError(f"{path}: file contains no observations")
+    series = np.asarray(rows, dtype=np.float64)
+    return interpolate_missing(series) if interpolate else series
+
+
+def load_uscrn_directory(
+    directory: str | Path, interpolate: bool = True
+) -> StationDataset:
+    """Load every ``*.txt`` station file in a directory into one dataset.
+
+    Series are truncated to the shortest station so the matrix is
+    synchronized (§2.1 assumes aligned series). Stations are ordered by
+    filename for determinism; coordinates are not present in the hourly files
+    and are set to NaN.
+
+    Args:
+        directory: Directory of USCRN-layout files.
+        interpolate: Interpolate sentinel gaps per station.
+
+    Returns:
+        A synchronized :class:`StationDataset`.
+    """
+    folder = Path(directory)
+    files = sorted(folder.glob("*.txt"))
+    if not files:
+        raise DataError(f"no .txt station files found in {folder}")
+    series = [read_uscrn_file(f, interpolate=interpolate) for f in files]
+    length = min(s.size for s in series)
+    values = np.stack([s[:length] for s in series])
+    names = [f.stem for f in files]
+    nan = np.full(len(files), np.nan)
+    return StationDataset(
+        names=names, values=values, lats=nan.copy(), lons=nan.copy(),
+        resolution_hours=1.0,
+    )

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the TSUBASA reproduction.
+
+All library errors derive from :class:`TsubasaError` so callers can catch a
+single base class at API boundaries while still distinguishing failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TsubasaError",
+    "SegmentationError",
+    "SketchError",
+    "StorageError",
+    "StreamError",
+    "DataError",
+]
+
+
+class TsubasaError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SegmentationError(TsubasaError):
+    """A basic-window plan or query window is invalid.
+
+    Raised when a query window falls outside the sketched range, when window
+    sizes are non-positive, or when a plan does not tile the series length.
+    """
+
+
+class SketchError(TsubasaError):
+    """A sketch is missing, inconsistent, or incompatible with a query."""
+
+
+class StorageError(TsubasaError):
+    """A sketch store could not be read from or written to."""
+
+
+class StreamError(TsubasaError):
+    """A real-time ingestion operation is invalid.
+
+    Examples: pushing batches after a stream was closed, ingesting values for
+    an unknown series, or sliding a window state that was never initialized.
+    """
+
+
+class DataError(TsubasaError):
+    """Input data is malformed (ragged series, NaNs where disallowed, ...)."""

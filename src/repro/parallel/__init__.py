@@ -1,0 +1,27 @@
+"""Parallel and disk-based TSUBASA execution (§3.4)."""
+
+from repro.parallel.executor import (
+    ParallelQueryResult,
+    ParallelSketchResult,
+    parallel_query,
+    parallel_sketch,
+    query_partition,
+    sketch_partition,
+)
+from repro.parallel.partitioning import (
+    partition_pair_counts,
+    partition_rows,
+    row_pair_counts,
+)
+
+__all__ = [
+    "ParallelQueryResult",
+    "ParallelSketchResult",
+    "parallel_query",
+    "parallel_sketch",
+    "query_partition",
+    "sketch_partition",
+    "partition_pair_counts",
+    "partition_rows",
+    "row_pair_counts",
+]

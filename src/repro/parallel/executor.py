@@ -1,0 +1,372 @@
+"""Parallel and disk-based TSUBASA execution (§3.4).
+
+The paper's deployment: the pair workload is partitioned across *computation
+workers*; one *database worker* owns all writes to the sketch database.
+During sketching each computation worker sketches its partition and ships
+batches to the database worker; during querying each worker reads the
+sketches it needs straight from the database and emits a sub-matrix (a block
+of rows) of the correlation matrix.
+
+This module reproduces that architecture with ``multiprocessing`` (fork) and
+the SQLite store standing in for PostgreSQL:
+
+* :func:`parallel_sketch` — fan out per-partition sketch computation, funnel
+  results through the single writer (the driver process plays the database
+  worker), and report the calculation/write split of Fig. 6a.
+* :func:`parallel_query` — fan out per-partition Lemma 1 row-block
+  computation (each worker reading from the store when one is given) and
+  report the read/calculation split of Fig. 6b.
+
+``n_workers=1`` short-circuits to in-process execution (no fork), which keeps
+tests deterministic and makes the worker functions unit-testable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import get_context
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.segmentation import BasicWindowPlan
+from repro.core.sketch import Sketch
+from repro.exceptions import DataError
+from repro.parallel.partitioning import partition_rows
+from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+from repro.storage.sqlite_store import SqliteSketchStore
+
+__all__ = [
+    "ParallelSketchResult",
+    "ParallelQueryResult",
+    "parallel_sketch",
+    "parallel_query",
+    "sketch_partition",
+    "query_partition",
+]
+
+# Worker globals installed by the pool initializer (fork-safe, read-only).
+_WORKER_DATA: np.ndarray | None = None
+_WORKER_BOUNDS: np.ndarray | None = None
+_WORKER_STORE_PATH: str | None = None
+
+
+def _init_sketch_worker(data: np.ndarray, bounds: np.ndarray) -> None:
+    global _WORKER_DATA, _WORKER_BOUNDS
+    _WORKER_DATA = data
+    _WORKER_BOUNDS = bounds
+
+
+def _init_query_worker(store_path: str | None) -> None:
+    global _WORKER_STORE_PATH
+    _WORKER_STORE_PATH = store_path
+
+
+@dataclass
+class ParallelSketchResult:
+    """Outcome of a parallel sketch run.
+
+    Attributes:
+        sketch: The assembled full sketch.
+        calc_seconds: Wall time of the parallel sketch-computation phase.
+        write_seconds: Wall time spent writing records to the store.
+        n_partitions: Number of partitions actually used.
+    """
+
+    sketch: Sketch
+    calc_seconds: float
+    write_seconds: float
+    n_partitions: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Calculation plus write time (the stacked bars of Fig. 6a)."""
+        return self.calc_seconds + self.write_seconds
+
+
+@dataclass
+class ParallelQueryResult:
+    """Outcome of a parallel query run.
+
+    Attributes:
+        matrix: The assembled ``(n, n)`` correlation matrix.
+        read_seconds: Aggregate time workers spent reading from the store.
+        calc_seconds: Wall time of the parallel matrix-calculation phase
+            minus the read component.
+        n_partitions: Number of partitions actually used.
+    """
+
+    matrix: np.ndarray
+    read_seconds: float
+    calc_seconds: float
+    n_partitions: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Read plus calculation time (the stacked bars of Fig. 6b)."""
+        return self.read_seconds + self.calc_seconds
+
+
+def sketch_partition(
+    rows: np.ndarray, data: np.ndarray, bounds: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sketch one row-partition: per-row window stats and cov row-blocks.
+
+    Args:
+        rows: Row indices owned by this partition.
+        data: Full ``(n, L)`` series matrix.
+        bounds: Basic window boundaries, shape ``(ns + 1,)``.
+
+    Returns:
+        ``(rows, means_rows, stds_rows, cov_blocks)`` where ``cov_blocks``
+        has shape ``(ns, len(rows), n)`` — this partition's rows of every
+        per-window covariance matrix.
+    """
+    sizes = np.diff(bounds)
+    n_windows = sizes.size
+    means = np.empty((rows.size, n_windows))
+    stds = np.empty_like(means)
+    blocks = np.empty((n_windows, rows.size, data.shape[0]))
+    for j in range(n_windows):
+        window = data[:, bounds[j] : bounds[j + 1]]
+        centered = window - window.mean(axis=1, keepdims=True)
+        means[:, j] = window[rows].mean(axis=1)
+        stds[:, j] = window[rows].std(axis=1)
+        blocks[j] = centered[rows] @ centered.T / sizes[j]
+    return rows, means, stds, blocks
+
+
+def _sketch_partition_task(rows: np.ndarray):
+    assert _WORKER_DATA is not None and _WORKER_BOUNDS is not None
+    return sketch_partition(rows, _WORKER_DATA, _WORKER_BOUNDS)
+
+
+def parallel_sketch(
+    data: np.ndarray,
+    window_size: int,
+    n_workers: int,
+    store: SketchStore | None = None,
+    store_path: str | Path | None = None,
+    names: list[str] | None = None,
+    batch_size: int = 16,
+) -> ParallelSketchResult:
+    """Sketch a collection with partitioned workers and one database writer.
+
+    Args:
+        data: ``(n, L)`` series matrix.
+        window_size: Basic window size ``B``.
+        n_workers: Computation workers (the paper reserves one extra core for
+            the database worker; here the driver process plays that role).
+        store: Open store to write to; mutually exclusive with ``store_path``.
+        store_path: Path for a fresh SQLite store (closed before returning).
+        names: Optional series identifiers.
+        batch_size: Window records per database write batch.
+
+    Returns:
+        A :class:`ParallelSketchResult` with the assembled sketch and the
+        calculation/write time split.
+    """
+    matrix = np.asarray(data, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise DataError(f"expected a 2-D series matrix, got shape {matrix.shape}")
+    if n_workers <= 0:
+        raise DataError("n_workers must be positive")
+    if store is not None and store_path is not None:
+        raise DataError("give at most one of store / store_path")
+
+    plan = BasicWindowPlan(length=matrix.shape[1], window_size=window_size)
+    bounds = plan.boundaries
+    partitions = partition_rows(matrix.shape[0], n_workers)
+
+    start = time.perf_counter()
+    if n_workers == 1 or len(partitions) == 1:
+        results = [sketch_partition(rows, matrix, bounds) for rows in partitions]
+    else:
+        ctx = get_context("fork")
+        with ctx.Pool(
+            processes=len(partitions),
+            initializer=_init_sketch_worker,
+            initargs=(matrix, bounds),
+        ) as pool:
+            results = pool.map(_sketch_partition_task, partitions)
+    calc_seconds = time.perf_counter() - start
+
+    # Assemble the full sketch from the partition row-blocks.
+    n = matrix.shape[0]
+    n_windows = bounds.size - 1
+    means = np.empty((n, n_windows))
+    stds = np.empty_like(means)
+    covs = np.empty((n_windows, n, n))
+    for rows, p_means, p_stds, p_blocks in results:
+        means[rows] = p_means
+        stds[rows] = p_stds
+        covs[:, rows, :] = p_blocks
+    # Symmetrize: each partition computed full rows, so covs is already
+    # complete; enforce exact symmetry against fp noise from block order.
+    covs = 0.5 * (covs + covs.transpose(0, 2, 1))
+
+    if names is None:
+        names = [f"s{i:04d}" for i in range(n)]
+    sketch = Sketch(
+        names=list(names),
+        window_size=window_size,
+        means=means,
+        stds=stds,
+        covs=covs,
+        sizes=np.diff(bounds),
+    )
+
+    write_seconds = 0.0
+    owned_store = None
+    try:
+        target = store
+        if store_path is not None:
+            owned_store = SqliteSketchStore(store_path)
+            target = owned_store
+        if target is not None:
+            from repro.storage.serialize import save_sketch
+
+            start = time.perf_counter()
+            save_sketch(target, sketch, batch_size=batch_size)
+            write_seconds = time.perf_counter() - start
+    finally:
+        if owned_store is not None:
+            owned_store.close()
+
+    return ParallelSketchResult(
+        sketch=sketch,
+        calc_seconds=calc_seconds,
+        write_seconds=write_seconds,
+        n_partitions=len(partitions),
+    )
+
+
+def query_partition(
+    rows: np.ndarray,
+    window_indices: np.ndarray,
+    sketch: Sketch | None,
+    store_path: str | None,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Compute one row-block of the Lemma 1 correlation matrix.
+
+    Reads the needed window records from the store when ``store_path`` is
+    given (disk-based mode) or slices the in-memory sketch otherwise.
+
+    Args:
+        rows: Row indices owned by this partition.
+        window_indices: Basic windows forming the query window.
+        sketch: In-memory sketch (in-memory mode).
+        store_path: SQLite store path (disk-based mode).
+
+    Returns:
+        ``(rows, block, read_seconds)`` where ``block`` is the
+        ``(len(rows), n)`` correlation slab.
+    """
+    read_seconds = 0.0
+    if store_path is not None:
+        start = time.perf_counter()
+        with SqliteSketchStore(store_path) as store:
+            from repro.storage.serialize import load_sketch
+
+            sketch = load_sketch(store, indices=[int(j) for j in window_indices])
+        read_seconds = time.perf_counter() - start
+        idx = np.arange(len(window_indices))
+    else:
+        if sketch is None:
+            raise DataError("either sketch or store_path must be provided")
+        idx = np.asarray(window_indices, dtype=np.int64)
+
+    sizes = sketch.sizes[idx].astype(np.float64)
+    total = float(sizes.sum())
+    means = sketch.means[:, idx]
+    stds = sketch.stds[:, idx]
+    grand = means @ sizes / total
+    delta = means - grand[:, None]
+
+    numer = np.einsum("j,jab->ab", sizes, sketch.covs[idx][:, rows, :])
+    numer += (delta[rows] * sizes) @ delta.T
+    pooled_var = np.sum(sizes * (stds**2 + delta**2), axis=1) / total
+    scale = np.sqrt(np.maximum(pooled_var, 0.0)) * np.sqrt(total)
+    denom = np.outer(scale[rows], scale)
+
+    block = np.zeros((rows.size, sketch.n_series))
+    np.divide(numer, denom, out=block, where=denom > 0.0)
+    np.clip(block, -1.0, 1.0, out=block)
+    return rows, block, read_seconds
+
+
+def _query_partition_task(args):
+    rows, window_indices, sketch = args
+    return query_partition(rows, window_indices, sketch, _WORKER_STORE_PATH)
+
+
+def parallel_query(
+    window_indices: np.ndarray,
+    n_workers: int,
+    sketch: Sketch | None = None,
+    store_path: str | Path | None = None,
+    n_series: int | None = None,
+) -> ParallelQueryResult:
+    """All-pairs Lemma 1 query with partitioned workers.
+
+    Args:
+        window_indices: Basic windows forming the (aligned) query window.
+        n_workers: Computation workers.
+        sketch: In-memory sketch (in-memory mode).
+        store_path: SQLite store path (disk-based mode; workers read their
+            own sketches, as in §3.4).
+        n_series: Required in disk-based mode without a sketch.
+
+    Returns:
+        A :class:`ParallelQueryResult` with the full matrix and read/calc
+        split.
+    """
+    if sketch is None and store_path is None:
+        raise DataError("either sketch or store_path must be provided")
+    if n_workers <= 0:
+        raise DataError("n_workers must be positive")
+    if sketch is not None:
+        n_series = sketch.n_series
+    elif n_series is None:
+        with SqliteSketchStore(store_path) as store:
+            n_series = len(store.read_metadata().names)
+
+    window_indices = np.asarray(window_indices, dtype=np.int64)
+    partitions = partition_rows(n_series, n_workers)
+    path_str = str(store_path) if store_path is not None else None
+    # Disk-based mode ships no sketch to workers; they read the store.
+    shipped = None if path_str is not None else sketch
+
+    start = time.perf_counter()
+    if n_workers == 1 or len(partitions) == 1:
+        results = [
+            query_partition(rows, window_indices, shipped, path_str)
+            for rows in partitions
+        ]
+    else:
+        ctx = get_context("fork")
+        tasks = [(rows, window_indices, shipped) for rows in partitions]
+        with ctx.Pool(
+            processes=len(partitions),
+            initializer=_init_query_worker,
+            initargs=(path_str,),
+        ) as pool:
+            results = pool.map(_query_partition_task, tasks)
+    wall = time.perf_counter() - start
+
+    matrix = np.empty((n_series, n_series))
+    read_seconds = 0.0
+    for rows, block, read_time in results:
+        matrix[rows] = block
+        read_seconds += read_time
+    matrix = 0.5 * (matrix + matrix.T)
+    np.fill_diagonal(matrix, 1.0)
+    # Attribute the average per-worker read time to the read phase.
+    mean_read = read_seconds / max(len(results), 1)
+    return ParallelQueryResult(
+        matrix=matrix,
+        read_seconds=mean_read,
+        calc_seconds=max(wall - mean_read, 0.0),
+        n_partitions=len(partitions),
+    )

@@ -1,0 +1,25 @@
+"""Sketch persistence: in-memory and disk-based (SQLite) stores."""
+
+from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+from repro.storage.live import PersistentRealtime
+from repro.storage.memory import MemorySketchStore
+from repro.storage.serialize import (
+    load_approx_sketch,
+    load_sketch,
+    save_approx_sketch,
+    save_sketch,
+)
+from repro.storage.sqlite_store import SqliteSketchStore
+
+__all__ = [
+    "SketchStore",
+    "StoreMetadata",
+    "WindowRecord",
+    "PersistentRealtime",
+    "MemorySketchStore",
+    "SqliteSketchStore",
+    "load_sketch",
+    "save_sketch",
+    "load_approx_sketch",
+    "save_approx_sketch",
+]

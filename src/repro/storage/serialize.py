@@ -1,0 +1,139 @@
+"""Sketch ↔ store conversion (the disk-based deployment's read/write path).
+
+These helpers move whole sketches between the array-of-windows layout that
+the query engines consume (:class:`~repro.core.sketch.Sketch`,
+:class:`~repro.approx.sketch.ApproxSketch`) and the per-window records that
+:class:`~repro.storage.base.SketchStore` persists. Writes are batched
+(``batch_size`` windows per store call) to mirror the paper's batched
+database writes; reads can select only the windows a query needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.approx.sketch import ApproxSketch
+from repro.core.sketch import Sketch
+from repro.exceptions import StorageError
+from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+
+__all__ = [
+    "save_sketch",
+    "load_sketch",
+    "save_approx_sketch",
+    "load_approx_sketch",
+]
+
+
+def _window_records(
+    means: np.ndarray, stds: np.ndarray, pairs: np.ndarray, sizes: np.ndarray
+) -> list[WindowRecord]:
+    return [
+        WindowRecord(
+            index=j,
+            means=means[:, j].copy(),
+            stds=stds[:, j].copy(),
+            pairs=pairs[j].copy(),
+            size=int(sizes[j]),
+        )
+        for j in range(sizes.size)
+    ]
+
+
+def _write_batched(
+    store: SketchStore, records: list[WindowRecord], batch_size: int
+) -> None:
+    if batch_size <= 0:
+        raise StorageError("batch_size must be positive")
+    for start in range(0, len(records), batch_size):
+        store.write_windows(records[start : start + batch_size])
+
+
+def _read_all(
+    store: SketchStore, indices: list[int] | None
+) -> tuple[StoreMetadata, list[WindowRecord]]:
+    metadata = store.read_metadata()
+    if indices is None:
+        indices = list(range(store.window_count()))
+    records = store.read_windows(indices)
+    if not records:
+        raise StorageError("no window records selected")
+    return metadata, records
+
+
+def _stack(records: list[WindowRecord]) -> tuple[np.ndarray, ...]:
+    means = np.stack([r.means for r in records], axis=1)
+    stds = np.stack([r.stds for r in records], axis=1)
+    pairs = np.stack([r.pairs for r in records], axis=0)
+    sizes = np.array([r.size for r in records], dtype=np.int64)
+    return means, stds, pairs, sizes
+
+
+def save_sketch(store: SketchStore, sketch: Sketch, batch_size: int = 64) -> None:
+    """Persist an exact sketch (metadata + all window records)."""
+    store.write_metadata(
+        StoreMetadata(
+            names=tuple(sketch.names),
+            window_size=sketch.window_size,
+            kind="exact",
+        )
+    )
+    records = _window_records(sketch.means, sketch.stds, sketch.covs, sketch.sizes)
+    _write_batched(store, records, batch_size)
+
+
+def load_sketch(store: SketchStore, indices: list[int] | None = None) -> Sketch:
+    """Load an exact sketch (optionally only selected windows)."""
+    metadata, records = _read_all(store, indices)
+    if metadata.kind != "exact":
+        raise StorageError(
+            f"store holds a {metadata.kind!r} sketch, expected 'exact'"
+        )
+    means, stds, pairs, sizes = _stack(records)
+    return Sketch(
+        names=list(metadata.names),
+        window_size=metadata.window_size,
+        means=means,
+        stds=stds,
+        covs=pairs,
+        sizes=sizes,
+    )
+
+
+def save_approx_sketch(
+    store: SketchStore, sketch: ApproxSketch, batch_size: int = 64
+) -> None:
+    """Persist an approximate (DFT) sketch."""
+    store.write_metadata(
+        StoreMetadata(
+            names=tuple(sketch.names),
+            window_size=sketch.window_size,
+            kind="approx",
+            n_coeffs=sketch.n_coeffs,
+        )
+    )
+    records = _window_records(
+        sketch.means, sketch.stds, sketch.dists_sq, sketch.sizes
+    )
+    _write_batched(store, records, batch_size)
+
+
+def load_approx_sketch(
+    store: SketchStore, indices: list[int] | None = None
+) -> ApproxSketch:
+    """Load an approximate sketch (optionally only selected windows)."""
+    metadata, records = _read_all(store, indices)
+    if metadata.kind != "approx":
+        raise StorageError(
+            f"store holds a {metadata.kind!r} sketch, expected 'approx'"
+        )
+    means, stds, pairs, sizes = _stack(records)
+    return ApproxSketch(
+        names=list(metadata.names),
+        window_size=metadata.window_size,
+        n_coeffs=metadata.n_coeffs,
+        means=means,
+        stds=stds,
+        dists_sq=pairs,
+        sizes=sizes,
+    )

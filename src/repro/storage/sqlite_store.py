@@ -1,0 +1,166 @@
+"""Disk-based sketch store on SQLite (PostgreSQL substitute, §3.4).
+
+The paper stores sketches in PostgreSQL; this offline environment has no
+database server, so we use the standard library's ``sqlite3`` behind the same
+:class:`~repro.storage.base.SketchStore` interface. The deployment shape is
+preserved: sketches are written in batches by a dedicated database worker at
+ingestion time, read back in batches at query time, and the database file's
+size is the space-overhead measure of Fig. 6d.
+
+Schema::
+
+    meta(key TEXT PRIMARY KEY, value TEXT)              -- names, B, kind
+    windows(idx INTEGER PRIMARY KEY, size INTEGER,
+            means BLOB, stds BLOB, pairs BLOB)          -- float64 arrays
+
+Arrays are stored as raw little-endian float64 blobs; the pair matrix is
+stored as its upper triangle (including the diagonal) since both covariance
+and distance matrices are symmetric — the same halving the paper applies to
+its ``N * (N - 1) / 2`` pair statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+
+__all__ = ["SqliteSketchStore"]
+
+
+def _pack_symmetric(matrix: np.ndarray) -> bytes:
+    n = matrix.shape[0]
+    return np.ascontiguousarray(matrix[np.triu_indices(n)], dtype="<f8").tobytes()
+
+
+def _unpack_symmetric(blob: bytes, n: int) -> np.ndarray:
+    if len(blob) % 8 != 0:
+        raise StorageError(
+            f"corrupt pair blob: {len(blob)} bytes is not a whole number of "
+            "float64 values"
+        )
+    flat = np.frombuffer(blob, dtype="<f8")
+    expected = n * (n + 1) // 2
+    if flat.size != expected:
+        raise StorageError(
+            f"corrupt pair blob: {flat.size} values, expected {expected}"
+        )
+    matrix = np.zeros((n, n))
+    upper = np.triu_indices(n)
+    matrix[upper] = flat
+    matrix.T[upper] = flat
+    return matrix
+
+
+class SqliteSketchStore(SketchStore):
+    """SQLite-backed sketch store.
+
+    Args:
+        path: Database file path; created if absent. ``":memory:"`` gives an
+            ephemeral store useful in tests.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = str(path)
+        try:
+            self._conn = sqlite3.connect(self._path)
+        except sqlite3.Error as exc:
+            raise StorageError(f"cannot open sketch database {path}: {exc}") from exc
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+        )
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS windows ("
+            "idx INTEGER PRIMARY KEY, size INTEGER NOT NULL, "
+            "means BLOB NOT NULL, stds BLOB NOT NULL, pairs BLOB NOT NULL)"
+        )
+        self._conn.commit()
+
+    def write_metadata(self, metadata: StoreMetadata) -> None:
+        payload = json.dumps(
+            {
+                "names": list(metadata.names),
+                "window_size": metadata.window_size,
+                "kind": metadata.kind,
+                "n_coeffs": metadata.n_coeffs,
+            }
+        )
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('collection', ?)",
+                (payload,),
+            )
+
+    def read_metadata(self) -> StoreMetadata:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = 'collection'"
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no metadata in sketch database {self._path}")
+        payload = json.loads(row[0])
+        return StoreMetadata(
+            names=tuple(payload["names"]),
+            window_size=int(payload["window_size"]),
+            kind=payload["kind"],
+            n_coeffs=int(payload["n_coeffs"]),
+        )
+
+    def write_windows(self, records: list[WindowRecord]) -> None:
+        rows = [
+            (
+                record.index,
+                record.size,
+                np.ascontiguousarray(record.means, dtype="<f8").tobytes(),
+                np.ascontiguousarray(record.stds, dtype="<f8").tobytes(),
+                _pack_symmetric(np.asarray(record.pairs, dtype=np.float64)),
+            )
+            for record in records
+        ]
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO windows (idx, size, means, stds, pairs) "
+                "VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+
+    def read_windows(self, indices: list[int]) -> list[WindowRecord]:
+        records: list[WindowRecord] = []
+        for index in indices:
+            row = self._conn.execute(
+                "SELECT size, means, stds, pairs FROM windows WHERE idx = ?",
+                (int(index),),
+            ).fetchone()
+            if row is None:
+                raise StorageError(f"window record {index} missing from store")
+            size, means_blob, stds_blob, pairs_blob = row
+            means = np.frombuffer(means_blob, dtype="<f8")
+            stds = np.frombuffer(stds_blob, dtype="<f8")
+            records.append(
+                WindowRecord(
+                    index=int(index),
+                    means=means,
+                    stds=stds,
+                    pairs=_unpack_symmetric(pairs_blob, means.size),
+                    size=int(size),
+                )
+            )
+        return records
+
+    def window_count(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM windows").fetchone()[0])
+
+    def size_bytes(self) -> int:
+        if self._path == ":memory:":
+            page_count = self._conn.execute("PRAGMA page_count").fetchone()[0]
+            page_size = self._conn.execute("PRAGMA page_size").fetchone()[0]
+            return int(page_count) * int(page_size)
+        self._conn.commit()
+        return Path(self._path).stat().st_size
+
+    def close(self) -> None:
+        self._conn.close()

@@ -1,0 +1,14 @@
+"""Real-time stream ingestion utilities (Algorithm 3's outer loop)."""
+
+from repro.streams.aligner import StreamAligner, align_to_grid
+from repro.streams.ingestion import NetworkSnapshot, StreamIngestor
+from repro.streams.sources import ReplaySource, SyntheticSource
+
+__all__ = [
+    "StreamAligner",
+    "align_to_grid",
+    "NetworkSnapshot",
+    "StreamIngestor",
+    "ReplaySource",
+    "SyntheticSource",
+]

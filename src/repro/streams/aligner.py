@@ -1,0 +1,185 @@
+"""Synchronizing raw observations onto the fixed time resolution (§2.1).
+
+The paper's preliminaries define the contract TSUBASA ingests: every series
+has exactly one value per time-resolution tick; "if an x_i has missing value
+at j, a value is interpolated or if multiple values appear between j and
+j + gamma, an aggregate value is assigned." Real feeds violate both, so this
+module provides the synchronization layer:
+
+* :func:`align_to_grid` — batch form: map each series' irregular
+  ``(timestamps, values)`` onto a regular grid, aggregating duplicates into
+  the owning tick (mean) and linearly interpolating empty ticks.
+* :class:`StreamAligner` — streaming form: accept out-of-order observations
+  per series, and emit fully synchronized ``(n, k)`` blocks as soon as every
+  tick up to the low-watermark is resolvable, carrying/interpolating gaps.
+
+The output of either feeds :class:`~repro.core.realtime.TsubasaRealtime`
+unchanged.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.exceptions import DataError, StreamError
+
+__all__ = ["align_to_grid", "StreamAligner"]
+
+
+def align_to_grid(
+    timestamps: np.ndarray,
+    values: np.ndarray,
+    grid_start: float,
+    resolution: float,
+    n_ticks: int,
+) -> np.ndarray:
+    """Aggregate and interpolate one series onto a regular grid.
+
+    Observation ``t`` belongs to tick ``floor((t - grid_start) / resolution)``.
+    Multiple observations in a tick are averaged; ticks with none are
+    linearly interpolated (edges carry the nearest value).
+
+    Args:
+        timestamps: Observation times, any order.
+        values: Observation values, aligned with ``timestamps``.
+        grid_start: Time of tick 0.
+        resolution: Tick spacing ``gamma``; must be positive.
+        n_ticks: Number of output ticks.
+
+    Returns:
+        Length-``n_ticks`` array of synchronized values.
+    """
+    stamps = np.asarray(timestamps, dtype=np.float64)
+    vals = np.asarray(values, dtype=np.float64)
+    if stamps.shape != vals.shape or stamps.ndim != 1:
+        raise DataError(
+            f"timestamps/values must be equal-length 1-D arrays, got "
+            f"{stamps.shape} and {vals.shape}"
+        )
+    if resolution <= 0:
+        raise DataError(f"resolution must be positive, got {resolution}")
+    if n_ticks <= 0:
+        raise DataError(f"n_ticks must be positive, got {n_ticks}")
+
+    ticks = np.floor((stamps - grid_start) / resolution).astype(np.int64)
+    in_range = (ticks >= 0) & (ticks < n_ticks)
+    ticks, vals = ticks[in_range], vals[in_range]
+
+    sums = np.zeros(n_ticks)
+    counts = np.zeros(n_ticks)
+    np.add.at(sums, ticks, vals)
+    np.add.at(counts, ticks, 1.0)
+    observed = counts > 0
+    if not observed.any():
+        raise DataError("no observations fall inside the grid")
+    out = np.full(n_ticks, np.nan)
+    out[observed] = sums[observed] / counts[observed]
+    if not observed.all():
+        idx = np.arange(n_ticks)
+        out[~observed] = np.interp(idx[~observed], idx[observed], out[observed])
+    return out
+
+
+class StreamAligner:
+    """Streaming synchronizer with a watermark-based emission policy.
+
+    Observations arrive as ``(series, timestamp, value)`` in any order.
+    Ticks are emitted once they fall ``lateness`` ticks behind the newest
+    timestamp seen (the watermark), at which point each series' value is the
+    mean of its observations in the tick, or a carry-forward of its last
+    emitted value when the tick went unobserved (gap filling; the first tick
+    requires every series to have reported at least once).
+
+    Args:
+        n_series: Number of synchronized series.
+        grid_start: Time of tick 0.
+        resolution: Tick spacing ``gamma``.
+        lateness: How many ticks behind the watermark a tick must be before
+            it is frozen and emitted (tolerates this much disorder).
+    """
+
+    def __init__(
+        self,
+        n_series: int,
+        grid_start: float,
+        resolution: float,
+        lateness: int = 1,
+    ) -> None:
+        if n_series <= 0:
+            raise StreamError("n_series must be positive")
+        if resolution <= 0:
+            raise StreamError("resolution must be positive")
+        if lateness < 0:
+            raise StreamError("lateness must be >= 0")
+        self._n = n_series
+        self._start = grid_start
+        self._resolution = resolution
+        self._lateness = lateness
+        self._pending: dict[int, dict[int, list[float]]] = defaultdict(
+            lambda: defaultdict(list)
+        )  # tick -> series -> observations
+        self._last_value = np.full(n_series, np.nan)
+        self._next_tick = 0
+        self._max_tick_seen = -1
+
+    @property
+    def next_tick(self) -> int:
+        """Index of the next tick to be emitted."""
+        return self._next_tick
+
+    def _tick_of(self, timestamp: float) -> int:
+        return int(np.floor((timestamp - self._start) / self._resolution))
+
+    def push(self, series: int, timestamp: float, value: float) -> None:
+        """Record one observation (out-of-order tolerated up to lateness)."""
+        if not 0 <= series < self._n:
+            raise StreamError(f"series {series} out of range [0, {self._n})")
+        if not np.isfinite(value):
+            raise DataError("observation value must be finite")
+        tick = self._tick_of(timestamp)
+        if tick < self._next_tick:
+            raise StreamError(
+                f"observation at tick {tick} arrived after that tick was "
+                f"emitted (watermark lateness {self._lateness} exceeded)"
+            )
+        self._pending[tick][series].append(value)
+        self._max_tick_seen = max(self._max_tick_seen, tick)
+
+    def ready_ticks(self) -> int:
+        """Number of ticks currently frozen and emittable."""
+        frontier = self._max_tick_seen - self._lateness
+        return max(0, frontier - self._next_tick + 1)
+
+    def drain(self) -> np.ndarray:
+        """Emit all frozen ticks as an ``(n, k)`` block (k may be 0).
+
+        Raises:
+            StreamError: If the very first tick has series that have never
+                reported (there is nothing to carry forward).
+        """
+        k = self.ready_ticks()
+        block = np.empty((self._n, k))
+        for col in range(k):
+            tick = self._next_tick + col
+            per_series = self._pending.pop(tick, {})
+            for series in range(self._n):
+                observations = per_series.get(series)
+                if observations:
+                    self._last_value[series] = float(np.mean(observations))
+                elif np.isnan(self._last_value[series]):
+                    raise StreamError(
+                        f"series {series} has no observation before tick "
+                        f"{tick}; cannot gap-fill the first tick"
+                    )
+                block[series, col] = self._last_value[series]
+        self._next_tick += k
+        return block
+
+    def flush(self) -> np.ndarray:
+        """Emit everything seen so far, ignoring the lateness watermark."""
+        self._max_tick_seen = max(
+            self._max_tick_seen, self._next_tick - 1
+        ) + self._lateness
+        return self.drain()

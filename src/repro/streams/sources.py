@@ -1,0 +1,126 @@
+"""Stream sources: where real-time observations come from.
+
+The paper's real-time setting ingests raw data "in chunks of size B" from a
+perpetually updating feed (NOAA uploads in 24-hour increments). A source in
+this library is simply an iterator of ``(n, k)`` batches; two implementations
+cover testing and simulation needs:
+
+* :class:`ReplaySource` — replays a recorded matrix in fixed-size batches,
+  the standard way to drive the real-time engine from historical data.
+* :class:`SyntheticSource` — an endless spatially correlated generator that
+  continues an AR(1) factor-field process, for long-running simulations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import StreamError
+
+__all__ = ["ReplaySource", "SyntheticSource"]
+
+
+class ReplaySource:
+    """Replay a recorded ``(n, L)`` matrix in fixed-size batches.
+
+    Args:
+        data: Recorded observations.
+        batch_size: Points per emitted batch; the final partial batch is
+            emitted too (the ingestion layer buffers until a basic window
+            completes).
+        start: Column offset to start replaying from.
+    """
+
+    def __init__(self, data: np.ndarray, batch_size: int, start: int = 0) -> None:
+        self._data = np.asarray(data, dtype=np.float64)
+        if self._data.ndim != 2:
+            raise StreamError(f"expected a 2-D matrix, got shape {self._data.shape}")
+        if batch_size <= 0:
+            raise StreamError("batch_size must be positive")
+        if not 0 <= start <= self._data.shape[1]:
+            raise StreamError(f"start {start} outside [0, {self._data.shape[1]}]")
+        self._batch_size = batch_size
+        self._cursor = start
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every recorded point has been emitted."""
+        return self._cursor >= self._data.shape[1]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self
+
+    def __next__(self) -> np.ndarray:
+        if self.exhausted:
+            raise StopIteration
+        stop = min(self._cursor + self._batch_size, self._data.shape[1])
+        batch = self._data[:, self._cursor : stop]
+        self._cursor = stop
+        return batch
+
+
+class SyntheticSource:
+    """Endless spatially correlated observations (AR(1) factor field).
+
+    Continues the generative model of
+    :func:`repro.data.synthetic.generate_station_dataset`: ``k`` latent AR(1)
+    factors mixed through a fixed loading matrix plus local AR(1) noise.
+
+    Args:
+        loadings: ``(n, k)`` site-to-factor loading matrix.
+        batch_size: Points per emitted batch.
+        seed: Deterministic seed.
+        factor_phi: AR(1) coefficient of the latent factors.
+        noise_phi: AR(1) coefficient of the local noise.
+        noise_scale: Stationary std of the local noise.
+    """
+
+    def __init__(
+        self,
+        loadings: np.ndarray,
+        batch_size: int,
+        seed: int = 0,
+        factor_phi: float = 0.98,
+        noise_phi: float = 0.6,
+        noise_scale: float = 1.0,
+    ) -> None:
+        self._loadings = np.asarray(loadings, dtype=np.float64)
+        if self._loadings.ndim != 2:
+            raise StreamError(
+                f"expected an (n, k) loading matrix, got {self._loadings.shape}"
+            )
+        if batch_size <= 0:
+            raise StreamError("batch_size must be positive")
+        for name, phi in (("factor_phi", factor_phi), ("noise_phi", noise_phi)):
+            if not 0.0 <= phi < 1.0:
+                raise StreamError(f"{name} must be in [0, 1), got {phi}")
+        self._batch_size = batch_size
+        self._rng = np.random.default_rng(seed)
+        self._factor_phi = factor_phi
+        self._noise_phi = noise_phi
+        self._noise_scale = noise_scale
+        n, k = self._loadings.shape
+        self._factor_state = self._rng.normal(0.0, 1.0, size=k)
+        self._noise_state = self._rng.normal(0.0, noise_scale, size=n)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self
+
+    def __next__(self) -> np.ndarray:
+        n, k = self._loadings.shape
+        batch = np.empty((n, self._batch_size))
+        f_innov = np.sqrt(1.0 - self._factor_phi**2)
+        e_innov = self._noise_scale * np.sqrt(1.0 - self._noise_phi**2)
+        for t in range(self._batch_size):
+            self._factor_state = (
+                self._factor_phi * self._factor_state
+                + self._rng.normal(0.0, f_innov, size=k)
+            )
+            self._noise_state = (
+                self._noise_phi * self._noise_state
+                + self._rng.normal(0.0, e_innov, size=n)
+            )
+            batch[:, t] = self._loadings @ self._factor_state + self._noise_state
+        return batch

@@ -1,0 +1,171 @@
+"""Tests for repro.streams.aligner (§2.1 synchronization layer)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DataError, StreamError
+from repro.streams.aligner import StreamAligner, align_to_grid
+
+
+class TestAlignToGrid:
+    def test_exact_ticks_pass_through(self):
+        out = align_to_grid(
+            np.array([0.0, 1.0, 2.0]), np.array([10.0, 11.0, 12.0]),
+            grid_start=0.0, resolution=1.0, n_ticks=3,
+        )
+        np.testing.assert_allclose(out, [10, 11, 12])
+
+    def test_duplicates_averaged(self):
+        out = align_to_grid(
+            np.array([0.1, 0.9, 1.5]), np.array([10.0, 20.0, 7.0]),
+            grid_start=0.0, resolution=1.0, n_ticks=2,
+        )
+        np.testing.assert_allclose(out, [15.0, 7.0])
+
+    def test_gaps_interpolated(self):
+        out = align_to_grid(
+            np.array([0.0, 3.0]), np.array([0.0, 9.0]),
+            grid_start=0.0, resolution=1.0, n_ticks=4,
+        )
+        np.testing.assert_allclose(out, [0, 3, 6, 9])
+
+    def test_edge_gaps_carry_nearest(self):
+        out = align_to_grid(
+            np.array([1.5]), np.array([5.0]),
+            grid_start=0.0, resolution=1.0, n_ticks=3,
+        )
+        np.testing.assert_allclose(out, [5, 5, 5])
+
+    def test_out_of_range_observations_ignored(self):
+        out = align_to_grid(
+            np.array([-5.0, 0.5, 99.0]), np.array([1.0, 2.0, 3.0]),
+            grid_start=0.0, resolution=1.0, n_ticks=2,
+        )
+        np.testing.assert_allclose(out, [2.0, 2.0])
+
+    def test_unordered_input(self, rng):
+        stamps = np.arange(10.0)
+        values = rng.normal(size=10)
+        order = rng.permutation(10)
+        out = align_to_grid(stamps[order], values[order], 0.0, 1.0, 10)
+        np.testing.assert_allclose(out, values)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DataError):
+            align_to_grid(np.zeros(2), np.zeros(3), 0.0, 1.0, 2)
+        with pytest.raises(DataError):
+            align_to_grid(np.zeros(2), np.zeros(2), 0.0, 0.0, 2)
+        with pytest.raises(DataError):
+            align_to_grid(np.zeros(2), np.zeros(2), 0.0, 1.0, 0)
+        with pytest.raises(DataError):
+            align_to_grid(np.array([99.0]), np.array([1.0]), 0.0, 1.0, 2)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_property_output_within_observed_range(self, seed):
+        rng = np.random.default_rng(seed)
+        n_obs = int(rng.integers(1, 30))
+        stamps = rng.uniform(0, 10, size=n_obs)
+        values = rng.uniform(-5, 5, size=n_obs)
+        out = align_to_grid(stamps, values, 0.0, 1.0, 10)
+        assert out.shape == (10,)
+        assert np.all(out >= values.min() - 1e-9)
+        assert np.all(out <= values.max() + 1e-9)
+
+
+class TestStreamAligner:
+    def test_in_order_flow(self):
+        aligner = StreamAligner(n_series=2, grid_start=0.0, resolution=1.0,
+                                lateness=1)
+        for t in range(3):
+            aligner.push(0, float(t), 10.0 + t)
+            aligner.push(1, float(t), 20.0 + t)
+        # Watermark at tick 2, lateness 1 -> ticks 0..1 frozen.
+        assert aligner.ready_ticks() == 2
+        block = aligner.drain()
+        np.testing.assert_allclose(block, [[10, 11], [20, 21]])
+        assert aligner.next_tick == 2
+
+    def test_out_of_order_within_lateness(self):
+        aligner = StreamAligner(2, 0.0, 1.0, lateness=2)
+        aligner.push(0, 2.0, 1.0)
+        aligner.push(1, 2.0, 2.0)
+        aligner.push(0, 0.0, 3.0)  # late but within watermark
+        aligner.push(1, 0.0, 4.0)
+        aligner.push(0, 1.0, 5.0)
+        aligner.push(1, 1.0, 6.0)
+        assert aligner.ready_ticks() == 1
+        block = aligner.drain()
+        np.testing.assert_allclose(block, [[3.0], [4.0]])
+
+    def test_gap_fill_carries_last_value(self):
+        aligner = StreamAligner(2, 0.0, 1.0, lateness=0)
+        aligner.push(0, 0.0, 1.0)
+        aligner.push(1, 0.0, 2.0)
+        aligner.push(0, 1.0, 3.0)  # series 1 missing at tick 1
+        block = aligner.drain()
+        np.testing.assert_allclose(block, [[1, 3], [2, 2]])
+
+    def test_duplicates_averaged(self):
+        aligner = StreamAligner(1, 0.0, 1.0, lateness=0)
+        aligner.push(0, 0.1, 10.0)
+        aligner.push(0, 0.9, 20.0)
+        block = aligner.flush()
+        np.testing.assert_allclose(block, [[15.0]])
+
+    def test_first_tick_without_observation_fails(self):
+        aligner = StreamAligner(2, 0.0, 1.0, lateness=0)
+        aligner.push(0, 0.0, 1.0)  # series 1 never reported
+        with pytest.raises(StreamError):
+            aligner.drain()
+
+    def test_too_late_observation_rejected(self):
+        aligner = StreamAligner(1, 0.0, 1.0, lateness=0)
+        aligner.push(0, 0.0, 1.0)
+        aligner.push(0, 1.0, 2.0)
+        aligner.drain()
+        with pytest.raises(StreamError):
+            aligner.push(0, 0.5, 9.0)
+
+    def test_flush_ignores_watermark(self):
+        aligner = StreamAligner(1, 0.0, 1.0, lateness=5)
+        aligner.push(0, 0.0, 1.0)
+        aligner.push(0, 1.0, 2.0)
+        assert aligner.ready_ticks() == 0
+        block = aligner.flush()
+        np.testing.assert_allclose(block, [[1.0, 2.0]])
+
+    def test_feeds_realtime_engine(self, rng):
+        """End-to-end: irregular feed -> aligner -> exact sliding network."""
+        from repro.core.realtime import TsubasaRealtime
+
+        data = rng.normal(size=(3, 160))
+        engine = TsubasaRealtime(data[:, :100], window_size=20)
+        aligner = StreamAligner(3, grid_start=100.0, resolution=1.0,
+                                lateness=0)
+        # Observations arrive jittered inside their ticks.
+        for t in range(60):
+            for series in range(3):
+                aligner.push(series, 100.0 + t + 0.3, data[series, 100 + t])
+        engine.ingest(aligner.flush())
+        ref = np.corrcoef(data[:, 60:160])
+        np.testing.assert_allclose(
+            engine.correlation_matrix().values, ref, atol=1e-9
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(StreamError):
+            StreamAligner(0, 0.0, 1.0)
+        with pytest.raises(StreamError):
+            StreamAligner(1, 0.0, 0.0)
+        with pytest.raises(StreamError):
+            StreamAligner(1, 0.0, 1.0, lateness=-1)
+        aligner = StreamAligner(1, 0.0, 1.0)
+        with pytest.raises(StreamError):
+            aligner.push(5, 0.0, 1.0)
+        with pytest.raises(DataError):
+            aligner.push(0, 0.0, float("nan"))

@@ -1,0 +1,198 @@
+"""Tests for repro.analysis (topology, communities, dynamics, accuracy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import compare_matrices, compare_networks
+from repro.analysis.communities import detect_communities, partition_modularity
+from repro.analysis.dynamics import (
+    blinking_links,
+    churn_series,
+    edge_presence,
+    edge_stability,
+    summarize_dynamics,
+)
+from repro.analysis.topology import (
+    connected_components,
+    degree_distribution,
+    hub_nodes,
+    summarize_topology,
+)
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+
+def _network_from_edges(names, edges, theta=0.5):
+    n = len(names)
+    values = np.eye(n)
+    index = {name: i for i, name in enumerate(names)}
+    for a, b in edges:
+        values[index[a], index[b]] = values[index[b], index[a]] = 0.9
+    matrix = CorrelationMatrix(names=list(names), values=values)
+    return ClimateNetwork.from_matrix(matrix, theta)
+
+
+@pytest.fixture()
+def two_cluster_network():
+    """Two K3 cliques joined by nothing: {a,b,c} and {d,e,f}."""
+    names = ["a", "b", "c", "d", "e", "f"]
+    edges = [("a", "b"), ("b", "c"), ("a", "c"),
+             ("d", "e"), ("e", "f"), ("d", "f")]
+    return _network_from_edges(names, edges)
+
+
+class TestTopology:
+    def test_summary(self, two_cluster_network):
+        summary = summarize_topology(two_cluster_network)
+        assert summary.n_nodes == 6
+        assert summary.n_edges == 6
+        assert summary.n_components == 2
+        assert summary.largest_component == 3
+        assert summary.mean_degree == 2.0
+        assert summary.max_degree == 2
+        assert summary.average_clustering == pytest.approx(1.0)
+        assert summary.density == pytest.approx(6 / 15)
+
+    def test_degree_distribution(self, two_cluster_network):
+        assert degree_distribution(two_cluster_network) == {2: 6}
+
+    def test_connected_components_sorted(self):
+        net = _network_from_edges(
+            ["a", "b", "c", "d"], [("a", "b"), ("b", "c")]
+        )
+        components = connected_components(net)
+        assert components[0] == {"a", "b", "c"}
+        assert components[1] == {"d"}
+
+    def test_hub_nodes(self):
+        net = _network_from_edges(
+            ["a", "b", "c", "d"], [("a", "b"), ("a", "c"), ("a", "d")]
+        )
+        hubs = hub_nodes(net, top_k=2)
+        assert hubs[0] == ("a", 3)
+        assert hubs[1][1] == 1
+
+    def test_empty_network_summary(self):
+        net = _network_from_edges(["a", "b"], [])
+        summary = summarize_topology(net)
+        assert summary.n_edges == 0
+        assert summary.average_clustering == 0.0
+
+
+class TestCommunities:
+    def test_two_cliques_found(self, two_cluster_network):
+        partition = detect_communities(two_cluster_network)
+        assert partition.n_communities == 2
+        assert frozenset({"a", "b", "c"}) in partition.communities
+        assert partition.modularity > 0.3
+
+    def test_community_of(self, two_cluster_network):
+        partition = detect_communities(two_cluster_network)
+        assert partition.community_of("a") == partition.community_of("b")
+        assert partition.community_of("a") != partition.community_of("d")
+        assert partition.community_of("zzz") == -1
+
+    def test_label_propagation_runs(self, two_cluster_network):
+        partition = detect_communities(
+            two_cluster_network, method="label_propagation", seed=4
+        )
+        assert partition.n_communities >= 2
+
+    def test_unknown_method(self, two_cluster_network):
+        with pytest.raises(DataError):
+            detect_communities(two_cluster_network, method="nope")
+
+    def test_modularity_empty_network(self):
+        net = _network_from_edges(["a", "b"], [])
+        assert partition_modularity(net, [frozenset({"a", "b"})]) == 0.0
+
+
+class TestDynamics:
+    def _snapshots(self):
+        names = ["a", "b", "c"]
+        return [
+            _network_from_edges(names, [("a", "b")]),
+            _network_from_edges(names, [("a", "b"), ("b", "c")]),
+            _network_from_edges(names, [("a", "b")]),
+            _network_from_edges(names, [("a", "b"), ("b", "c")]),
+        ]
+
+    def test_edge_presence(self):
+        counts = edge_presence(self._snapshots())
+        assert counts[("a", "b")] == 4
+        assert counts[("b", "c")] == 2
+
+    def test_edge_stability(self):
+        stability = edge_stability(self._snapshots())
+        assert stability[("a", "b")] == 1.0
+        assert stability[("b", "c")] == 0.5
+
+    def test_churn_series(self):
+        assert churn_series(self._snapshots()) == [1, 1, 1]
+
+    def test_blinking_links(self):
+        blinking = blinking_links(self._snapshots())
+        assert ("b", "c") in blinking
+        assert ("a", "b") not in blinking
+
+    def test_summary(self):
+        summary = summarize_dynamics(self._snapshots())
+        assert summary.n_snapshots == 4
+        assert summary.mean_edges == 1.5
+        assert summary.mean_churn == 1.0
+        assert summary.stable_edges == frozenset({("a", "b")})
+        assert summary.blinking_edges == frozenset({("b", "c")})
+
+    def test_rejects_mismatched_nodes(self):
+        nets = [
+            _network_from_edges(["a", "b"], []),
+            _network_from_edges(["a", "c"], []),
+        ]
+        with pytest.raises(DataError):
+            churn_series(nets)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            summarize_dynamics([])
+
+
+class TestAccuracy:
+    def test_superset_detection(self):
+        exact = np.zeros((4, 4), dtype=bool)
+        exact[0, 1] = exact[1, 0] = True
+        approx = exact.copy()
+        approx[2, 3] = approx[3, 2] = True  # one false positive
+        comparison = compare_networks(exact, approx)
+        assert comparison.exact_edges == 1
+        assert comparison.approx_edges == 2
+        assert comparison.false_positives == 1
+        assert comparison.false_negatives == 0
+        assert comparison.is_superset
+
+    def test_false_negative_detection(self):
+        exact = np.zeros((3, 3), dtype=bool)
+        exact[0, 1] = exact[1, 0] = True
+        approx = np.zeros((3, 3), dtype=bool)
+        comparison = compare_networks(exact, approx)
+        assert comparison.false_negatives == 1
+        assert not comparison.is_superset
+
+    def test_similarity_matches_core(self):
+        exact = np.zeros((4, 4), dtype=bool)
+        approx = np.zeros((4, 4), dtype=bool)
+        approx[0, 1] = approx[1, 0] = True
+        comparison = compare_networks(exact, approx)
+        assert comparison.similarity == pytest.approx(1.0 - 1.0 / 6.0)
+
+    def test_compare_matrices(self, rng):
+        exact = np.corrcoef(rng.normal(size=(5, 60)))
+        noisy = np.clip(exact + 0.05, -1, 1)
+        comparison = compare_matrices(exact, noisy, theta=0.3)
+        assert comparison.false_negatives == 0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            compare_networks(np.zeros((2, 2)), np.zeros((3, 3)))

@@ -1,0 +1,236 @@
+"""Tests for the approximate pipeline: sketch, Eq. 5, Algorithm 4, Eq. 6."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import compare_matrices
+from repro.approx.combine import (
+    eq5_correlation,
+    pseudo_covariances,
+    statstream_correlation,
+)
+from repro.approx.network import TsubasaApproximate, approximate_correlation_matrix
+from repro.approx.realtime import ApproxSlidingState
+from repro.approx.sketch import ApproxSketch, build_approx_sketch, sketch_block
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.exceptions import DataError, SketchError
+
+
+@pytest.fixture(scope="module")
+def approx_data():
+    rng = np.random.default_rng(77)
+    base = rng.normal(size=(3, 400))
+    mix = rng.normal(size=(10, 3))
+    # Nonstationary drift makes the series "uncooperative" (§2.2).
+    drift = np.linspace(0, 3, 400) * rng.normal(size=(10, 1))
+    return mix @ base + rng.normal(size=(10, 400)) + drift
+
+
+class TestBuildApproxSketch:
+    def test_shapes(self, approx_data):
+        sketch = build_approx_sketch(approx_data, window_size=50)
+        assert sketch.n_series == 10
+        assert sketch.n_windows == 8
+        assert sketch.dists_sq.shape == (8, 10, 10)
+        assert sketch.n_coeffs == 50
+
+    def test_fraction_configuration(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50, coeff_fraction=0.75)
+        assert sketch.n_coeffs == 38
+
+    def test_rejects_both_configs(self, approx_data):
+        with pytest.raises(DataError):
+            build_approx_sketch(approx_data, 50, n_coeffs=10, coeff_fraction=0.5)
+
+    def test_rejects_bad_n_coeffs(self, approx_data):
+        with pytest.raises(DataError):
+            build_approx_sketch(approx_data, 50, n_coeffs=51)
+
+    def test_window_correlations_all_coeffs_exact(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        corrs = sketch.window_correlations()
+        for j in range(sketch.n_windows):
+            block = approx_data[:, j * 50 : (j + 1) * 50]
+            expected = np.corrcoef(block)
+            np.testing.assert_allclose(corrs[j], expected, atol=1e-9)
+
+    def test_select(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        subset = sketch.select(np.array([0, 2]))
+        assert subset.n_windows == 2
+        with pytest.raises(SketchError):
+            sketch.select(np.array([100]))
+
+    def test_sketch_block_matches_builder(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50, n_coeffs=20)
+        mean, std, dist = sketch_block(approx_data[:, :50], 20)
+        np.testing.assert_allclose(mean, sketch.means[:, 0])
+        np.testing.assert_allclose(std, sketch.stds[:, 0])
+        np.testing.assert_allclose(dist, sketch.dists_sq[0], atol=1e-9)
+
+
+class TestEq5Correlation:
+    def test_all_coefficients_is_exact(self, approx_data):
+        """§3.2: with n = B the approximation equals the exact correlation."""
+        sketch = build_approx_sketch(approx_data, 50)
+        corr = eq5_correlation(sketch, np.arange(8))
+        np.testing.assert_allclose(
+            corr, baseline_correlation_matrix(approx_data), atol=1e-9
+        )
+
+    def test_error_decreases_with_coefficients(self, approx_data):
+        exact = baseline_correlation_matrix(approx_data)
+        errors = []
+        for n_coeffs in (5, 15, 30, 50):
+            sketch = build_approx_sketch(approx_data, 50, n_coeffs=n_coeffs)
+            corr = eq5_correlation(sketch, np.arange(8))
+            errors.append(np.abs(corr - exact).max())
+        assert errors[-1] == pytest.approx(0.0, abs=1e-9)
+        assert errors[0] >= errors[-1]
+        # Overall trend decreasing (allow small non-monotonic wiggles).
+        assert errors[3] <= errors[1] + 1e-9
+
+    def test_overestimates_correlation(self, approx_data):
+        """Prefix distances underestimate => correlations overestimate."""
+        exact = baseline_correlation_matrix(approx_data)
+        sketch = build_approx_sketch(approx_data, 50, coeff_fraction=0.5)
+        corr = eq5_correlation(sketch, np.arange(8))
+        assert np.all(corr >= exact - 1e-9)
+
+    def test_rejects_empty_selection(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        with pytest.raises(SketchError):
+            eq5_correlation(sketch, np.array([], dtype=np.int64))
+
+    def test_pseudo_covariances_all_coeffs(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        covs = pseudo_covariances(sketch, np.arange(8))
+        for j in range(8):
+            block = approx_data[:, j * 50 : (j + 1) * 50]
+            np.testing.assert_allclose(
+                covs[j], np.cov(block, bias=True), atol=1e-9
+            )
+
+
+class TestStatstreamCorrelation:
+    def test_unit_diagonal(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        corr = statstream_correlation(sketch, np.arange(8))
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+
+    def test_biased_on_uncooperative_series(self, approx_data):
+        """Averaging ignores window-statistics drift; Eq. 5 does not.
+
+        On drifting series the Eq. 5 combination (all coefficients = exact)
+        must beat plain averaging.
+        """
+        exact = baseline_correlation_matrix(approx_data)
+        sketch = build_approx_sketch(approx_data, 50)
+        avg_err = np.abs(statstream_correlation(sketch, np.arange(8)) - exact)
+        eq5_err = np.abs(eq5_correlation(sketch, np.arange(8)) - exact)
+        assert eq5_err.max() < avg_err.max()
+
+
+class TestTsubasaApproximate:
+    def test_network_superset_of_exact(self, approx_data):
+        """Eq. 4: the approximate network has no false negatives."""
+        sketch = build_approx_sketch(approx_data, 50, coeff_fraction=0.5)
+        engine = TsubasaApproximate(sketch)
+        theta = 0.6
+        approx_corr = engine.correlation_matrix((399, 400)).values
+        exact = baseline_correlation_matrix(approx_data)
+        comparison = compare_matrices(exact, approx_corr, theta)
+        assert comparison.is_superset
+        assert comparison.approx_edges >= comparison.exact_edges
+
+    def test_rejects_non_aligned_query(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        engine = TsubasaApproximate(sketch)
+        with pytest.raises(SketchError):
+            engine.correlation_matrix((399, 123))
+
+    def test_methods_dispatch(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        idx = np.arange(8)
+        np.testing.assert_array_equal(
+            approximate_correlation_matrix(sketch, idx, "eq5"),
+            eq5_correlation(sketch, idx),
+        )
+        np.testing.assert_array_equal(
+            approximate_correlation_matrix(sketch, idx, "average"),
+            statstream_correlation(sketch, idx),
+        )
+        with pytest.raises(DataError):
+            approximate_correlation_matrix(sketch, idx, "nope")
+
+    def test_network_threshold(self, approx_data):
+        sketch = build_approx_sketch(approx_data, 50)
+        engine = TsubasaApproximate(sketch)
+        network = engine.network((399, 400), theta=0.6)
+        matrix = engine.correlation_matrix((399, 400))
+        assert network.n_edges == matrix.n_edges(0.6)
+
+
+class TestApproxSlidingState:
+    def test_all_coeffs_matches_exact_sliding(self, approx_data):
+        """Eq. 6 with n = B stays exact through slides."""
+        sketch = build_approx_sketch(approx_data[:, :300], 50)
+        state = ApproxSlidingState(sketch, n_windows=6, dft_method="fft")
+        for step in range(2):
+            lo = 300 + step * 50
+            state.slide_raw(approx_data[:, lo : lo + 50])
+            ref = baseline_correlation_matrix(
+                approx_data[:, lo + 50 - 300 : lo + 50]
+            )
+            np.testing.assert_allclose(
+                state.correlation_matrix().values, ref, atol=1e-9
+            )
+
+    def test_partial_coeffs_tracks_batch_approximation(self, approx_data):
+        """Sliding with k coefficients == rebuilding the k-coeff sketch."""
+        n_coeffs = 20
+        sketch = build_approx_sketch(
+            approx_data[:, :300], 50, n_coeffs=n_coeffs
+        )
+        state = ApproxSlidingState(sketch, n_windows=6, dft_method="fft")
+        state.slide_raw(approx_data[:, 300:350])
+        full = build_approx_sketch(
+            approx_data[:, :350], 50, n_coeffs=n_coeffs
+        )
+        expected = eq5_correlation(full, np.arange(1, 7))
+        np.testing.assert_allclose(
+            state.correlation_matrix().values, expected, atol=1e-9
+        )
+
+    def test_network(self, approx_data):
+        sketch = build_approx_sketch(approx_data[:, :300], 50)
+        state = ApproxSlidingState(sketch, n_windows=6)
+        network = state.network(theta=0.5)
+        assert network.n_nodes == 10
+
+    def test_rejects_bad_shapes(self, approx_data):
+        sketch = build_approx_sketch(approx_data[:, :300], 50)
+        state = ApproxSlidingState(sketch, n_windows=6)
+        with pytest.raises(Exception):
+            state.slide_raw(np.zeros((3, 50)))
+
+    def test_rejects_bad_window_counts(self, approx_data):
+        sketch = build_approx_sketch(approx_data[:, :300], 50)
+        with pytest.raises(SketchError):
+            ApproxSlidingState(sketch, n_windows=7)
+
+
+class TestApproxSketchValidation:
+    def test_constructor_validates(self):
+        with pytest.raises(SketchError):
+            ApproxSketch(
+                names=["a"],
+                window_size=10,
+                n_coeffs=10,
+                means=np.zeros((2, 3)),
+                stds=np.zeros((2, 3)),
+                dists_sq=np.zeros((3, 2, 2)),
+                sizes=np.full(3, 10),
+            )

@@ -1,0 +1,97 @@
+"""Tests for repro.baseline (raw-data exact correlation, Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline.naive import (
+    BaselineExact,
+    baseline_correlation_matrix,
+    baseline_pairwise_loop,
+    pearson,
+)
+from repro.exceptions import DataError
+
+
+class TestPearson:
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=100)
+        y = 0.3 * x + rng.normal(size=100)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_perfect_and_anti(self, rng):
+        x = rng.normal(size=50)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_yields_zero(self, rng):
+        assert pearson(np.full(10, 3.0), rng.normal(size=10)) == 0.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(DataError):
+            pearson(np.zeros(3), np.zeros(4))
+
+
+class TestBaselineCorrelationMatrix:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=(8, 120))
+        np.testing.assert_allclose(
+            baseline_correlation_matrix(data), np.corrcoef(data), atol=1e-12
+        )
+
+    def test_constant_row_handled(self, rng):
+        data = rng.normal(size=(3, 40))
+        data[1] = 0.0
+        corr = baseline_correlation_matrix(data)
+        assert corr[1, 1] == 1.0
+        assert corr[1, 0] == 0.0
+        assert np.all(np.isfinite(corr))
+
+    def test_loop_agrees_with_vectorized(self, rng):
+        data = rng.normal(size=(5, 60))
+        np.testing.assert_allclose(
+            baseline_pairwise_loop(data),
+            baseline_correlation_matrix(data),
+            atol=1e-12,
+        )
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(DataError):
+            baseline_correlation_matrix(rng.normal(size=10))
+
+
+class TestBaselineExactEngine:
+    def test_query_matches_slice(self, small_matrix):
+        engine = BaselineExact(small_matrix)
+        matrix = engine.correlation_matrix((399, 150))
+        np.testing.assert_allclose(
+            matrix.values, np.corrcoef(small_matrix[:, 250:400]), atol=1e-12
+        )
+
+    def test_agrees_with_tsubasa(self, small_matrix):
+        from repro.core.exact import TsubasaHistorical
+
+        tsubasa = TsubasaHistorical(small_matrix, window_size=50)
+        baseline = BaselineExact(small_matrix)
+        for query in [(599, 600), (599, 73), (411, 217)]:
+            np.testing.assert_allclose(
+                tsubasa.correlation_matrix(query).values,
+                baseline.correlation_matrix(query).values,
+                atol=1e-9,
+            )
+
+    def test_network(self, small_matrix):
+        engine = BaselineExact(small_matrix)
+        network = engine.network((599, 300), theta=0.5)
+        matrix = engine.correlation_matrix((599, 300))
+        assert network.n_edges == matrix.n_edges(0.5)
+
+    def test_rejects_out_of_range(self, small_matrix):
+        engine = BaselineExact(small_matrix)
+        with pytest.raises(DataError):
+            engine.correlation_matrix((700, 100))
+
+    def test_rejects_bad_names(self, rng):
+        with pytest.raises(DataError):
+            BaselineExact(rng.normal(size=(3, 10)), names=["a"])

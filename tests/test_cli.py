@@ -1,0 +1,219 @@
+"""Tests for the tsubasa command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    path = tmp_path / "data.npz"
+    code = main(
+        [
+            "generate",
+            "--stations", "12",
+            "--points", "400",
+            "--seed", "5",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture()
+def store_file(tmp_path, dataset_file):
+    path = tmp_path / "sketch.db"
+    code = main(
+        [
+            "sketch",
+            "--data", str(dataset_file),
+            "--window-size", "50",
+            "--store", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_expected_arrays(self, dataset_file):
+        with np.load(dataset_file) as archive:
+            assert archive["values"].shape == (12, 400)
+            assert len(archive["names"]) == 12
+
+    def test_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        main(["generate", "--stations", "4", "--points", "60",
+              "--seed", "9", "--out", str(a)])
+        main(["generate", "--stations", "4", "--points", "60",
+              "--seed", "9", "--out", str(b)])
+        with np.load(a) as fa, np.load(b) as fb:
+            np.testing.assert_array_equal(fa["values"], fb["values"])
+
+
+class TestSketchAndInfo:
+    def test_info_reports_store(self, store_file, capsys):
+        assert main(["info", "--store", str(store_file)]) == 0
+        out = capsys.readouterr().out
+        assert "kind=exact" in out
+        assert "series=12" in out
+        assert "windows=8" in out
+
+
+class TestQuery:
+    def test_aligned_query_prints_network(self, store_file, capsys):
+        code = main(
+            [
+                "query",
+                "--store", str(store_file),
+                "--end", "399",
+                "--length", "200",
+                "--theta", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes=12" in out
+
+    def test_non_aligned_query_fails_cleanly(self, store_file, capsys):
+        code = main(
+            [
+                "query",
+                "--store", str(store_file),
+                "--end", "399",
+                "--length", "123",
+            ]
+        )
+        assert code == 2
+        assert "not aligned" in capsys.readouterr().err
+
+
+class TestStream:
+    def test_stream_reports_updates(self, dataset_file, capsys):
+        code = main(
+            [
+                "stream",
+                "--data", str(dataset_file),
+                "--window-size", "50",
+                "--initial", "200",
+                "--updates", "3",
+                "--theta", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("t=") == 3
+
+    def test_initial_too_large_fails(self, dataset_file, capsys):
+        code = main(
+            [
+                "stream",
+                "--data", str(dataset_file),
+                "--window-size", "50",
+                "--initial", "400",
+            ]
+        )
+        assert code == 2
+
+
+class TestErrorHandling:
+    def test_library_errors_become_exit_code_one(self, tmp_path, dataset_file):
+        # Window size larger than the series -> SegmentationError inside.
+        code = main(
+            [
+                "sketch",
+                "--data", str(dataset_file),
+                "--window-size", "1000",
+                "--store", str(tmp_path / "x.db"),
+            ]
+        )
+        assert code == 1
+
+
+class TestTopk:
+    def test_prints_pairs(self, store_file, capsys):
+        code = main(
+            [
+                "topk",
+                "--store", str(store_file),
+                "--end", "399",
+                "--length", "400",
+                "--k", "3",
+                "--anticorrelated",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("corr=") == 6
+        assert "top 3 correlated pairs" in out
+
+    def test_non_aligned_fails(self, store_file, capsys):
+        code = main(
+            [
+                "topk",
+                "--store", str(store_file),
+                "--end", "399",
+                "--length", "123",
+            ]
+        )
+        assert code == 2
+
+
+class TestSweep:
+    def test_prints_positions_and_dynamics(self, store_file, capsys):
+        code = main(
+            [
+                "sweep",
+                "--store", str(store_file),
+                "--windows", "4",
+                "--stride", "2",
+                "--theta", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # 8 windows, length 4, stride 2 -> positions 0, 2, 4.
+        assert out.count("edges") >= 3
+        assert "mean churn" in out
+
+
+class TestSignificanceOption:
+    def test_alpha_derives_theta(self, store_file, capsys):
+        code = main(
+            [
+                "query",
+                "--store", str(store_file),
+                "--end", "399",
+                "--length", "400",
+                "--alpha", "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "significance level 0.01 -> theta=" in out
+
+
+class TestMap:
+    def test_renders_degree_map(self, dataset_file, capsys):
+        code = main(
+            [
+                "map",
+                "--data", str(dataset_file),
+                "--window-size", "50",
+                "--end", "399",
+                "--length", "400",
+                "--theta", "0.3",
+                "--width", "30",
+                "--height", "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "nodes              12" in out
+        # The map body has 8 rows of width 30.
+        map_lines = [l for l in out.split("\n") if len(l) == 30]
+        assert len(map_lines) >= 8

@@ -1,0 +1,292 @@
+"""Tests for repro.data (generators, grid utilities, file formats)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.grid import (
+    grid_node_name,
+    haversine_km,
+    regular_grid,
+    station_node_name,
+)
+from repro.data.gridded import load_gridded_npz, save_gridded_npz
+from repro.data.synthetic import (
+    StationDataset,
+    ar1_series,
+    generate_gridded_dataset,
+    generate_station_dataset,
+)
+from repro.data.uscrn import (
+    MISSING_SENTINEL,
+    interpolate_missing,
+    load_uscrn_directory,
+    read_uscrn_file,
+    write_uscrn_file,
+)
+from repro.exceptions import DataError
+
+
+class TestGridUtilities:
+    def test_haversine_known_distance(self):
+        # New York -> Los Angeles is roughly 3,940 km.
+        distance = haversine_km(40.71, -74.01, 34.05, -118.24)
+        assert 3900 < distance < 4000
+
+    def test_haversine_zero(self):
+        assert haversine_km(45.0, -100.0, 45.0, -100.0) == 0.0
+
+    def test_haversine_broadcasts(self):
+        lats = np.array([10.0, 20.0, 30.0])
+        distances = haversine_km(lats, 0.0, 0.0, 0.0)
+        assert distances.shape == (3,)
+        assert np.all(np.diff(distances) > 0)
+
+    def test_regular_grid(self):
+        lats, lons = regular_grid(0.0, 2.0, 10.0, 11.0, 1.0)
+        assert lats.size == 3 * 2
+        assert lats.min() == 0.0 and lats.max() == 2.0
+
+    def test_regular_grid_rejects_bad_bounds(self):
+        with pytest.raises(DataError):
+            regular_grid(2.0, 0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(DataError):
+            regular_grid(0.0, 1.0, 0.0, 1.0, 0.0)
+
+    def test_node_names(self):
+        assert station_node_name(7) == "stn007"
+        name = grid_node_name(41.0, -87.5)
+        assert name == "g+041.00-0087.50"
+
+
+class TestAr1Series:
+    def test_shape_and_stationarity(self, rng):
+        series = ar1_series(rng, n=200, length=500, phi=0.8, scale=2.0)
+        assert series.shape == (200, 500)
+        # Stationary std should be near `scale`.
+        assert series.std() == pytest.approx(2.0, rel=0.1)
+
+    def test_autocorrelation_increases_with_phi(self, rng):
+        low = ar1_series(rng, 1, 4000, phi=0.1, scale=1.0)[0]
+        high = ar1_series(rng, 1, 4000, phi=0.95, scale=1.0)[0]
+        lag1 = lambda x: np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert lag1(high) > lag1(low)
+
+    def test_rejects_bad_phi(self, rng):
+        with pytest.raises(DataError):
+            ar1_series(rng, 1, 10, phi=1.0, scale=1.0)
+
+
+class TestStationDataset:
+    def test_default_shape_matches_paper(self):
+        dataset = generate_station_dataset(n_stations=10, n_points=100, seed=0)
+        assert dataset.n_series == 10
+        assert dataset.n_points == 100
+        assert len(dataset.coordinates) == 10
+
+    def test_deterministic(self):
+        a = generate_station_dataset(n_stations=5, n_points=50, seed=42)
+        b = generate_station_dataset(n_stations=5, n_points=50, seed=42)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seeds_differ(self):
+        a = generate_station_dataset(n_stations=5, n_points=50, seed=1)
+        b = generate_station_dataset(n_stations=5, n_points=50, seed=2)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_nearby_stations_more_correlated(self):
+        """The substitution requirement: distance-decaying correlation."""
+        dataset = generate_station_dataset(n_stations=80, n_points=3000, seed=7)
+        corr = np.corrcoef(dataset.values)
+        dist = haversine_km(
+            dataset.lats[:, None], dataset.lons[:, None],
+            dataset.lats[None, :], dataset.lons[None, :],
+        )
+        mask = ~np.eye(80, dtype=bool)
+        near = corr[(dist < 500) & mask]
+        far = corr[(dist > 3000) & mask]
+        assert near.size and far.size
+        assert near.mean() > far.mean() + 0.2
+
+    def test_network_nontrivial_at_paper_threshold(self):
+        dataset = generate_station_dataset(n_stations=60, n_points=2000, seed=3)
+        corr = np.corrcoef(dataset.values)
+        edges = int(np.triu(corr > 0.75, k=1).sum())
+        total = 60 * 59 // 2
+        assert 0 < edges < total
+
+    def test_anomaly_false_adds_cycles(self):
+        raw = generate_station_dataset(
+            n_stations=5, n_points=500, seed=1, anomaly=False
+        )
+        anom = generate_station_dataset(
+            n_stations=5, n_points=500, seed=1, anomaly=True
+        )
+        assert raw.values.std() > anom.values.std()
+
+    def test_subset(self):
+        dataset = generate_station_dataset(n_stations=10, n_points=50, seed=0)
+        sub = dataset.subset(4)
+        assert sub.n_series == 4
+        np.testing.assert_array_equal(sub.values, dataset.values[:4])
+        with pytest.raises(DataError):
+            dataset.subset(11)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DataError):
+            generate_station_dataset(n_stations=0, n_points=10)
+
+    def test_validation(self, rng):
+        with pytest.raises(DataError):
+            StationDataset(
+                names=["a"],
+                values=rng.normal(size=(2, 5)),
+                lats=np.zeros(2),
+                lons=np.zeros(2),
+                resolution_hours=1.0,
+            )
+
+
+class TestGriddedDataset:
+    def test_shapes(self):
+        dataset = generate_gridded_dataset(
+            lat_min=30, lat_max=34, lon_min=-100, lon_max=-96,
+            resolution_deg=2.0, n_points=200, seed=5,
+        )
+        assert dataset.n_series == 3 * 3
+        assert dataset.n_points == 200
+        assert dataset.resolution_hours == 24.0
+
+    def test_grid_names(self):
+        dataset = generate_gridded_dataset(
+            lat_min=30, lat_max=30, lon_min=-100, lon_max=-100,
+            resolution_deg=1.0, n_points=50, seed=0,
+        )
+        assert dataset.names[0] == "g+030.00-0100.00"
+
+
+class TestUscrnFormat:
+    def test_roundtrip(self, tmp_path, rng):
+        values = rng.normal(15.0, 5.0, size=200)
+        path = tmp_path / "station.txt"
+        write_uscrn_file(path, values, station_id=53012)
+        loaded = read_uscrn_file(path)
+        np.testing.assert_allclose(loaded, values, atol=0.05)  # 1-decimal format
+
+    def test_missing_values_interpolated(self, tmp_path):
+        values = np.array([1.0, np.nan, 3.0, np.nan, np.nan, 6.0])
+        path = tmp_path / "gaps.txt"
+        write_uscrn_file(path, values, station_id=1)
+        loaded = read_uscrn_file(path, interpolate=True)
+        np.testing.assert_allclose(loaded, [1, 2, 3, 4, 5, 6], atol=0.05)
+
+    def test_missing_values_preserved_without_interpolation(self, tmp_path):
+        values = np.array([1.0, np.nan, 3.0])
+        path = tmp_path / "nan.txt"
+        write_uscrn_file(path, values, station_id=1)
+        loaded = read_uscrn_file(path, interpolate=False)
+        assert np.isnan(loaded[1])
+
+    def test_sentinel_written(self, tmp_path):
+        path = tmp_path / "sent.txt"
+        write_uscrn_file(path, np.array([np.nan]), station_id=1)
+        assert str(MISSING_SENTINEL) in path.read_text().replace(" ", "")[5:] or \
+            "-9999" in path.read_text()
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(DataError):
+            read_uscrn_file(path)
+        path.write_text("1 20200101 0000 notanumber\n")
+        with pytest.raises(DataError):
+            read_uscrn_file(path)
+        path.write_text("")
+        with pytest.raises(DataError):
+            read_uscrn_file(path)
+
+    def test_load_directory(self, tmp_path, rng):
+        for i in range(3):
+            write_uscrn_file(
+                tmp_path / f"stn{i}.txt",
+                rng.normal(size=100 + i * 10),
+                station_id=i,
+            )
+        dataset = load_uscrn_directory(tmp_path)
+        assert dataset.n_series == 3
+        assert dataset.n_points == 100  # truncated to shortest
+        assert dataset.names == ["stn0", "stn1", "stn2"]
+
+    def test_load_empty_directory_raises(self, tmp_path):
+        with pytest.raises(DataError):
+            load_uscrn_directory(tmp_path)
+
+
+class TestInterpolateMissing:
+    def test_interior_gap(self):
+        np.testing.assert_allclose(
+            interpolate_missing(np.array([1.0, np.nan, 3.0])), [1, 2, 3]
+        )
+
+    def test_leading_trailing_filled_with_nearest(self):
+        out = interpolate_missing(np.array([np.nan, 2.0, np.nan]))
+        np.testing.assert_allclose(out, [2, 2, 2])
+
+    def test_all_nan_raises(self):
+        with pytest.raises(DataError):
+            interpolate_missing(np.array([np.nan, np.nan]))
+
+    def test_no_gaps_identity(self, rng):
+        values = rng.normal(size=20)
+        np.testing.assert_array_equal(interpolate_missing(values), values)
+
+
+class TestGriddedNpz:
+    def test_roundtrip(self, tmp_path, rng):
+        lat_axis = np.array([30.0, 31.0])
+        lon_axis = np.array([-100.0, -99.0, -98.0])
+        cube = rng.normal(size=(2, 3, 50))
+        path = tmp_path / "grid.npz"
+        save_gridded_npz(path, lat_axis, lon_axis, cube)
+        dataset = load_gridded_npz(path)
+        assert dataset.n_series == 6
+        assert dataset.n_points == 50
+        np.testing.assert_allclose(dataset.values[0], cube[0, 0])
+
+    def test_land_mask_filters(self, tmp_path, rng):
+        lat_axis = np.array([30.0, 31.0])
+        lon_axis = np.array([-100.0, -99.0])
+        cube = rng.normal(size=(2, 2, 20))
+        mask = np.array([[True, False], [False, True]])
+        path = tmp_path / "mask.npz"
+        save_gridded_npz(path, lat_axis, lon_axis, cube, land_mask=mask)
+        dataset = load_gridded_npz(path)
+        assert dataset.n_series == 2
+
+    def test_all_ocean_raises(self, tmp_path, rng):
+        path = tmp_path / "ocean.npz"
+        save_gridded_npz(
+            path,
+            np.array([30.0]),
+            np.array([-100.0]),
+            rng.normal(size=(1, 1, 10)),
+            land_mask=np.array([[False]]),
+        )
+        with pytest.raises(DataError):
+            load_gridded_npz(path)
+
+    def test_shape_validation(self, tmp_path, rng):
+        with pytest.raises(DataError):
+            save_gridded_npz(
+                tmp_path / "bad.npz",
+                np.array([30.0]),
+                np.array([-100.0]),
+                rng.normal(size=(2, 1, 10)),
+            )
+
+    def test_missing_keys_raise(self, tmp_path, rng):
+        path = tmp_path / "broken.npz"
+        np.savez(path, lat=np.array([1.0]))
+        with pytest.raises(DataError):
+            load_gridded_npz(path)

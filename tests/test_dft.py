@@ -1,0 +1,164 @@
+"""Tests for repro.approx.dft (normalization, DFT, distances, Eq. 3–4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approx.dft import (
+    coefficient_count,
+    correlation_to_distance_sq,
+    dft_coefficients,
+    dft_matrix,
+    distance_to_correlation,
+    epsilon_for_threshold,
+    normalize_windows,
+    pairwise_sq_distances,
+)
+from repro.exceptions import DataError
+
+
+class TestNormalizeWindows:
+    def test_unit_norm_zero_mean(self, rng):
+        blocks = rng.normal(size=(5, 32))
+        normalized = normalize_windows(blocks)
+        np.testing.assert_allclose(normalized.mean(axis=1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(
+            np.linalg.norm(normalized, axis=1), 1.0, atol=1e-12
+        )
+
+    def test_constant_window_becomes_zero(self, rng):
+        blocks = np.vstack([np.full(16, 3.0), rng.normal(size=16)])
+        normalized = normalize_windows(blocks)
+        np.testing.assert_array_equal(normalized[0], 0.0)
+
+    def test_correlation_identity(self, rng):
+        """Eq. 3 pre-image: d^2(x_hat, y_hat) = 2 * (1 - corr(x, y))."""
+        x = rng.normal(size=64)
+        y = 0.7 * x + rng.normal(size=64)
+        normalized = normalize_windows(np.vstack([x, y]))
+        dist_sq = np.sum((normalized[0] - normalized[1]) ** 2)
+        corr = np.corrcoef(x, y)[0, 1]
+        assert dist_sq == pytest.approx(2.0 * (1.0 - corr))
+
+    def test_rejects_1d(self):
+        with pytest.raises(DataError):
+            normalize_windows(np.zeros(8))
+
+
+class TestDftMatrix:
+    def test_unitary(self):
+        f = dft_matrix(16)
+        np.testing.assert_allclose(f @ f.conj().T, np.eye(16), atol=1e-12)
+
+    def test_cached_instance(self):
+        assert dft_matrix(8) is dft_matrix(8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DataError):
+            dft_matrix(0)
+
+
+class TestDftCoefficients:
+    def test_direct_matches_fft(self, rng):
+        windows = normalize_windows(rng.normal(size=(4, 32)))
+        direct = dft_coefficients(windows, 32, method="direct")
+        fft = dft_coefficients(windows, 32, method="fft")
+        np.testing.assert_allclose(direct, fft, atol=1e-10)
+
+    def test_parseval(self, rng):
+        """Unitary scaling preserves energy, hence distances."""
+        windows = normalize_windows(rng.normal(size=(3, 24)))
+        coeffs = dft_coefficients(windows, 24)
+        np.testing.assert_allclose(
+            np.sum(np.abs(coeffs) ** 2, axis=1),
+            np.sum(windows**2, axis=1),
+            atol=1e-12,
+        )
+
+    def test_prefix_selection(self, rng):
+        windows = normalize_windows(rng.normal(size=(2, 16)))
+        full = dft_coefficients(windows, 16)
+        prefix = dft_coefficients(windows, 5)
+        np.testing.assert_allclose(prefix, full[:, :5], atol=1e-12)
+
+    def test_rejects_bad_counts(self, rng):
+        windows = rng.normal(size=(2, 16))
+        with pytest.raises(DataError):
+            dft_coefficients(windows, 0)
+        with pytest.raises(DataError):
+            dft_coefficients(windows, 17)
+        with pytest.raises(DataError):
+            dft_coefficients(windows, 4, method="nope")
+
+
+class TestCoefficientCount:
+    def test_fraction(self):
+        assert coefficient_count(200, 0.75) == 150
+        assert coefficient_count(200, 1.0) == 200
+
+    def test_minimum_one(self):
+        assert coefficient_count(10, 0.01) == 1
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(DataError):
+            coefficient_count(10, 0.0)
+        with pytest.raises(DataError):
+            coefficient_count(10, 1.5)
+
+
+class TestPairwiseSqDistances:
+    def test_matches_direct_computation(self, rng):
+        coeffs = rng.normal(size=(5, 8)) + 1j * rng.normal(size=(5, 8))
+        dists = pairwise_sq_distances(coeffs)
+        for i in range(5):
+            for j in range(5):
+                expected = np.sum(np.abs(coeffs[i] - coeffs[j]) ** 2)
+                assert dists[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_zero_diagonal_nonnegative(self, rng):
+        coeffs = rng.normal(size=(6, 4)).astype(complex)
+        dists = pairwise_sq_distances(coeffs)
+        np.testing.assert_array_equal(np.diag(dists), 0.0)
+        assert np.all(dists >= 0.0)
+
+
+class TestDistanceCorrelationMaps:
+    def test_roundtrip(self):
+        corr = np.array([-1.0, 0.0, 0.5, 1.0])
+        np.testing.assert_allclose(
+            distance_to_correlation(correlation_to_distance_sq(corr)), corr
+        )
+
+    def test_epsilon_for_threshold(self):
+        assert epsilon_for_threshold(1.0) == 0.0
+        assert epsilon_for_threshold(0.0) == 2.0
+        assert epsilon_for_threshold(0.75) == pytest.approx(0.5)
+        with pytest.raises(DataError):
+            epsilon_for_threshold(2.0)
+
+
+class TestPrefixUnderestimation:
+    """The property that makes Eq. 4 a no-false-negative filter."""
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_coeffs=st.integers(1, 32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_prefix_distance_underestimates(self, seed, n_coeffs):
+        rng = np.random.default_rng(seed)
+        windows = normalize_windows(rng.normal(size=(4, 32)))
+        full = pairwise_sq_distances(dft_coefficients(windows, 32))
+        prefix = pairwise_sq_distances(dft_coefficients(windows, n_coeffs))
+        assert np.all(prefix <= full + 1e-9)
+
+    def test_all_coefficients_exact(self, rng):
+        x = rng.normal(size=40)
+        y = 0.2 * x + rng.normal(size=40)
+        windows = normalize_windows(np.vstack([x, y]))
+        dists = pairwise_sq_distances(dft_coefficients(windows, 40))
+        corr = distance_to_correlation(dists[0, 1])
+        assert corr == pytest.approx(np.corrcoef(x, y)[0, 1], abs=1e-9)

@@ -1,0 +1,127 @@
+"""Tests for repro.core.exact (Algorithm 2, arbitrary query windows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exact import TsubasaHistorical, fragment_stats
+from repro.core.segmentation import QueryWindow
+from repro.exceptions import DataError, SegmentationError, SketchError
+
+
+class TestFragmentStats:
+    def test_matches_numpy(self, rng):
+        data = rng.normal(size=(4, 100))
+        mean, std, cov, size = fragment_stats(data, 13, 47)
+        block = data[:, 13:47]
+        np.testing.assert_allclose(mean, block.mean(axis=1))
+        np.testing.assert_allclose(std, block.std(axis=1))
+        np.testing.assert_allclose(cov, np.cov(block, bias=True), atol=1e-12)
+        assert size == 34
+
+    def test_rejects_empty_fragment(self, rng):
+        with pytest.raises(DataError):
+            fragment_stats(rng.normal(size=(2, 10)), 5, 5)
+
+
+class TestTsubasaHistoricalAligned:
+    def test_full_window_matches_numpy(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        matrix = engine.correlation_matrix((599, 600))
+        np.testing.assert_allclose(matrix.values, np.corrcoef(small_matrix), atol=1e-10)
+
+    def test_suffix_window(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        matrix = engine.correlation_matrix((599, 200))
+        np.testing.assert_allclose(
+            matrix.values, np.corrcoef(small_matrix[:, 400:600]), atol=1e-10
+        )
+
+    def test_interior_window(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        matrix = engine.correlation_matrix((399, 150))
+        np.testing.assert_allclose(
+            matrix.values, np.corrcoef(small_matrix[:, 250:400]), atol=1e-10
+        )
+
+    def test_query_window_object_accepted(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        a = engine.correlation_matrix(QueryWindow(end=299, length=100))
+        b = engine.correlation_matrix((299, 100))
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestTsubasaHistoricalArbitrary:
+    """The headline feature: windows not aligned to basic windows."""
+
+    @pytest.mark.parametrize(
+        "end,length",
+        [(599, 73), (523, 317), (101, 51), (570, 491), (49, 30), (60, 22)],
+    )
+    def test_arbitrary_windows_exact(self, small_matrix, end, length):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        matrix = engine.correlation_matrix((end, length))
+        expected = np.corrcoef(small_matrix[:, end - length + 1 : end + 1])
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-9)
+
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_property_any_window_exact(self, small_matrix, data):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        length = data.draw(st.integers(2, 600))
+        end = data.draw(st.integers(length - 1, 599))
+        matrix = engine.correlation_matrix((end, length))
+        expected = np.corrcoef(small_matrix[:, end - length + 1 : end + 1])
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-8)
+
+    def test_sketch_only_engine_rejects_arbitrary(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50, keep_raw=False)
+        # Aligned queries still work.
+        engine.correlation_matrix((599, 100))
+        with pytest.raises(SketchError):
+            engine.correlation_matrix((599, 73))
+
+    def test_out_of_range_query(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        with pytest.raises(SegmentationError):
+            engine.correlation_matrix((700, 100))
+
+
+class TestTsubasaHistoricalNetwork:
+    def test_network_edges_match_thresholded_matrix(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        matrix = engine.correlation_matrix((599, 300))
+        network = engine.network((599, 300), theta=0.5)
+        assert network.n_edges == matrix.n_edges(0.5)
+
+    def test_network_carries_coordinates(self, small_dataset):
+        engine = TsubasaHistorical(
+            small_dataset.values,
+            window_size=50,
+            names=small_dataset.names,
+            coordinates=small_dataset.coordinates,
+        )
+        network = engine.network((599, 300), theta=0.5)
+        graph = network.to_networkx()
+        assert "lat" in graph.nodes[small_dataset.names[0]]
+
+    def test_threshold_monotonicity(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        edges = [
+            engine.network((599, 600), theta=t).n_edges
+            for t in (0.2, 0.4, 0.6, 0.8)
+        ]
+        assert edges == sorted(edges, reverse=True)
+
+    def test_names_and_plan_exposed(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        assert len(engine.names) == small_matrix.shape[0]
+        assert engine.plan.n_windows == 12
+        assert engine.sketch.n_windows == 12
+
+    def test_rejects_1d_data(self, rng):
+        with pytest.raises(DataError):
+            TsubasaHistorical(rng.normal(size=100), window_size=10)

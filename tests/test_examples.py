@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs cleanly as a subprocess.
+
+Examples are user-facing documentation; a refactor that breaks one should
+fail the suite, not a reader.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert EXAMPLES, f"no example scripts under {EXAMPLES_DIR}"
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} printed nothing"

@@ -1,0 +1,108 @@
+"""Tests for repro.analysis.export (interchange-format writers)."""
+
+from __future__ import annotations
+
+import csv
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    read_adjacency_npz,
+    write_adjacency_npz,
+    write_edge_csv,
+    write_graphml,
+    write_matrix_csv,
+)
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def network():
+    values = np.array(
+        [[1.0, 0.9, 0.1], [0.9, 1.0, 0.8], [0.1, 0.8, 1.0]]
+    )
+    matrix = CorrelationMatrix(names=["a", "b", "c"], values=values)
+    coords = {"a": (40.0, -100.0), "b": (41.0, -99.0), "c": (42.0, -98.0)}
+    return ClimateNetwork.from_matrix(matrix, theta=0.5, coordinates=coords)
+
+
+class TestEdgeCsv:
+    def test_rows_and_header(self, network, tmp_path):
+        path = tmp_path / "edges.csv"
+        n_rows = write_edge_csv(network, path)
+        assert n_rows == 2
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][:3] == ["source", "target", "weight"]
+        assert len(rows) == 3
+        edge_rows = {(r[0], r[1]): float(r[2]) for r in rows[1:]}
+        assert edge_rows[("a", "b")] == pytest.approx(0.9)
+        assert edge_rows[("b", "c")] == pytest.approx(0.8)
+
+    def test_coordinates_included(self, network, tmp_path):
+        path = tmp_path / "edges.csv"
+        write_edge_csv(network, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][3:] == ["source_lat", "source_lon",
+                               "target_lat", "target_lon"]
+        assert float(rows[1][3]) == 40.0
+
+    def test_no_coordinates_variant(self, tmp_path):
+        matrix = CorrelationMatrix(
+            names=["x", "y"], values=np.array([[1.0, 0.7], [0.7, 1.0]])
+        )
+        net = ClimateNetwork.from_matrix(matrix, 0.5)
+        path = tmp_path / "plain.csv"
+        write_edge_csv(net, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["source", "target", "weight"]
+
+
+class TestGraphml:
+    def test_roundtrip_via_networkx(self, network, tmp_path):
+        path = tmp_path / "net.graphml"
+        write_graphml(network, path)
+        loaded = nx.read_graphml(str(path))
+        assert set(loaded.nodes) == {"a", "b", "c"}
+        assert loaded.number_of_edges() == 2
+        assert loaded.edges[("a", "b")]["weight"] == pytest.approx(0.9)
+        assert loaded.nodes["a"]["lat"] == 40.0
+
+
+class TestAdjacencyNpz:
+    def test_roundtrip(self, network, tmp_path):
+        path = tmp_path / "net.npz"
+        write_adjacency_npz(network, path)
+        loaded = read_adjacency_npz(path)
+        assert loaded.names == network.names
+        assert loaded.threshold == network.threshold
+        np.testing.assert_array_equal(loaded.adjacency, network.adjacency)
+        np.testing.assert_allclose(loaded.weights, network.weights)
+        assert loaded.edge_set() == network.edge_set()
+
+    def test_missing_key_raises(self, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, names=np.array(["a"]))
+        with pytest.raises(DataError):
+            read_adjacency_npz(path)
+
+
+class TestMatrixCsv:
+    def test_layout_and_values(self, tmp_path):
+        matrix = CorrelationMatrix(
+            names=["p", "q"], values=np.array([[1.0, -0.25], [-0.25, 1.0]])
+        )
+        path = tmp_path / "matrix.csv"
+        write_matrix_csv(matrix, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["", "p", "q"]
+        assert rows[1][0] == "p"
+        assert float(rows[1][2]) == pytest.approx(-0.25)
+        assert float(rows[2][2]) == 1.0

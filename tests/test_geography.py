@@ -1,0 +1,117 @@
+"""Tests for repro.analysis.geography (geographic network structure)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.geography import (
+    correlation_vs_distance,
+    degree_field,
+    edge_lengths,
+    teleconnection_edges,
+)
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.data.grid import haversine_km
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def geo_network():
+    """Three nodes: two nearby (NYC, Philly) and one far (LA)."""
+    names = ["nyc", "phl", "lax"]
+    coords = {
+        "nyc": (40.71, -74.01),
+        "phl": (39.95, -75.17),
+        "lax": (34.05, -118.24),
+    }
+    values = np.array(
+        [[1.0, 0.9, 0.8], [0.9, 1.0, 0.1], [0.8, 0.1, 1.0]]
+    )
+    matrix = CorrelationMatrix(names=names, values=values)
+    return ClimateNetwork.from_matrix(matrix, theta=0.5, coordinates=coords)
+
+
+class TestEdgeLengths:
+    def test_lengths_match_haversine(self, geo_network):
+        lengths = edge_lengths(geo_network)
+        # Edge pairs follow matrix row order: nyc(0) precedes lax(2).
+        assert set(lengths) == {("nyc", "lax"), ("nyc", "phl")}
+        expected = haversine_km(40.71, -74.01, 39.95, -75.17)
+        assert lengths[("nyc", "phl")] == pytest.approx(expected)
+
+    def test_requires_coordinates(self):
+        matrix = CorrelationMatrix(names=["a", "b"], values=np.eye(2))
+        network = ClimateNetwork.from_matrix(matrix, 0.5)
+        with pytest.raises(DataError):
+            edge_lengths(network)
+
+
+class TestTeleconnectionEdges:
+    def test_only_long_edges(self, geo_network):
+        far = teleconnection_edges(geo_network, min_km=2000.0)
+        assert len(far) == 1
+        a, b, dist, corr = far[0]
+        assert (a, b) == ("nyc", "lax")
+        assert dist > 3900
+        assert corr == pytest.approx(0.8)
+
+    def test_zero_cutoff_returns_all_edges(self, geo_network):
+        assert len(teleconnection_edges(geo_network, min_km=0.0)) == 2
+
+    def test_sorted_longest_first(self, geo_network):
+        far = teleconnection_edges(geo_network, min_km=0.0)
+        assert far[0][2] >= far[1][2]
+
+    def test_rejects_negative_cutoff(self, geo_network):
+        with pytest.raises(DataError):
+            teleconnection_edges(geo_network, min_km=-1.0)
+
+
+class TestDegreeField:
+    def test_rows_in_name_order(self, geo_network):
+        field = degree_field(geo_network)
+        assert field.shape == (3, 3)
+        np.testing.assert_allclose(field[0], [40.71, -74.01, 2.0])
+        np.testing.assert_allclose(field[1][2], 1.0)  # phl degree
+
+
+class TestCorrelationVsDistance:
+    def test_decay_on_synthetic_field(self):
+        """The generator's spatial structure shows up as a decaying curve."""
+        from repro.data.synthetic import generate_station_dataset
+
+        dataset = generate_station_dataset(n_stations=60, n_points=1500,
+                                           seed=17)
+        matrix = CorrelationMatrix(
+            names=dataset.names, values=np.corrcoef(dataset.values)
+        )
+        centers, means, counts = correlation_vs_distance(
+            matrix, dataset.coordinates, bin_km=800.0
+        )
+        assert counts.sum() == 60 * 59 // 2
+        # Nearest bin should show materially stronger correlation than the
+        # farthest populated bin.
+        assert means[0] > means[-1] + 0.1
+
+    def test_max_km_filters(self, geo_network):
+        matrix = CorrelationMatrix(
+            names=geo_network.names, values=geo_network.weights
+        )
+        coords = geo_network.coordinates
+        _, __, counts_all = correlation_vs_distance(matrix, coords, 500.0)
+        _, __, counts_near = correlation_vs_distance(
+            matrix, coords, 500.0, max_km=1000.0
+        )
+        assert counts_all.sum() == 3
+        assert counts_near.sum() == 1  # only nyc-phl is within 1000 km
+
+    def test_rejects_bad_args(self, geo_network):
+        matrix = CorrelationMatrix(
+            names=geo_network.names, values=geo_network.weights
+        )
+        with pytest.raises(DataError):
+            correlation_vs_distance(matrix, geo_network.coordinates, 0.0)
+        with pytest.raises(DataError):
+            correlation_vs_distance(matrix, {}, 500.0)

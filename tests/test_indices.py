@@ -1,0 +1,130 @@
+"""Tests for repro.data.indices (regional climate indices)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.indices import (
+    RegionBox,
+    attach_index,
+    box_index,
+    index_correlations,
+)
+from repro.data.synthetic import generate_gridded_dataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return generate_gridded_dataset(
+        lat_min=25.0, lat_max=45.0, lon_min=-120.0, lon_max=-80.0,
+        resolution_deg=5.0, n_points=600, seed=14,
+    )
+
+
+@pytest.fixture()
+def west_box():
+    return RegionBox(lat_min=25.0, lat_max=45.0, lon_min=-120.0,
+                     lon_max=-105.0, name="west")
+
+
+class TestRegionBox:
+    def test_contains(self, grid, west_box):
+        mask = west_box.contains(grid.lats, grid.lons)
+        assert mask.any() and not mask.all()
+        assert np.all(grid.lons[mask] <= -105.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(DataError):
+            RegionBox(lat_min=40.0, lat_max=30.0, lon_min=0.0, lon_max=10.0)
+
+
+class TestBoxIndex:
+    def test_shape(self, grid, west_box):
+        series = box_index(grid, west_box)
+        assert series.shape == (600,)
+
+    def test_single_node_box_equals_that_node(self, grid):
+        box = RegionBox(
+            lat_min=grid.lats[0], lat_max=grid.lats[0],
+            lon_min=grid.lons[0], lon_max=grid.lons[0],
+        )
+        series = box_index(grid, box)
+        np.testing.assert_allclose(series, grid.values[0])
+
+    def test_cosine_weighting(self):
+        """Higher-latitude rows get smaller weights."""
+        from repro.data.synthetic import StationDataset
+
+        dataset = StationDataset(
+            names=["low", "high"],
+            values=np.array([[1.0] * 4, [3.0] * 4]),
+            lats=np.array([0.0, 60.0]),
+            lons=np.array([0.0, 0.0]),
+            resolution_hours=24.0,
+        )
+        box = RegionBox(lat_min=-90, lat_max=90, lon_min=-180, lon_max=180)
+        series = box_index(dataset, box)
+        w_low, w_high = 1.0, np.cos(np.radians(60.0))
+        expected = (1.0 * w_low + 3.0 * w_high) / (w_low + w_high)
+        np.testing.assert_allclose(series, expected)
+
+    def test_empty_box_raises(self, grid):
+        box = RegionBox(lat_min=80.0, lat_max=85.0, lon_min=0.0, lon_max=5.0)
+        with pytest.raises(DataError):
+            box_index(grid, box)
+
+
+class TestAttachIndex:
+    def test_appends_node(self, grid, west_box):
+        extended = attach_index(grid, west_box)
+        assert extended.n_series == grid.n_series + 1
+        assert extended.names[-1] == "west"
+        np.testing.assert_allclose(
+            extended.values[-1], box_index(grid, west_box)
+        )
+        # Index node sits at the box center.
+        assert extended.lats[-1] == pytest.approx(35.0)
+        assert extended.lons[-1] == pytest.approx(-112.5)
+
+    def test_attached_index_networks_like_a_node(self, grid, west_box):
+        from repro.core.exact import TsubasaHistorical
+
+        extended = attach_index(grid, west_box)
+        engine = TsubasaHistorical(extended.values, 50,
+                                   names=extended.names)
+        matrix = engine.correlation_matrix((599, 600))
+        # The index correlates strongly with at least one in-box node.
+        mask = west_box.contains(grid.lats, grid.lons)
+        in_box = [n for n, m in zip(grid.names, mask) if m]
+        assert max(matrix.get("west", n) for n in in_box) > 0.5
+
+    def test_duplicate_name_rejected(self, grid):
+        box = RegionBox(25.0, 45.0, -120.0, -105.0, name=grid.names[0])
+        with pytest.raises(DataError):
+            attach_index(grid, box)
+
+
+class TestIndexCorrelations:
+    def test_full_window(self, grid, west_box):
+        corr = index_correlations(grid, west_box)
+        assert set(corr) == set(grid.names)
+        assert all(-1.0 <= v <= 1.0 for v in corr.values())
+
+    def test_in_box_nodes_more_correlated(self, grid, west_box):
+        corr = index_correlations(grid, west_box)
+        mask = west_box.contains(grid.lats, grid.lons)
+        inside = [corr[n] for n, m in zip(grid.names, mask) if m]
+        outside = [corr[n] for n, m in zip(grid.names, mask) if not m]
+        assert np.mean(inside) > np.mean(outside)
+
+    def test_query_window_matches_manual(self, grid, west_box):
+        corr = index_correlations(grid, west_box, query=(599, 200))
+        series = box_index(grid, west_box)[400:600]
+        expected = np.corrcoef(grid.values[0, 400:600], series)[0, 1]
+        assert corr[grid.names[0]] == pytest.approx(expected, abs=1e-9)
+
+    def test_out_of_range_query(self, grid, west_box):
+        with pytest.raises(DataError):
+            index_correlations(grid, west_box, query=(999, 100))

@@ -1,0 +1,180 @@
+"""Cross-module integration tests: full pipelines and failure injection."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.analysis import summarize_dynamics, summarize_topology
+from repro.baseline import BaselineExact
+from repro.core import TsubasaHistorical, TsubasaRealtime, similarity_ratio
+from repro.data import generate_station_dataset
+from repro.exceptions import StorageError
+from repro.parallel import parallel_query, parallel_sketch
+from repro.storage import SqliteSketchStore, load_sketch, save_sketch
+from repro.streams import ReplaySource, StreamIngestor
+
+
+class TestHistoricalPipeline:
+    """generate -> sketch -> disk -> parallel query -> network -> analysis."""
+
+    def test_end_to_end(self, tmp_path):
+        dataset = generate_station_dataset(n_stations=25, n_points=1000,
+                                           seed=31)
+        store_path = tmp_path / "pipeline.db"
+
+        sketch_result = parallel_sketch(
+            dataset.values, 50, n_workers=2, store_path=store_path,
+            names=dataset.names,
+        )
+        assert sketch_result.sketch.n_windows == 20
+
+        query_result = parallel_query(
+            np.arange(10, 20), n_workers=2, store_path=store_path
+        )
+        baseline = BaselineExact(dataset.values, names=dataset.names)
+        expected = baseline.correlation_matrix((999, 500)).values
+        np.testing.assert_allclose(query_result.matrix, expected, atol=1e-9)
+
+        engine = TsubasaHistorical(
+            dataset.values, 50, names=dataset.names,
+            coordinates=dataset.coordinates,
+        )
+        network = engine.network((999, 500), theta=0.5)
+        summary = summarize_topology(network)
+        assert summary.n_nodes == 25
+        assert 0 <= summary.n_edges <= 300
+
+    def test_three_engines_agree(self):
+        """TSUBASA, parallel TSUBASA, and the baseline give one answer."""
+        dataset = generate_station_dataset(n_stations=15, n_points=600,
+                                           seed=5)
+        query = (599, 300)
+        tsubasa = TsubasaHistorical(dataset.values, 50)
+        baseline = BaselineExact(dataset.values)
+        sketch = tsubasa.sketch
+        parallel = parallel_query(np.arange(6, 12), n_workers=2,
+                                  sketch=sketch)
+
+        a = tsubasa.correlation_matrix(query).values
+        b = baseline.correlation_matrix(query).values
+        np.testing.assert_allclose(a, b, atol=1e-9)
+        np.testing.assert_allclose(parallel.matrix, b, atol=1e-9)
+
+
+class TestRealtimeContinuesHistorical:
+    def test_warm_start_from_stored_sketch(self, tmp_path):
+        """Sketch to disk, reload in a 'new process', continue streaming."""
+        from repro.core.lemma2 import SlidingCorrelationState
+
+        dataset = generate_station_dataset(n_stations=12, n_points=900,
+                                           seed=41)
+        store_path = tmp_path / "warm.db"
+        historical = TsubasaHistorical(dataset.values[:, :600], 50)
+        with SqliteSketchStore(store_path) as store:
+            save_sketch(store, historical.sketch)
+
+        with SqliteSketchStore(store_path) as store:
+            reloaded = load_sketch(store)
+        state = SlidingCorrelationState(reloaded, n_windows=12)
+        for step in range(6):
+            lo = 600 + step * 50
+            state.slide_raw(dataset.values[:, lo : lo + 50])
+        ref = np.corrcoef(dataset.values[:, 300:900])
+        np.testing.assert_allclose(state.correlation_matrix(), ref, atol=1e-9)
+
+    def test_streaming_matches_repeated_historical_queries(self):
+        """Each real-time snapshot equals the equivalent historical query."""
+        dataset = generate_station_dataset(n_stations=10, n_points=800,
+                                           seed=3)
+        realtime = TsubasaRealtime(dataset.values[:, :400], 50,
+                                   names=dataset.names)
+        historical = TsubasaHistorical(dataset.values, 50,
+                                       names=dataset.names)
+        ingestor = StreamIngestor(realtime, theta=0.5)
+        snapshots = ingestor.run(ReplaySource(dataset.values, 50, start=400))
+        for snap in snapshots:
+            hist_net = historical.network((snap.timestamp - 1, 400), 0.5)
+            assert similarity_ratio(
+                snap.network.adjacency, hist_net.adjacency
+            ) == 1.0
+        dynamics = summarize_dynamics([s.network for s in snapshots])
+        assert dynamics.n_snapshots == 8
+
+
+class TestFailureInjection:
+    def test_corrupted_pair_blob_detected(self, tmp_path):
+        dataset = generate_station_dataset(n_stations=5, n_points=200, seed=1)
+        path = tmp_path / "corrupt.db"
+        engine = TsubasaHistorical(dataset.values, 50)
+        with SqliteSketchStore(path) as store:
+            save_sketch(store, engine.sketch)
+        # Truncate one pair blob behind the store's back.
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE windows SET pairs = X'00112233' WHERE idx = 1")
+        conn.commit()
+        conn.close()
+        with SqliteSketchStore(path) as store:
+            with pytest.raises(StorageError):
+                load_sketch(store)
+
+    def test_missing_metadata_detected(self, tmp_path):
+        path = tmp_path / "nometa.db"
+        dataset = generate_station_dataset(n_stations=4, n_points=100, seed=2)
+        engine = TsubasaHistorical(dataset.values, 50)
+        with SqliteSketchStore(path) as store:
+            save_sketch(store, engine.sketch)
+        conn = sqlite3.connect(path)
+        conn.execute("DELETE FROM meta")
+        conn.commit()
+        conn.close()
+        with SqliteSketchStore(path) as store:
+            with pytest.raises(StorageError):
+                load_sketch(store)
+
+    def test_partial_window_set_detected(self, tmp_path):
+        path = tmp_path / "partial.db"
+        dataset = generate_station_dataset(n_stations=4, n_points=200, seed=2)
+        engine = TsubasaHistorical(dataset.values, 50)
+        with SqliteSketchStore(path) as store:
+            save_sketch(store, engine.sketch)
+        conn = sqlite3.connect(path)
+        conn.execute("DELETE FROM windows WHERE idx = 2")
+        conn.commit()
+        conn.close()
+        with SqliteSketchStore(path) as store:
+            with pytest.raises(StorageError):
+                load_sketch(store, indices=[0, 1, 2, 3])
+            # Loading only intact windows still works.
+            partial = load_sketch(store, indices=[0, 1, 3])
+            assert partial.n_windows == 3
+
+
+class TestNumericalEdgeCases:
+    def test_huge_offsets_stay_exact(self):
+        """Catastrophic-cancellation check: values with a large common mean."""
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=(6, 400)) + 1e6
+        engine = TsubasaHistorical(data, 50)
+        result = engine.correlation_matrix((399, 400)).values
+        expected = np.corrcoef(data)
+        np.testing.assert_allclose(result, expected, atol=1e-6)
+
+    def test_tiny_variances(self):
+        rng = np.random.default_rng(9)
+        data = 1e-9 * rng.normal(size=(5, 200))
+        engine = TsubasaHistorical(data, 50)
+        result = engine.correlation_matrix((199, 200)).values
+        np.testing.assert_allclose(result, np.corrcoef(data), atol=1e-8)
+
+    def test_mixed_constant_and_varying_series(self):
+        rng = np.random.default_rng(10)
+        data = rng.normal(size=(4, 200))
+        data[1] = 42.0
+        engine = TsubasaHistorical(data, 50)
+        result = engine.correlation_matrix((199, 123)).values
+        assert np.all(np.isfinite(result))
+        assert result[1, 1] == 1.0
+        assert np.all(np.delete(result[1], 1) == 0.0)

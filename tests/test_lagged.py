@@ -1,0 +1,157 @@
+"""Tests for repro.core.lagged (lagged correlation networks extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lagged import (
+    build_lagged_sketch,
+    lagged_correlation_matrix,
+    lagged_network,
+)
+from repro.exceptions import DataError, SketchError
+
+
+def _direct_lagged_corr(data, lag_points, start, length):
+    """Ground truth: corr(x[t], y[t + lag]) over the given x-range."""
+    n = data.shape[0]
+    out = np.empty((n, n))
+    x_slice = slice(start, start + length)
+    y_slice = slice(start + lag_points, start + lag_points + length)
+    for a in range(n):
+        for b in range(n):
+            out[a, b] = np.corrcoef(data[a, x_slice], data[b, y_slice])[0, 1]
+    return out
+
+
+class TestBuildLaggedSketch:
+    def test_shapes(self, rng):
+        data = rng.normal(size=(5, 200))
+        sketch = build_lagged_sketch(data, window_size=25, max_lag=3)
+        assert sketch.n_windows == 8
+        assert sketch.max_lag == 3
+        assert len(sketch.cross_covs) == 4
+        assert sketch.cross_covs[0].shape == (8, 5, 5)
+        assert sketch.cross_covs[3].shape == (5, 5, 5)
+
+    def test_lag_zero_matches_standard_sketch(self, rng):
+        from repro.core.sketch import build_sketch
+
+        data = rng.normal(size=(4, 120))
+        lagged = build_lagged_sketch(data, window_size=30, max_lag=2)
+        standard = build_sketch(data, window_size=30)
+        np.testing.assert_allclose(lagged.cross_covs[0], standard.covs,
+                                   atol=1e-12)
+        np.testing.assert_allclose(lagged.means, standard.means)
+
+    def test_trailing_remainder_dropped(self, rng):
+        data = rng.normal(size=(3, 110))
+        sketch = build_lagged_sketch(data, window_size=25, max_lag=1)
+        assert sketch.n_windows == 4  # 110 // 25
+
+    def test_rejects_bad_args(self, rng):
+        data = rng.normal(size=(3, 100))
+        with pytest.raises(DataError):
+            build_lagged_sketch(data, window_size=25, max_lag=-1)
+        with pytest.raises(DataError):
+            build_lagged_sketch(data, window_size=25, max_lag=4)
+        with pytest.raises(DataError):
+            build_lagged_sketch(rng.normal(size=100), 25, 1)
+        with pytest.raises(DataError):
+            build_lagged_sketch(data[:, :10], window_size=25, max_lag=0)
+
+
+class TestLaggedCorrelation:
+    def test_lag_zero_is_standard_correlation(self, rng):
+        data = rng.normal(size=(4, 200))
+        sketch = build_lagged_sketch(data, window_size=50, max_lag=0)
+        matrix = lagged_correlation_matrix(sketch, lag=0)
+        np.testing.assert_allclose(matrix.values, np.corrcoef(data),
+                                   atol=1e-10)
+
+    @pytest.mark.parametrize("lag", [1, 2, 3])
+    def test_lagged_exactness(self, rng, lag):
+        window = 25
+        data = rng.normal(size=(4, 250))
+        sketch = build_lagged_sketch(data, window_size=window, max_lag=3)
+        matrix = lagged_correlation_matrix(sketch, lag=lag)
+        n_windows = sketch.n_windows - lag
+        expected = _direct_lagged_corr(
+            data, lag * window, 0, n_windows * window
+        )
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-9)
+
+    def test_window_subrange(self, rng):
+        window = 20
+        data = rng.normal(size=(3, 240))
+        sketch = build_lagged_sketch(data, window_size=window, max_lag=2)
+        matrix = lagged_correlation_matrix(
+            sketch, lag=2, first_window=3, n_windows=5
+        )
+        expected = _direct_lagged_corr(data, 40, 60, 100)
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-9)
+
+    def test_asymmetric_for_positive_lag(self, rng):
+        data = rng.normal(size=(3, 200))
+        # Make series 1 a delayed copy of series 0.
+        data[1, 50:] = data[0, :-50] + 0.01 * rng.normal(size=150)
+        sketch = build_lagged_sketch(data, window_size=50, max_lag=1)
+        matrix = lagged_correlation_matrix(sketch, lag=1)
+        # x=series0 leading y=series1 by 50 points: near-perfect correlation.
+        assert matrix.get("s0000", "s0001") > 0.95
+        # The opposite direction should be much weaker.
+        assert matrix.get("s0001", "s0000") < 0.5
+
+    def test_autocorrelation_on_diagonal(self, rng):
+        """Diagonal of a lag>0 matrix is each series' lagged autocorrelation."""
+        from repro.data.synthetic import ar1_series
+
+        data = ar1_series(rng, n=3, length=400, phi=0.9, scale=1.0)
+        sketch = build_lagged_sketch(data, window_size=10, max_lag=1)
+        matrix = lagged_correlation_matrix(sketch, lag=1)
+        length = (sketch.n_windows - 1) * 10
+        for i in range(3):
+            expected = np.corrcoef(data[i, :length], data[i, 10 : 10 + length])[0, 1]
+            assert matrix.values[i, i] == pytest.approx(expected, abs=1e-9)
+
+    def test_rejects_bad_ranges(self, rng):
+        sketch = build_lagged_sketch(rng.normal(size=(3, 100)), 25, 1)
+        with pytest.raises(SketchError):
+            lagged_correlation_matrix(sketch, lag=2)
+        with pytest.raises(SketchError):
+            lagged_correlation_matrix(sketch, lag=1, first_window=3,
+                                      n_windows=2)
+
+    @given(seed=st.integers(0, 2**31 - 1), lag=st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_property_exact_for_random_data(self, seed, lag):
+        rng = np.random.default_rng(seed)
+        window = 10
+        data = rng.normal(size=(3, 80))
+        sketch = build_lagged_sketch(data, window_size=window, max_lag=2)
+        matrix = lagged_correlation_matrix(sketch, lag=lag)
+        n_windows = sketch.n_windows - lag
+        expected = _direct_lagged_corr(data, lag * window, 0,
+                                       n_windows * window)
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-8)
+
+
+class TestLaggedNetwork:
+    def test_edge_uses_stronger_direction(self, rng):
+        data = rng.normal(size=(3, 200))
+        data[1, 50:] = data[0, :-50] + 0.01 * rng.normal(size=150)
+        sketch = build_lagged_sketch(data, window_size=50, max_lag=1)
+        network = lagged_network(sketch, lag=1, theta=0.9)
+        assert network.has_edge("s0000", "s0001")
+
+    def test_lag_zero_network_matches_engine(self, rng):
+        from repro.core.exact import TsubasaHistorical
+
+        data = rng.normal(size=(5, 200))
+        sketch = build_lagged_sketch(data, window_size=50, max_lag=0)
+        lagged = lagged_network(sketch, lag=0, theta=0.3)
+        direct = TsubasaHistorical(data, 50).network((199, 200), 0.3)
+        assert lagged.edge_set() == direct.edge_set()

@@ -1,0 +1,211 @@
+"""Tests for Lemma 1 — exact correlation from basic-window statistics.
+
+The central invariant of the paper: combining per-window sketches yields the
+*exact* Pearson correlation, for equal and variable window sizes alike.
+Verified against numpy.corrcoef, including with hypothesis-generated data
+and window partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lemma1 import (
+    combine_matrix,
+    combine_pair,
+    combine_pair_arrays,
+    pooled_mean,
+    pooled_variance,
+)
+from repro.core.stats import pair_window_stats, window_stats
+from repro.exceptions import SketchError
+
+
+def _split_stats(x, y, boundaries):
+    xs, ys, ps = [], [], []
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        xs.append(window_stats(x[lo:hi]))
+        ys.append(window_stats(y[lo:hi]))
+        ps.append(pair_window_stats(x[lo:hi], y[lo:hi]))
+    return xs, ys, ps
+
+
+def _random_partition(rng, length, max_windows=8):
+    n_cuts = int(rng.integers(0, min(max_windows, length) - 1))
+    cuts = sorted(rng.choice(np.arange(1, length), size=n_cuts, replace=False))
+    return np.array([0, *cuts, length], dtype=np.int64)
+
+
+class TestPooledHelpers:
+    def test_pooled_mean_weighted(self):
+        means = np.array([1.0, 3.0])
+        sizes = np.array([1.0, 3.0])
+        assert pooled_mean(means, sizes) == pytest.approx(2.5)
+
+    def test_pooled_variance_matches_numpy(self, rng):
+        x = rng.normal(size=90)
+        bounds = np.array([0, 20, 50, 90])
+        means = np.array([x[lo:hi].mean() for lo, hi in zip(bounds[:-1], bounds[1:])])
+        stds = np.array([x[lo:hi].std() for lo, hi in zip(bounds[:-1], bounds[1:])])
+        sizes = np.diff(bounds)
+        assert pooled_variance(means, stds, sizes) == pytest.approx(x.var())
+
+
+class TestCombinePair:
+    def test_equal_windows_match_numpy(self, rng):
+        x = rng.normal(size=100)
+        y = 0.4 * x + rng.normal(size=100)
+        bounds = np.arange(0, 101, 20)
+        xs, ys, ps = _split_stats(x, y, bounds)
+        expected = np.corrcoef(x, y)[0, 1]
+        assert combine_pair(xs, ys, ps) == pytest.approx(expected)
+
+    def test_variable_windows_match_numpy(self, rng):
+        """The key Lemma 1 generalization: arbitrary window sizes."""
+        x = rng.normal(size=100)
+        y = rng.normal(size=100)
+        bounds = np.array([0, 7, 30, 31, 77, 100])
+        xs, ys, ps = _split_stats(x, y, bounds)
+        expected = np.corrcoef(x, y)[0, 1]
+        assert combine_pair(xs, ys, ps) == pytest.approx(expected)
+
+    def test_single_window_degenerates_to_direct(self, rng):
+        x = rng.normal(size=40)
+        y = rng.normal(size=40)
+        xs, ys, ps = _split_stats(x, y, np.array([0, 40]))
+        assert combine_pair(xs, ys, ps) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_constant_series_yields_zero(self, rng):
+        x = np.full(60, 2.0)
+        y = rng.normal(size=60)
+        xs, ys, ps = _split_stats(x, y, np.array([0, 30, 60]))
+        assert combine_pair(xs, ys, ps) == 0.0
+
+    def test_result_clipped_to_valid_range(self, rng):
+        x = rng.normal(size=50)
+        xs, ys, ps = _split_stats(x, x, np.array([0, 25, 50]))
+        assert combine_pair(xs, ys, ps) == pytest.approx(1.0)
+        assert combine_pair(xs, ys, ps) <= 1.0
+
+    def test_rejects_mismatched_lengths(self, rng):
+        x = rng.normal(size=40)
+        xs, ys, ps = _split_stats(x, x, np.array([0, 20, 40]))
+        with pytest.raises(SketchError):
+            combine_pair(xs[:1], ys, ps)
+
+    def test_rejects_empty(self):
+        with pytest.raises(SketchError):
+            combine_pair([], [], [])
+
+    def test_rejects_size_mismatch_across_series(self, rng):
+        x = rng.normal(size=40)
+        xs, _, ps = _split_stats(x, x, np.array([0, 20, 40]))
+        ys_bad, _, _ = _split_stats(
+            rng.normal(size=30), rng.normal(size=30), np.array([0, 15, 30])
+        )
+        with pytest.raises(SketchError):
+            combine_pair(xs, ys_bad, ps)
+
+    @given(seed=st.integers(0, 2**31 - 1), length=st.integers(8, 200))
+    @settings(max_examples=100, deadline=None)
+    def test_property_random_partitions_exact(self, seed, length):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=length)
+        y = rng.normal(scale=2.0, size=length) + 0.3 * x
+        bounds = _random_partition(rng, length)
+        xs, ys, ps = _split_stats(x, y, bounds)
+        expected = np.corrcoef(x, y)[0, 1]
+        assert combine_pair(xs, ys, ps) == pytest.approx(expected, abs=1e-9)
+
+
+class TestCombinePairArrays:
+    def test_agrees_with_dataclass_form(self, rng):
+        x = rng.normal(size=80)
+        y = rng.normal(size=80)
+        bounds = np.array([0, 25, 50, 80])
+        xs, ys, ps = _split_stats(x, y, bounds)
+        direct = combine_pair(xs, ys, ps)
+        arrays_form = combine_pair_arrays(
+            np.array([s.mean for s in xs]),
+            np.array([s.std for s in xs]),
+            np.array([s.mean for s in ys]),
+            np.array([s.std for s in ys]),
+            np.array([p.cov for p in ps]),
+            np.diff(bounds),
+        )
+        assert arrays_form == pytest.approx(direct)
+
+
+class TestCombineMatrix:
+    def _sketch_arrays(self, data, bounds):
+        from repro.core.stats import (
+            pairwise_window_covariances,
+            series_window_stats,
+        )
+
+        means, stds, sizes = series_window_stats(data, bounds)
+        covs = pairwise_window_covariances(data, bounds)
+        return means, stds, covs, sizes
+
+    def test_matches_numpy_corrcoef(self, rng):
+        data = rng.normal(size=(8, 120))
+        bounds = np.arange(0, 121, 30)
+        corr = combine_matrix(*self._sketch_arrays(data, bounds))
+        np.testing.assert_allclose(corr, np.corrcoef(data), atol=1e-10)
+
+    def test_variable_window_sizes(self, rng):
+        data = rng.normal(size=(5, 100))
+        bounds = np.array([0, 13, 50, 61, 100])
+        corr = combine_matrix(*self._sketch_arrays(data, bounds))
+        np.testing.assert_allclose(corr, np.corrcoef(data), atol=1e-10)
+
+    def test_unit_diagonal_and_symmetry(self, rng):
+        data = rng.normal(size=(6, 90))
+        corr = combine_matrix(*self._sketch_arrays(data, np.array([0, 45, 90])))
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+        np.testing.assert_allclose(corr, corr.T)
+
+    def test_constant_series_row_is_zero(self, rng):
+        data = rng.normal(size=(4, 60))
+        data[2] = -1.0
+        corr = combine_matrix(*self._sketch_arrays(data, np.array([0, 30, 60])))
+        off_diag = np.delete(corr[2], 2)
+        np.testing.assert_array_equal(off_diag, 0.0)
+        assert corr[2, 2] == 1.0
+
+    def test_agrees_with_pairwise_combine(self, rng):
+        data = rng.normal(size=(4, 80))
+        bounds = np.array([0, 20, 40, 80])
+        corr = combine_matrix(*self._sketch_arrays(data, bounds))
+        xs, ys, ps = [], [], []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            xs.append(window_stats(data[0, lo:hi]))
+            ys.append(window_stats(data[3, lo:hi]))
+            ps.append(pair_window_stats(data[0, lo:hi], data[3, lo:hi]))
+        assert corr[0, 3] == pytest.approx(combine_pair(xs, ys, ps))
+
+    def test_shape_validation(self, rng):
+        data = rng.normal(size=(3, 40))
+        means, stds, covs, sizes = self._sketch_arrays(data, np.array([0, 20, 40]))
+        with pytest.raises(SketchError):
+            combine_matrix(means, stds[:, :1], covs, sizes)
+        with pytest.raises(SketchError):
+            combine_matrix(means, stds, covs[:1], sizes)
+        with pytest.raises(SketchError):
+            combine_matrix(means, stds, covs, sizes[:1])
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_series=st.integers(2, 10),
+        length=st.integers(6, 120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matrix_exactness(self, seed, n_series, length):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n_series, length))
+        bounds = _random_partition(rng, length)
+        corr = combine_matrix(*self._sketch_arrays(data, bounds))
+        np.testing.assert_allclose(corr, np.corrcoef(data), atol=1e-8)

@@ -1,0 +1,162 @@
+"""Tests for Lemma 2 — incremental sliding-window correlation updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lemma2 import (
+    PairWindowSnapshot,
+    SlidingCorrelationState,
+    lemma2_update_pair,
+)
+from repro.core.sketch import build_sketch
+from repro.exceptions import SketchError, StreamError
+
+
+def _pair_snapshot(x_block, y_block):
+    return PairWindowSnapshot(
+        size=x_block.size,
+        mean_x=float(x_block.mean()),
+        mean_y=float(y_block.mean()),
+        var_x=float(x_block.var()),
+        var_y=float(y_block.var()),
+        cov=float(np.mean((x_block - x_block.mean()) * (y_block - y_block.mean()))),
+    )
+
+
+class TestLemma2UpdatePair:
+    def _run_slides(self, x, y, window, block, n_slides):
+        """Seed from [0, window) then slide n_slides times; check each step."""
+        cur_x, cur_y = x[:window], y[:window]
+        corr = float(np.corrcoef(cur_x, cur_y)[0, 1])
+        std_x, std_y = float(cur_x.std()), float(cur_y.std())
+        grand_x, grand_y = float(cur_x.mean()), float(cur_y.mean())
+        total = float(window)
+        for step in range(n_slides):
+            lo = step * block
+            new_lo = window + step * block
+            leaving = _pair_snapshot(x[lo : lo + block], y[lo : lo + block])
+            entering = _pair_snapshot(
+                x[new_lo : new_lo + block], y[new_lo : new_lo + block]
+            )
+            result = lemma2_update_pair(
+                corr, std_x, std_y, grand_x, grand_y, total, leaving, entering
+            )
+            corr, std_x, std_y = result.corr, result.std_x, result.std_y
+            grand_x, grand_y, total = result.grand_x, result.grand_y, result.total
+
+            ref_x = x[lo + block : new_lo + block]
+            ref_y = y[lo + block : new_lo + block]
+            assert corr == pytest.approx(np.corrcoef(ref_x, ref_y)[0, 1], abs=1e-9)
+            assert std_x == pytest.approx(ref_x.std(), abs=1e-9)
+            assert grand_x == pytest.approx(ref_x.mean(), abs=1e-9)
+
+    def test_single_slide_matches_recompute(self, rng):
+        x = rng.normal(size=200)
+        y = 0.5 * x + rng.normal(size=200)
+        self._run_slides(x, y, window=100, block=20, n_slides=1)
+
+    def test_many_slides_stay_exact(self, rng):
+        x = rng.normal(size=600)
+        y = rng.normal(size=600) + 0.2 * x
+        self._run_slides(x, y, window=200, block=25, n_slides=16)
+
+    def test_nonstationary_series(self, rng):
+        """Means/stds drift across the stream; Lemma 2 must still be exact."""
+        t = np.arange(400, dtype=float)
+        x = np.sin(t / 15.0) * (1 + t / 200.0) + rng.normal(size=400) * 0.3
+        y = np.cos(t / 11.0) + t / 100.0 + rng.normal(size=400) * 0.3
+        self._run_slides(x, y, window=160, block=40, n_slides=6)
+
+    @given(seed=st.integers(0, 2**31 - 1), block=st.integers(5, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_property_slide_equals_recompute(self, seed, block):
+        rng = np.random.default_rng(seed)
+        window = 4 * block
+        total = window + 3 * block
+        x = rng.normal(size=total)
+        y = rng.normal(size=total)
+        self._run_slides(x, y, window=window, block=block, n_slides=3)
+
+
+class TestSlidingCorrelationState:
+    def test_initial_matrix_matches_numpy(self, rng):
+        data = rng.normal(size=(6, 300))
+        sketch = build_sketch(data, window_size=50)
+        state = SlidingCorrelationState(sketch, n_windows=4)
+        ref = np.corrcoef(data[:, 100:300])
+        np.testing.assert_allclose(state.correlation_matrix(), ref, atol=1e-10)
+
+    def test_slide_raw_matches_recompute(self, rng):
+        data = rng.normal(size=(5, 400))
+        sketch = build_sketch(data[:, :300], window_size=50)
+        state = SlidingCorrelationState(sketch, n_windows=6)
+        for step in range(2):
+            lo = 300 + step * 50
+            state.slide_raw(data[:, lo : lo + 50])
+            ref = np.corrcoef(data[:, lo + 50 - 300 : lo + 50])
+            np.testing.assert_allclose(state.correlation_matrix(), ref, atol=1e-9)
+
+    def test_long_run_no_drift(self, rng):
+        """Hundreds of slides (past the rebuild interval) remain exact."""
+        n, window_size = 4, 10
+        data = rng.normal(size=(n, 600))
+        sketch = build_sketch(data[:, :100], window_size=window_size)
+        state = SlidingCorrelationState(sketch, n_windows=10, rebuild_every=64)
+        for step in range((600 - 100) // window_size):
+            lo = 100 + step * window_size
+            state.slide_raw(data[:, lo : lo + window_size])
+        ref = np.corrcoef(data[:, 500:600])
+        np.testing.assert_allclose(state.correlation_matrix(), ref, atol=1e-8)
+
+    def test_total_points_constant_under_equal_blocks(self, rng):
+        data = rng.normal(size=(3, 200))
+        sketch = build_sketch(data, window_size=40)
+        state = SlidingCorrelationState(sketch, n_windows=5)
+        assert state.total_points == 200
+        state.slide_raw(rng.normal(size=(3, 40)))
+        assert state.total_points == 200
+        assert state.n_windows == 5
+
+    def test_variable_size_entering_block(self, rng):
+        data = rng.normal(size=(3, 200))
+        sketch = build_sketch(data, window_size=40)
+        state = SlidingCorrelationState(sketch, n_windows=5)
+        block = rng.normal(size=(3, 25))
+        state.slide_raw(block)
+        full = np.concatenate([data[:, 40:], block], axis=1)
+        np.testing.assert_allclose(
+            state.correlation_matrix(), np.corrcoef(full), atol=1e-9
+        )
+        assert state.total_points == 185
+
+    def test_rejects_bad_shapes(self, rng):
+        data = rng.normal(size=(3, 100))
+        sketch = build_sketch(data, window_size=20)
+        state = SlidingCorrelationState(sketch, n_windows=5)
+        with pytest.raises(StreamError):
+            state.slide_raw(rng.normal(size=(4, 20)))
+        with pytest.raises(StreamError):
+            state.slide(np.zeros(2), np.zeros(3), np.zeros((3, 3)), 10)
+        with pytest.raises(StreamError):
+            state.slide(np.zeros(3), np.zeros(3), np.zeros((2, 2)), 10)
+        with pytest.raises(StreamError):
+            state.slide(np.zeros(3), np.zeros(3), np.zeros((3, 3)), 0)
+
+    def test_rejects_bad_window_counts(self, rng):
+        sketch = build_sketch(rng.normal(size=(3, 100)), window_size=20)
+        with pytest.raises(StreamError):
+            SlidingCorrelationState(sketch, n_windows=0)
+        with pytest.raises(SketchError):
+            SlidingCorrelationState(sketch, n_windows=6)
+        with pytest.raises(StreamError):
+            SlidingCorrelationState(sketch, n_windows=2, rebuild_every=0)
+
+    def test_names_preserved(self, rng):
+        data = rng.normal(size=(3, 100))
+        sketch = build_sketch(data, window_size=20, names=["a", "b", "c"])
+        state = SlidingCorrelationState(sketch, n_windows=5)
+        assert state.names == ["a", "b", "c"]

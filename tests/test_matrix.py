@@ -1,0 +1,143 @@
+"""Tests for repro.core.matrix (matrices, thresholds, similarity ratio)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.matrix import (
+    CorrelationMatrix,
+    count_edges,
+    similarity_ratio,
+    threshold_adjacency,
+)
+from repro.exceptions import DataError
+
+
+def _labeled(values):
+    names = [f"n{i}" for i in range(values.shape[0])]
+    return CorrelationMatrix(names=names, values=values)
+
+
+class TestCorrelationMatrix:
+    def test_get_by_name(self):
+        values = np.array([[1.0, 0.5], [0.5, 1.0]])
+        matrix = CorrelationMatrix(names=["a", "b"], values=values)
+        assert matrix.get("a", "b") == 0.5
+        assert matrix.n_series == 2
+
+    def test_threshold_excludes_diagonal(self):
+        matrix = _labeled(np.array([[1.0, 0.9], [0.9, 1.0]]))
+        adj = matrix.threshold(0.5)
+        assert not adj[0, 0]
+        assert adj[0, 1]
+
+    def test_threshold_strict_inequality(self):
+        matrix = _labeled(np.array([[1.0, 0.5], [0.5, 1.0]]))
+        assert matrix.n_edges(0.5) == 0
+        assert matrix.n_edges(0.4999) == 1
+
+    def test_edges_sorted_pairs(self):
+        values = np.array(
+            [[1.0, 0.9, 0.1], [0.9, 1.0, 0.8], [0.1, 0.8, 1.0]]
+        )
+        matrix = _labeled(values)
+        edges = matrix.edges(0.5)
+        assert ("n0", "n1", 0.9) in edges
+        assert ("n1", "n2", 0.8) in edges
+        assert len(edges) == 2
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            CorrelationMatrix(names=["a"], values=np.zeros((2, 2)))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(DataError):
+            CorrelationMatrix(names=["a", "a"], values=np.eye(2))
+
+
+class TestThresholdAdjacency:
+    def test_basic(self):
+        values = np.array([[1.0, 0.6], [0.6, 1.0]])
+        adj = threshold_adjacency(values, 0.5)
+        assert adj[0, 1] and adj[1, 0]
+        assert not adj[0, 0]
+
+    def test_negative_correlations_not_edges(self):
+        values = np.array([[1.0, -0.9], [-0.9, 1.0]])
+        assert count_edges(threshold_adjacency(values, 0.5)) == 0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(DataError):
+            threshold_adjacency(np.zeros((2, 3)), 0.5)
+
+
+class TestCountEdges:
+    def test_counts_upper_triangle_only(self):
+        adj = np.array(
+            [[False, True, True], [True, False, False], [True, False, False]]
+        )
+        assert count_edges(adj) == 2
+
+    def test_empty(self):
+        assert count_edges(np.zeros((4, 4), dtype=bool)) == 0
+
+    def test_complete(self):
+        adj = np.ones((5, 5), dtype=bool)
+        np.fill_diagonal(adj, False)
+        assert count_edges(adj) == 10
+
+
+class TestSimilarityRatio:
+    def test_paper_example(self):
+        """The worked 2/3 example from §4.1."""
+        a = np.array([[1, 1, 0], [1, 1, 1], [0, 1, 1]], dtype=bool)
+        b = np.array([[1, 0, 0], [0, 1, 1], [0, 1, 1]], dtype=bool)
+        assert similarity_ratio(a, b) == pytest.approx(2.0 / 3.0)
+
+    def test_identical_is_one(self, rng):
+        adj = rng.random((6, 6)) > 0.5
+        adj = adj | adj.T
+        assert similarity_ratio(adj, adj) == 1.0
+
+    def test_complement_is_zero(self):
+        a = np.zeros((4, 4), dtype=bool)
+        b = np.ones((4, 4), dtype=bool)
+        assert similarity_ratio(a, b) == 0.0
+
+    def test_single_node(self):
+        assert similarity_ratio(np.zeros((1, 1)), np.ones((1, 1))) == 1.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            similarity_ratio(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    @given(
+        data=arrays(np.bool_, (5, 5)),
+        other=arrays(np.bool_, (5, 5)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_symmetric_and_bounded(self, data, other):
+        ratio = similarity_ratio(data, other)
+        assert 0.0 <= ratio <= 1.0
+        assert ratio == similarity_ratio(other, data)
+
+    @given(data=arrays(np.bool_, (6, 6)))
+    @settings(max_examples=50, deadline=None)
+    def test_property_self_similarity_is_one(self, data):
+        assert similarity_ratio(data, data) == 1.0
+
+    @given(n_flips=st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_property_each_flip_costs_fixed_amount(self, n_flips, rng):
+        n = 8
+        a = np.zeros((n, n), dtype=bool)
+        b = a.copy()
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        for i, j in pairs[:n_flips]:
+            b[i, j] = b[j, i] = True
+        expected = 1.0 - 2.0 * n_flips / (n * (n - 1))
+        assert similarity_ratio(a, b) == pytest.approx(expected)

@@ -1,0 +1,78 @@
+"""Tests for repro.core.network (ClimateNetwork objects)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def triangle_network():
+    """3-node network: edges (a, b) and (b, c)."""
+    values = np.array(
+        [[1.0, 0.9, 0.1], [0.9, 1.0, 0.8], [0.1, 0.8, 1.0]]
+    )
+    matrix = CorrelationMatrix(names=["a", "b", "c"], values=values)
+    return ClimateNetwork.from_matrix(
+        matrix, theta=0.5, coordinates={"a": (40.0, -100.0), "b": (41.0, -99.0)}
+    )
+
+
+class TestClimateNetwork:
+    def test_edge_count_and_membership(self, triangle_network):
+        net = triangle_network
+        assert net.n_nodes == 3
+        assert net.n_edges == 2
+        assert net.has_edge("a", "b")
+        assert net.has_edge("b", "c")
+        assert not net.has_edge("a", "c")
+
+    def test_degrees(self, triangle_network):
+        net = triangle_network
+        assert net.degree("b") == 2
+        np.testing.assert_array_equal(net.degrees(), [1, 2, 1])
+
+    def test_edge_weight(self, triangle_network):
+        assert triangle_network.edge_weight("a", "b") == pytest.approx(0.9)
+
+    def test_edge_set(self, triangle_network):
+        assert triangle_network.edge_set() == {("a", "b"), ("b", "c")}
+
+    def test_threshold_recorded(self, triangle_network):
+        assert triangle_network.threshold == 0.5
+
+    def test_to_networkx(self, triangle_network):
+        graph = triangle_network.to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.number_of_edges() == 2
+        assert graph.edges[("a", "b")]["weight"] == pytest.approx(0.9)
+        assert graph.nodes["a"]["lat"] == 40.0
+        # Node without coordinates has no lat attribute.
+        assert "lat" not in graph.nodes["c"]
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(DataError):
+            ClimateNetwork(
+                names=["a", "b"],
+                adjacency=np.zeros((3, 3), dtype=bool),
+                weights=np.zeros((2, 2)),
+                threshold=0.5,
+            )
+        with pytest.raises(DataError):
+            ClimateNetwork(
+                names=["a", "b"],
+                adjacency=np.zeros((2, 2), dtype=bool),
+                weights=np.zeros((3, 3)),
+                threshold=0.5,
+            )
+
+    def test_empty_network(self):
+        matrix = CorrelationMatrix(names=["a", "b"], values=np.eye(2))
+        net = ClimateNetwork.from_matrix(matrix, theta=0.9)
+        assert net.n_edges == 0
+        assert net.edge_set() == set()
+        assert net.to_networkx().number_of_edges() == 0

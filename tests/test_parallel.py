@@ -1,0 +1,161 @@
+"""Tests for repro.parallel (partitioning and the §3.4 executor)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import build_sketch
+from repro.exceptions import DataError
+from repro.parallel.executor import (
+    parallel_query,
+    parallel_sketch,
+    query_partition,
+    sketch_partition,
+)
+from repro.parallel.partitioning import (
+    partition_pair_counts,
+    partition_rows,
+    row_pair_counts,
+)
+from repro.storage.sqlite_store import SqliteSketchStore
+
+
+class TestPartitioning:
+    def test_row_pair_counts(self):
+        np.testing.assert_array_equal(row_pair_counts(4), [3, 2, 1, 0])
+
+    def test_partitions_cover_all_rows(self):
+        partitions = partition_rows(17, 4)
+        rows = np.concatenate(partitions)
+        assert sorted(rows.tolist()) == list(range(17))
+
+    def test_total_pairs_preserved(self):
+        partitions = partition_rows(23, 5)
+        counts = partition_pair_counts(partitions, 23)
+        assert sum(counts) == 23 * 22 // 2
+
+    def test_load_balance(self):
+        """Max/min partition pair counts within one row's weight."""
+        n = 100
+        partitions = partition_rows(n, 8)
+        counts = partition_pair_counts(partitions, n)
+        assert max(counts) - min(counts) <= n
+
+    def test_more_partitions_than_rows(self):
+        partitions = partition_rows(3, 10)
+        assert len(partitions) <= 3
+        rows = np.concatenate(partitions)
+        assert sorted(rows.tolist()) == [0, 1, 2]
+
+    def test_single_partition(self):
+        partitions = partition_rows(6, 1)
+        assert len(partitions) == 1
+        np.testing.assert_array_equal(partitions[0], np.arange(6))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DataError):
+            partition_rows(5, 0)
+        with pytest.raises(DataError):
+            row_pair_counts(0)
+
+
+class TestSketchPartition:
+    def test_partition_rows_match_full_sketch(self, small_matrix):
+        full = build_sketch(small_matrix, window_size=50)
+        bounds = np.arange(0, 601, 50)
+        rows = np.array([0, 5, 19])
+        got_rows, means, stds, blocks = sketch_partition(
+            rows, small_matrix, bounds
+        )
+        np.testing.assert_array_equal(got_rows, rows)
+        np.testing.assert_allclose(means, full.means[rows])
+        np.testing.assert_allclose(stds, full.stds[rows])
+        for j in range(full.n_windows):
+            np.testing.assert_allclose(blocks[j], full.covs[j][rows], atol=1e-12)
+
+
+class TestParallelSketch:
+    def test_serial_equals_build_sketch(self, small_matrix):
+        result = parallel_sketch(small_matrix, 50, n_workers=1)
+        full = build_sketch(small_matrix, window_size=50)
+        np.testing.assert_allclose(result.sketch.means, full.means)
+        np.testing.assert_allclose(result.sketch.covs, full.covs, atol=1e-12)
+        assert result.n_partitions == 1
+        assert result.write_seconds == 0.0
+
+    def test_parallel_equals_serial(self, small_matrix):
+        serial = parallel_sketch(small_matrix, 50, n_workers=1)
+        parallel = parallel_sketch(small_matrix, 50, n_workers=3)
+        np.testing.assert_allclose(
+            parallel.sketch.covs, serial.sketch.covs, atol=1e-12
+        )
+        assert parallel.n_partitions == 3
+
+    def test_writes_to_store(self, small_matrix, tmp_path):
+        path = tmp_path / "par.db"
+        result = parallel_sketch(small_matrix, 50, n_workers=2, store_path=path)
+        assert result.write_seconds > 0.0
+        with SqliteSketchStore(path) as store:
+            assert store.window_count() == 12
+            assert len(store.read_metadata().names) == 20
+
+    def test_rejects_conflicting_store_args(self, small_matrix, tmp_path):
+        from repro.storage.memory import MemorySketchStore
+
+        with pytest.raises(DataError):
+            parallel_sketch(
+                small_matrix,
+                50,
+                n_workers=1,
+                store=MemorySketchStore(),
+                store_path=tmp_path / "x.db",
+            )
+
+    def test_rejects_bad_workers(self, small_matrix):
+        with pytest.raises(DataError):
+            parallel_sketch(small_matrix, 50, n_workers=0)
+
+
+class TestParallelQuery:
+    def test_in_memory_matches_numpy(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        result = parallel_query(np.arange(12), n_workers=3, sketch=sketch)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+
+    def test_window_subset(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        result = parallel_query(np.arange(6, 12), n_workers=2, sketch=sketch)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix[:, 300:]), atol=1e-10
+        )
+
+    def test_disk_based_matches(self, small_matrix, tmp_path):
+        path = tmp_path / "disk.db"
+        parallel_sketch(small_matrix, 50, n_workers=1, store_path=path)
+        result = parallel_query(np.arange(12), n_workers=2, store_path=path)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+        assert result.read_seconds > 0.0
+
+    def test_query_partition_serial(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        rows = np.array([1, 4])
+        got_rows, block, read_time = query_partition(
+            rows, np.arange(12), sketch, None
+        )
+        ref = np.corrcoef(small_matrix)
+        np.testing.assert_allclose(block, ref[rows], atol=1e-10)
+        assert read_time == 0.0
+
+    def test_rejects_no_source(self):
+        with pytest.raises(DataError):
+            parallel_query(np.arange(3), n_workers=1)
+
+    def test_timing_fields_populated(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        result = parallel_query(np.arange(12), n_workers=2, sketch=sketch)
+        assert result.total_seconds >= result.calc_seconds >= 0.0

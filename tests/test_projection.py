@@ -1,0 +1,151 @@
+"""Tests for repro.approx.projection (random-projection sketches) and the
+Algorithm 4 auto-dispatch added to the approximate engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.approx.combine import window_statistics_spread
+from repro.approx.network import approximate_correlation_matrix
+from repro.approx.projection import (
+    build_projection_sketch,
+    projection_correlation,
+    projection_matrix,
+)
+from repro.approx.sketch import build_approx_sketch
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.exceptions import DataError, SketchError
+
+
+@pytest.fixture(scope="module")
+def proj_data():
+    rng = np.random.default_rng(55)
+    base = rng.normal(size=(3, 400))
+    mix = rng.normal(size=(12, 3))
+    return mix @ base + 0.5 * rng.normal(size=(12, 400))
+
+
+class TestProjectionMatrix:
+    def test_shape_and_scaling(self):
+        p = projection_matrix(32, 8, seed=1)
+        assert p.shape == (32, 8)
+        np.testing.assert_allclose(np.abs(p), 1.0 / np.sqrt(8))
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            projection_matrix(16, 4, seed=7), projection_matrix(16, 4, seed=7)
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DataError):
+            projection_matrix(0, 4, 0)
+        with pytest.raises(DataError):
+            projection_matrix(4, 0, 0)
+
+    def test_jl_unbiasedness(self, rng):
+        """E[||Px - Py||^2] = ||x - y||^2 for the scaled ±1 scheme."""
+        x = rng.normal(size=64)
+        y = rng.normal(size=64)
+        true = np.sum((x - y) ** 2)
+        estimates = []
+        for seed in range(200):
+            p = projection_matrix(64, 16, seed)
+            estimates.append(np.sum(((x - y) @ p) ** 2))
+        assert np.mean(estimates) == pytest.approx(true, rel=0.1)
+
+
+class TestProjectionSketch:
+    def test_shapes(self, proj_data):
+        sketch = build_projection_sketch(proj_data, 50, n_components=16)
+        assert sketch.n_series == 12
+        assert sketch.n_windows == 8
+        assert sketch.dists_sq.shape == (8, 12, 12)
+
+    def test_distances_estimate_true_distances(self, proj_data):
+        """Projected window distances track true normalized distances."""
+        from repro.approx.dft import normalize_windows
+
+        sketch = build_projection_sketch(proj_data, 50, n_components=40,
+                                         seed=3)
+        block = proj_data[:, :50]
+        normalized = normalize_windows(block)
+        diff = normalized[:, None, :] - normalized[None, :, :]
+        true = np.sum(diff**2, axis=2)
+        # k=40 of B=50: individual estimates within a loose relative band.
+        upper = np.triu_indices(12, k=1)
+        ratio = sketch.dists_sq[0][upper] / np.maximum(true[upper], 1e-9)
+        assert 0.4 < np.median(ratio) < 1.8
+
+    def test_accuracy_improves_with_components(self, proj_data):
+        exact = baseline_correlation_matrix(proj_data)
+        errors = []
+        for k in (4, 16, 48):
+            sketch = build_projection_sketch(proj_data, 50, n_components=k,
+                                             seed=11)
+            est = projection_correlation(sketch, np.arange(8))
+            errors.append(np.abs(est - exact).max())
+        assert errors[-1] < errors[0]
+
+    def test_correlation_estimate_reasonable(self, proj_data):
+        exact = baseline_correlation_matrix(proj_data)
+        sketch = build_projection_sketch(proj_data, 50, n_components=48,
+                                         seed=2)
+        est = projection_correlation(sketch, np.arange(8))
+        assert np.abs(est - exact).max() < 0.35
+        # Strongly correlated pairs stay strongly correlated.
+        strong = exact > 0.8
+        assert np.all(est[strong] > 0.4)
+
+    def test_not_guaranteed_superset(self, proj_data):
+        """Unlike the DFT prefix, projections can under-estimate corr."""
+        exact = baseline_correlation_matrix(proj_data)
+        sketch = build_projection_sketch(proj_data, 50, n_components=8,
+                                         seed=1)
+        est = projection_correlation(sketch, np.arange(8))
+        # Some pair is under-estimated (both signs of error appear).
+        assert (est - exact).min() < 0.0
+
+    def test_rejects_bad_selection(self, proj_data):
+        sketch = build_projection_sketch(proj_data, 50, n_components=8)
+        with pytest.raises(SketchError):
+            projection_correlation(sketch, np.array([], dtype=np.int64))
+        with pytest.raises(SketchError):
+            projection_correlation(sketch, np.array([99]))
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(DataError):
+            build_projection_sketch(rng.normal(size=100), 10, 4)
+
+
+class TestAlgorithm4AutoDispatch:
+    def test_homogeneous_windows_pick_average(self, rng):
+        """Stationary series -> low drift -> averaging branch."""
+        data = rng.normal(size=(6, 400))
+        sketch = build_approx_sketch(data, 50, method="fft")
+        idx = np.arange(8)
+        drift = window_statistics_spread(sketch, idx)
+        assert drift < 1.0
+        auto = approximate_correlation_matrix(
+            sketch, idx, method="auto", drift_tolerance=drift + 0.01
+        )
+        average = approximate_correlation_matrix(sketch, idx, "average")
+        np.testing.assert_array_equal(auto, average)
+
+    def test_drifting_windows_pick_eq5(self, rng):
+        data = rng.normal(size=(6, 400))
+        data += np.linspace(0, 20, 400)[None, :] * rng.normal(size=(6, 1))
+        sketch = build_approx_sketch(data, 50, method="fft")
+        idx = np.arange(8)
+        assert window_statistics_spread(sketch, idx) > 0.25
+        auto = approximate_correlation_matrix(sketch, idx, method="auto")
+        eq5 = approximate_correlation_matrix(sketch, idx, "eq5")
+        np.testing.assert_array_equal(auto, eq5)
+
+    def test_spread_zero_for_identical_windows(self, rng):
+        block = rng.normal(size=(4, 50))
+        data = np.tile(block, (1, 4))
+        sketch = build_approx_sketch(data, 50, method="fft")
+        assert window_statistics_spread(sketch, np.arange(4)) == pytest.approx(
+            0.0, abs=1e-9
+        )

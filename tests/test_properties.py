@@ -1,0 +1,154 @@
+"""Cross-cutting property-based tests over the whole pipeline.
+
+Each property here spans multiple modules — the invariants a user of the
+library implicitly relies on when mixing engines, stores, and analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.core.exact import TsubasaHistorical
+from repro.core.lemma2 import SlidingCorrelationState
+from repro.core.matrix import similarity_ratio, threshold_adjacency
+from repro.core.sketch import build_sketch
+from repro.core.sweep import SweepPlan
+from repro.parallel.executor import parallel_query
+from repro.storage.memory import MemorySketchStore
+from repro.storage.serialize import load_sketch, save_sketch
+
+
+def _correlated_data(seed: int, n: int, length: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    k = max(2, n // 4)
+    base = rng.normal(size=(k, length))
+    mix = rng.normal(size=(n, k))
+    return mix @ base + rng.normal(size=(n, length))
+
+
+class TestEngineAgreement:
+    """Every exact path gives the same matrix, for any aligned window."""
+
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_five_exact_paths_agree(self, seed, data):
+        values = _correlated_data(seed, n=6, length=240)
+        window_size = data.draw(st.sampled_from([20, 30, 40, 60]))
+        n_windows = 240 // window_size
+        first = data.draw(st.integers(0, n_windows - 1))
+        count = data.draw(st.integers(1, n_windows - first))
+
+        start, stop = first * window_size, (first + count) * window_size
+        truth = baseline_correlation_matrix(values[:, start:stop])
+
+        sketch = build_sketch(values, window_size)
+        idx = np.arange(first, first + count)
+
+        # 1. Historical engine (Lemma 1).
+        engine = TsubasaHistorical(values, window_size)
+        a = engine.correlation_matrix((stop - 1, stop - start)).values
+        # 2. Prefix-sum sweep plan.
+        b = SweepPlan(sketch).correlation_matrix(first, count).values
+        # 3. Parallel partitioned query.
+        c = parallel_query(idx, n_workers=2, sketch=sketch).matrix
+        # 4. Sliding state seeded at the window (via a sub-sketch).
+        sub = sketch.select(idx)
+        d = SlidingCorrelationState(sub, count).correlation_matrix()
+        # 5. Store round-trip then Lemma 1.
+        store = MemorySketchStore()
+        save_sketch(store, sketch)
+        from repro.core.lemma1 import combine_matrix
+
+        loaded = load_sketch(store, indices=[int(j) for j in idx])
+        e = combine_matrix(loaded.means, loaded.stds, loaded.covs,
+                           loaded.sizes)
+
+        for result in (a, b, c, d, e):
+            np.testing.assert_allclose(result, truth, atol=1e-8)
+
+
+class TestThresholdConsistency:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        theta=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_network_matches_matrix_threshold(self, seed, theta):
+        values = _correlated_data(seed, n=8, length=200)
+        engine = TsubasaHistorical(values, 50)
+        matrix = engine.correlation_matrix((199, 200))
+        network = engine.network((199, 200), float(theta))
+        np.testing.assert_array_equal(
+            network.adjacency, threshold_adjacency(matrix.values, float(theta))
+        )
+        assert network.n_edges == matrix.n_edges(float(theta))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_similarity_of_nested_thresholds(self, seed):
+        """Networks at nearby thresholds are more similar than distant ones."""
+        values = _correlated_data(seed, n=10, length=300)
+        corr = baseline_correlation_matrix(values)
+        a = threshold_adjacency(corr, 0.3)
+        b = threshold_adjacency(corr, 0.4)
+        c = threshold_adjacency(corr, 0.8)
+        assert similarity_ratio(a, b) >= similarity_ratio(a, c) - 1e-12
+
+
+class TestRealtimeHistoricalDuality:
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_slides=st.integers(1, 6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_streaming_equals_batch(self, seed, n_slides):
+        from repro.core.realtime import TsubasaRealtime
+
+        window_size, initial = 25, 150
+        total = initial + n_slides * window_size
+        values = _correlated_data(seed, n=5, length=total)
+        realtime = TsubasaRealtime(values[:, :initial], window_size)
+        realtime.ingest(values[:, initial:])
+        batch = TsubasaHistorical(values, window_size)
+        expected = batch.correlation_matrix((total - 1, initial)).values
+        np.testing.assert_allclose(
+            realtime.correlation_matrix().values, expected, atol=1e-8
+        )
+
+
+class TestSketchComposability:
+    @given(seed=st.integers(0, 2**31 - 1), cut=st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_property_append_equals_rebuild(self, seed, cut):
+        """Sketching in two halves equals sketching in one pass."""
+        values = _correlated_data(seed, n=4, length=180)
+        window_size = 30
+        split = cut * window_size
+        incremental = build_sketch(values[:, :split], window_size)
+        for j in range(cut, 6):
+            incremental.append_window(
+                values[:, j * window_size : (j + 1) * window_size]
+            )
+        full = build_sketch(values, window_size)
+        np.testing.assert_allclose(incremental.means, full.means, atol=1e-12)
+        np.testing.assert_allclose(incremental.covs, full.covs, atol=1e-12)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_drop_then_query_consistent(self, seed):
+        values = _correlated_data(seed, n=4, length=200)
+        sketch = build_sketch(values, 25)
+        sketch.drop_leading_windows(3)
+        from repro.core.lemma1 import combine_matrix
+
+        corr = combine_matrix(sketch.means, sketch.stds, sketch.covs,
+                              sketch.sizes)
+        expected = baseline_correlation_matrix(values[:, 75:])
+        np.testing.assert_allclose(corr, expected, atol=1e-8)

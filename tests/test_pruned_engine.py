@@ -1,0 +1,71 @@
+"""Tests for the pruned network construction wired into the engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import TsubasaHistorical, query_correlation_row
+from repro.core.matrix import threshold_adjacency
+from repro.core.sketch import build_sketch
+from repro.exceptions import SketchError
+
+
+class TestQueryCorrelationRow:
+    def test_matches_full_matrix_row(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        idx = np.arange(12)
+        full = np.corrcoef(small_matrix)
+        for row in (0, 7, 19):
+            computed = query_correlation_row(sketch, idx, row)
+            np.testing.assert_allclose(computed, full[row], atol=1e-10)
+            assert computed[row] == 1.0
+
+    def test_window_subset(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        idx = np.arange(6, 12)
+        expected = np.corrcoef(small_matrix[:, 300:])
+        computed = query_correlation_row(sketch, idx, 3)
+        np.testing.assert_allclose(computed, expected[3], atol=1e-10)
+
+    def test_rejects_bad_inputs(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        with pytest.raises(SketchError):
+            query_correlation_row(sketch, np.array([], dtype=np.int64), 0)
+        with pytest.raises(SketchError):
+            query_correlation_row(sketch, np.arange(12), 99)
+
+
+class TestNetworkPruned:
+    def test_equals_exact_network(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        theta = 0.6
+        result = engine.network_pruned((599, 600), theta)
+        exact = engine.correlation_matrix((599, 600))
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(exact.values, theta)
+        )
+
+    def test_interior_window(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        result = engine.network_pruned((399, 200), 0.5, max_anchors=3)
+        exact = engine.correlation_matrix((399, 200))
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(exact.values, 0.5)
+        )
+        assert len(result.anchors_used) <= 3
+
+    def test_rejects_non_aligned_window(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        with pytest.raises(SketchError):
+            engine.network_pruned((599, 123), 0.5)
+
+    def test_accounting_sums_to_pairs(self, small_matrix):
+        engine = TsubasaHistorical(small_matrix, window_size=50)
+        result = engine.network_pruned((599, 600), 0.7)
+        n = small_matrix.shape[0]
+        assert (
+            result.decided_by_inference + result.computed_exactly
+            == n * (n - 1) // 2
+        )
+        assert result.rows_computed <= n

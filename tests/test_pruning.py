@@ -1,0 +1,155 @@
+"""Tests for repro.core.pruning (Eq. 7 bounds and Algorithm 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.core.matrix import threshold_adjacency
+from repro.core.pruning import (
+    correlation_bounds,
+    prune_threshold_matrix,
+)
+from repro.exceptions import DataError
+
+
+class TestCorrelationBounds:
+    def test_anchor_perfectly_correlated(self):
+        """c_xz = 1 forces c_xy = c_yz exactly."""
+        lower, upper = correlation_bounds(1.0, 0.6)
+        assert lower == pytest.approx(0.6)
+        assert upper == pytest.approx(0.6)
+
+    def test_uncorrelated_anchor_is_uninformative(self):
+        lower, upper = correlation_bounds(0.0, 0.0)
+        assert lower == pytest.approx(-1.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_bounds_are_ordered(self, rng):
+        c1 = rng.uniform(-1, 1, size=50)
+        c2 = rng.uniform(-1, 1, size=50)
+        lower, upper = correlation_bounds(c1, c2)
+        assert np.all(lower <= upper + 1e-12)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DataError):
+            correlation_bounds(1.5, 0.0)
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(3, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_property_true_correlation_within_bounds(self, seed, n):
+        """Eq. 7 must hold for any real correlation matrix."""
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n, 50))
+        corr = baseline_correlation_matrix(data)
+        for z in range(n):
+            lower, upper = correlation_bounds(
+                corr[:, z][:, None], corr[:, z][None, :]
+            )
+            assert np.all(corr >= lower - 1e-9)
+            assert np.all(corr <= upper + 1e-9)
+
+
+class TestPruneThresholdMatrix:
+    def _make_compute_row(self, corr):
+        calls = []
+
+        def compute_row(i):
+            calls.append(i)
+            return corr[i]
+
+        return compute_row, calls
+
+    def _correlated_data(self, rng, n=12, length=80):
+        base = rng.normal(size=(2, length))
+        mix = rng.normal(size=(n, 2))
+        return mix @ base + 0.3 * rng.normal(size=(n, length))
+
+    def test_matrix_matches_exact_thresholding(self, rng):
+        data = self._correlated_data(rng)
+        corr = baseline_correlation_matrix(data)
+        compute_row, _ = self._make_compute_row(corr)
+        result = prune_threshold_matrix(compute_row, corr.shape[0], theta=0.7)
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(corr, 0.7)
+        )
+
+    def test_absolute_rule_matches_abs_thresholding(self, rng):
+        data = self._correlated_data(rng)
+        corr = baseline_correlation_matrix(data)
+        compute_row, _ = self._make_compute_row(corr)
+        result = prune_threshold_matrix(
+            compute_row, corr.shape[0], theta=0.7, edge_rule="absolute"
+        )
+        expected = np.abs(corr) >= 0.7
+        off_diag = ~np.eye(corr.shape[0], dtype=bool)
+        np.testing.assert_array_equal(
+            result.matrix[off_diag], expected[off_diag]
+        )
+
+    def test_inference_happens_with_strong_anchor(self, rng):
+        """Highly clustered data lets the anchor decide many pairs."""
+        base = rng.normal(size=80)
+        data = base[None, :] + 0.05 * rng.normal(size=(10, 80))
+        corr = baseline_correlation_matrix(data)
+        compute_row, _ = self._make_compute_row(corr)
+        result = prune_threshold_matrix(compute_row, 10, theta=0.6, max_anchors=1)
+        assert result.decided_by_inference > 0
+        assert result.pruning_rate > 0.0
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(corr, 0.6)
+        )
+
+    def test_max_anchors_limits_row_computations(self, rng):
+        data = self._correlated_data(rng, n=8)
+        corr = baseline_correlation_matrix(data)
+        compute_row, calls = self._make_compute_row(corr)
+        result = prune_threshold_matrix(compute_row, 8, theta=0.7, max_anchors=2)
+        assert len(result.anchors_used) <= 2
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(corr, 0.7)
+        )
+
+    def test_accounting_covers_all_pairs(self, rng):
+        data = self._correlated_data(rng, n=9)
+        corr = baseline_correlation_matrix(data)
+        compute_row, _ = self._make_compute_row(corr)
+        result = prune_threshold_matrix(compute_row, 9, theta=0.75, max_anchors=3)
+        assert (
+            result.decided_by_inference + result.computed_exactly
+            == 9 * 8 // 2
+        )
+
+    def test_rejects_bad_parameters(self, rng):
+        corr = np.eye(3)
+        compute_row, _ = self._make_compute_row(corr)
+        with pytest.raises(DataError):
+            prune_threshold_matrix(compute_row, 0, theta=0.5)
+        with pytest.raises(DataError):
+            prune_threshold_matrix(compute_row, 3, theta=1.5)
+        with pytest.raises(DataError):
+            prune_threshold_matrix(compute_row, 3, theta=0.5, edge_rule="huh")
+
+    def test_rejects_bad_row_shape(self):
+        def bad_row(i):
+            return np.zeros(5)
+
+        with pytest.raises(DataError):
+            prune_threshold_matrix(bad_row, 3, theta=0.5)
+
+    @given(seed=st.integers(0, 2**31 - 1), theta=st.floats(0.2, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_property_never_contradicts_exact(self, seed, theta):
+        rng = np.random.default_rng(seed)
+        data = self._correlated_data(rng, n=7, length=60)
+        corr = baseline_correlation_matrix(data)
+        compute_row, _ = self._make_compute_row(corr)
+        result = prune_threshold_matrix(
+            compute_row, 7, theta=float(theta), max_anchors=2
+        )
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(corr, float(theta))
+        )

@@ -1,0 +1,114 @@
+"""Tests for repro.core.queries (matrix query operators)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.matrix import CorrelationMatrix
+from repro.core.queries import (
+    degree_at_threshold,
+    most_anticorrelated_pairs,
+    neighbors,
+    pairs_in_range,
+    top_k_pairs,
+)
+from repro.exceptions import DataError
+
+
+@pytest.fixture()
+def matrix():
+    values = np.array(
+        [
+            [1.0, 0.9, 0.2, -0.8],
+            [0.9, 1.0, 0.5, -0.1],
+            [0.2, 0.5, 1.0, 0.3],
+            [-0.8, -0.1, 0.3, 1.0],
+        ]
+    )
+    return CorrelationMatrix(names=["a", "b", "c", "d"], values=values)
+
+
+class TestTopKPairs:
+    def test_order_and_content(self, matrix):
+        top = top_k_pairs(matrix, 2)
+        assert top[0] == ("a", "b", 0.9)
+        assert top[1] == ("b", "c", 0.5)
+
+    def test_k_larger_than_pairs(self, matrix):
+        top = top_k_pairs(matrix, 100)
+        assert len(top) == 6
+
+    def test_rejects_nonpositive_k(self, matrix):
+        with pytest.raises(DataError):
+            top_k_pairs(matrix, 0)
+
+    def test_matches_numpy_on_random(self, rng):
+        values = np.corrcoef(rng.normal(size=(10, 50)))
+        m = CorrelationMatrix(
+            names=[f"n{i}" for i in range(10)], values=values
+        )
+        top = top_k_pairs(m, 3)
+        rows, cols = np.triu_indices(10, k=1)
+        best = np.sort(values[rows, cols])[::-1][:3]
+        np.testing.assert_allclose([t[2] for t in top], best)
+
+
+class TestMostAnticorrelated:
+    def test_order(self, matrix):
+        bottom = most_anticorrelated_pairs(matrix, 2)
+        assert bottom[0] == ("a", "d", -0.8)
+        assert bottom[1] == ("b", "d", -0.1)
+
+    def test_rejects_nonpositive_k(self, matrix):
+        with pytest.raises(DataError):
+            most_anticorrelated_pairs(matrix, -1)
+
+
+class TestNeighbors:
+    def test_sorted_descending(self, matrix):
+        result = neighbors(matrix, "b", theta=0.0)
+        assert result == [("a", 0.9), ("c", 0.5)]
+
+    def test_excludes_self(self, matrix):
+        result = neighbors(matrix, "a", theta=-2.0)
+        assert "a" not in [name for name, _ in result]
+
+    def test_threshold_applied(self, matrix):
+        assert neighbors(matrix, "c", theta=0.45) == [("b", 0.5)]
+
+    def test_unknown_name(self, matrix):
+        with pytest.raises(DataError):
+            neighbors(matrix, "zzz", theta=0.5)
+
+
+class TestPairsInRange:
+    def test_inclusive_range(self, matrix):
+        result = pairs_in_range(matrix, 0.2, 0.5)
+        assert set((a, b) for a, b, _ in result) == {
+            ("a", "c"), ("b", "c"), ("c", "d")
+        }
+
+    def test_empty_range_rejected(self, matrix):
+        with pytest.raises(DataError):
+            pairs_in_range(matrix, 0.5, 0.2)
+
+    def test_uncertain_band_use_case(self, matrix):
+        """The band around theta that Eq. 7 inference cannot decide."""
+        theta = 0.4
+        band = pairs_in_range(matrix, theta - 0.15, theta + 0.15)
+        assert ("b", "c", 0.5) in band
+
+
+class TestDegreeAtThreshold:
+    def test_matches_network(self, matrix):
+        degrees = degree_at_threshold(matrix, 0.4)
+        assert degrees == {"a": 1, "b": 2, "c": 1, "d": 0}
+
+    def test_consistent_with_climate_network(self, matrix):
+        from repro.core.network import ClimateNetwork
+
+        network = ClimateNetwork.from_matrix(matrix, 0.4)
+        degrees = degree_at_threshold(matrix, 0.4)
+        for name in matrix.names:
+            assert degrees[name] == network.degree(name)

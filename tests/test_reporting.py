@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.reporting (text reports and ASCII maps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    ascii_degree_map,
+    dynamics_report,
+    topology_report,
+)
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+
+def _network(values, names, coords=None, theta=0.5):
+    matrix = CorrelationMatrix(names=names, values=np.asarray(values))
+    return ClimateNetwork.from_matrix(matrix, theta, coordinates=coords)
+
+
+@pytest.fixture()
+def geo_network():
+    names = ["nw", "ne", "sw", "se"]
+    coords = {
+        "nw": (45.0, -120.0),
+        "ne": (45.0, -80.0),
+        "sw": (30.0, -120.0),
+        "se": (30.0, -80.0),
+    }
+    values = np.eye(4)
+    values[0, 1] = values[1, 0] = 0.9
+    values[0, 2] = values[2, 0] = 0.8
+    values[0, 3] = values[3, 0] = 0.7
+    return _network(values, names, coords)
+
+
+class TestAsciiDegreeMap:
+    def test_dimensions(self, geo_network):
+        art = ascii_degree_map(geo_network, width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_north_up_and_intensity(self, geo_network):
+        art = ascii_degree_map(geo_network, width=20, height=5)
+        lines = art.split("\n")
+        # nw (degree 3, max) renders as the top-left, highest intensity char.
+        assert lines[0][0] == "@"
+        # se (degree 1) is bottom-right with a lower intensity char.
+        assert lines[-1][-1] not in (" ", "@")
+
+    def test_empty_cells_blank(self, geo_network):
+        art = ascii_degree_map(geo_network, width=20, height=5)
+        assert " " in art
+
+    def test_requires_coordinates(self):
+        net = _network(np.eye(2), ["a", "b"])
+        with pytest.raises(DataError):
+            ascii_degree_map(net)
+
+    def test_rejects_tiny_grid(self, geo_network):
+        with pytest.raises(DataError):
+            ascii_degree_map(geo_network, width=1, height=5)
+
+
+class TestTopologyReport:
+    def test_contains_key_lines(self, geo_network):
+        report = topology_report(geo_network)
+        assert "nodes              4" in report
+        assert "edges              3" in report
+        assert "hubs" in report
+        assert "nw(3)" in report
+
+    def test_edgeless_network_omits_hubs(self):
+        net = _network(np.eye(3), ["a", "b", "c"])
+        report = topology_report(net)
+        assert "hubs" not in report
+        assert "edges              0" in report
+
+
+class TestDynamicsReport:
+    def test_sparkline_and_counts(self):
+        names = ["a", "b", "c"]
+
+        def with_edges(pairs):
+            values = np.eye(3)
+            index = {n: i for i, n in enumerate(names)}
+            for x, y in pairs:
+                values[index[x], index[y]] = values[index[y], index[x]] = 0.9
+            return _network(values, names)
+
+        nets = [
+            with_edges([("a", "b")]),
+            with_edges([("a", "b"), ("b", "c")]),
+            with_edges([]),
+        ]
+        report = dynamics_report(nets)
+        assert "snapshots       3" in report
+        assert "(max 2)" in report
+        assert "mean churn" in report

@@ -1,0 +1,92 @@
+"""Paper-scale smoke tests: the exact dataset shapes the paper evaluates.
+
+These run the real shapes (157 stations x 8,760 hourly points for the
+in-memory experiments; a four-digit-node gridded subset for the scalability
+path) end to end, asserting exactness and interactive latencies rather than
+micro-benchmarks — proof that the library handles the paper's workloads, not
+just toy sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.exact import TsubasaHistorical
+from repro.core.realtime import TsubasaRealtime
+from repro.data.synthetic import generate_gridded_dataset, generate_station_dataset
+
+
+@pytest.fixture(scope="module")
+def ncea_full():
+    """The paper's NCEA shape: 157 stations x 8,760 hourly points."""
+    return generate_station_dataset(n_stations=157, n_points=8760, seed=2022)
+
+
+class TestNceaScale:
+    def test_sketch_and_full_query(self, ncea_full):
+        start = time.perf_counter()
+        engine = TsubasaHistorical(ncea_full.values, window_size=200,
+                                   names=ncea_full.names)
+        sketch_seconds = time.perf_counter() - start
+        assert engine.sketch.n_windows == 44  # 43 full + trailing 160
+
+        start = time.perf_counter()
+        matrix = engine.correlation_matrix((8759, 8760))
+        query_seconds = time.perf_counter() - start
+        np.testing.assert_allclose(
+            matrix.values, np.corrcoef(ncea_full.values), atol=1e-9
+        )
+        # Interactivity: sketch well under a minute, query well under a second.
+        assert sketch_seconds < 60.0
+        assert query_seconds < 1.0
+
+    def test_paper_query_window(self, ncea_full):
+        """The evaluation's standard query window: 3,000 points."""
+        engine = TsubasaHistorical(ncea_full.values, window_size=200)
+        matrix = engine.correlation_matrix((8759, 3000))
+        expected = np.corrcoef(ncea_full.values[:, 5760:8760])
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-9)
+
+    def test_arbitrary_window_at_scale(self, ncea_full):
+        engine = TsubasaHistorical(ncea_full.values, window_size=200)
+        matrix = engine.correlation_matrix((7123, 2917))
+        expected = np.corrcoef(ncea_full.values[:, 7123 - 2917 + 1 : 7124])
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-9)
+
+    def test_realtime_updates_at_scale(self, ncea_full):
+        engine = TsubasaRealtime(ncea_full.values[:, :3000], window_size=200,
+                                 names=ncea_full.names)
+        start = time.perf_counter()
+        for step in range(5):
+            lo = 3000 + step * 200
+            engine.ingest(ncea_full.values[:, lo : lo + 200])
+        per_update = (time.perf_counter() - start) / 5
+        ref = np.corrcoef(ncea_full.values[:, 1000:4000])
+        np.testing.assert_allclose(
+            engine.correlation_matrix().values, ref, atol=1e-9
+        )
+        assert per_update < 0.5  # interactive updates at paper scale
+
+
+class TestGriddedScale:
+    def test_thousand_node_grid(self):
+        """A 1,000-node subset of the Berkeley-like grid, B=120, query 960."""
+        dataset = generate_gridded_dataset(
+            lat_min=20.0, lat_max=55.0, lon_min=-130.0, lon_max=-60.0,
+            resolution_deg=1.4, n_points=1920, seed=9,
+        ).subset(1000)
+        start = time.perf_counter()
+        engine = TsubasaHistorical(dataset.values, window_size=120,
+                                   keep_raw=False)
+        sketch_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        matrix = engine.correlation_matrix((959, 960))
+        query_seconds = time.perf_counter() - start
+        expected = np.corrcoef(dataset.values[:, :960])
+        np.testing.assert_allclose(matrix.values, expected, atol=1e-8)
+        assert sketch_seconds < 120.0
+        assert query_seconds < 10.0

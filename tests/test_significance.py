@@ -1,0 +1,129 @@
+"""Tests for repro.core.significance (correlation significance testing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.significance import (
+    correlation_pvalues,
+    critical_correlation,
+    significant_adjacency,
+)
+from repro.exceptions import DataError
+
+
+class TestCriticalCorrelation:
+    def test_known_value(self):
+        """r_crit for m=100, alpha=0.05 is about 0.197 (standard tables)."""
+        assert critical_correlation(100, 0.05) == pytest.approx(0.197, abs=0.002)
+
+    def test_decreases_with_samples(self):
+        values = [critical_correlation(m) for m in (10, 50, 200, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_stricter_alpha_raises_threshold(self):
+        assert critical_correlation(50, 0.01) > critical_correlation(50, 0.05)
+
+    def test_bonferroni_raises_threshold(self):
+        plain = critical_correlation(100, 0.05)
+        corrected = critical_correlation(100, 0.05, n_comparisons=1000)
+        assert corrected > plain
+
+    def test_in_unit_interval(self):
+        for m in (4, 30, 10000):
+            assert 0.0 < critical_correlation(m) < 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DataError):
+            critical_correlation(2)
+        with pytest.raises(DataError):
+            critical_correlation(10, alpha=0.0)
+        with pytest.raises(DataError):
+            critical_correlation(10, n_comparisons=0)
+
+
+class TestCorrelationPvalues:
+    def test_matches_scipy_pearsonr(self, rng):
+        from scipy import stats
+
+        x = rng.normal(size=80)
+        y = 0.3 * x + rng.normal(size=80)
+        corr = np.corrcoef(np.vstack([x, y]))
+        pvals = correlation_pvalues(corr, 80)
+        expected = stats.pearsonr(x, y).pvalue
+        assert pvals[0, 1] == pytest.approx(expected, rel=1e-6)
+
+    def test_diagonal_zero(self, rng):
+        corr = np.corrcoef(rng.normal(size=(4, 50)))
+        pvals = correlation_pvalues(corr, 50)
+        np.testing.assert_array_equal(np.diag(pvals), 0.0)
+
+    def test_perfect_correlation_p_zero(self):
+        corr = np.array([[1.0, 1.0], [1.0, 1.0]])
+        pvals = correlation_pvalues(corr, 30)
+        assert pvals[0, 1] == 0.0
+
+    def test_zero_correlation_p_one(self):
+        corr = np.array([[1.0, 0.0], [0.0, 1.0]])
+        pvals = correlation_pvalues(corr, 30)
+        assert pvals[0, 1] == pytest.approx(1.0)
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(DataError):
+            correlation_pvalues(np.zeros((2, 3)), 10)
+        with pytest.raises(DataError):
+            correlation_pvalues(np.eye(2), 2)
+
+    @given(r=st.floats(-0.99, 0.99), m=st.integers(5, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_property_pvalues_in_unit_interval(self, r, m):
+        corr = np.array([[1.0, r], [r, 1.0]])
+        pvals = correlation_pvalues(corr, m)
+        assert 0.0 <= pvals[0, 1] <= 1.0
+        # Stronger correlation on the same sample => smaller p-value.
+        weaker = correlation_pvalues(
+            np.array([[1.0, r / 2], [r / 2, 1.0]]), m
+        )
+        assert pvals[0, 1] <= weaker[0, 1] + 1e-12
+
+
+class TestSignificantAdjacency:
+    def test_equivalent_to_thresholding(self, rng):
+        corr = np.corrcoef(rng.normal(size=(8, 60)))
+        adjacency = significant_adjacency(corr, 60, alpha=0.05)
+        theta = critical_correlation(60, 0.05, n_comparisons=8 * 7 // 2)
+        expected = corr > theta
+        np.fill_diagonal(expected, False)
+        np.testing.assert_array_equal(adjacency, expected)
+
+    def test_consistency_with_pvalues_uncorrected(self, rng):
+        corr = np.corrcoef(rng.normal(size=(6, 40)))
+        adjacency = significant_adjacency(corr, 40, alpha=0.05,
+                                          correction="none")
+        pvals = correlation_pvalues(corr, 40)
+        rows, cols = np.triu_indices(6, k=1)
+        for i, j in zip(rows, cols):
+            if adjacency[i, j]:
+                assert pvals[i, j] < 0.05
+                assert corr[i, j] > 0
+
+    def test_strongly_correlated_pair_detected(self, rng):
+        x = rng.normal(size=200)
+        data = np.vstack([x, x + 0.1 * rng.normal(size=200),
+                          rng.normal(size=200)])
+        corr = np.corrcoef(data)
+        adjacency = significant_adjacency(corr, 200, alpha=0.01)
+        assert adjacency[0, 1]
+        assert not adjacency[0, 2]
+
+    def test_no_self_loops(self, rng):
+        corr = np.corrcoef(rng.normal(size=(5, 30)))
+        adjacency = significant_adjacency(corr, 30)
+        assert not adjacency.diagonal().any()
+
+    def test_rejects_unknown_correction(self, rng):
+        with pytest.raises(DataError):
+            significant_adjacency(np.eye(3), 30, correction="fdr")

@@ -1,0 +1,146 @@
+"""Tests for repro.core.sketch (Algorithm 1 preprocessing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import Sketch, build_sketch
+from repro.exceptions import DataError, SketchError
+
+
+class TestBuildSketch:
+    def test_shapes(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        n, length = small_matrix.shape
+        ns = length // 50
+        assert sketch.n_series == n
+        assert sketch.n_windows == ns
+        assert sketch.means.shape == (n, ns)
+        assert sketch.stds.shape == (n, ns)
+        assert sketch.covs.shape == (ns, n, n)
+        assert sketch.length == length
+
+    def test_window_statistics_match_numpy(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=100)
+        for j in range(sketch.n_windows):
+            block = small_matrix[:, j * 100 : (j + 1) * 100]
+            np.testing.assert_allclose(sketch.means[:, j], block.mean(axis=1))
+            np.testing.assert_allclose(sketch.stds[:, j], block.std(axis=1))
+            np.testing.assert_allclose(
+                sketch.covs[j], np.cov(block, bias=True), atol=1e-12
+            )
+
+    def test_default_names(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        assert sketch.names[0] == "s0000"
+        assert len(sketch.names) == small_matrix.shape[0]
+
+    def test_custom_names(self, rng):
+        data = rng.normal(size=(2, 40))
+        sketch = build_sketch(data, window_size=20, names=["x", "y"])
+        assert sketch.names == ["x", "y"]
+
+    def test_trailing_short_window(self, rng):
+        data = rng.normal(size=(3, 110))
+        sketch = build_sketch(data, window_size=50)
+        assert sketch.n_windows == 3
+        assert list(sketch.sizes) == [50, 50, 10]
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(DataError):
+            build_sketch(rng.normal(size=50), window_size=10)
+
+
+class TestSketchCorrelations:
+    def test_correlations_recover_paper_form(self, rng):
+        data = rng.normal(size=(4, 80))
+        sketch = build_sketch(data, window_size=40)
+        corrs = sketch.correlations()
+        for j in range(2):
+            block = data[:, j * 40 : (j + 1) * 40]
+            np.testing.assert_allclose(corrs[j], np.corrcoef(block), atol=1e-12)
+
+    def test_constant_window_correlation_zero(self, rng):
+        data = rng.normal(size=(3, 40))
+        data[0, :20] = 7.0
+        sketch = build_sketch(data, window_size=20)
+        corrs = sketch.correlations()
+        assert corrs[0][0, 1] == 0.0
+        assert corrs[0][1, 0] == 0.0
+
+
+class TestSketchSelect:
+    def test_select_subset(self, small_sketch):
+        subset = small_sketch.select(np.array([1, 3, 5]))
+        assert subset.n_windows == 3
+        np.testing.assert_array_equal(subset.means, small_sketch.means[:, [1, 3, 5]])
+        np.testing.assert_array_equal(subset.covs, small_sketch.covs[[1, 3, 5]])
+
+    def test_select_out_of_range(self, small_sketch):
+        with pytest.raises(SketchError):
+            small_sketch.select(np.array([99]))
+
+    def test_select_empty_allowed(self, small_sketch):
+        subset = small_sketch.select(np.array([], dtype=np.int64))
+        assert subset.n_windows == 0
+
+
+class TestAppendWindow:
+    def test_append_extends_sketch(self, rng):
+        data = rng.normal(size=(3, 100))
+        sketch = build_sketch(data[:, :80], window_size=20)
+        sketch.append_window(data[:, 80:100])
+        full = build_sketch(data, window_size=20)
+        np.testing.assert_allclose(sketch.means, full.means)
+        np.testing.assert_allclose(sketch.stds, full.stds)
+        np.testing.assert_allclose(sketch.covs, full.covs, atol=1e-12)
+
+    def test_append_variable_size(self, rng):
+        data = rng.normal(size=(3, 60))
+        sketch = build_sketch(data, window_size=20)
+        sketch.append_window(rng.normal(size=(3, 7)))
+        assert sketch.n_windows == 4
+        assert sketch.sizes[-1] == 7
+
+    def test_append_rejects_bad_shapes(self, rng):
+        sketch = build_sketch(rng.normal(size=(3, 60)), window_size=20)
+        with pytest.raises(DataError):
+            sketch.append_window(rng.normal(size=(4, 20)))
+        with pytest.raises(DataError):
+            sketch.append_window(np.empty((3, 0)))
+
+
+class TestDropLeadingWindows:
+    def test_drop(self, small_sketch):
+        before = small_sketch.n_windows
+        small_sketch.drop_leading_windows(2)
+        assert small_sketch.n_windows == before - 2
+
+    def test_drop_everything_then_invalid(self, small_sketch):
+        small_sketch.drop_leading_windows(small_sketch.n_windows)
+        assert small_sketch.n_windows == 0
+        with pytest.raises(SketchError):
+            small_sketch.drop_leading_windows(1)
+
+
+class TestSketchValidation:
+    def test_constructor_validates_shapes(self, rng):
+        with pytest.raises(SketchError):
+            Sketch(
+                names=["a"],
+                window_size=10,
+                means=np.zeros((2, 3)),
+                stds=np.zeros((2, 3)),
+                covs=np.zeros((3, 2, 2)),
+                sizes=np.full(3, 10),
+            )
+        with pytest.raises(SketchError):
+            Sketch(
+                names=["a", "b"],
+                window_size=10,
+                means=np.zeros((2, 3)),
+                stds=np.zeros((2, 2)),
+                covs=np.zeros((3, 2, 2)),
+                sizes=np.full(3, 10),
+            )

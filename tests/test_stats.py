@@ -1,0 +1,205 @@
+"""Unit tests for repro.core.stats (window statistics primitives)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.stats import (
+    RunningPairStats,
+    RunningWindowStats,
+    pair_window_stats,
+    pairwise_window_correlations,
+    pairwise_window_covariances,
+    series_window_stats,
+    window_stats,
+)
+from repro.exceptions import DataError
+
+finite_floats = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestWindowStats:
+    def test_matches_numpy(self, rng):
+        values = rng.normal(size=37)
+        stats = window_stats(values)
+        assert stats.mean == pytest.approx(values.mean())
+        assert stats.std == pytest.approx(values.std())
+        assert stats.size == 37
+
+    def test_derived_quantities(self, rng):
+        values = rng.normal(size=10)
+        stats = window_stats(values)
+        assert stats.var == pytest.approx(values.var())
+        assert stats.total == pytest.approx(values.sum())
+        assert stats.sum_sq == pytest.approx(np.sum(values**2))
+
+    def test_constant_window_has_zero_std(self):
+        stats = window_stats(np.full(5, 3.25))
+        assert stats.std == 0.0
+        assert stats.mean == 3.25
+
+    def test_single_point_window(self):
+        stats = window_stats(np.array([7.0]))
+        assert stats.size == 1
+        assert stats.std == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            window_stats(np.array([]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError):
+            window_stats(np.zeros((2, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            window_stats(np.array([1.0, np.nan]))
+
+
+class TestPairWindowStats:
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=50)
+        y = 0.5 * x + rng.normal(size=50)
+        stats = pair_window_stats(x, y)
+        assert stats.corr == pytest.approx(np.corrcoef(x, y)[0, 1])
+        assert stats.cov == pytest.approx(np.cov(x, y, bias=True)[0, 1])
+
+    def test_constant_window_yields_zero(self, rng):
+        x = np.full(20, 2.0)
+        y = rng.normal(size=20)
+        stats = pair_window_stats(x, y)
+        assert stats.corr == 0.0
+        assert stats.cov == 0.0
+
+    def test_perfect_correlation(self, rng):
+        x = rng.normal(size=30)
+        stats = pair_window_stats(x, 3.0 * x + 1.0)
+        assert stats.corr == pytest.approx(1.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DataError):
+            pair_window_stats(np.zeros(3), np.zeros(4))
+
+
+class TestSeriesWindowStats:
+    def test_matches_per_window_numpy(self, rng):
+        data = rng.normal(size=(5, 100))
+        bounds = np.array([0, 30, 60, 100])
+        means, stds, sizes = series_window_stats(data, bounds)
+        assert means.shape == (5, 3)
+        assert list(sizes) == [30, 30, 40]
+        for j, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            np.testing.assert_allclose(means[:, j], data[:, lo:hi].mean(axis=1))
+            np.testing.assert_allclose(stds[:, j], data[:, lo:hi].std(axis=1))
+
+    def test_rejects_bad_boundaries(self, rng):
+        data = rng.normal(size=(2, 10))
+        with pytest.raises(DataError):
+            series_window_stats(data, np.array([0, 5, 5, 10]))
+        with pytest.raises(DataError):
+            series_window_stats(data, np.array([0, 5, 12]))
+        with pytest.raises(DataError):
+            series_window_stats(data, np.array([1, 5, 10]))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(DataError):
+            series_window_stats(np.zeros(10), np.array([0, 10]))
+
+
+class TestPairwiseWindowMatrices:
+    def test_covariances_match_numpy(self, rng):
+        data = rng.normal(size=(4, 60))
+        bounds = np.array([0, 20, 40, 60])
+        covs = pairwise_window_covariances(data, bounds)
+        assert covs.shape == (3, 4, 4)
+        for j in range(3):
+            block = data[:, bounds[j] : bounds[j + 1]]
+            expected = np.cov(block, bias=True)
+            np.testing.assert_allclose(covs[j], expected, atol=1e-12)
+
+    def test_correlations_match_numpy(self, rng):
+        data = rng.normal(size=(4, 60))
+        bounds = np.array([0, 30, 60])
+        corrs = pairwise_window_correlations(data, bounds)
+        for j in range(2):
+            block = data[:, bounds[j] : bounds[j + 1]]
+            expected = np.corrcoef(block)
+            np.testing.assert_allclose(corrs[j], expected, atol=1e-12)
+
+    def test_constant_series_rows_are_zero(self, rng):
+        data = rng.normal(size=(3, 40))
+        data[1] = 5.0
+        corrs = pairwise_window_correlations(data, np.array([0, 20, 40]))
+        assert np.all(corrs[:, 1, 0] == 0.0)
+        assert np.all(corrs[:, 0, 1] == 0.0)
+
+    def test_correlation_symmetry(self, rng):
+        data = rng.normal(size=(6, 50))
+        corrs = pairwise_window_correlations(data, np.array([0, 25, 50]))
+        for j in range(2):
+            np.testing.assert_allclose(corrs[j], corrs[j].T)
+
+
+class TestRunningWindowStats:
+    def test_matches_batch(self, rng):
+        values = rng.normal(size=101)
+        acc = RunningWindowStats()
+        for v in values:
+            acc.push(float(v))
+        snap = acc.snapshot()
+        assert snap.mean == pytest.approx(values.mean())
+        assert snap.std == pytest.approx(values.std())
+        assert snap.size == 101
+
+    def test_empty_snapshot_raises(self):
+        with pytest.raises(DataError):
+            RunningWindowStats().snapshot()
+
+    def test_rejects_nan(self):
+        acc = RunningWindowStats()
+        with pytest.raises(DataError):
+            acc.push(float("nan"))
+
+    @given(arrays(np.float64, st.integers(1, 60), elements=finite_floats))
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_numpy(self, values):
+        acc = RunningWindowStats()
+        for v in values:
+            acc.push(float(v))
+        snap = acc.snapshot()
+        assert snap.mean == pytest.approx(values.mean(), abs=1e-6, rel=1e-9)
+        assert snap.std == pytest.approx(values.std(), abs=1e-5, rel=1e-6)
+
+
+class TestRunningPairStats:
+    def test_matches_batch(self, rng):
+        x = rng.normal(size=64)
+        y = 0.3 * x + rng.normal(size=64)
+        acc = RunningPairStats()
+        for a, b in zip(x, y):
+            acc.push(float(a), float(b))
+        snap = acc.snapshot()
+        expected = pair_window_stats(x, y)
+        assert snap.corr == pytest.approx(expected.corr)
+        assert snap.cov == pytest.approx(expected.cov)
+        assert snap.size == 64
+
+    def test_count_tracks_pushes(self):
+        acc = RunningPairStats()
+        acc.push(1.0, 2.0)
+        acc.push(3.0, 4.0)
+        assert acc.count == 2
+
+    def test_empty_snapshot_raises(self):
+        with pytest.raises(DataError):
+            RunningPairStats().snapshot()
+
+    def test_constant_side_yields_zero_corr(self):
+        acc = RunningPairStats()
+        for v in (1.0, 2.0, 3.0):
+            acc.push(5.0, v)
+        assert acc.snapshot().corr == 0.0

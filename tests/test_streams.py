@@ -1,0 +1,146 @@
+"""Tests for repro.streams (sources and the ingestion loop)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.realtime import TsubasaRealtime
+from repro.exceptions import StreamError
+from repro.streams.ingestion import StreamIngestor
+from repro.streams.sources import ReplaySource, SyntheticSource
+
+
+class TestReplaySource:
+    def test_replays_everything_in_order(self, rng):
+        data = rng.normal(size=(3, 100))
+        source = ReplaySource(data, batch_size=30)
+        batches = list(source)
+        assert [b.shape[1] for b in batches] == [30, 30, 30, 10]
+        np.testing.assert_array_equal(np.concatenate(batches, axis=1), data)
+        assert source.exhausted
+
+    def test_start_offset(self, rng):
+        data = rng.normal(size=(2, 50))
+        source = ReplaySource(data, batch_size=25, start=25)
+        batches = list(source)
+        assert len(batches) == 1
+        np.testing.assert_array_equal(batches[0], data[:, 25:])
+
+    def test_rejects_bad_args(self, rng):
+        data = rng.normal(size=(2, 50))
+        with pytest.raises(StreamError):
+            ReplaySource(data, batch_size=0)
+        with pytest.raises(StreamError):
+            ReplaySource(data, batch_size=10, start=60)
+        with pytest.raises(StreamError):
+            ReplaySource(rng.normal(size=10), batch_size=5)
+
+
+class TestSyntheticSource:
+    def test_emits_correct_shapes(self, rng):
+        loadings = rng.normal(size=(6, 2))
+        source = SyntheticSource(loadings, batch_size=17, seed=5)
+        batch = next(source)
+        assert batch.shape == (6, 17)
+        assert np.all(np.isfinite(batch))
+
+    def test_deterministic_given_seed(self, rng):
+        loadings = rng.normal(size=(4, 2))
+        a = next(SyntheticSource(loadings, batch_size=10, seed=9))
+        b = next(SyntheticSource(loadings, batch_size=10, seed=9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_shared_loadings_induce_correlation(self, rng):
+        """Sites with identical loadings must correlate strongly."""
+        loadings = np.ones((2, 3))
+        source = SyntheticSource(loadings, batch_size=2000, seed=3,
+                                 noise_scale=0.1)
+        batch = next(source)
+        assert np.corrcoef(batch)[0, 1] > 0.9
+
+    def test_rejects_bad_args(self, rng):
+        with pytest.raises(StreamError):
+            SyntheticSource(rng.normal(size=(3, 2)), batch_size=0)
+        with pytest.raises(StreamError):
+            SyntheticSource(rng.normal(size=(3, 2)), batch_size=5, factor_phi=1.0)
+        with pytest.raises(StreamError):
+            SyntheticSource(rng.normal(size=3), batch_size=5)
+
+
+class TestStreamIngestor:
+    @pytest.fixture()
+    def engine_and_data(self, rng):
+        base = rng.normal(size=(2, 800))
+        mix = rng.normal(size=(8, 2))
+        data = mix @ base + 0.4 * rng.normal(size=(8, 800))
+        engine = TsubasaRealtime(data[:, :300], window_size=50)
+        return engine, data
+
+    def test_snapshot_per_completed_window(self, engine_and_data):
+        engine, data = engine_and_data
+        ingestor = StreamIngestor(engine, theta=0.5)
+        snapshots = ingestor.run(ReplaySource(data, 70, start=300))
+        # 500 streamed points = 10 full basic windows.
+        assert len(snapshots) == 10
+        assert snapshots[-1].timestamp == 800
+        assert ingestor.history == snapshots
+
+    def test_snapshots_are_exact(self, engine_and_data):
+        engine, data = engine_and_data
+        ingestor = StreamIngestor(engine, theta=0.5)
+        snapshots = ingestor.run(ReplaySource(data, 50, start=300))
+        for snap in snapshots:
+            lo = snap.timestamp - 300
+            ref = np.corrcoef(data[:, lo : snap.timestamp])
+            expected_edges = int(
+                np.triu(ref > 0.5, k=1).sum()
+            )
+            assert snap.network.n_edges == expected_edges
+
+    def test_churn_bookkeeping_consistent(self, engine_and_data):
+        engine, data = engine_and_data
+        ingestor = StreamIngestor(engine, theta=0.4)
+        snapshots = ingestor.run(ReplaySource(data, 50, start=300))
+        previous = None
+        for snap in snapshots:
+            if previous is not None:
+                edges_prev = previous.network.edge_set()
+                edges_now = snap.network.edge_set()
+                assert snap.appeared == frozenset(edges_now - edges_prev)
+                assert snap.disappeared == frozenset(edges_prev - edges_now)
+            previous = snap
+
+    def test_callback_invoked(self, engine_and_data):
+        engine, data = engine_and_data
+        seen = []
+        ingestor = StreamIngestor(engine, theta=0.5, on_update=seen.append)
+        ingestor.run(ReplaySource(data, 50, start=300), max_updates=3)
+        assert len(seen) == 3
+
+    def test_max_updates_stops_early(self, engine_and_data):
+        engine, data = engine_and_data
+        ingestor = StreamIngestor(engine, theta=0.5)
+        snapshots = ingestor.run(ReplaySource(data, 50, start=300), max_updates=4)
+        assert len(snapshots) == 4
+
+    def test_history_disabled(self, engine_and_data):
+        engine, data = engine_and_data
+        ingestor = StreamIngestor(engine, theta=0.5, keep_history=False)
+        ingestor.run(ReplaySource(data, 50, start=300), max_updates=2)
+        assert ingestor.history == []
+
+    def test_rejects_bad_max_updates(self, engine_and_data):
+        engine, data = engine_and_data
+        ingestor = StreamIngestor(engine, theta=0.5)
+        with pytest.raises(StreamError):
+            ingestor.run(ReplaySource(data, 50, start=300), max_updates=0)
+
+    def test_endless_source_with_cap(self, rng):
+        loadings = rng.normal(size=(5, 2))
+        initial = next(SyntheticSource(loadings, batch_size=200, seed=1))
+        engine = TsubasaRealtime(initial, window_size=50)
+        ingestor = StreamIngestor(engine, theta=0.5)
+        source = SyntheticSource(loadings, batch_size=60, seed=2)
+        snapshots = ingestor.run(source, max_updates=5)
+        assert len(snapshots) == 5

@@ -1,0 +1,113 @@
+"""Tests for repro.core.sweep (prefix-sum window sweeps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sketch import build_sketch
+from repro.core.sweep import SweepPlan, sliding_networks
+from repro.exceptions import SketchError
+
+
+class TestSweepPlan:
+    def test_full_range_matches_numpy(self, small_matrix):
+        plan = SweepPlan(build_sketch(small_matrix, 50))
+        matrix = plan.correlation_matrix(0, 12)
+        np.testing.assert_allclose(
+            matrix.values, np.corrcoef(small_matrix), atol=1e-10
+        )
+
+    def test_every_contiguous_range_exact(self, small_matrix):
+        """Exhaustive: all O(ns^2) ranges equal direct recomputation."""
+        sketch = build_sketch(small_matrix, 50)
+        plan = SweepPlan(sketch)
+        for first in range(12):
+            for count in range(1, 12 - first + 1):
+                got = plan.correlation_matrix(first, count).values
+                raw = small_matrix[:, first * 50 : (first + count) * 50]
+                np.testing.assert_allclose(got, np.corrcoef(raw), atol=1e-8)
+
+    def test_matches_lemma1_query(self, small_matrix):
+        from repro.core.lemma1 import combine_matrix
+
+        sketch = build_sketch(small_matrix, 50)
+        plan = SweepPlan(sketch)
+        idx = np.arange(3, 9)
+        direct = combine_matrix(
+            sketch.means[:, idx], sketch.stds[:, idx], sketch.covs[idx],
+            sketch.sizes[idx],
+        )
+        np.testing.assert_allclose(
+            plan.correlation_matrix(3, 6).values, direct, atol=1e-9
+        )
+
+    def test_rejects_bad_ranges(self, small_sketch):
+        plan = SweepPlan(small_sketch)
+        with pytest.raises(SketchError):
+            plan.correlation_matrix(0, 0)
+        with pytest.raises(SketchError):
+            plan.correlation_matrix(10, 5)
+        with pytest.raises(SketchError):
+            plan.correlation_matrix(-1, 3)
+
+    def test_network_threshold(self, small_sketch):
+        plan = SweepPlan(small_sketch)
+        network = plan.network(0, 6, theta=0.5)
+        matrix = plan.correlation_matrix(0, 6)
+        assert network.n_edges == matrix.n_edges(0.5)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_range_exactness(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(4, 120))
+        sketch = build_sketch(data, 12)
+        plan = SweepPlan(sketch)
+        first = int(rng.integers(0, 9))
+        count = int(rng.integers(1, 10 - first + 1))
+        got = plan.correlation_matrix(first, count).values
+        raw = data[:, first * 12 : (first + count) * 12]
+        np.testing.assert_allclose(got, np.corrcoef(raw), atol=1e-8)
+
+
+class TestSlidingNetworks:
+    def test_positions_and_count(self, small_sketch):
+        results = sliding_networks(small_sketch, n_windows=4, theta=0.5,
+                                   stride_windows=2)
+        assert [pos for pos, _ in results] == [0, 2, 4, 6, 8]
+
+    def test_matches_individual_queries(self, small_matrix):
+        from repro.core.exact import TsubasaHistorical
+
+        sketch = build_sketch(small_matrix, 50)
+        engine = TsubasaHistorical(small_matrix, 50)
+        results = sliding_networks(sketch, n_windows=6, theta=0.4)
+        for first, network in results:
+            end = (first + 6) * 50 - 1
+            expected = engine.network((end, 300), 0.4)
+            assert network.edge_set() == expected.edge_set()
+
+    def test_coordinates_attached(self, small_dataset):
+        sketch = build_sketch(small_dataset.values, 50,
+                              names=small_dataset.names)
+        results = sliding_networks(
+            sketch, 4, 0.5, coordinates=small_dataset.coordinates
+        )
+        graph = results[0][1].to_networkx()
+        assert "lat" in graph.nodes[small_dataset.names[0]]
+
+    def test_rejects_bad_args(self, small_sketch):
+        with pytest.raises(SketchError):
+            sliding_networks(small_sketch, 4, 0.5, stride_windows=0)
+        with pytest.raises(SketchError):
+            sliding_networks(small_sketch, 99, 0.5)
+
+    def test_feeds_dynamics_analysis(self, small_sketch):
+        from repro.analysis import summarize_dynamics
+
+        results = sliding_networks(small_sketch, 4, 0.4)
+        dynamics = summarize_dynamics([net for _, net in results])
+        assert dynamics.n_snapshots == 9
