@@ -1,0 +1,174 @@
+"""Provider benchmark: in-memory vs store-backed (cold/warm) query latency.
+
+Times the same Lemma 1 all-pairs query through each sketch backend:
+
+* ``memory`` — :class:`~repro.engine.providers.InMemoryProvider` over a fully
+  materialized sketch (the paper's in-memory configuration);
+* ``store_cold`` — :class:`~repro.engine.providers.StoreProvider` over a
+  SQLite store with an empty LRU cache (every window record read from disk);
+* ``store_warm`` — the same provider immediately re-queried, so the LRU
+  serves the window records;
+* ``chunked_build`` — :class:`~repro.engine.providers.ChunkedBuildProvider`
+  computing window covariances on demand from raw data.
+
+Run as a script to emit ``BENCH_provider.json`` at the repository root, so
+the provider-layer performance trajectory accumulates across revisions::
+
+    PYTHONPATH=src python benchmarks/bench_provider_query.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.exact import TsubasaHistorical
+from repro.core.sketch import build_sketch
+from repro.data.synthetic import generate_station_dataset
+from repro.engine.providers import (
+    ChunkedBuildProvider,
+    InMemoryProvider,
+    StoreProvider,
+)
+from repro.storage.serialize import save_sketch
+from repro.storage.sqlite_store import SqliteSketchStore
+
+N_STATIONS = 60
+N_POINTS = 3000
+BASIC_WINDOW = 50
+QUERY = (2999, 2000)  # aligned: 40 basic windows
+ARBITRARY_QUERY = (2971, 1903)  # head/tail fragments at both ends
+REPEATS = 5
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(store_dir: Path) -> dict:
+    dataset = generate_station_dataset(
+        n_stations=N_STATIONS, n_points=N_POINTS, seed=42
+    )
+    data = dataset.values
+    sketch = build_sketch(data, BASIC_WINDOW, names=dataset.names)
+    store_path = store_dir / "bench_provider.db"
+    with SqliteSketchStore(store_path) as store:
+        save_sketch(store, sketch)
+
+    results = []
+
+    def record(backend: str, query, seconds: float, extra=None):
+        entry = {
+            "backend": backend,
+            "query": {"end": query[0], "length": query[1]},
+            "seconds": seconds,
+        }
+        if extra:
+            entry.update(extra)
+        results.append(entry)
+
+    # In-memory reference (with raw data for the arbitrary query).
+    memory_engine = TsubasaHistorical(
+        provider=InMemoryProvider(sketch, data=data)
+    )
+    reference = memory_engine.correlation_matrix(QUERY).values
+    record("memory", QUERY, _best_of(lambda: memory_engine.correlation_matrix(QUERY)))
+    record(
+        "memory",
+        ARBITRARY_QUERY,
+        _best_of(lambda: memory_engine.correlation_matrix(ARBITRARY_QUERY)),
+    )
+
+    # Store-backed: cold means a fresh provider (empty cache) per repeat.
+    with SqliteSketchStore(store_path) as store:
+
+        def cold_query():
+            provider = StoreProvider(store, cache_windows=64)
+            return provider, TsubasaHistorical(provider=provider).correlation_matrix(QUERY)
+
+        t_cold = _best_of(lambda: cold_query()[1])
+        provider, matrix = cold_query()
+        np.testing.assert_allclose(matrix.values, reference, atol=1e-10)
+        record("store_cold", QUERY, t_cold, {"windows_read": provider.windows_read})
+
+        warm_engine = TsubasaHistorical(provider=provider)
+        t_warm = _best_of(lambda: warm_engine.correlation_matrix(QUERY))
+        record(
+            "store_warm",
+            QUERY,
+            t_warm,
+            {"cache_hits": provider.cache_hits, "cache_misses": provider.cache_misses},
+        )
+
+        arb_provider = StoreProvider(store, cache_windows=64, data=data)
+        arb_engine = TsubasaHistorical(provider=arb_provider)
+        arb_engine.correlation_matrix(ARBITRARY_QUERY)  # warm the cache
+        record(
+            "store_warm",
+            ARBITRARY_QUERY,
+            _best_of(lambda: arb_engine.correlation_matrix(ARBITRARY_QUERY)),
+        )
+
+    # Chunked on-demand build (cold per repeat: fresh provider, tiny cache).
+    def chunked_query():
+        provider = ChunkedBuildProvider(
+            data, BASIC_WINDOW, chunk_rows=16, cache_windows=4
+        )
+        return TsubasaHistorical(provider=provider).correlation_matrix(QUERY)
+
+    np.testing.assert_allclose(chunked_query().values, reference, atol=1e-10)
+    record("chunked_build", QUERY, _best_of(chunked_query, repeats=3))
+
+    return {
+        "benchmark": "provider_query",
+        "config": {
+            "n_stations": N_STATIONS,
+            "n_points": N_POINTS,
+            "basic_window": BASIC_WINDOW,
+            "repeats": REPEATS,
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_provider.json"),
+    )
+    parser.add_argument("--store-dir", default=None,
+                        help="directory for the throwaway SQLite store "
+                             "(default: a temporary directory)")
+    args = parser.parse_args()
+
+    import tempfile
+
+    if args.store_dir is not None:
+        payload = run(Path(args.store_dir))
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            payload = run(Path(tmp))
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    for entry in payload["results"]:
+        q = entry["query"]
+        print(f"  {entry['backend']:<14} l={q['length']:<5} "
+              f"{entry['seconds'] * 1e3:8.2f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

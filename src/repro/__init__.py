@@ -8,6 +8,8 @@ SIGMOD 2022). The library provides:
   (:mod:`repro.core`),
 * the DFT-based approximate competitor (:mod:`repro.approx`),
 * the raw-data baseline (:mod:`repro.baseline`),
+* pluggable sketch backends — in-memory, lazily store-backed with an LRU
+  cache, or chunked on-demand (:mod:`repro.engine`),
 * disk-backed sketch stores and the parallel pair-partitioned executor
   (:mod:`repro.storage`, :mod:`repro.parallel`),
 * stream ingestion utilities (:mod:`repro.streams`),
@@ -53,6 +55,12 @@ from repro.data import (
     generate_gridded_dataset,
     generate_station_dataset,
 )
+from repro.engine import (
+    ChunkedBuildProvider,
+    InMemoryProvider,
+    SketchProvider,
+    StoreProvider,
+)
 from repro.exceptions import (
     DataError,
     SegmentationError,
@@ -72,6 +80,10 @@ __all__ = [
     "BasicWindowPlan",
     "QueryWindow",
     "Sketch",
+    "SketchProvider",
+    "InMemoryProvider",
+    "StoreProvider",
+    "ChunkedBuildProvider",
     "ApproxSketch",
     "SlidingCorrelationState",
     "ApproxSlidingState",

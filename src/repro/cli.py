@@ -4,7 +4,11 @@ Subcommands mirror the system's life cycle::
 
     tsubasa generate --stations 157 --points 8760 --out data.npz
     tsubasa sketch   --data data.npz --window-size 200 --store sketch.db
+    tsubasa sketch   --data data.npz --window-size 200 --store sketch.db \
+                     --chunk-rows 512            # memory-bounded build
     tsubasa query    --store sketch.db --end 8759 --length 3000 --theta 0.75
+    tsubasa query    --store sketch.db --backend store --data data.npz \
+                     --end 8759 --length 2971    # lazy reads, arbitrary window
     tsubasa stream   --data data.npz --window-size 200 --initial 3000 \
                      --theta 0.75 --updates 10
     tsubasa topk     --store sketch.db --end 8759 --length 3000 --k 10
@@ -14,6 +18,14 @@ Subcommands mirror the system's life cycle::
 Datasets travel as ``.npz`` archives with ``values``/``names``/``lats``/
 ``lons`` arrays (see ``tsubasa generate``); sketches live in SQLite stores
 (:mod:`repro.storage`).
+
+Query commands choose a sketch backend with ``--backend``: ``memory`` loads
+the whole sketch up front (the paper's in-memory configuration), ``store``
+reads window records lazily through an LRU-cached
+:class:`~repro.engine.providers.StoreProvider` (the disk-based
+configuration) — the answers are identical. Passing ``--data`` enables
+arbitrary (non-aligned) query windows by sketching the partial head/tail
+fragments from raw data at query time.
 """
 
 from __future__ import annotations
@@ -26,13 +38,16 @@ import numpy as np
 
 from repro.analysis.topology import summarize_topology
 from repro.core.exact import TsubasaHistorical
-from repro.core.matrix import CorrelationMatrix
 from repro.core.network import ClimateNetwork
 from repro.core.realtime import TsubasaRealtime
-from repro.core.segmentation import BasicWindowPlan, QueryWindow
 from repro.core.sketch import build_sketch
 from repro.data.synthetic import StationDataset, generate_station_dataset
-from repro.exceptions import TsubasaError
+from repro.engine.providers import (
+    ChunkedBuildProvider,
+    InMemoryProvider,
+    StoreProvider,
+)
+from repro.exceptions import SketchError, TsubasaError
 from repro.storage.serialize import load_sketch, save_sketch
 from repro.storage.sqlite_store import SqliteSketchStore
 from repro.streams.ingestion import StreamIngestor
@@ -89,42 +104,54 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_sketch(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.data)
     start = time.perf_counter()
-    sketch = build_sketch(dataset.values, args.window_size, names=dataset.names)
-    elapsed = time.perf_counter() - start
     with SqliteSketchStore(args.store) as store:
-        save_sketch(store, sketch)
+        if args.chunk_rows:
+            provider = ChunkedBuildProvider(
+                dataset.values, args.window_size, names=dataset.names,
+                chunk_rows=args.chunk_rows,
+            )
+            provider.save_to(store)
+            n_series, n_windows = provider.n_series, provider.n_windows
+        else:
+            sketch = build_sketch(
+                dataset.values, args.window_size, names=dataset.names
+            )
+            save_sketch(store, sketch)
+            n_series, n_windows = sketch.n_series, sketch.n_windows
+        elapsed = time.perf_counter() - start
         size = store.size_bytes()
-    print(f"sketched {sketch.n_series} series into {sketch.n_windows} "
-          f"windows (B={args.window_size}) in {elapsed:.2f}s; "
+    mode = f"chunked (rows<={args.chunk_rows})" if args.chunk_rows else "in-memory"
+    print(f"sketched {n_series} series into {n_windows} "
+          f"windows (B={args.window_size}, {mode} build) in {elapsed:.2f}s; "
           f"store={size / 1e6:.2f} MB")
     return 0
 
 
-def _aligned_matrix(store_path: str, end: int, length: int):
-    """Load a store and answer an aligned query; None when not aligned."""
-    with SqliteSketchStore(store_path) as store:
-        sketch = load_sketch(store)
-    plan = BasicWindowPlan(length=sketch.length, window_size=sketch.window_size)
-    selection = plan.align(QueryWindow(end=end, length=length))
-    if not selection.is_aligned:
-        return None, sketch
-    subset = sketch.select(selection.full_windows)
-    from repro.core.lemma1 import combine_matrix
-
-    values = combine_matrix(subset.means, subset.stds, subset.covs,
-                            subset.sizes)
-    return CorrelationMatrix(names=list(sketch.names), values=values), sketch
+def _open_engine(store: SqliteSketchStore, args: argparse.Namespace) -> TsubasaHistorical:
+    """Build the query engine over the backend selected by ``--backend``."""
+    data = None
+    if getattr(args, "data", None):
+        data = _load_dataset(args.data).values
+    if args.backend == "store":
+        provider = StoreProvider(
+            store, cache_windows=args.cache_windows, data=data
+        )
+    else:
+        provider = InMemoryProvider(load_sketch(store), data=data)
+    return TsubasaHistorical(provider=provider)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    start = time.perf_counter()
-    matrix, _ = _aligned_matrix(args.store, args.end, args.length)
-    elapsed = time.perf_counter() - start
-    if matrix is None:
-        print("error: query window is not aligned to basic windows and the "
-              "store holds no raw data; adjust --end/--length",
-              file=sys.stderr)
-        return 2
+    with SqliteSketchStore(args.store) as store:
+        engine = _open_engine(store, args)
+        start = time.perf_counter()
+        try:
+            matrix = engine.correlation_matrix((args.end, args.length))
+        except SketchError as exc:
+            print(f"error: {exc}; pass --data or adjust --end/--length",
+                  file=sys.stderr)
+            return 2
+        elapsed = time.perf_counter() - start
     theta = args.theta
     if args.alpha is not None:
         from repro.core.significance import critical_correlation
@@ -136,7 +163,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"significance level {args.alpha} -> theta={theta:.4f} "
               f"(Bonferroni over {n * (n - 1) // 2} pairs)")
     network = ClimateNetwork.from_matrix(matrix, theta)
-    print(f"query answered from sketches in {elapsed * 1e3:.1f} ms")
+    print(f"query answered from sketches in {elapsed * 1e3:.1f} ms "
+          f"({args.backend} backend)")
     _print_network(network, args.max_edges)
     return 0
 
@@ -159,11 +187,13 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _cmd_topk(args: argparse.Namespace) -> int:
     from repro.core.queries import most_anticorrelated_pairs, top_k_pairs
 
-    matrix, _ = _aligned_matrix(args.store, args.end, args.length)
-    if matrix is None:
-        print("error: query window is not aligned to basic windows",
-              file=sys.stderr)
-        return 2
+    with SqliteSketchStore(args.store) as store:
+        engine = _open_engine(store, args)
+        try:
+            matrix = engine.correlation_matrix((args.end, args.length))
+        except SketchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     print(f"top {args.k} correlated pairs:")
     for a, b, corr in top_k_pairs(matrix, args.k):
         print(f"  {a} -- {b}  corr={corr:+.4f}")
@@ -244,7 +274,22 @@ def build_parser() -> argparse.ArgumentParser:
     sk.add_argument("--data", required=True)
     sk.add_argument("--window-size", type=int, required=True)
     sk.add_argument("--store", required=True)
+    sk.add_argument("--chunk-rows", type=int, default=0,
+                    help="memory-bounded chunked build: covariance row-block "
+                         "height (0 = materialize the whole sketch)")
     sk.set_defaults(func=_cmd_sketch)
+
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", choices=("memory", "store"),
+                       default="memory",
+                       help="sketch backend: load whole sketch up front "
+                            "(memory) or read windows lazily with an LRU "
+                            "cache (store)")
+        p.add_argument("--cache-windows", type=int, default=64,
+                       help="store backend: LRU capacity in window records")
+        p.add_argument("--data", default=None,
+                       help="raw dataset enabling arbitrary (non-aligned) "
+                            "query windows")
 
     qr = sub.add_parser("query", help="build a network from a sketch store")
     qr.add_argument("--store", required=True)
@@ -254,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     qr.add_argument("--alpha", type=float, default=None,
                     help="derive theta from a significance level instead")
     qr.add_argument("--max-edges", type=int, default=10)
+    add_backend_args(qr)
     qr.set_defaults(func=_cmd_query)
 
     tk = sub.add_parser("topk", help="most correlated pairs in a window")
@@ -262,6 +308,7 @@ def build_parser() -> argparse.ArgumentParser:
     tk.add_argument("--length", type=int, required=True)
     tk.add_argument("--k", type=int, default=10)
     tk.add_argument("--anticorrelated", action="store_true")
+    add_backend_args(tk)
     tk.set_defaults(func=_cmd_topk)
 
     sw = sub.add_parser("sweep", help="networks over a sliding window sweep")

@@ -7,7 +7,14 @@ from repro.core.lagged import (
     lagged_correlation_matrix,
     lagged_network,
 )
-from repro.core.lemma1 import combine_matrix, combine_pair
+from repro.core.lemma1 import (
+    combine_matrix,
+    combine_matrix_chunked,
+    combine_matrix_streaming,
+    combine_pair,
+    combine_row,
+    combine_rows,
+)
 from repro.core.lemma2 import SlidingCorrelationState, lemma2_update_pair
 from repro.core.matrix import CorrelationMatrix, count_edges, similarity_ratio
 from repro.core.network import ClimateNetwork
@@ -46,7 +53,11 @@ __all__ = [
     "significant_adjacency",
     "TsubasaRealtime",
     "combine_matrix",
+    "combine_matrix_chunked",
+    "combine_matrix_streaming",
     "combine_pair",
+    "combine_row",
+    "combine_rows",
     "SlidingCorrelationState",
     "lemma2_update_pair",
     "CorrelationMatrix",

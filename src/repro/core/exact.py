@@ -1,32 +1,38 @@
 """Network-Construct-Histo (Algorithm 2): exact historical queries.
 
-Given a pre-computed :class:`~repro.core.sketch.Sketch`, an arbitrary query
-window is answered by:
+Given any :class:`~repro.engine.providers.SketchProvider` (in-memory sketch,
+lazy store-backed, or chunked on-demand build), an arbitrary query window is
+answered by:
 
 1. aligning the query against the basic-window plan
    (:meth:`BasicWindowPlan.align`),
-2. reading the sketch slices of the fully covered basic windows,
+2. streaming the sketch statistics of the fully covered basic windows from
+   the provider (chunked, so a disk-backed query never materializes the full
+   ``(ns, n, n)`` covariance tensor),
 3. sketching the (possibly empty) partial head/tail fragments from raw data
    on the fly — these are just two extra variable-size "basic windows" as far
    as Lemma 1 is concerned, and
-4. combining everything with the vectorized Lemma 1 into the complete, exact
-   correlation matrix, from which any threshold yields the climate network.
+4. combining everything with the vectorized Lemma 1 kernel
+   (:func:`~repro.core.lemma1.combine_matrix_chunked`) into the complete,
+   exact correlation matrix, from which any threshold yields the network.
 
-:class:`TsubasaHistorical` is the user-facing engine bundling data, plan and
-sketch. Raw data may be withheld (``keep_raw=False``) to model the
-sketch-only deployment; in that case only aligned queries are answerable and
-arbitrary ones raise :class:`~repro.exceptions.SketchError`.
+:class:`TsubasaHistorical` is the user-facing engine bundling plan, provider,
+and (optionally) raw data. Raw data may be withheld (``keep_raw=False``, or a
+provider constructed without data) to model the sketch-only deployment; in
+that case only aligned queries are answerable and arbitrary ones raise
+:class:`~repro.exceptions.SketchError`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.lemma1 import combine_matrix
+from repro.core.lemma1 import combine_matrix_chunked, combine_row
 from repro.core.matrix import CorrelationMatrix
 from repro.core.network import ClimateNetwork
 from repro.core.segmentation import BasicWindowPlan, QueryWindow, WindowSelection
 from repro.core.sketch import Sketch, build_sketch
+from repro.engine.providers import InMemoryProvider, SketchProvider
 from repro.exceptions import DataError, SketchError
 
 __all__ = [
@@ -36,14 +42,17 @@ __all__ = [
     "TsubasaHistorical",
 ]
 
+#: Default number of basic windows combined per streamed covariance chunk.
+DEFAULT_CHUNK_WINDOWS = 64
+
 
 def query_correlation_row(
     sketch: Sketch, window_indices: np.ndarray, row: int
 ) -> np.ndarray:
     """Exact correlations of one series against all others (Lemma 1, one row).
 
-    This is the ``Computecorr(L, i)`` primitive of Algorithm 5: the pruning
-    path materializes single anchor rows instead of the full matrix.
+    This is the ``Computecorr(L, i)`` primitive of Algorithm 5, delegating to
+    the single row kernel (:func:`~repro.core.lemma1.combine_row`).
 
     Args:
         sketch: The pre-computed sketch.
@@ -58,24 +67,13 @@ def query_correlation_row(
         raise SketchError("query window must cover at least one basic window")
     if not 0 <= row < sketch.n_series:
         raise SketchError(f"row {row} out of range [0, {sketch.n_series})")
-    sizes = sketch.sizes[idx].astype(np.float64)
-    total = float(sizes.sum())
-    means = sketch.means[:, idx]
-    stds = sketch.stds[:, idx]
-    grand = means @ sizes / total
-    delta = means - grand[:, None]
-
-    numer = np.einsum("j,ja->a", sizes, sketch.covs[idx][:, row, :])
-    numer += (delta[row] * sizes) @ delta.T
-    pooled_var = np.sum(sizes * (stds**2 + delta**2), axis=1)
-    scale = np.sqrt(np.maximum(pooled_var, 0.0))
-    denom = scale[row] * scale
-
-    out = np.zeros(sketch.n_series)
-    np.divide(numer, denom, out=out, where=denom > 0.0)
-    np.clip(out, -1.0, 1.0, out=out)
-    out[row] = 1.0
-    return out
+    return combine_row(
+        sketch.means[:, idx],
+        sketch.stds[:, idx],
+        sketch.covs[idx][:, row, :],
+        sketch.sizes[idx].astype(np.float64),
+        row,
+    )
 
 
 def fragment_stats(
@@ -97,83 +95,148 @@ def fragment_stats(
     return mean, block.std(axis=1), cov, block.shape[1]
 
 
+def _as_provider(
+    source: SketchProvider | Sketch, data: np.ndarray | None
+) -> SketchProvider:
+    if isinstance(source, SketchProvider):
+        return source
+    if isinstance(source, Sketch):
+        return InMemoryProvider(source, data=data)
+    raise DataError(f"expected a Sketch or SketchProvider, got {type(source)!r}")
+
+
 def query_correlation_matrix(
-    sketch: Sketch,
+    source: SketchProvider | Sketch,
     selection: WindowSelection,
     data: np.ndarray | None = None,
+    chunk_windows: int = DEFAULT_CHUNK_WINDOWS,
 ) -> np.ndarray:
     """Exact all-pairs correlation for an aligned window selection.
 
     Args:
-        sketch: The pre-computed sketch.
-        selection: Alignment of the query window against the sketch's plan.
-        data: Raw series matrix, required when ``selection`` has partial
-            head/tail fragments.
+        source: A sketch provider, or a plain :class:`Sketch` (wrapped in an
+            :class:`~repro.engine.providers.InMemoryProvider`).
+        selection: Alignment of the query window against the source's plan.
+        data: Raw series matrix overriding the provider's own raw data for
+            partial head/tail fragments (required when ``selection`` has
+            fragments and the provider holds no raw data).
+        chunk_windows: Basic windows per streamed covariance chunk.
 
     Returns:
         The exact ``(n, n)`` Pearson correlation matrix over the query window.
     """
-    means = [sketch.means[:, selection.full_windows]]
-    stds = [sketch.stds[:, selection.full_windows]]
-    covs = [sketch.covs[selection.full_windows]]
-    sizes = [sketch.sizes[selection.full_windows]]
+    provider = _as_provider(source, data)
+    idx = np.asarray(selection.full_windows, dtype=np.int64)
 
+    # Sketch the (at most two) partial fragments up front: they must raise
+    # before any store reads when raw data is unavailable.
+    fragments = []
     for fragment in (selection.head, selection.tail):
         if fragment is None:
             continue
-        if data is None:
-            raise SketchError(
-                "query window is not aligned to basic windows and no raw data "
-                "is available to sketch the partial fragments"
-            )
-        mean, std, cov, size = fragment_stats(data, *fragment)
-        means.append(mean[:, None])
-        stds.append(std[:, None])
-        covs.append(cov[None])
-        sizes.append(np.array([size], dtype=np.int64))
+        if data is not None:
+            fragments.append(fragment_stats(data, *fragment))
+        else:
+            fragments.append(provider.fragment(*fragment))
 
-    return combine_matrix(
-        means=np.concatenate(means, axis=1),
-        stds=np.concatenate(stds, axis=1),
-        covs=np.concatenate(covs, axis=0),
-        sizes=np.concatenate(sizes),
-    )
+    def chunks():
+        if idx.size:
+            yield from provider.iter_window_chunks(idx, chunk_windows)
+        for mean, std, cov, size in fragments:
+            yield (
+                mean[:, None],
+                std[:, None],
+                np.array([float(size)]),
+                cov[None],
+            )
+
+    return combine_matrix_chunked(chunks())
 
 
 class TsubasaHistorical:
     """The TSUBASA historical engine: sketch once, query any window exactly.
 
+    The engine runs against any sketch backend. The classic form builds an
+    in-memory sketch from raw data::
+
+        TsubasaHistorical(data, window_size=50)
+
+    while ``provider=`` plugs in any backend — a lazily read SQLite store, a
+    memory-bounded chunked build — without changing query semantics::
+
+        TsubasaHistorical(provider=StoreProvider(sqlite_store))
+
     Args:
-        data: ``(n, L)`` matrix of synchronized series.
-        window_size: Basic window size ``B``.
-        names: Optional series identifiers.
+        data: ``(n, L)`` matrix of synchronized series (omit with
+            ``provider``).
+        window_size: Basic window size ``B`` (omit with ``provider``).
+        names: Optional series identifiers (omit with ``provider``).
         coordinates: Optional ``name -> (lat, lon)`` node positions, attached
             to constructed networks.
-        keep_raw: Keep the raw matrix for arbitrary (non-aligned) queries.
-            With ``False`` the engine stores only the sketch (the paper's
-            sketch-only deployment) and supports aligned queries only.
+        keep_raw: Keep the raw matrix for arbitrary (non-aligned) queries
+            (default). With ``False`` the engine stores only the sketch (the
+            paper's sketch-only deployment) and supports aligned queries
+            only. Only meaningful with ``data`` — with ``provider`` the
+            backend itself decides whether raw data is available, so passing
+            ``keep_raw`` alongside ``provider`` raises.
+        provider: A ready :class:`~repro.engine.providers.SketchProvider`
+            backend, mutually exclusive with ``data``/``window_size``.
+        chunk_windows: Basic windows per streamed covariance chunk on the
+            query path.
     """
 
     def __init__(
         self,
-        data: np.ndarray,
-        window_size: int,
+        data: np.ndarray | None = None,
+        window_size: int | None = None,
         names: list[str] | None = None,
         coordinates: dict[str, tuple[float, float]] | None = None,
-        keep_raw: bool = True,
+        keep_raw: bool | None = None,
+        provider: SketchProvider | None = None,
+        chunk_windows: int = DEFAULT_CHUNK_WINDOWS,
     ) -> None:
-        matrix = np.asarray(data, dtype=np.float64)
-        if matrix.ndim != 2:
-            raise DataError(f"expected a 2-D series matrix, got shape {matrix.shape}")
-        self._plan = BasicWindowPlan(length=matrix.shape[1], window_size=window_size)
-        self._sketch = build_sketch(matrix, window_size, names=names)
-        self._data = matrix if keep_raw else None
+        if provider is not None:
+            if data is not None or window_size is not None or names is not None:
+                raise DataError(
+                    "give either raw data (data/window_size/names) or a "
+                    "provider, not both"
+                )
+            if keep_raw is not None:
+                raise DataError(
+                    "keep_raw has no effect with a provider; construct the "
+                    "provider with or without raw data instead"
+                )
+            self._provider = provider
+        else:
+            if data is None or window_size is None:
+                raise DataError(
+                    "either data and window_size, or a provider, is required"
+                )
+            matrix = np.asarray(data, dtype=np.float64)
+            if matrix.ndim != 2:
+                raise DataError(
+                    f"expected a 2-D series matrix, got shape {matrix.shape}"
+                )
+            sketch = build_sketch(matrix, window_size, names=names)
+            self._provider = InMemoryProvider(
+                sketch, data=matrix if keep_raw in (None, True) else None
+            )
+        self._plan = self._provider.plan
         self._coordinates = coordinates
+        self._chunk_windows = chunk_windows
+        self._materialized: Sketch | None = None
+
+    @property
+    def provider(self) -> SketchProvider:
+        """The sketch backend answering this engine's queries."""
+        return self._provider
 
     @property
     def sketch(self) -> Sketch:
-        """The underlying pre-computed sketch."""
-        return self._sketch
+        """The underlying sketch (materialized once, lazily, for lazy backends)."""
+        if self._materialized is None:
+            self._materialized = self._provider.materialize()
+        return self._materialized
 
     @property
     def plan(self) -> BasicWindowPlan:
@@ -183,7 +246,7 @@ class TsubasaHistorical:
     @property
     def names(self) -> list[str]:
         """Series identifiers, in matrix order."""
-        return self._sketch.names
+        return self._provider.names
 
     def _resolve(self, query: QueryWindow | tuple[int, int]) -> QueryWindow:
         if isinstance(query, QueryWindow):
@@ -204,8 +267,10 @@ class TsubasaHistorical:
         """
         window = self._resolve(query)
         selection = self._plan.align(window)
-        values = query_correlation_matrix(self._sketch, selection, self._data)
-        return CorrelationMatrix(names=list(self._sketch.names), values=values)
+        values = query_correlation_matrix(
+            self._provider, selection, chunk_windows=self._chunk_windows
+        )
+        return CorrelationMatrix(names=list(self._provider.names), values=values)
 
     def network(
         self, query: QueryWindow | tuple[int, int], theta: float
@@ -226,8 +291,8 @@ class TsubasaHistorical:
     ):
         """Algorithm 5 network construction: infer entries from Eq. 7 bounds.
 
-        Computes anchor *rows* of the correlation matrix from the sketch and
-        decides as many boolean entries as the bounds allow; only aligned
+        Computes anchor *rows* of the correlation matrix from the provider
+        and decides as many boolean entries as the bounds allow; only aligned
         query windows are supported (anchor rows read sketches directly).
 
         Args:
@@ -248,9 +313,27 @@ class TsubasaHistorical:
                 "pruned construction requires an aligned query window"
             )
         idx = selection.full_windows
+        # Algorithm 5 materializes many anchor rows; on a lazy backend each
+        # cov_rows() call would re-stream the whole selection from the store,
+        # so load the selection once (a single record pass) and serve every
+        # row from memory.
+        if isinstance(self._provider, InMemoryProvider):
+            means, stds, sizes = self._provider.window_stats(idx)
+
+            def compute_row(i: int) -> np.ndarray:
+                cov_row = self._provider.cov_rows(idx, np.array([i]))[:, 0, :]
+                return combine_row(means, stds, cov_row, sizes, i)
+
+        else:
+            selected = self._provider.materialize(idx)
+            row_idx = np.arange(selected.n_windows, dtype=np.int64)
+
+            def compute_row(i: int) -> np.ndarray:
+                return query_correlation_row(selected, row_idx, i)
+
         return prune_threshold_matrix(
-            lambda i: query_correlation_row(self._sketch, idx, i),
-            self._sketch.n_series,
+            compute_row,
+            self._provider.n_series,
             theta,
             max_anchors=max_anchors,
         )

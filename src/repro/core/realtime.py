@@ -54,12 +54,68 @@ class TsubasaRealtime:
                 f"the basic window size {window_size}"
             )
         sketch = build_sketch(matrix, window_size, names=names)
+        self._init_state(sketch, window_size, coordinates, matrix.shape[1])
+
+    def _init_state(
+        self,
+        sketch: Sketch,
+        window_size: int,
+        coordinates: dict[str, tuple[float, float]] | None,
+        timestamp: int,
+    ) -> None:
         self._window_size = window_size
         self._state = SlidingCorrelationState(sketch, sketch.n_windows)
-        self._buffer = np.empty((matrix.shape[0], 0), dtype=np.float64)
+        self._buffer = np.empty((sketch.n_series, 0), dtype=np.float64)
         self._coordinates = coordinates
-        self._timestamp = matrix.shape[1]
+        self._timestamp = timestamp
         self._windows_processed = 0
+
+    @classmethod
+    def from_provider(
+        cls,
+        provider,
+        query_windows: int | None = None,
+        coordinates: dict[str, tuple[float, float]] | None = None,
+    ) -> "TsubasaRealtime":
+        """Warm-start the sliding state from any sketch backend.
+
+        Seeds the standing query over the provider's trailing basic windows
+        without touching raw data — only the ``query_windows`` needed window
+        records are materialized, so resuming off a large store stays cheap.
+
+        Args:
+            provider: Any :class:`~repro.engine.providers.SketchProvider`
+                holding the already-sketched past.
+            query_windows: Standing query length in basic windows; defaults
+                to every window the provider holds.
+            coordinates: Optional ``name -> (lat, lon)`` node positions.
+
+        Returns:
+            A ready engine whose network state equals one that had streamed
+            the provider's trailing windows itself (tested).
+        """
+        n_windows = provider.n_windows if query_windows is None else query_windows
+        if n_windows <= 0:
+            raise StreamError("query_windows must be positive")
+        if n_windows > provider.n_windows:
+            raise StreamError(
+                f"provider holds {provider.n_windows} windows, cannot seed a "
+                f"{n_windows}-window query"
+            )
+        indices = np.arange(provider.n_windows - n_windows, provider.n_windows)
+        sizes = provider.sizes[indices]
+        if np.any(sizes != provider.window_size):
+            raise StreamError(
+                "real-time seeding requires whole basic windows; the provider's "
+                f"trailing windows have sizes {sizes.tolist()} for B="
+                f"{provider.window_size}"
+            )
+        sketch = provider.materialize(indices)
+        engine = cls.__new__(cls)
+        engine._init_state(
+            sketch, provider.window_size, coordinates, provider.length
+        )
+        return engine
 
     @property
     def names(self) -> list[str]:

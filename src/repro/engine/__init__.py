@@ -1,0 +1,15 @@
+"""Pluggable sketch backends for the TSUBASA query engines."""
+
+from repro.engine.providers import (
+    ChunkedBuildProvider,
+    InMemoryProvider,
+    SketchProvider,
+    StoreProvider,
+)
+
+__all__ = [
+    "SketchProvider",
+    "InMemoryProvider",
+    "StoreProvider",
+    "ChunkedBuildProvider",
+]

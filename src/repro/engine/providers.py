@@ -1,0 +1,676 @@
+"""Sketch providers: pluggable backends feeding the Lemma 1 kernels.
+
+The paper's point (§3.4) is that the *sketch* — not raw data — is the
+query-time substrate, and that it can live anywhere: in memory next to the
+engine, in a database read lazily at query time, or nowhere at all (computed
+block-by-block from raw data under a memory bound). A
+:class:`SketchProvider` abstracts that choice behind one narrow interface —
+per-window series statistics plus per-window covariance rows/chunks — so
+every engine (:class:`~repro.core.exact.TsubasaHistorical`, the pruning
+path, the parallel executor, real-time warm starts) runs unchanged against
+any backend.
+
+Three providers are shipped:
+
+* :class:`InMemoryProvider` — wraps a fully materialized
+  :class:`~repro.core.sketch.Sketch` (the paper's in-memory configuration).
+* :class:`StoreProvider` — lazy window loading from any
+  :class:`~repro.storage.base.SketchStore` with batched reads and an LRU
+  window-record cache; queries never hold the full ``(ns, n, n)`` covariance
+  tensor at once (the paper's disk-based configuration).
+* :class:`ChunkedBuildProvider` — no precomputed sketch at all: window
+  statistics are cheap and kept whole, per-window covariance matrices are
+  built on demand in row blocks (reusing the parallel executor's
+  :func:`~repro.parallel.executor.sketch_partition`) under a configurable
+  memory bound, with an LRU of finished windows. Useful for large ``n``
+  where the full tensor would not fit, and for streaming a sketch into a
+  store without ever materializing it (:meth:`ChunkedBuildProvider.save_to`).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.segmentation import BasicWindowPlan
+from repro.core.sketch import Sketch
+from repro.core.stats import series_window_stats
+from repro.exceptions import DataError, SketchError, StorageError
+from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+
+__all__ = [
+    "SketchProvider",
+    "InMemoryProvider",
+    "StoreProvider",
+    "ChunkedBuildProvider",
+]
+
+_NO_RAW_MESSAGE = (
+    "query window is not aligned to basic windows and no raw data "
+    "is available to sketch the partial fragments"
+)
+
+
+class SketchProvider(abc.ABC):
+    """Backend-agnostic access to a sketched series collection.
+
+    The interface is exactly what the Lemma 1 kernels consume: per-window
+    per-series statistics (small, ``O(n * ns)``) delivered whole, and the
+    per-window covariance matrices (large, ``O(ns * n^2)``) delivered as
+    row blocks or window chunks so backends can bound memory.
+    """
+
+    # -- collection metadata -------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def names(self) -> list[str]:
+        """Series identifiers, in matrix order."""
+
+    @property
+    @abc.abstractmethod
+    def window_size(self) -> int:
+        """Basic window size ``B``."""
+
+    @property
+    @abc.abstractmethod
+    def sizes(self) -> np.ndarray:
+        """Per-window sizes ``B_j``, shape ``(n_windows,)``."""
+
+    @property
+    def n_series(self) -> int:
+        """Number of sketched series."""
+        return len(self.names)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of sketched basic windows."""
+        return int(self.sizes.size)
+
+    @property
+    def length(self) -> int:
+        """Total number of sketched data points per series."""
+        return int(self.sizes.sum())
+
+    @property
+    def plan(self) -> BasicWindowPlan:
+        """The basic-window segmentation plan implied by the metadata."""
+        return BasicWindowPlan(length=self.length, window_size=self.window_size)
+
+    @property
+    def has_raw_data(self) -> bool:
+        """Whether :meth:`fragment` can sketch raw head/tail fragments."""
+        return False
+
+    # -- statistics access ---------------------------------------------------
+
+    @abc.abstractmethod
+    def window_stats(
+        self, indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-series statistics of the selected windows.
+
+        Args:
+            indices: Basic window indices, in query order.
+
+        Returns:
+            ``(means, stds, sizes)`` of shapes ``(n, k)``, ``(n, k)``,
+            ``(k,)`` for ``k = len(indices)``.
+        """
+
+    @abc.abstractmethod
+    def iter_cov_chunks(
+        self, indices: np.ndarray, chunk_windows: int
+    ) -> Iterator[np.ndarray]:
+        """Covariance matrices of the selected windows, chunked.
+
+        Args:
+            indices: Basic window indices, in query order.
+            chunk_windows: Maximum windows per yielded chunk.
+
+        Yields:
+            Arrays of shape ``(k', n, n)`` concatenating, in ``indices``
+            order, to the selection's full covariance tensor.
+        """
+
+    def iter_window_chunks(
+        self, indices: np.ndarray, chunk_windows: int
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Statistics *and* covariances of the selected windows, chunked.
+
+        The single-pass feed for
+        :func:`~repro.core.lemma1.combine_matrix_chunked`: backends that pay
+        per-record I/O (stores) override this to deliver each window record
+        exactly once.
+
+        Args:
+            indices: Basic window indices, in query order.
+            chunk_windows: Maximum windows per yielded chunk.
+
+        Yields:
+            ``(means, stds, sizes, covs)`` tuples of shapes ``(n, k')``,
+            ``(n, k')``, ``(k',)``, ``(k', n, n)``, concatenating in
+            ``indices`` order to the full selection.
+        """
+        indices = self._check_indices(indices)
+        if chunk_windows <= 0:
+            raise SketchError("chunk_windows must be positive")
+        for start in range(0, indices.size, chunk_windows):
+            chunk_idx = indices[start : start + chunk_windows]
+            means, stds, sizes = self.window_stats(chunk_idx)
+            yield means, stds, sizes, self.covs(chunk_idx)
+
+    def covs(self, indices: np.ndarray) -> np.ndarray:
+        """Full ``(k, n, n)`` covariance tensor of the selected windows."""
+        chunks = list(self.iter_cov_chunks(indices, max(len(indices), 1)))
+        if not chunks:
+            return np.empty((0, self.n_series, self.n_series))
+        return np.concatenate(chunks, axis=0)
+
+    def cov_rows(self, indices: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Row block of the selected windows' covariance matrices.
+
+        Args:
+            indices: Basic window indices, in query order.
+            rows: Row (series) indices of the block.
+
+        Returns:
+            Array of shape ``(k, len(rows), n)``.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        return self.covs(indices)[:, rows, :]
+
+    def fragment(
+        self, start: int, stop: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Sketch a raw ``[start, stop)`` fragment (arbitrary-window support).
+
+        Backends without raw data raise :class:`SketchError` — the paper's
+        sketch-only deployment supports aligned queries only.
+        """
+        raise SketchError(_NO_RAW_MESSAGE)
+
+    def materialize(self, indices: np.ndarray | None = None) -> Sketch:
+        """Assemble a full in-memory :class:`Sketch` of the selection.
+
+        This loads the selection's complete covariance tensor (in a single
+        pass over the backend's records); use it for interop with
+        sketch-consuming APIs (sweeps, Lemma 2 seeding), not on query hot
+        paths.
+        """
+        if indices is None:
+            indices = np.arange(self.n_windows, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        n = self.n_series
+        if indices.size == 0:
+            means = np.empty((n, 0))
+            stds = np.empty((n, 0))
+            sizes = np.empty(0)
+            covs = np.empty((0, n, n))
+        else:
+            parts = list(self.iter_window_chunks(indices, indices.size))
+            means = np.concatenate([p[0] for p in parts], axis=1)
+            stds = np.concatenate([p[1] for p in parts], axis=1)
+            sizes = np.concatenate([p[2] for p in parts])
+            covs = np.concatenate([p[3] for p in parts], axis=0)
+        return Sketch(
+            names=list(self.names),
+            window_size=self.window_size,
+            means=means,
+            stds=stds,
+            covs=covs,
+            sizes=sizes.astype(np.int64),
+        )
+
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_windows):
+            raise SketchError(
+                f"window indices out of range [0, {self.n_windows}): {indices}"
+            )
+        return indices
+
+
+def _raw_fragment(
+    data: np.ndarray, start: int, stop: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    from repro.core.exact import fragment_stats
+
+    return fragment_stats(data, start, stop)
+
+
+class InMemoryProvider(SketchProvider):
+    """Provider over a fully materialized :class:`Sketch`.
+
+    Args:
+        sketch: The pre-computed sketch.
+        data: Optional raw ``(n, L)`` matrix enabling arbitrary
+            (non-aligned) query windows via head/tail fragments.
+    """
+
+    def __init__(self, sketch: Sketch, data: np.ndarray | None = None) -> None:
+        self._sketch = sketch
+        if data is not None:
+            data = np.asarray(data, dtype=np.float64)
+            if data.shape != (sketch.n_series, sketch.length):
+                raise DataError(
+                    f"raw data shape {data.shape} does not match the sketch's "
+                    f"({sketch.n_series}, {sketch.length})"
+                )
+        self._data = data
+
+    @property
+    def sketch(self) -> Sketch:
+        """The wrapped sketch."""
+        return self._sketch
+
+    @property
+    def names(self) -> list[str]:
+        return self._sketch.names
+
+    @property
+    def window_size(self) -> int:
+        return self._sketch.window_size
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._sketch.sizes
+
+    @property
+    def has_raw_data(self) -> bool:
+        return self._data is not None
+
+    def window_stats(self, indices):
+        idx = self._check_indices(indices)
+        return (
+            self._sketch.means[:, idx],
+            self._sketch.stds[:, idx],
+            self._sketch.sizes[idx].astype(np.float64),
+        )
+
+    def iter_cov_chunks(self, indices, chunk_windows):
+        idx = self._check_indices(indices)
+        if chunk_windows <= 0:
+            raise SketchError("chunk_windows must be positive")
+        for start in range(0, idx.size, chunk_windows):
+            yield self._sketch.covs[idx[start : start + chunk_windows]]
+
+    def cov_rows(self, indices, rows):
+        idx = self._check_indices(indices)
+        rows = np.asarray(rows, dtype=np.int64)
+        return self._sketch.covs[idx][:, rows, :]
+
+    def fragment(self, start, stop):
+        if self._data is None:
+            raise SketchError(_NO_RAW_MESSAGE)
+        return _raw_fragment(self._data, start, stop)
+
+    def materialize(self, indices=None):
+        if indices is None:
+            return self._sketch
+        return self._sketch.select(np.asarray(indices, dtype=np.int64))
+
+
+class _LruRecordCache:
+    """Bounded LRU of window records (or per-window covariance matrices)."""
+
+    def __init__(self, capacity: int | None) -> None:
+        if capacity is not None and capacity < 0:
+            raise DataError("cache capacity must be >= 0 or None (unbounded)")
+        self._capacity = capacity
+        self._entries: OrderedDict[int, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: int):
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: int, value: object) -> None:
+        if self._capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while self._capacity is not None and len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class StoreProvider(SketchProvider):
+    """Lazy provider over a :class:`~repro.storage.base.SketchStore`.
+
+    Window records are read from the store in batches only when a query
+    needs them, and recently used records are kept in a bounded LRU cache —
+    repeated queries over overlapping windows (sweeps, dashboards) hit the
+    cache instead of the database. Queries through this provider never hold
+    more than ``read_batch`` freshly read records plus the cache.
+
+    Args:
+        store: Open sketch store holding an ``"exact"`` sketch.
+        cache_windows: LRU capacity in window records; ``0`` disables
+            caching, ``None`` is unbounded. Default 64.
+        read_batch: Maximum records fetched per ``read_windows`` call (the
+            §3.4 batched reads). Default 32.
+        data: Optional raw ``(n, L)`` matrix enabling arbitrary query
+            windows; without it only aligned queries are answerable (the
+            sketch-only deployment).
+    """
+
+    def __init__(
+        self,
+        store: SketchStore,
+        cache_windows: int | None = 64,
+        read_batch: int = 32,
+        data: np.ndarray | None = None,
+    ) -> None:
+        if read_batch <= 0:
+            raise DataError("read_batch must be positive")
+        metadata = store.read_metadata()
+        if metadata.kind != "exact":
+            raise StorageError(
+                f"store holds a {metadata.kind!r} sketch, expected 'exact'"
+            )
+        self._store = store
+        self._metadata = metadata
+        self._read_batch = read_batch
+        self._cache = _LruRecordCache(cache_windows)
+        n_windows = store.window_count()
+        if n_windows == 0:
+            raise StorageError("store holds no window records")
+        # All windows are size B except possibly a shorter trailing one;
+        # one record read settles the exact sizes without scanning the store.
+        last = store.read_windows([n_windows - 1])[0]
+        sizes = np.full(n_windows, metadata.window_size, dtype=np.int64)
+        sizes[-1] = last.size
+        self._sizes = sizes
+        if data is not None:
+            data = np.asarray(data, dtype=np.float64)
+            if data.shape != (len(metadata.names), int(sizes.sum())):
+                raise DataError(
+                    f"raw data shape {data.shape} does not match the store's "
+                    f"({len(metadata.names)}, {int(sizes.sum())})"
+                )
+        self._data = data
+        self.windows_read = 0
+
+    @property
+    def store(self) -> SketchStore:
+        """The underlying sketch store."""
+        return self._store
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._metadata.names)
+
+    @property
+    def window_size(self) -> int:
+        return self._metadata.window_size
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._sizes
+
+    @property
+    def has_raw_data(self) -> bool:
+        return self._data is not None
+
+    @property
+    def cache_hits(self) -> int:
+        """Window records served from the LRU cache."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Window records that had to be read from the store."""
+        return self._cache.misses
+
+    def _iter_records(self, indices: np.ndarray) -> Iterator[WindowRecord]:
+        """Yield records in order, reading misses from the store in batches."""
+        indices = self._check_indices(indices)
+        for start in range(0, indices.size, self._read_batch):
+            batch = [int(i) for i in indices[start : start + self._read_batch]]
+            cached: dict[int, WindowRecord] = {}
+            missing: dict[int, None] = {}  # ordered de-dup of cache misses
+            for i in batch:
+                if i in cached or i in missing:
+                    continue
+                record = self._cache.get(i)
+                if record is None:
+                    missing[i] = None
+                else:
+                    cached[i] = record
+            fetched: dict[int, WindowRecord] = {}
+            if missing:
+                for record in self._store.read_windows(list(missing)):
+                    fetched[record.index] = record
+                    self._cache.put(record.index, record)
+                self.windows_read += len(missing)
+            for i in batch:
+                yield cached.get(i) or fetched[i]
+
+    def window_stats(self, indices):
+        indices = self._check_indices(indices)
+        n = self.n_series
+        means = np.empty((n, indices.size))
+        stds = np.empty((n, indices.size))
+        sizes = np.empty(indices.size)
+        for k, record in enumerate(self._iter_records(indices)):
+            means[:, k] = record.means
+            stds[:, k] = record.stds
+            sizes[k] = record.size
+        return means, stds, sizes
+
+    def iter_cov_chunks(self, indices, chunk_windows):
+        indices = self._check_indices(indices)
+        if chunk_windows <= 0:
+            raise SketchError("chunk_windows must be positive")
+        n = self.n_series
+        for start in range(0, indices.size, chunk_windows):
+            chunk_idx = indices[start : start + chunk_windows]
+            chunk = np.empty((chunk_idx.size, n, n))
+            for k, record in enumerate(self._iter_records(chunk_idx)):
+                chunk[k] = record.pairs
+            yield chunk
+
+    def iter_window_chunks(self, indices, chunk_windows):
+        # One record pass feeds both the statistics and the covariances, so
+        # a query reads each window from the store exactly once (the default
+        # implementation would read twice: stats pass + covariance pass).
+        indices = self._check_indices(indices)
+        if chunk_windows <= 0:
+            raise SketchError("chunk_windows must be positive")
+        n = self.n_series
+        for start in range(0, indices.size, chunk_windows):
+            chunk_idx = indices[start : start + chunk_windows]
+            means = np.empty((n, chunk_idx.size))
+            stds = np.empty((n, chunk_idx.size))
+            sizes = np.empty(chunk_idx.size)
+            covs = np.empty((chunk_idx.size, n, n))
+            for k, record in enumerate(self._iter_records(chunk_idx)):
+                means[:, k] = record.means
+                stds[:, k] = record.stds
+                sizes[k] = record.size
+                covs[k] = record.pairs
+            yield means, stds, sizes, covs
+
+    def cov_rows(self, indices, rows):
+        indices = self._check_indices(indices)
+        rows = np.asarray(rows, dtype=np.int64)
+        block = np.empty((indices.size, rows.size, self.n_series))
+        for k, record in enumerate(self._iter_records(indices)):
+            block[k] = record.pairs[rows, :]
+        return block
+
+    def fragment(self, start, stop):
+        if self._data is None:
+            raise SketchError(_NO_RAW_MESSAGE)
+        return _raw_fragment(self._data, start, stop)
+
+
+class ChunkedBuildProvider(SketchProvider):
+    """Memory-bounded on-demand sketching of raw data (no stored sketch).
+
+    Per-series window statistics (``O(n * ns)``) are computed once up front;
+    per-window covariance matrices (``O(n^2)`` each) are built only when a
+    query asks for them, in row blocks of at most ``chunk_rows`` series via
+    the parallel executor's :func:`~repro.parallel.executor.sketch_partition`
+    primitive, and kept in a small LRU. Peak extra memory per window is
+    ``O(chunk_rows * n)`` beyond the ``(n, n)`` result.
+
+    Args:
+        data: ``(n, L)`` matrix of synchronized series.
+        window_size: Basic window size ``B``.
+        names: Optional series identifiers.
+        chunk_rows: Row-block height for covariance construction.
+        cache_windows: LRU capacity in finished ``(n, n)`` window matrices.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        window_size: int,
+        names: list[str] | None = None,
+        chunk_rows: int = 256,
+        cache_windows: int | None = 8,
+    ) -> None:
+        matrix = np.asarray(data, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise DataError(f"expected a 2-D series matrix, got shape {matrix.shape}")
+        if chunk_rows <= 0:
+            raise DataError("chunk_rows must be positive")
+        self._data = matrix
+        self._plan = BasicWindowPlan(length=matrix.shape[1], window_size=window_size)
+        self._bounds = self._plan.boundaries
+        means, stds, sizes = series_window_stats(matrix, self._bounds)
+        self._means = means
+        self._stds = stds
+        self._sizes = sizes
+        self._names = (
+            list(names)
+            if names is not None
+            else [f"s{i:04d}" for i in range(matrix.shape[0])]
+        )
+        if len(self._names) != matrix.shape[0]:
+            raise DataError(
+                f"{len(self._names)} names for {matrix.shape[0]} series"
+            )
+        self._window_size = window_size
+        self._chunk_rows = chunk_rows
+        self._cache = _LruRecordCache(cache_windows)
+
+    @property
+    def names(self) -> list[str]:
+        return self._names
+
+    @property
+    def window_size(self) -> int:
+        return self._window_size
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._sizes
+
+    @property
+    def has_raw_data(self) -> bool:
+        return True
+
+    @property
+    def cache_hits(self) -> int:
+        """Window covariances served from the LRU cache."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Window covariances built from raw data."""
+        return self._cache.misses
+
+    def _window_cov(self, index: int) -> np.ndarray:
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        from repro.parallel.executor import sketch_partition
+
+        start, stop = int(self._bounds[index]), int(self._bounds[index + 1])
+        block_data = self._data[:, start:stop]
+        bounds = np.array([0, stop - start], dtype=np.int64)
+        n = self._data.shape[0]
+        cov = np.empty((n, n))
+        for row_start in range(0, n, self._chunk_rows):
+            rows = np.arange(row_start, min(row_start + self._chunk_rows, n))
+            _, _, _, blocks = sketch_partition(rows, block_data, bounds)
+            cov[rows] = blocks[0]
+        cov = 0.5 * (cov + cov.T)
+        self._cache.put(index, cov)
+        return cov
+
+    def window_stats(self, indices):
+        idx = self._check_indices(indices)
+        return (
+            self._means[:, idx],
+            self._stds[:, idx],
+            self._sizes[idx].astype(np.float64),
+        )
+
+    def iter_cov_chunks(self, indices, chunk_windows):
+        idx = self._check_indices(indices)
+        if chunk_windows <= 0:
+            raise SketchError("chunk_windows must be positive")
+        n = self.n_series
+        for start in range(0, idx.size, chunk_windows):
+            chunk_idx = idx[start : start + chunk_windows]
+            chunk = np.empty((chunk_idx.size, n, n))
+            for k, j in enumerate(chunk_idx):
+                chunk[k] = self._window_cov(int(j))
+            yield chunk
+
+    def cov_rows(self, indices, rows):
+        idx = self._check_indices(indices)
+        rows = np.asarray(rows, dtype=np.int64)
+        block = np.empty((idx.size, rows.size, self.n_series))
+        for k, j in enumerate(idx):
+            block[k] = self._window_cov(int(j))[rows, :]
+        return block
+
+    def fragment(self, start, stop):
+        return _raw_fragment(self._data, start, stop)
+
+    def save_to(self, store: SketchStore, batch_size: int = 16) -> None:
+        """Stream the full sketch into a store, one window batch at a time.
+
+        Never materializes the ``(ns, n, n)`` tensor: windows are built,
+        written, and released in batches of ``batch_size``.
+        """
+        if batch_size <= 0:
+            raise StorageError("batch_size must be positive")
+        store.write_metadata(
+            StoreMetadata(
+                names=tuple(self._names),
+                window_size=self._window_size,
+                kind="exact",
+            )
+        )
+        batch: list[WindowRecord] = []
+        for j in range(self.n_windows):
+            batch.append(
+                WindowRecord(
+                    index=j,
+                    means=self._means[:, j].copy(),
+                    stds=self._stds[:, j].copy(),
+                    pairs=self._window_cov(j),
+                    size=int(self._sizes[j]),
+                )
+            )
+            if len(batch) >= batch_size:
+                store.write_windows(batch)
+                batch = []
+        if batch:
+            store.write_windows(batch)

@@ -24,17 +24,18 @@ tests deterministic and makes the worker functions unit-testable.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import get_context
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.lemma1 import combine_rows
 from repro.core.segmentation import BasicWindowPlan
 from repro.core.sketch import Sketch
 from repro.exceptions import DataError
 from repro.parallel.partitioning import partition_rows
-from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+from repro.storage.base import SketchStore
 from repro.storage.sqlite_store import SqliteSketchStore
 
 __all__ = [
@@ -91,16 +92,21 @@ class ParallelQueryResult:
 
     Attributes:
         matrix: The assembled ``(n, n)`` correlation matrix.
-        read_seconds: Aggregate time workers spent reading from the store.
+        read_seconds: Store-read time of the slowest worker — the read
+            component on the critical path. (Averaging reads across workers
+            instead could exceed the measured wall time of a skewed run and
+            push the derived calculation share negative.)
         calc_seconds: Wall time of the parallel matrix-calculation phase
             minus the read component.
         n_partitions: Number of partitions actually used.
+        worker_read_seconds: Per-worker store-read times, in partition order.
     """
 
     matrix: np.ndarray
     read_seconds: float
     calc_seconds: float
     n_partitions: int
+    worker_read_seconds: list[float] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -277,22 +283,14 @@ def query_partition(
             raise DataError("either sketch or store_path must be provided")
         idx = np.asarray(window_indices, dtype=np.int64)
 
-    sizes = sketch.sizes[idx].astype(np.float64)
-    total = float(sizes.sum())
-    means = sketch.means[:, idx]
-    stds = sketch.stds[:, idx]
-    grand = means @ sizes / total
-    delta = means - grand[:, None]
-
-    numer = np.einsum("j,jab->ab", sizes, sketch.covs[idx][:, rows, :])
-    numer += (delta[rows] * sizes) @ delta.T
-    pooled_var = np.sum(sizes * (stds**2 + delta**2), axis=1) / total
-    scale = np.sqrt(np.maximum(pooled_var, 0.0)) * np.sqrt(total)
-    denom = np.outer(scale[rows], scale)
-
-    block = np.zeros((rows.size, sketch.n_series))
-    np.divide(numer, denom, out=block, where=denom > 0.0)
-    np.clip(block, -1.0, 1.0, out=block)
+    rows = np.asarray(rows, dtype=np.int64)
+    block = combine_rows(
+        sketch.means[:, idx],
+        sketch.stds[:, idx],
+        sketch.covs[idx][:, rows, :],
+        sketch.sizes[idx].astype(np.float64),
+        rows,
+    )
     return rows, block, read_seconds
 
 
@@ -307,6 +305,7 @@ def parallel_query(
     sketch: Sketch | None = None,
     store_path: str | Path | None = None,
     n_series: int | None = None,
+    provider=None,
 ) -> ParallelQueryResult:
     """All-pairs Lemma 1 query with partitioned workers.
 
@@ -317,13 +316,34 @@ def parallel_query(
         store_path: SQLite store path (disk-based mode; workers read their
             own sketches, as in §3.4).
         n_series: Required in disk-based mode without a sketch.
+        provider: Any :class:`~repro.engine.providers.SketchProvider`
+            backend, mutually exclusive with ``sketch``/``store_path``. A
+            :class:`~repro.engine.providers.StoreProvider` over an on-disk
+            SQLite store runs in disk-based mode (workers open their own
+            connections); any other provider has the selected windows
+            materialized once and shipped to the workers.
 
     Returns:
         A :class:`ParallelQueryResult` with the full matrix and read/calc
         split.
     """
+    window_indices = np.asarray(window_indices, dtype=np.int64)
+    if provider is not None:
+        if sketch is not None or store_path is not None:
+            raise DataError("give either a provider or sketch/store_path, not both")
+        from repro.engine.providers import StoreProvider
+
+        n_series = provider.n_series
+        path = None
+        if isinstance(provider, StoreProvider):
+            path = getattr(provider.store, "path", None)
+        if path is not None:
+            store_path = path
+        else:
+            sketch = provider.materialize(window_indices)
+            window_indices = np.arange(sketch.n_windows, dtype=np.int64)
     if sketch is None and store_path is None:
-        raise DataError("either sketch or store_path must be provided")
+        raise DataError("either sketch, store_path, or provider must be provided")
     if n_workers <= 0:
         raise DataError("n_workers must be positive")
     if sketch is not None:
@@ -332,7 +352,6 @@ def parallel_query(
         with SqliteSketchStore(store_path) as store:
             n_series = len(store.read_metadata().names)
 
-    window_indices = np.asarray(window_indices, dtype=np.int64)
     partitions = partition_rows(n_series, n_workers)
     path_str = str(store_path) if store_path is not None else None
     # Disk-based mode ships no sketch to workers; they read the store.
@@ -356,17 +375,21 @@ def parallel_query(
     wall = time.perf_counter() - start
 
     matrix = np.empty((n_series, n_series))
-    read_seconds = 0.0
+    worker_reads: list[float] = []
     for rows, block, read_time in results:
         matrix[rows] = block
-        read_seconds += read_time
+        worker_reads.append(read_time)
     matrix = 0.5 * (matrix + matrix.T)
     np.fill_diagonal(matrix, 1.0)
-    # Attribute the average per-worker read time to the read phase.
-    mean_read = read_seconds / max(len(results), 1)
+    # The read phase on the critical path is the slowest worker's read:
+    # workers read concurrently, so wall time is bounded below by the max,
+    # and wall - max is a non-negative calculation share by construction
+    # (averaging instead could exceed wall under read skew and clamp to 0).
+    max_read = max(worker_reads, default=0.0)
     return ParallelQueryResult(
         matrix=matrix,
-        read_seconds=mean_read,
-        calc_seconds=max(wall - mean_read, 0.0),
+        read_seconds=max_read,
+        calc_seconds=max(wall - max_read, 0.0),
         n_partitions=len(partitions),
+        worker_read_seconds=worker_reads,
     )

@@ -1,4 +1,18 @@
-"""Sketch persistence: in-memory and disk-based (SQLite) stores."""
+"""Sketch persistence: in-memory and disk-based (SQLite) stores.
+
+The sketch *providers* (:mod:`repro.engine.providers`) are re-exported here
+for convenience — ``StoreProvider`` is how a persisted store plugs straight
+into the query engines::
+
+    from repro.storage import SqliteSketchStore, StoreProvider
+    from repro import TsubasaHistorical
+
+    with SqliteSketchStore("sketch.db") as store:
+        engine = TsubasaHistorical(provider=StoreProvider(store))
+        network = engine.network((8759, 3000), theta=0.75)
+
+(The re-export is lazy to keep the storage ↔ engine import graph acyclic.)
+"""
 
 from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
 from repro.storage.live import PersistentRealtime
@@ -22,4 +36,20 @@ __all__ = [
     "save_sketch",
     "load_approx_sketch",
     "save_approx_sketch",
+    "SketchProvider",
+    "InMemoryProvider",
+    "StoreProvider",
+    "ChunkedBuildProvider",
 ]
+
+_PROVIDER_EXPORTS = frozenset(
+    {"SketchProvider", "InMemoryProvider", "StoreProvider", "ChunkedBuildProvider"}
+)
+
+
+def __getattr__(name: str):
+    if name in _PROVIDER_EXPORTS:
+        from repro.engine import providers
+
+        return getattr(providers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -14,10 +14,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.realtime import TsubasaRealtime
-from repro.core.sketch import Sketch, build_sketch
+from repro.core.sketch import build_sketch
 from repro.exceptions import StreamError
 from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
-from repro.storage.serialize import load_sketch, save_sketch
+from repro.storage.serialize import save_sketch
 
 __all__ = ["PersistentRealtime"]
 
@@ -100,6 +100,9 @@ class PersistentRealtime:
     def resume(cls, store: SketchStore, query_windows: int) -> "PersistentRealtime":
         """Warm-start from a store written by a previous process.
 
+        Only the trailing ``query_windows`` records are read back — resuming
+        off a store holding a long history stays cheap.
+
         Args:
             store: Store holding the persisted sketches.
             query_windows: Query window length in basic windows; the engine
@@ -109,25 +112,15 @@ class PersistentRealtime:
             A :class:`PersistentRealtime` whose network state equals the one
             the previous process would have had (tested).
         """
-        sketch = load_sketch(store)
-        if query_windows > sketch.n_windows:
+        from repro.engine.providers import StoreProvider
+
+        provider = StoreProvider(store, cache_windows=0)
+        if query_windows > provider.n_windows:
             raise StreamError(
-                f"store holds {sketch.n_windows} windows, cannot resume a "
+                f"store holds {provider.n_windows} windows, cannot resume a "
                 f"{query_windows}-window query"
             )
-        tail = sketch.select(
-            np.arange(sketch.n_windows - query_windows, sketch.n_windows)
-        )
-        engine = TsubasaRealtime.__new__(TsubasaRealtime)
-        # Rebuild the engine state directly from the sketch tail.
-        from repro.core.lemma2 import SlidingCorrelationState
-
-        engine._window_size = sketch.window_size
-        engine._state = SlidingCorrelationState(tail, query_windows)
-        engine._buffer = np.empty((sketch.n_series, 0))
-        engine._coordinates = None
-        engine._timestamp = int(sketch.sizes.sum())
-        engine._windows_processed = 0
+        engine = TsubasaRealtime.from_provider(provider, query_windows)
         return cls(engine, store)
 
     def ingest(self, values: np.ndarray) -> int:

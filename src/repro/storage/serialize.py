@@ -10,12 +10,16 @@ database writes; reads can select only the windows a query needs.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from repro.approx.sketch import ApproxSketch
 from repro.core.sketch import Sketch
 from repro.exceptions import StorageError
 from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+
+if TYPE_CHECKING:
+    from repro.approx.sketch import ApproxSketch
 
 __all__ = [
     "save_sketch",
@@ -120,8 +124,10 @@ def save_approx_sketch(
 
 def load_approx_sketch(
     store: SketchStore, indices: list[int] | None = None
-) -> ApproxSketch:
+) -> "ApproxSketch":
     """Load an approximate sketch (optionally only selected windows)."""
+    from repro.approx.sketch import ApproxSketch
+
     metadata, records = _read_all(store, indices)
     if metadata.kind != "approx":
         raise StorageError(

@@ -81,6 +81,15 @@ class SqliteSketchStore(SketchStore):
         )
         self._conn.commit()
 
+    @property
+    def path(self) -> str | None:
+        """Database file path; ``None`` for ephemeral ``":memory:"`` stores.
+
+        A real path means other processes (the parallel executor's workers)
+        can open their own connections to the same sketch database.
+        """
+        return None if self._path == ":memory:" else self._path
+
     def write_metadata(self, metadata: StoreMetadata) -> None:
         payload = json.dumps(
             {

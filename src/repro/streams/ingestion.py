@@ -65,6 +65,41 @@ class StreamIngestor:
         self.history: list[NetworkSnapshot] = []
         self._previous_edges = engine.network(theta).edge_set()
 
+    @classmethod
+    def from_provider(
+        cls,
+        provider,
+        query_windows: int,
+        theta: float,
+        on_update: Callable[[NetworkSnapshot], None] | None = None,
+        keep_history: bool = True,
+        coordinates: dict[str, tuple[float, float]] | None = None,
+    ) -> "StreamIngestor":
+        """Warm-start an ingestion loop from any sketch backend.
+
+        Seeds a :class:`~repro.core.realtime.TsubasaRealtime` engine over the
+        provider's trailing ``query_windows`` basic windows (e.g. a
+        :class:`~repro.engine.providers.StoreProvider` over the sketches a
+        previous process persisted) and wraps it in an ingestor, so a crashed
+        or restarted consumer resumes streaming without replaying raw data.
+
+        Args:
+            provider: Any :class:`~repro.engine.providers.SketchProvider`
+                holding the already-sketched past.
+            query_windows: Standing query length in basic windows.
+            theta: Threshold used for network snapshots.
+            on_update: Optional per-snapshot callback.
+            keep_history: Retain all snapshots in :attr:`history`.
+            coordinates: Optional node positions attached to networks.
+
+        Returns:
+            A ready ingestion loop positioned at the provider's last offset.
+        """
+        engine = TsubasaRealtime.from_provider(
+            provider, query_windows, coordinates=coordinates
+        )
+        return cls(engine, theta, on_update=on_update, keep_history=keep_history)
+
     @property
     def engine(self) -> TsubasaRealtime:
         """The wrapped real-time engine."""

@@ -1,0 +1,175 @@
+"""Regression tests pinning every Lemma 1 kernel to one convention.
+
+Earlier revisions carried three hand-written copies of the Lemma 1
+combination math with subtly different normalizations: the full-matrix path
+divided the pooled variance by the total count and rescaled by
+``sqrt(total)``, while the row path left it undivided. All kernels now share
+one implementation (:func:`repro.core.lemma1.pooled_deltas_scales`); these
+tests pin every public entry point — matrix, streaming matrix, row block,
+single row, pair — against the raw-data baseline and against each other, on
+variable-size windows where the conventions would diverge if they ever
+re-forked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline.naive import baseline_correlation_matrix
+from repro.core.exact import query_correlation_row
+from repro.core.lemma1 import (
+    combine_matrix,
+    combine_matrix_streaming,
+    combine_pair_arrays,
+    combine_row,
+    combine_rows,
+)
+from repro.core.sketch import build_sketch
+from repro.exceptions import SketchError
+from repro.parallel.executor import query_partition
+
+
+@pytest.fixture(scope="module")
+def variable_sketch(rng=np.random.default_rng(77)):
+    """Sketch with a short trailing window (sizes 40, 40, 40, 40, 40, 17)."""
+    data = rng.normal(size=(9, 217))
+    data[3] += 0.8 * data[0]  # induce some real correlation structure
+    data[7] -= 0.5 * data[1]
+    return data, build_sketch(data, window_size=40)
+
+
+class TestKernelsAgainstBaseline:
+    """Satellite: one kernel, one convention, pinned to the raw baseline."""
+
+    def test_matrix_matches_baseline(self, variable_sketch):
+        data, sketch = variable_sketch
+        got = combine_matrix(sketch.means, sketch.stds, sketch.covs, sketch.sizes)
+        np.testing.assert_allclose(
+            got, baseline_correlation_matrix(data), atol=1e-10
+        )
+
+    def test_streaming_matrix_matches_baseline(self, variable_sketch):
+        data, sketch = variable_sketch
+
+        def chunks():
+            yield sketch.covs[:2]
+            yield sketch.covs[2:5]
+            yield sketch.covs[5:]
+
+        got = combine_matrix_streaming(
+            sketch.means, sketch.stds, sketch.sizes.astype(float), chunks()
+        )
+        np.testing.assert_allclose(
+            got, baseline_correlation_matrix(data), atol=1e-10
+        )
+
+    def test_row_kernel_matches_baseline(self, variable_sketch):
+        data, sketch = variable_sketch
+        reference = baseline_correlation_matrix(data)
+        for row in range(sketch.n_series):
+            got = combine_row(
+                sketch.means,
+                sketch.stds,
+                sketch.covs[:, row, :],
+                sketch.sizes.astype(float),
+                row,
+            )
+            np.testing.assert_allclose(got, reference[row], atol=1e-10)
+
+    def test_pair_kernel_matches_baseline(self, variable_sketch):
+        data, sketch = variable_sketch
+        reference = baseline_correlation_matrix(data)
+        got = combine_pair_arrays(
+            sketch.means[2],
+            sketch.stds[2],
+            sketch.means[6],
+            sketch.stds[6],
+            sketch.covs[:, 2, 6],
+            sketch.sizes,
+        )
+        assert got == pytest.approx(reference[2, 6], abs=1e-10)
+
+
+class TestKernelsAgainstEachOther:
+    """All paths agree to float64 round-off (one formula, one convention).
+
+    Equality is asserted at 1e-12 rather than bit-identity: different entry
+    points hit BLAS with different shapes (gemv vs gemm), which legally
+    reorders the same sums.
+    """
+
+    def test_row_block_equals_matrix_rows(self, variable_sketch):
+        _, sketch = variable_sketch
+        full = combine_matrix(sketch.means, sketch.stds, sketch.covs, sketch.sizes)
+        rows = np.array([1, 4, 8])
+        block = combine_rows(
+            sketch.means,
+            sketch.stds,
+            sketch.covs[:, rows, :],
+            sketch.sizes.astype(float),
+            rows,
+        )
+        np.testing.assert_allclose(block, full[rows], rtol=0, atol=1e-12)
+
+    def test_query_row_equals_matrix_row(self, variable_sketch):
+        _, sketch = variable_sketch
+        idx = np.arange(sketch.n_windows)
+        full = combine_matrix(sketch.means, sketch.stds, sketch.covs, sketch.sizes)
+        for row in (0, 5):
+            np.testing.assert_allclose(
+                query_correlation_row(sketch, idx, row), full[row],
+                rtol=0, atol=1e-12,
+            )
+
+    def test_parallel_partition_equals_matrix_rows(self, variable_sketch):
+        _, sketch = variable_sketch
+        full = combine_matrix(sketch.means, sketch.stds, sketch.covs, sketch.sizes)
+        rows = np.array([0, 3, 7])
+        _, block, _ = query_partition(
+            rows, np.arange(sketch.n_windows), sketch, None
+        )
+        np.testing.assert_allclose(block, full[rows], rtol=0, atol=1e-12)
+
+    def test_streaming_equals_dense(self, variable_sketch):
+        _, sketch = variable_sketch
+        dense = combine_matrix(sketch.means, sketch.stds, sketch.covs, sketch.sizes)
+        streamed = combine_matrix_streaming(
+            sketch.means,
+            sketch.stds,
+            sketch.sizes.astype(float),
+            iter([sketch.covs]),
+        )
+        np.testing.assert_allclose(streamed, dense, rtol=0, atol=1e-12)
+
+
+class TestStreamingValidation:
+    def test_rejects_short_chunks(self, variable_sketch):
+        _, sketch = variable_sketch
+        with pytest.raises(SketchError):
+            combine_matrix_streaming(
+                sketch.means,
+                sketch.stds,
+                sketch.sizes.astype(float),
+                iter([sketch.covs[:2]]),
+            )
+
+    def test_rejects_excess_chunks(self, variable_sketch):
+        _, sketch = variable_sketch
+        with pytest.raises(SketchError):
+            combine_matrix_streaming(
+                sketch.means,
+                sketch.stds,
+                sketch.sizes.astype(float),
+                iter([sketch.covs, sketch.covs[:1]]),
+            )
+
+    def test_rejects_wrong_chunk_width(self, variable_sketch):
+        _, sketch = variable_sketch
+        with pytest.raises(SketchError):
+            combine_matrix_streaming(
+                sketch.means,
+                sketch.stds,
+                sketch.sizes.astype(float),
+                iter([sketch.covs[:, :4, :4]]),
+            )

@@ -1,0 +1,393 @@
+"""Tests for repro.engine.providers (pluggable sketch backends)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.exact import TsubasaHistorical
+from repro.core.realtime import TsubasaRealtime
+from repro.core.sketch import build_sketch
+from repro.engine.providers import (
+    ChunkedBuildProvider,
+    InMemoryProvider,
+    SketchProvider,
+    StoreProvider,
+)
+from repro.exceptions import DataError, SketchError, StorageError
+from repro.parallel.executor import parallel_query, parallel_sketch
+from repro.storage.memory import MemorySketchStore
+from repro.storage.serialize import load_sketch, save_sketch
+from repro.storage.sqlite_store import SqliteSketchStore
+from repro.streams.ingestion import StreamIngestor
+
+
+@pytest.fixture()
+def sqlite_store(small_sketch, tmp_path):
+    """An on-disk SQLite store holding the small sketch (12 windows, B=50)."""
+    store = SqliteSketchStore(tmp_path / "prov.db")
+    save_sketch(store, small_sketch)
+    yield store
+    store.close()
+
+
+@pytest.fixture()
+def memory_store(small_sketch):
+    store = MemorySketchStore()
+    save_sketch(store, small_sketch)
+    return store
+
+
+class TestInMemoryProvider:
+    def test_metadata(self, small_sketch):
+        provider = InMemoryProvider(small_sketch)
+        assert provider.n_series == 20
+        assert provider.n_windows == 12
+        assert provider.window_size == 50
+        assert provider.length == 600
+        assert not provider.has_raw_data
+
+    def test_window_stats_and_covs(self, small_sketch):
+        provider = InMemoryProvider(small_sketch)
+        idx = np.array([2, 5, 7])
+        means, stds, sizes = provider.window_stats(idx)
+        np.testing.assert_array_equal(means, small_sketch.means[:, idx])
+        np.testing.assert_array_equal(stds, small_sketch.stds[:, idx])
+        np.testing.assert_array_equal(sizes, small_sketch.sizes[idx])
+        np.testing.assert_array_equal(provider.covs(idx), small_sketch.covs[idx])
+
+    def test_cov_chunking_covers_selection(self, small_sketch):
+        provider = InMemoryProvider(small_sketch)
+        idx = np.arange(12)
+        chunks = list(provider.iter_cov_chunks(idx, chunk_windows=5))
+        assert [c.shape[0] for c in chunks] == [5, 5, 2]
+        np.testing.assert_array_equal(
+            np.concatenate(chunks, axis=0), small_sketch.covs
+        )
+
+    def test_rejects_mismatched_raw_data(self, small_sketch, rng):
+        with pytest.raises(DataError):
+            InMemoryProvider(small_sketch, data=rng.normal(size=(20, 599)))
+
+    def test_rejects_out_of_range_windows(self, small_sketch):
+        provider = InMemoryProvider(small_sketch)
+        with pytest.raises(SketchError):
+            provider.window_stats(np.array([12]))
+
+    def test_materialize_returns_wrapped_sketch(self, small_sketch):
+        provider = InMemoryProvider(small_sketch)
+        assert provider.materialize() is small_sketch
+        subset = provider.materialize(np.array([0, 3]))
+        np.testing.assert_array_equal(subset.covs, small_sketch.covs[[0, 3]])
+
+
+class TestStoreProvider:
+    def test_metadata_without_scanning(self, sqlite_store, small_sketch):
+        provider = StoreProvider(sqlite_store)
+        assert provider.names == small_sketch.names
+        assert provider.n_windows == 12
+        assert provider.length == 600
+        np.testing.assert_array_equal(provider.sizes, small_sketch.sizes)
+
+    def test_trailing_short_window_sizes(self, tmp_path, rng):
+        data = rng.normal(size=(5, 130))  # 2 full windows of 50 + tail of 30
+        sketch = build_sketch(data, window_size=50)
+        with SqliteSketchStore(tmp_path / "tail.db") as store:
+            save_sketch(store, sketch)
+            provider = StoreProvider(store)
+            np.testing.assert_array_equal(provider.sizes, [50, 50, 30])
+            assert provider.length == 130
+
+    def test_window_stats_match_sketch(self, sqlite_store, small_sketch):
+        provider = StoreProvider(sqlite_store)
+        idx = np.array([1, 4, 9])
+        means, stds, sizes = provider.window_stats(idx)
+        np.testing.assert_allclose(means, small_sketch.means[:, idx])
+        np.testing.assert_allclose(stds, small_sketch.stds[:, idx])
+        np.testing.assert_array_equal(sizes, small_sketch.sizes[idx])
+
+    def test_cov_rows_match_sketch(self, sqlite_store, small_sketch):
+        provider = StoreProvider(sqlite_store)
+        idx = np.arange(6)
+        rows = np.array([0, 7, 19])
+        block = provider.cov_rows(idx, rows)
+        np.testing.assert_allclose(block, small_sketch.covs[idx][:, rows, :])
+
+    def test_lru_cache_hits_and_bound(self, sqlite_store):
+        provider = StoreProvider(sqlite_store, cache_windows=4, read_batch=2)
+        idx = np.arange(12)
+        provider.window_stats(idx)
+        assert provider.cache_misses == 12
+        assert provider.windows_read == 12
+        # A second pass over the last cached windows hits the cache.
+        provider.window_stats(np.arange(8, 12))
+        assert provider.cache_hits == 4
+        assert provider.windows_read == 12
+        # Evicted windows are re-read.
+        provider.window_stats(np.arange(0, 4))
+        assert provider.windows_read == 16
+
+    def test_cache_disabled(self, sqlite_store):
+        provider = StoreProvider(sqlite_store, cache_windows=0)
+        provider.window_stats(np.arange(4))
+        provider.window_stats(np.arange(4))
+        assert provider.cache_hits == 0
+        assert provider.windows_read == 8
+
+    def test_rejects_approx_store(self, small_matrix, tmp_path):
+        from repro.approx.sketch import build_approx_sketch
+        from repro.storage.serialize import save_approx_sketch
+
+        approx = build_approx_sketch(small_matrix, 50, coeff_fraction=0.5)
+        with SqliteSketchStore(tmp_path / "approx.db") as store:
+            save_approx_sketch(store, approx)
+            with pytest.raises(StorageError):
+                StoreProvider(store)
+
+    def test_rejects_empty_store(self, tmp_path):
+        from repro.storage.base import StoreMetadata
+
+        with SqliteSketchStore(tmp_path / "empty.db") as store:
+            store.write_metadata(StoreMetadata(names=("a",), window_size=10))
+            with pytest.raises(StorageError):
+                StoreProvider(store)
+
+    def test_memory_store_backend(self, memory_store, small_sketch):
+        provider = StoreProvider(memory_store)
+        engine = TsubasaHistorical(provider=provider)
+        reference = TsubasaHistorical(provider=InMemoryProvider(small_sketch))
+        got = engine.correlation_matrix((599, 600))
+        want = reference.correlation_matrix((599, 600))
+        np.testing.assert_allclose(got.values, want.values, atol=1e-12)
+
+
+class TestStoreBackedEngine:
+    """The acceptance path: TsubasaHistorical(provider=StoreProvider(...))."""
+
+    def test_aligned_query_matches_in_memory_engine(
+        self, sqlite_store, small_matrix
+    ):
+        engine = TsubasaHistorical(
+            provider=StoreProvider(sqlite_store), chunk_windows=3
+        )
+        reference = TsubasaHistorical(small_matrix, window_size=50)
+        got = engine.correlation_matrix((599, 300))
+        want = reference.correlation_matrix((599, 300))
+        np.testing.assert_allclose(got.values, want.values, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "end,length",
+        [(599, 73), (523, 317), (101, 51), (570, 491), (49, 30)],
+    )
+    def test_arbitrary_query_with_raw_data(self, sqlite_store, small_matrix, end, length):
+        """Store-backed arbitrary windows: head/tail fragments from raw data."""
+        provider = StoreProvider(sqlite_store, data=small_matrix)
+        engine = TsubasaHistorical(provider=provider, chunk_windows=4)
+        reference = TsubasaHistorical(small_matrix, window_size=50)
+        got = engine.correlation_matrix((end, length))
+        want = reference.correlation_matrix((end, length))
+        np.testing.assert_allclose(got.values, want.values, atol=1e-10)
+        expected = np.corrcoef(small_matrix[:, end - length + 1 : end + 1])
+        np.testing.assert_allclose(got.values, expected, atol=1e-9)
+
+    def test_arbitrary_query_without_raw_data_raises(self, sqlite_store):
+        """The keep_raw=False contract: sketch-only stores are aligned-only."""
+        engine = TsubasaHistorical(provider=StoreProvider(sqlite_store))
+        with pytest.raises(SketchError, match="not aligned"):
+            engine.correlation_matrix((599, 123))
+
+    def test_query_never_loads_full_tensor(self, sqlite_store):
+        """With a small chunk size and cache, peak resident windows stay bounded."""
+        provider = StoreProvider(sqlite_store, cache_windows=2, read_batch=2)
+        engine = TsubasaHistorical(provider=provider, chunk_windows=2)
+        engine.correlation_matrix((599, 600))
+        # Each of the 12 windows was read from the store exactly once (one
+        # record pass feeds both stats and covariances) and never all held
+        # at once — the cache kept <= 2.
+        assert provider.windows_read == 12
+        assert len(provider._cache) <= 2
+
+    def test_repeated_indices_read_once(self, sqlite_store):
+        provider = StoreProvider(sqlite_store, cache_windows=0)
+        provider.cov_rows(np.array([3, 3, 3]), np.array([0]))
+        assert provider.windows_read == 1
+
+    def test_pruned_network_off_store(self, sqlite_store, small_matrix):
+        engine = TsubasaHistorical(provider=StoreProvider(sqlite_store))
+        reference = TsubasaHistorical(small_matrix, window_size=50)
+        theta = 0.4
+        result = engine.network_pruned((599, 600), theta)
+        exact = reference.correlation_matrix((599, 600)).values > theta
+        np.fill_diagonal(exact, False)
+        np.testing.assert_array_equal(result.matrix, exact)
+
+    def test_network_construction(self, sqlite_store, small_matrix):
+        engine = TsubasaHistorical(provider=StoreProvider(sqlite_store))
+        reference = TsubasaHistorical(small_matrix, window_size=50)
+        got = engine.network((599, 400), theta=0.5)
+        want = reference.network((599, 400), theta=0.5)
+        assert got.edge_set() == want.edge_set()
+
+
+class TestChunkedBuildProvider:
+    def test_covs_match_full_build(self, small_matrix, small_sketch):
+        provider = ChunkedBuildProvider(small_matrix, 50, chunk_rows=7)
+        idx = np.arange(12)
+        np.testing.assert_allclose(
+            provider.covs(idx), small_sketch.covs, atol=1e-12
+        )
+        means, stds, sizes = provider.window_stats(idx)
+        np.testing.assert_allclose(means, small_sketch.means)
+        np.testing.assert_allclose(stds, small_sketch.stds)
+
+    def test_engine_queries_match(self, small_matrix):
+        provider = ChunkedBuildProvider(small_matrix, 50, chunk_rows=6)
+        engine = TsubasaHistorical(provider=provider)
+        reference = TsubasaHistorical(small_matrix, window_size=50)
+        for query in [(599, 600), (599, 200), (523, 317)]:
+            got = engine.correlation_matrix(query)
+            want = reference.correlation_matrix(query)
+            np.testing.assert_allclose(got.values, want.values, atol=1e-10)
+
+    def test_cov_cache(self, small_matrix):
+        provider = ChunkedBuildProvider(
+            small_matrix, 50, chunk_rows=8, cache_windows=4
+        )
+        provider.covs(np.array([0, 1]))
+        assert provider.cache_misses == 2
+        provider.covs(np.array([0, 1]))
+        assert provider.cache_hits == 2
+
+    def test_save_to_matches_save_sketch(self, small_matrix, small_sketch):
+        provider = ChunkedBuildProvider(small_matrix, 50, chunk_rows=9)
+        streamed = MemorySketchStore()
+        provider.save_to(streamed, batch_size=5)
+        loaded = load_sketch(streamed)
+        np.testing.assert_allclose(loaded.means, small_sketch.means)
+        np.testing.assert_allclose(loaded.covs, small_sketch.covs, atol=1e-12)
+        np.testing.assert_array_equal(loaded.sizes, small_sketch.sizes)
+
+    def test_rejects_bad_args(self, small_matrix, rng):
+        with pytest.raises(DataError):
+            ChunkedBuildProvider(rng.normal(size=100), 10)
+        with pytest.raises(DataError):
+            ChunkedBuildProvider(small_matrix, 50, chunk_rows=0)
+        with pytest.raises(DataError):
+            ChunkedBuildProvider(small_matrix, 50, names=["too", "few"])
+
+
+class TestProviderParallelQuery:
+    def test_store_provider_runs_disk_based(self, small_matrix, tmp_path):
+        path = tmp_path / "pq.db"
+        parallel_sketch(small_matrix, 50, n_workers=1, store_path=path)
+        with SqliteSketchStore(path) as store:
+            provider = StoreProvider(store)
+            result = parallel_query(np.arange(12), n_workers=2, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+        assert result.read_seconds > 0.0
+
+    def test_in_memory_provider_ships_materialized_subset(self, small_sketch, small_matrix):
+        provider = InMemoryProvider(small_sketch)
+        result = parallel_query(np.arange(6, 12), n_workers=2, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix[:, 300:]), atol=1e-10
+        )
+
+    def test_rejects_provider_plus_sketch(self, small_sketch):
+        with pytest.raises(DataError):
+            parallel_query(
+                np.arange(12),
+                n_workers=1,
+                sketch=small_sketch,
+                provider=InMemoryProvider(small_sketch),
+            )
+
+
+class TestRealtimeFromProvider:
+    def test_warm_start_equals_streamed_engine(self, small_matrix):
+        streamed = TsubasaRealtime(small_matrix[:, :400], window_size=50)
+        sketch = build_sketch(small_matrix[:, :400], window_size=50)
+        warm = TsubasaRealtime.from_provider(InMemoryProvider(sketch))
+        np.testing.assert_allclose(
+            warm.correlation_matrix().values,
+            streamed.correlation_matrix().values,
+            atol=1e-10,
+        )
+        assert warm.now == streamed.now
+
+    def test_trailing_window_selection(self, small_matrix, sqlite_store):
+        provider = StoreProvider(sqlite_store)
+        warm = TsubasaRealtime.from_provider(provider, query_windows=4)
+        np.testing.assert_allclose(
+            warm.correlation_matrix().values,
+            np.corrcoef(small_matrix[:, 400:600]),
+            atol=1e-10,
+        )
+        assert warm.now == 600
+
+    def test_continues_streaming(self, small_matrix, tmp_path):
+        sketch = build_sketch(small_matrix[:, :400], window_size=50)
+        warm = TsubasaRealtime.from_provider(InMemoryProvider(sketch), 8)
+        warm.ingest(small_matrix[:, 400:500])
+        reference = TsubasaRealtime(small_matrix[:, :400], window_size=50)
+        reference.ingest(small_matrix[:, 400:500])
+        np.testing.assert_allclose(
+            warm.correlation_matrix().values,
+            reference.correlation_matrix().values,
+            atol=1e-10,
+        )
+
+    def test_rejects_partial_trailing_window(self, rng, tmp_path):
+        data = rng.normal(size=(4, 130))
+        sketch = build_sketch(data, window_size=50)  # trailing window of 30
+        from repro.exceptions import StreamError
+
+        with pytest.raises(StreamError):
+            TsubasaRealtime.from_provider(InMemoryProvider(sketch))
+
+    def test_ingestor_from_provider(self, small_matrix, sqlite_store):
+        ingestor = StreamIngestor.from_provider(
+            StoreProvider(sqlite_store), query_windows=6, theta=0.4
+        )
+        assert ingestor.engine.now == 600
+        extra = np.tile(small_matrix[:, -50:], (1, 2))
+        snapshots = ingestor.push(extra)
+        assert len(snapshots) == 2
+
+
+class TestProviderAbstraction:
+    def test_engine_rejects_provider_plus_data(self, small_matrix, small_sketch):
+        with pytest.raises(DataError):
+            TsubasaHistorical(
+                small_matrix, 50, provider=InMemoryProvider(small_sketch)
+            )
+
+    def test_engine_rejects_provider_plus_keep_raw(self, small_sketch):
+        with pytest.raises(DataError):
+            TsubasaHistorical(
+                provider=InMemoryProvider(small_sketch), keep_raw=False
+            )
+
+    def test_engine_requires_some_source(self):
+        with pytest.raises(DataError):
+            TsubasaHistorical()
+
+    def test_providers_share_interface(self, small_matrix, small_sketch, sqlite_store):
+        providers: list[SketchProvider] = [
+            InMemoryProvider(small_sketch),
+            StoreProvider(sqlite_store),
+            ChunkedBuildProvider(small_matrix, 50),
+        ]
+        idx = np.array([3, 8])
+        reference = small_sketch.covs[idx]
+        for provider in providers:
+            assert provider.plan.n_windows == 12
+            np.testing.assert_allclose(provider.covs(idx), reference, atol=1e-12)
+
+    def test_materialize_roundtrip(self, sqlite_store, small_sketch):
+        materialized = StoreProvider(sqlite_store).materialize()
+        np.testing.assert_allclose(materialized.covs, small_sketch.covs)
+        np.testing.assert_array_equal(materialized.sizes, small_sketch.sizes)
+        assert materialized.names == small_sketch.names
