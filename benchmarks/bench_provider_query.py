@@ -8,8 +8,16 @@ Times the same Lemma 1 all-pairs query through each sketch backend:
   SQLite store with an empty LRU cache (every window record read from disk);
 * ``store_warm`` — the same provider immediately re-queried, so the LRU
   serves the window records;
+* ``mmap_cold`` — a fresh :class:`~repro.engine.providers.MmapProvider` per
+  repeat (re-maps the store's arrays, then reads zero-copy);
+* ``mmap_warm`` — the same provider re-queried over already-mapped pages;
 * ``chunked_build`` — :class:`~repro.engine.providers.ChunkedBuildProvider`
-  computing window covariances on demand from raw data.
+  computing window covariances on demand from raw data;
+* ``parallel_*`` — :func:`~repro.parallel.executor.parallel_query` fan-out
+  over each backend (shared-memory shipping for in-memory sketches, path
+  handoff for SQLite and mmap stores);
+* ``convert_*`` — the sketch→store conversion cost per backend (the §3.4
+  ingestion-side write path).
 
 Run as a script to emit ``BENCH_provider.json`` at the repository root, so
 the provider-layer performance trajectory accumulates across revisions::
@@ -33,8 +41,11 @@ from repro.data.synthetic import generate_station_dataset
 from repro.engine.providers import (
     ChunkedBuildProvider,
     InMemoryProvider,
+    MmapProvider,
     StoreProvider,
 )
+from repro.parallel.executor import parallel_query
+from repro.storage.mmap_store import MmapStore
 from repro.storage.serialize import save_sketch
 from repro.storage.sqlite_store import SqliteSketchStore
 
@@ -44,6 +55,7 @@ BASIC_WINDOW = 50
 QUERY = (2999, 2000)  # aligned: 40 basic windows
 ARBITRARY_QUERY = (2971, 1903)  # head/tail fragments at both ends
 REPEATS = 5
+PARALLEL_WORKERS = 4
 
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
@@ -62,31 +74,49 @@ def run(store_dir: Path) -> dict:
     data = dataset.values
     sketch = build_sketch(data, BASIC_WINDOW, names=dataset.names)
     store_path = store_dir / "bench_provider.db"
-    with SqliteSketchStore(store_path) as store:
-        save_sketch(store, sketch)
+    mmap_path = store_dir / "bench_provider.mm"
 
     results = []
 
-    def record(backend: str, query, seconds: float, extra=None):
-        entry = {
-            "backend": backend,
-            "query": {"end": query[0], "length": query[1]},
-            "seconds": seconds,
-        }
+    def record(backend: str, seconds: float, query=None, extra=None):
+        entry = {"backend": backend, "seconds": seconds}
+        if query is not None:
+            entry["query"] = {"end": query[0], "length": query[1]}
         if extra:
             entry.update(extra)
         results.append(entry)
+
+    # Sketch -> store conversion (the ingestion-side write path, Fig. 6a's
+    # write bars), one cold run per backend.
+    with SqliteSketchStore(store_path) as store:
+        start = time.perf_counter()
+        save_sketch(store, sketch)
+        record(
+            "convert_sqlite",
+            time.perf_counter() - start,
+            extra={"store_bytes": store.size_bytes()},
+        )
+    with MmapStore(mmap_path) as store:
+        start = time.perf_counter()
+        save_sketch(store, sketch)
+        record(
+            "convert_mmap",
+            time.perf_counter() - start,
+            extra={"store_bytes": store.size_bytes()},
+        )
 
     # In-memory reference (with raw data for the arbitrary query).
     memory_engine = TsubasaHistorical(
         provider=InMemoryProvider(sketch, data=data)
     )
     reference = memory_engine.correlation_matrix(QUERY).values
-    record("memory", QUERY, _best_of(lambda: memory_engine.correlation_matrix(QUERY)))
+    record(
+        "memory", _best_of(lambda: memory_engine.correlation_matrix(QUERY)), QUERY
+    )
     record(
         "memory",
-        ARBITRARY_QUERY,
         _best_of(lambda: memory_engine.correlation_matrix(ARBITRARY_QUERY)),
+        ARBITRARY_QUERY,
     )
 
     # Store-backed: cold means a fresh provider (empty cache) per repeat.
@@ -98,15 +128,17 @@ def run(store_dir: Path) -> dict:
 
         t_cold = _best_of(lambda: cold_query()[1])
         provider, matrix = cold_query()
-        np.testing.assert_allclose(matrix.values, reference, atol=1e-10)
-        record("store_cold", QUERY, t_cold, {"windows_read": provider.windows_read})
+        np.testing.assert_array_equal(matrix.values, reference)
+        record(
+            "store_cold", t_cold, QUERY, {"windows_read": provider.windows_read}
+        )
 
         warm_engine = TsubasaHistorical(provider=provider)
         t_warm = _best_of(lambda: warm_engine.correlation_matrix(QUERY))
         record(
             "store_warm",
-            QUERY,
             t_warm,
+            QUERY,
             {"cache_hits": provider.cache_hits, "cache_misses": provider.cache_misses},
         )
 
@@ -115,9 +147,78 @@ def run(store_dir: Path) -> dict:
         arb_engine.correlation_matrix(ARBITRARY_QUERY)  # warm the cache
         record(
             "store_warm",
-            ARBITRARY_QUERY,
             _best_of(lambda: arb_engine.correlation_matrix(ARBITRARY_QUERY)),
+            ARBITRARY_QUERY,
         )
+
+    # Memory-mapped store: cold re-maps the arrays every repeat, warm reuses
+    # the provider (and the already-faulted pages).
+    def mmap_cold_query():
+        provider = MmapProvider(mmap_path)
+        return TsubasaHistorical(provider=provider).correlation_matrix(QUERY)
+
+    np.testing.assert_array_equal(mmap_cold_query().values, reference)
+    record("mmap_cold", _best_of(mmap_cold_query), QUERY)
+
+    mmap_provider = MmapProvider(mmap_path, data=data)
+    mmap_engine = TsubasaHistorical(provider=mmap_provider)
+    record(
+        "mmap_warm", _best_of(lambda: mmap_engine.correlation_matrix(QUERY)), QUERY
+    )
+    record(
+        "mmap_warm",
+        _best_of(lambda: mmap_engine.correlation_matrix(ARBITRARY_QUERY)),
+        ARBITRARY_QUERY,
+    )
+
+    # Parallel fan-out over every backend (aligned query only). Each repeat
+    # pays the full fork + handoff cost, which is the honest deployment shape.
+    plan_windows = np.arange(
+        (QUERY[0] + 1 - QUERY[1]) // BASIC_WINDOW, (QUERY[0] + 1) // BASIC_WINDOW
+    )
+    in_memory = InMemoryProvider(sketch)
+    np.testing.assert_allclose(
+        parallel_query(
+            plan_windows, n_workers=PARALLEL_WORKERS, provider=in_memory
+        ).matrix,
+        reference,
+        atol=1e-10,
+    )
+    record(
+        "parallel_memory_shm",
+        _best_of(
+            lambda: parallel_query(
+                plan_windows, n_workers=PARALLEL_WORKERS, provider=in_memory
+            ),
+            repeats=3,
+        ),
+        QUERY,
+        {"n_workers": PARALLEL_WORKERS},
+    )
+    with SqliteSketchStore(store_path) as store:
+        sqlite_provider = StoreProvider(store)
+        record(
+            "parallel_sqlite",
+            _best_of(
+                lambda: parallel_query(
+                    plan_windows, n_workers=PARALLEL_WORKERS, provider=sqlite_provider
+                ),
+                repeats=3,
+            ),
+            QUERY,
+            {"n_workers": PARALLEL_WORKERS},
+        )
+    record(
+        "parallel_mmap",
+        _best_of(
+            lambda: parallel_query(
+                plan_windows, n_workers=PARALLEL_WORKERS, provider=mmap_provider
+            ),
+            repeats=3,
+        ),
+        QUERY,
+        {"n_workers": PARALLEL_WORKERS},
+    )
 
     # Chunked on-demand build (cold per repeat: fresh provider, tiny cache).
     def chunked_query():
@@ -127,7 +228,7 @@ def run(store_dir: Path) -> dict:
         return TsubasaHistorical(provider=provider).correlation_matrix(QUERY)
 
     np.testing.assert_allclose(chunked_query().values, reference, atol=1e-10)
-    record("chunked_build", QUERY, _best_of(chunked_query, repeats=3))
+    record("chunked_build", _best_of(chunked_query, repeats=3), QUERY)
 
     return {
         "benchmark": "provider_query",
@@ -136,6 +237,7 @@ def run(store_dir: Path) -> dict:
             "n_points": N_POINTS,
             "basic_window": BASIC_WINDOW,
             "repeats": REPEATS,
+            "parallel_workers": PARALLEL_WORKERS,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
@@ -150,7 +252,7 @@ def main() -> int:
         default=str(Path(__file__).resolve().parent.parent / "BENCH_provider.json"),
     )
     parser.add_argument("--store-dir", default=None,
-                        help="directory for the throwaway SQLite store "
+                        help="directory for the throwaway stores "
                              "(default: a temporary directory)")
     args = parser.parse_args()
 
@@ -163,10 +265,17 @@ def main() -> int:
             payload = run(Path(tmp))
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+    by_backend = {}
     for entry in payload["results"]:
-        q = entry["query"]
-        print(f"  {entry['backend']:<14} l={q['length']:<5} "
+        q = entry.get("query")
+        label = f"l={q['length']:<5}" if q else "build  "
+        print(f"  {entry['backend']:<19} {label} "
               f"{entry['seconds'] * 1e3:8.2f} ms")
+        if q and q["length"] == QUERY[1]:
+            by_backend.setdefault(entry["backend"], entry["seconds"])
+    if "mmap_cold" in by_backend and "store_cold" in by_backend:
+        ratio = by_backend["store_cold"] / by_backend["mmap_cold"]
+        print(f"  mmap_cold is {ratio:.1f}x faster than store_cold")
     return 0
 
 

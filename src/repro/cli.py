@@ -4,11 +4,15 @@ Subcommands mirror the system's life cycle::
 
     tsubasa generate --stations 157 --points 8760 --out data.npz
     tsubasa sketch   --data data.npz --window-size 200 --store sketch.db
+    tsubasa sketch   --data data.npz --window-size 200 --store sketch.mm \
+                     --store-backend mmap        # zero-copy array layout
     tsubasa sketch   --data data.npz --window-size 200 --store sketch.db \
                      --chunk-rows 512            # memory-bounded build
     tsubasa query    --store sketch.db --end 8759 --length 3000 --theta 0.75
     tsubasa query    --store sketch.db --backend store --data data.npz \
                      --end 8759 --length 2971    # lazy reads, arbitrary window
+    tsubasa query    --store sketch.mm --backend mmap --end 8759 --length 3000
+    tsubasa convert  --src sketch.db --dst sketch.mm --dst-backend mmap
     tsubasa stream   --data data.npz --window-size 200 --initial 3000 \
                      --theta 0.75 --updates 10
     tsubasa topk     --store sketch.db --end 8759 --length 3000 --k 10
@@ -16,16 +20,20 @@ Subcommands mirror the system's life cycle::
     tsubasa info     --store sketch.db
 
 Datasets travel as ``.npz`` archives with ``values``/``names``/``lats``/
-``lons`` arrays (see ``tsubasa generate``); sketches live in SQLite stores
-(:mod:`repro.storage`).
+``lons`` arrays (see ``tsubasa generate``). Sketches live either in SQLite
+database files or in memory-mapped array directories (:mod:`repro.storage`);
+store-reading commands detect the layout from the path, and ``tsubasa
+convert`` migrates a sketch between the two.
 
 Query commands choose a sketch backend with ``--backend``: ``memory`` loads
 the whole sketch up front (the paper's in-memory configuration), ``store``
 reads window records lazily through an LRU-cached
 :class:`~repro.engine.providers.StoreProvider` (the disk-based
-configuration) — the answers are identical. Passing ``--data`` enables
-arbitrary (non-aligned) query windows by sketching the partial head/tail
-fragments from raw data at query time.
+configuration), and ``mmap`` serves queries zero-copy from a memory-mapped
+store's arrays (:class:`~repro.engine.providers.MmapProvider`) — the answers
+are identical. Passing ``--data`` enables arbitrary (non-aligned) query
+windows by sketching the partial head/tail fragments from raw data at query
+time.
 """
 
 from __future__ import annotations
@@ -45,15 +53,31 @@ from repro.data.synthetic import StationDataset, generate_station_dataset
 from repro.engine.providers import (
     ChunkedBuildProvider,
     InMemoryProvider,
+    MmapProvider,
     StoreProvider,
 )
 from repro.exceptions import SketchError, TsubasaError
-from repro.storage.serialize import load_sketch, save_sketch
+from repro.storage.base import SketchStore
+from repro.storage.mmap_store import MmapStore, is_mmap_store
+from repro.storage.serialize import convert_store, load_sketch, save_sketch
 from repro.storage.sqlite_store import SqliteSketchStore
 from repro.streams.ingestion import StreamIngestor
 from repro.streams.sources import ReplaySource
 
 __all__ = ["main", "build_parser"]
+
+
+def _open_store(path: str, backend: str = "auto") -> SketchStore:
+    """Open a sketch store, detecting the on-disk layout by default.
+
+    ``backend`` is ``"sqlite"``, ``"mmap"``, or ``"auto"`` (an mmap store is
+    a directory with a ``meta.json`` sidecar; everything else is SQLite).
+    """
+    if backend == "auto":
+        backend = "mmap" if is_mmap_store(path) else "sqlite"
+    if backend == "mmap":
+        return MmapStore(path)
+    return SqliteSketchStore(path)
 
 
 def _save_dataset(path: str, dataset: StationDataset) -> None:
@@ -104,7 +128,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_sketch(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.data)
     start = time.perf_counter()
-    with SqliteSketchStore(args.store) as store:
+    with _open_store(args.store, args.store_backend) as store:
         if args.chunk_rows:
             provider = ChunkedBuildProvider(
                 dataset.values, args.window_size, names=dataset.names,
@@ -122,17 +146,38 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
         size = store.size_bytes()
     mode = f"chunked (rows<={args.chunk_rows})" if args.chunk_rows else "in-memory"
     print(f"sketched {n_series} series into {n_windows} "
-          f"windows (B={args.window_size}, {mode} build) in {elapsed:.2f}s; "
+          f"windows (B={args.window_size}, {mode} build, "
+          f"{args.store_backend} store) in {elapsed:.2f}s; "
           f"store={size / 1e6:.2f} MB")
     return 0
 
 
-def _open_engine(store: SqliteSketchStore, args: argparse.Namespace) -> TsubasaHistorical:
+def _cmd_convert(args: argparse.Namespace) -> int:
+    with _open_store(args.src) as src, \
+            _open_store(args.dst, args.dst_backend) as dst:
+        start = time.perf_counter()
+        count = convert_store(src, dst, batch_size=args.batch_size)
+        elapsed = time.perf_counter() - start
+        size = dst.size_bytes()
+    print(f"migrated {count} window records to {args.dst} "
+          f"({args.dst_backend}) in {elapsed:.2f}s; store={size / 1e6:.2f} MB")
+    return 0
+
+
+def _open_engine(store: SketchStore, args: argparse.Namespace) -> TsubasaHistorical:
     """Build the query engine over the backend selected by ``--backend``."""
     data = None
     if getattr(args, "data", None):
         data = _load_dataset(args.data).values
-    if args.backend == "store":
+    if args.backend == "mmap":
+        if not isinstance(store, MmapStore):
+            raise SketchError(
+                f"--backend mmap needs a memory-mapped store directory; "
+                f"{args.store} is a SQLite database (run 'tsubasa convert' "
+                "first, or use --backend store)"
+            )
+        provider = MmapProvider(store, data=data)
+    elif args.backend == "store":
         provider = StoreProvider(
             store, cache_windows=args.cache_windows, data=data
         )
@@ -142,7 +187,7 @@ def _open_engine(store: SqliteSketchStore, args: argparse.Namespace) -> TsubasaH
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    with SqliteSketchStore(args.store) as store:
+    with _open_store(args.store) as store:
         engine = _open_engine(store, args)
         start = time.perf_counter()
         try:
@@ -187,7 +232,7 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _cmd_topk(args: argparse.Namespace) -> int:
     from repro.core.queries import most_anticorrelated_pairs, top_k_pairs
 
-    with SqliteSketchStore(args.store) as store:
+    with _open_store(args.store) as store:
         engine = _open_engine(store, args)
         try:
             matrix = engine.correlation_matrix((args.end, args.length))
@@ -208,7 +253,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.dynamics import summarize_dynamics
     from repro.core.sweep import sliding_networks
 
-    with SqliteSketchStore(args.store) as store:
+    with _open_store(args.store) as store:
         sketch = load_sketch(store)
     results = sliding_networks(
         sketch, n_windows=args.windows, theta=args.theta,
@@ -244,11 +289,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
-    with SqliteSketchStore(args.store) as store:
+    with _open_store(args.store) as store:
+        layout = "mmap" if isinstance(store, MmapStore) else "sqlite"
         metadata = store.read_metadata()
         count = store.window_count()
         size = store.size_bytes()
-    print(f"kind={metadata.kind} series={len(metadata.names)} "
+    print(f"kind={metadata.kind} layout={layout} series={len(metadata.names)} "
           f"B={metadata.window_size} windows={count} "
           f"size={size / 1e6:.2f} MB")
     return 0
@@ -277,14 +323,31 @@ def build_parser() -> argparse.ArgumentParser:
     sk.add_argument("--chunk-rows", type=int, default=0,
                     help="memory-bounded chunked build: covariance row-block "
                          "height (0 = materialize the whole sketch)")
+    sk.add_argument("--store-backend", choices=("sqlite", "mmap"),
+                    default="sqlite",
+                    help="on-disk layout: SQLite database file or zero-copy "
+                         "memory-mapped array directory")
     sk.set_defaults(func=_cmd_sketch)
 
+    cv = sub.add_parser("convert",
+                        help="migrate a sketch store between layouts")
+    cv.add_argument("--src", required=True,
+                    help="source store (layout auto-detected)")
+    cv.add_argument("--dst", required=True)
+    cv.add_argument("--dst-backend", choices=("sqlite", "mmap"),
+                    required=True,
+                    help="destination layout")
+    cv.add_argument("--batch-size", type=int, default=64,
+                    help="window records per migration batch")
+    cv.set_defaults(func=_cmd_convert)
+
     def add_backend_args(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--backend", choices=("memory", "store"),
+        p.add_argument("--backend", choices=("memory", "store", "mmap"),
                        default="memory",
                        help="sketch backend: load whole sketch up front "
-                            "(memory) or read windows lazily with an LRU "
-                            "cache (store)")
+                            "(memory), read windows lazily with an LRU "
+                            "cache (store), or serve zero-copy slices of a "
+                            "memory-mapped store (mmap)")
         p.add_argument("--cache-windows", type=int, default=64,
                        help="store backend: LRU capacity in window records")
         p.add_argument("--data", default=None,

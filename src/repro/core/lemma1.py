@@ -129,12 +129,32 @@ def pooled_deltas_scales(
     return delta, scale
 
 
+def _weighted_cov_sum(sizes: np.ndarray, covs: np.ndarray) -> np.ndarray:
+    """``sum_j B_j * covs[j]`` via one BLAS matrix-vector product.
+
+    Equivalent to ``np.einsum("j,jab->ab", sizes, covs)`` but ~2x faster at
+    query sizes: for the C-contiguous (or contiguously memory-mapped) chunk
+    tensors every provider produces, the reshape is a view and the reduction
+    is a single dgemv over the flattened windows. The trailing dimensions
+    are flattened explicitly because ``reshape(k, -1)`` cannot infer an axis
+    for size-0 inputs (empty chunks, empty row blocks), which einsum
+    handled.
+    """
+    flat = covs.reshape(covs.shape[0], int(np.prod(covs.shape[1:], dtype=np.int64)))
+    return (sizes @ flat).reshape(covs.shape[1:])
+
+
 def _check_window_stats(
     means: np.ndarray, stds: np.ndarray, sizes: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    means = np.asarray(means, dtype=np.float64)
-    stds = np.asarray(stds, dtype=np.float64)
-    sizes = np.asarray(sizes, dtype=np.float64)
+    # Canonical C layout: providers hand these in as C arrays, transposed
+    # memmap slices, or fancy-indexed (Fortran-ordered) views, and BLAS
+    # accumulates in a layout-dependent order — normalizing here keeps query
+    # results bit-identical across backends (tested). The arrays are the
+    # small O(n * ns) statistics, never the covariance tensor.
+    means = np.ascontiguousarray(means, dtype=np.float64)
+    stds = np.ascontiguousarray(stds, dtype=np.float64)
+    sizes = np.ascontiguousarray(sizes, dtype=np.float64)
     if means.ndim != 2 or means.shape != stds.shape:
         raise SketchError(f"means/stds shape mismatch: {means.shape} vs {stds.shape}")
     if sizes.shape != (means.shape[1],):
@@ -263,7 +283,7 @@ def combine_rows(
     delta, scale = pooled_deltas_scales(means, stds, sizes)
 
     # Numerator: sum_j B_j * (cov_j + delta_xj * delta_yj), block rows only.
-    numer = np.einsum("j,jab->ab", sizes, cov_rows)
+    numer = _weighted_cov_sum(sizes, cov_rows)
     numer += (delta[rows] * sizes) @ delta.T
     denom = np.outer(scale[rows], scale)
 
@@ -380,7 +400,7 @@ def combine_matrix_chunked(
                 f"chunk covs shape {chunk_covs.shape} incompatible with "
                 f"{k} windows of {n} series"
             )
-        weighted_cov += np.einsum("j,jab->ab", chunk_sizes, chunk_covs)
+        weighted_cov += _weighted_cov_sum(chunk_sizes, chunk_covs)
         means_parts.append(chunk_means)
         stds_parts.append(chunk_stds)
         sizes_parts.append(chunk_sizes)

@@ -28,6 +28,37 @@ def _upper_pairs(matrix: CorrelationMatrix) -> tuple[np.ndarray, np.ndarray]:
     return np.triu_indices(n, k=1)
 
 
+def _top_order(values: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest values, descending, ties by index order.
+
+    Equivalent to ``np.argsort(-values, kind="stable")[:k]`` but avoids the
+    full ``O(p log p)`` sort when ``k << p``: ``np.argpartition`` isolates a
+    candidate set in ``O(p)``, the boundary is resolved deterministically
+    (every value strictly above the k-th, then just enough boundary ties in
+    ascending index order), and only the ``O(k)`` tail is stably sorted.
+    """
+    if k <= 0 or k >= values.size:
+        # Covers the empty selection (k clamped to 0 pairs) and makes the
+        # helper total for any k; argpartition below needs 1 <= k < size.
+        return np.argsort(-values, kind="stable")[: max(k, 0)]
+    candidates = np.argpartition(-values, k - 1)[:k]
+    boundary = values[candidates].min()
+    if np.isnan(boundary):
+        # NaNs (e.g. np.corrcoef of a constant series) sort last, so one in
+        # the candidate set means fewer than k finite values exist; the
+        # boundary comparisons below would go all-False and silently drop
+        # results. Take the stable slow path instead.
+        return np.argsort(-values, kind="stable")[:k]
+    # argpartition picks an *arbitrary* subset of boundary-valued entries;
+    # rebuild the selection so equal values keep ascending index order.
+    above = np.nonzero(values > boundary)[0]
+    ties = np.nonzero(values == boundary)[0][: k - above.size]
+    chosen = np.concatenate([above, ties])
+    # nonzero() returns ascending indices, so a stable sort of the (small)
+    # candidate set reproduces the full stable sort's tie order exactly.
+    return chosen[np.argsort(-values[chosen], kind="stable")]
+
+
 def top_k_pairs(
     matrix: CorrelationMatrix, k: int
 ) -> list[tuple[str, str, float]]:
@@ -46,8 +77,8 @@ def top_k_pairs(
     rows, cols = _upper_pairs(matrix)
     values = matrix.values[rows, cols]
     k = min(k, values.size)
-    # argsort is stable, so equal correlations keep row order.
-    order = np.argsort(-values, kind="stable")[:k]
+    # Equal correlations keep row order (same contract as a stable argsort).
+    order = _top_order(values, k)
     return [
         (matrix.names[rows[i]], matrix.names[cols[i]], float(values[i]))
         for i in order
@@ -67,7 +98,9 @@ def most_anticorrelated_pairs(
     rows, cols = _upper_pairs(matrix)
     values = matrix.values[rows, cols]
     k = min(k, values.size)
-    order = np.argsort(values, kind="stable")[:k]
+    # Most negative first == largest of the negated values; negation
+    # preserves ties, so index order at equal correlations is unchanged.
+    order = _top_order(-values, k)
     return [
         (matrix.names[rows[i]], matrix.names[cols[i]], float(values[i]))
         for i in order

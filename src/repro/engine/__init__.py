@@ -3,6 +3,7 @@
 from repro.engine.providers import (
     ChunkedBuildProvider,
     InMemoryProvider,
+    MmapProvider,
     SketchProvider,
     StoreProvider,
 )
@@ -12,4 +13,5 @@ __all__ = [
     "InMemoryProvider",
     "StoreProvider",
     "ChunkedBuildProvider",
+    "MmapProvider",
 ]

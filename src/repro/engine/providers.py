@@ -25,6 +25,12 @@ Three providers are shipped:
   memory bound, with an LRU of finished windows. Useful for large ``n``
   where the full tensor would not fit, and for streaming a sketch into a
   store without ever materializing it (:meth:`ChunkedBuildProvider.save_to`).
+* :class:`MmapProvider` — zero-copy reads from an
+  :class:`~repro.storage.mmap_store.MmapStore`: window statistics and
+  covariance chunks are *slices of read-only memory-mapped arrays*, with no
+  per-record deserialization and no copies for contiguous window ranges
+  (the common aligned-query case). Cold queries skip the database entirely
+  and read straight through the OS page cache.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ from __future__ import annotations
 import abc
 from collections import OrderedDict
 from collections.abc import Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -41,11 +49,15 @@ from repro.core.stats import series_window_stats
 from repro.exceptions import DataError, SketchError, StorageError
 from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
 
+if TYPE_CHECKING:
+    from repro.storage.mmap_store import MmapStore
+
 __all__ = [
     "SketchProvider",
     "InMemoryProvider",
     "StoreProvider",
     "ChunkedBuildProvider",
+    "MmapProvider",
 ]
 
 _NO_RAW_MESSAGE = (
@@ -509,6 +521,143 @@ class StoreProvider(SketchProvider):
         for k, record in enumerate(self._iter_records(indices)):
             block[k] = record.pairs[rows, :]
         return block
+
+    def fragment(self, start, stop):
+        if self._data is None:
+            raise SketchError(_NO_RAW_MESSAGE)
+        return _raw_fragment(self._data, start, stop)
+
+
+def _contiguous_slice(indices: np.ndarray) -> slice | None:
+    """The ``slice`` equivalent of ``indices`` if they are an ascending run.
+
+    Aligned query windows always select a contiguous ascending range of
+    basic windows, so the memmap-backed provider can answer them with pure
+    views; ``None`` means the selection genuinely needs fancy indexing.
+    """
+    if indices.size == 0:
+        return slice(0, 0)
+    first = int(indices[0])
+    if indices.size == 1:
+        return slice(first, first + 1)
+    steps = np.diff(indices)
+    if np.all(steps == 1):
+        return slice(first, first + int(indices.size))
+    return None
+
+
+class MmapProvider(SketchProvider):
+    """Zero-copy provider over an :class:`~repro.storage.mmap_store.MmapStore`.
+
+    Window statistics and covariance chunks come back as slices of the
+    store's read-only memory-mapped arrays: contiguous window selections
+    (every aligned query) involve **no per-record deserialization and no
+    copies** — the Lemma 1 kernels consume the mapped pages directly.
+    Non-contiguous selections fall back to (vectorized) fancy indexing.
+
+    Args:
+        source: An open :class:`~repro.storage.mmap_store.MmapStore`, or a
+            store directory path (opened read-only — the form parallel query
+            workers use to re-map a shared store in their own process).
+        data: Optional raw ``(n, L)`` matrix enabling arbitrary
+            (non-aligned) query windows via head/tail fragments.
+    """
+
+    def __init__(
+        self,
+        source: "MmapStore | str | Path",
+        data: np.ndarray | None = None,
+    ) -> None:
+        from repro.storage.mmap_store import MmapStore
+
+        if isinstance(source, MmapStore):
+            store = source
+        else:
+            store = MmapStore(source, mode="r")
+        metadata = store.read_metadata()
+        if metadata.kind != "exact":
+            raise StorageError(
+                f"store holds a {metadata.kind!r} sketch, expected 'exact'"
+            )
+        means, stds, pairs, sizes = store.arrays()
+        if sizes.size == 0 or not np.all(sizes > 0):
+            missing = np.nonzero(sizes == 0)[0][:8].tolist()
+            raise StorageError(
+                f"mmap store {store.path} is incomplete: window records "
+                f"{missing} are missing"
+            )
+        self._store = store
+        self._metadata = metadata
+        self._means = means
+        self._stds = stds
+        self._pairs = pairs
+        self._sizes = sizes
+        if data is not None:
+            data = np.asarray(data, dtype=np.float64)
+            expected = (len(metadata.names), int(sizes.sum()))
+            if data.shape != expected:
+                raise DataError(
+                    f"raw data shape {data.shape} does not match the store's "
+                    f"{expected}"
+                )
+        self._data = data
+
+    @property
+    def store(self) -> "MmapStore":
+        """The underlying mmap store."""
+        return self._store
+
+    @property
+    def path(self) -> str:
+        """Store directory path — the parallel executor's worker handoff."""
+        return self._store.path
+
+    @property
+    def names(self) -> list[str]:
+        return list(self._metadata.names)
+
+    @property
+    def window_size(self) -> int:
+        return self._metadata.window_size
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return np.asarray(self._sizes)
+
+    @property
+    def has_raw_data(self) -> bool:
+        return self._data is not None
+
+    def window_stats(self, indices):
+        idx = self._check_indices(indices)
+        sl = _contiguous_slice(idx)
+        if sl is not None:
+            # Transposed slices of the (nw, n) maps are still views.
+            means, stds, sizes = self._means[sl].T, self._stds[sl].T, self._sizes[sl]
+        else:
+            means, stds, sizes = self._means[idx].T, self._stds[idx].T, self._sizes[idx]
+        return means, stds, sizes.astype(np.float64)
+
+    def covs(self, indices):
+        idx = self._check_indices(indices)
+        sl = _contiguous_slice(idx)
+        if sl is not None:
+            return self._pairs[sl]
+        return self._pairs[idx]
+
+    def iter_cov_chunks(self, indices, chunk_windows):
+        idx = self._check_indices(indices)
+        if chunk_windows <= 0:
+            raise SketchError("chunk_windows must be positive")
+        for start in range(0, idx.size, chunk_windows):
+            yield self.covs(idx[start : start + chunk_windows])
+
+    def cov_rows(self, indices, rows):
+        idx = self._check_indices(indices)
+        rows = np.asarray(rows, dtype=np.int64)
+        # Row selection necessarily gathers, but it only reads the pages of
+        # the selected rows — a partition's worker never touches the rest.
+        return self.covs(idx)[:, rows, :]
 
     def fragment(self, start, stop):
         if self._data is None:

@@ -14,18 +14,32 @@ the SQLite store standing in for PostgreSQL:
   results through the single writer (the driver process plays the database
   worker), and report the calculation/write split of Fig. 6a.
 * :func:`parallel_query` — fan out per-partition Lemma 1 row-block
-  computation (each worker reading from the store when one is given) and
-  report the read/calculation split of Fig. 6b.
+  computation over **any** sketch provider and report the read/calculation
+  split of Fig. 6b. No provider is materialized before fan-out; each backend
+  has a native worker handoff instead:
 
-``n_workers=1`` short-circuits to in-process execution (no fork), which keeps
-tests deterministic and makes the worker functions unit-testable.
+  * mmap-backed providers hand workers the store *directory path* — each
+    worker re-maps the arrays in its own process and reads its row block
+    zero-copy through the OS page cache;
+  * SQLite-backed providers (and the legacy ``store_path`` argument) hand
+    workers the database path — each worker opens its own connection, as in
+    §3.4;
+  * every other provider (in-memory sketches, chunked builds, stores without
+    a filesystem path) streams the selection's covariance tensor into one
+    ``multiprocessing.shared_memory`` block that all workers attach to and
+    slice — the tensor crosses the process boundary zero times instead of
+    being pickled per worker.
+
+``n_workers=1`` short-circuits to in-process execution (no fork, no shared
+memory), which keeps tests deterministic and makes the worker functions
+unit-testable.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from multiprocessing import get_context
+from multiprocessing import get_context, shared_memory
 from pathlib import Path
 
 import numpy as np
@@ -47,10 +61,13 @@ __all__ = [
     "query_partition",
 ]
 
+#: Windows per chunk when streaming a provider's selection into shared memory.
+SHM_FILL_CHUNK_WINDOWS = 64
+
 # Worker globals installed by the pool initializer (fork-safe, read-only).
 _WORKER_DATA: np.ndarray | None = None
 _WORKER_BOUNDS: np.ndarray | None = None
-_WORKER_STORE_PATH: str | None = None
+_WORKER_QUERY_SPEC: dict | None = None
 
 
 def _init_sketch_worker(data: np.ndarray, bounds: np.ndarray) -> None:
@@ -59,9 +76,25 @@ def _init_sketch_worker(data: np.ndarray, bounds: np.ndarray) -> None:
     _WORKER_BOUNDS = bounds
 
 
-def _init_query_worker(store_path: str | None) -> None:
-    global _WORKER_STORE_PATH
-    _WORKER_STORE_PATH = store_path
+def _init_query_worker(spec: dict) -> None:
+    global _WORKER_QUERY_SPEC
+    _WORKER_QUERY_SPEC = spec
+
+
+def _attach_shared_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared-memory block without tracker side effects.
+
+    On Python >= 3.13 ``track=False`` skips resource-tracker registration
+    outright. Older versions register every attach, but the ``fork`` workers
+    share the parent's tracker process, whose registry is a *set*: the
+    duplicate registrations collapse and the parent's final ``unlink()``
+    retires the name exactly once — so the plain attach is already balanced
+    and must NOT be paired with a manual unregister.
+    """
+    try:  # Python >= 3.13
+        return shared_memory.SharedMemory(name=name, create=False, track=False)
+    except TypeError:
+        return shared_memory.SharedMemory(name=name, create=False)
 
 
 @dataclass
@@ -269,21 +302,16 @@ def query_partition(
         ``(rows, block, read_seconds)`` where ``block`` is the
         ``(len(rows), n)`` correlation slab.
     """
-    read_seconds = 0.0
     if store_path is not None:
-        start = time.perf_counter()
-        with SqliteSketchStore(store_path) as store:
-            from repro.storage.serialize import load_sketch
-
-            sketch = load_sketch(store, indices=[int(j) for j in window_indices])
-        read_seconds = time.perf_counter() - start
-        idx = np.arange(len(window_indices))
-    else:
-        if sketch is None:
-            raise DataError("either sketch or store_path must be provided")
-        idx = np.asarray(window_indices, dtype=np.int64)
-
+        return _run_query_partition(
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(window_indices, dtype=np.int64),
+            {"mode": "sqlite", "path": str(store_path)},
+        )
+    if sketch is None:
+        raise DataError("either sketch or store_path must be provided")
     rows = np.asarray(rows, dtype=np.int64)
+    idx = np.asarray(window_indices, dtype=np.int64)
     block = combine_rows(
         sketch.means[:, idx],
         sketch.stds[:, idx],
@@ -291,12 +319,122 @@ def query_partition(
         sketch.sizes[idx].astype(np.float64),
         rows,
     )
+    return rows, block, 0.0
+
+
+def _provider_partition(
+    rows: np.ndarray, window_indices: np.ndarray, provider
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """One row-block computed straight off a provider (in-process mode)."""
+    from repro.engine.providers import InMemoryProvider
+
+    rows = np.asarray(rows, dtype=np.int64)
+    idx = np.asarray(window_indices, dtype=np.int64)
+    start = time.perf_counter()
+    means, stds, sizes = provider.window_stats(idx)
+    cov_block = provider.cov_rows(idx, rows)
+    read_seconds = time.perf_counter() - start
+    if isinstance(provider, InMemoryProvider):
+        # Pure array slicing is calculation, not a read phase: keep the
+        # Fig. 6b split consistent with the multi-worker shared-memory path,
+        # which also reports zero reads for in-memory backends.
+        read_seconds = 0.0
+    block = combine_rows(means, stds, cov_block, sizes, rows)
     return rows, block, read_seconds
 
 
+def _run_query_partition(
+    rows: np.ndarray, window_indices: np.ndarray, spec: dict
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Compute one row-block through a backend handoff spec.
+
+    ``spec["mode"]`` selects the worker-side read path:
+
+    * ``"sqlite"`` — open an own connection to ``spec["path"]`` and read the
+      selected window records;
+    * ``"mmap"`` — re-map the store directory at ``spec["path"]`` and read
+      this partition's covariance rows zero-copy;
+    * ``"shm"`` — attach the parent's shared-memory covariance block and
+      slice it (no store I/O; the selection's statistics ride in the spec).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    mode = spec["mode"]
+    if mode == "sqlite":
+        start = time.perf_counter()
+        with SqliteSketchStore(spec["path"]) as store:
+            from repro.storage.serialize import load_sketch
+
+            sketch = load_sketch(store, indices=[int(j) for j in window_indices])
+        read_seconds = time.perf_counter() - start
+        # load_sketch already restricted the sketch to the selection, in
+        # order; gather only this partition's rows of the tensor.
+        block = combine_rows(
+            sketch.means,
+            sketch.stds,
+            sketch.covs[:, rows, :],
+            sketch.sizes.astype(np.float64),
+            rows,
+        )
+        return rows, block, read_seconds
+    if mode == "mmap":
+        from repro.engine.providers import MmapProvider
+
+        start = time.perf_counter()
+        provider = MmapProvider(spec["path"])
+        map_seconds = time.perf_counter() - start
+        # The provider's row-gather is the worker's only read of the pairs
+        # file: it faults in exactly this partition's rows of the selection.
+        rows, block, read_seconds = _provider_partition(
+            rows, window_indices, provider
+        )
+        return rows, block, map_seconds + read_seconds
+    if mode == "shm":
+        block_shm = _attach_shared_block(spec["shm_name"])
+        try:
+            covs = np.ndarray(
+                spec["covs_shape"], dtype=np.float64, buffer=block_shm.buf
+            )
+            result = combine_rows(
+                spec["means"], spec["stds"], covs[:, rows, :], spec["sizes"], rows
+            )
+        finally:
+            del covs
+            block_shm.close()
+        return rows, result, 0.0
+    raise DataError(f"unknown query partition mode {mode!r}")
+
+
 def _query_partition_task(args):
-    rows, window_indices, sketch = args
-    return query_partition(rows, window_indices, sketch, _WORKER_STORE_PATH)
+    rows, window_indices = args
+    assert _WORKER_QUERY_SPEC is not None
+    return _run_query_partition(rows, window_indices, _WORKER_QUERY_SPEC)
+
+
+def _fill_shared_covs(
+    provider, window_indices: np.ndarray, n_series: int
+) -> tuple[shared_memory.SharedMemory, tuple[int, int, int]]:
+    """Stream a provider's selected covariances into a shared-memory block.
+
+    One chunked pass over the provider — the selection tensor is written
+    directly into the OS shared segment, never materialized as a
+    :class:`Sketch` and never pickled to the workers.
+    """
+    k = int(window_indices.size)
+    shape = (k, n_series, n_series)
+    nbytes = max(8 * k * n_series * n_series, 1)
+    block = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        covs = np.ndarray(shape, dtype=np.float64, buffer=block.buf)
+        offset = 0
+        for chunk in provider.iter_cov_chunks(window_indices, SHM_FILL_CHUNK_WINDOWS):
+            covs[offset : offset + chunk.shape[0]] = chunk
+            offset += chunk.shape[0]
+        del covs
+    except BaseException:
+        block.close()
+        block.unlink()
+        raise
+    return block, shape
 
 
 def parallel_query(
@@ -307,72 +445,118 @@ def parallel_query(
     n_series: int | None = None,
     provider=None,
 ) -> ParallelQueryResult:
-    """All-pairs Lemma 1 query with partitioned workers.
+    """All-pairs Lemma 1 query with partitioned workers, over any backend.
 
     Args:
         window_indices: Basic windows forming the (aligned) query window.
         n_workers: Computation workers.
-        sketch: In-memory sketch (in-memory mode).
+        sketch: In-memory sketch (fans out through shared memory).
         store_path: SQLite store path (disk-based mode; workers read their
             own sketches, as in §3.4).
         n_series: Required in disk-based mode without a sketch.
         provider: Any :class:`~repro.engine.providers.SketchProvider`
-            backend, mutually exclusive with ``sketch``/``store_path``. A
-            :class:`~repro.engine.providers.StoreProvider` over an on-disk
-            SQLite store runs in disk-based mode (workers open their own
-            connections); any other provider has the selected windows
-            materialized once and shipped to the workers.
+            backend, mutually exclusive with ``sketch``/``store_path``.
+            Mmap-backed providers hand workers the store directory (each
+            worker re-maps, zero-copy); SQLite-backed providers hand workers
+            the database path (own connections); every other backend streams
+            the selection's covariances into a ``multiprocessing``
+            shared-memory block that workers slice — nothing is materialized
+            into a :class:`Sketch` or pickled before fan-out.
 
     Returns:
         A :class:`ParallelQueryResult` with the full matrix and read/calc
         split.
     """
     window_indices = np.asarray(window_indices, dtype=np.int64)
-    if provider is not None:
-        if sketch is not None or store_path is not None:
-            raise DataError("give either a provider or sketch/store_path, not both")
-        from repro.engine.providers import StoreProvider
+    if provider is not None and (sketch is not None or store_path is not None):
+        raise DataError("give either a provider or sketch/store_path, not both")
+    if sketch is not None and store_path is not None:
+        # Ambiguous: the two sources could hold different sketches and the
+        # answering backend must not depend on the worker count.
+        raise DataError("give either sketch or store_path, not both")
+    if sketch is not None:
+        from repro.engine.providers import InMemoryProvider
 
-        n_series = provider.n_series
-        path = None
-        if isinstance(provider, StoreProvider):
-            path = getattr(provider.store, "path", None)
-        if path is not None:
-            store_path = path
-        else:
-            sketch = provider.materialize(window_indices)
-            window_indices = np.arange(sketch.n_windows, dtype=np.int64)
-    if sketch is None and store_path is None:
+        provider = InMemoryProvider(sketch)
+    if provider is None and store_path is None:
         raise DataError("either sketch, store_path, or provider must be provided")
     if n_workers <= 0:
         raise DataError("n_workers must be positive")
-    if sketch is not None:
-        n_series = sketch.n_series
-    elif n_series is None:
-        with SqliteSketchStore(store_path) as store:
-            n_series = len(store.read_metadata().names)
+
+    spec: dict | None = None
+    task_indices = window_indices
+    if store_path is not None:
+        if n_series is None:
+            with SqliteSketchStore(store_path) as store:
+                n_series = len(store.read_metadata().names)
+        spec = {"mode": "sqlite", "path": str(store_path)}
+    else:
+        from repro.engine.providers import MmapProvider, StoreProvider
+        from repro.storage.mmap_store import MmapStore
+
+        n_series = provider.n_series
+        if isinstance(provider, MmapProvider):
+            spec = {"mode": "mmap", "path": provider.path}
+        elif isinstance(provider, StoreProvider):
+            # The handoff must match the store *kind*, not just the presence
+            # of a .path — both SQLite files and mmap directories expose one.
+            if isinstance(provider.store, MmapStore):
+                spec = {"mode": "mmap", "path": provider.store.path}
+            elif (
+                isinstance(provider.store, SqliteSketchStore)
+                and provider.store.path is not None
+            ):
+                spec = {"mode": "sqlite", "path": provider.store.path}
 
     partitions = partition_rows(n_series, n_workers)
-    path_str = str(store_path) if store_path is not None else None
-    # Disk-based mode ships no sketch to workers; they read the store.
-    shipped = None if path_str is not None else sketch
+    serial = n_workers == 1 or len(partitions) == 1
 
-    start = time.perf_counter()
-    if n_workers == 1 or len(partitions) == 1:
-        results = [
-            query_partition(rows, window_indices, shipped, path_str)
-            for rows in partitions
-        ]
-    else:
-        ctx = get_context("fork")
-        tasks = [(rows, window_indices, shipped) for rows in partitions]
-        with ctx.Pool(
-            processes=len(partitions),
-            initializer=_init_query_worker,
-            initargs=(path_str,),
-        ) as pool:
-            results = pool.map(_query_partition_task, tasks)
-    wall = time.perf_counter() - start
+    shm_block: shared_memory.SharedMemory | None = None
+    try:
+        if spec is None and not serial:
+            # Shared-memory fan-out: one streaming pass into the segment.
+            means, stds, sizes = provider.window_stats(window_indices)
+            shm_block, covs_shape = _fill_shared_covs(
+                provider, window_indices, n_series
+            )
+            spec = {
+                "mode": "shm",
+                "shm_name": shm_block.name,
+                "covs_shape": covs_shape,
+                "means": np.ascontiguousarray(means),
+                "stds": np.ascontiguousarray(stds),
+                "sizes": np.asarray(sizes, dtype=np.float64),
+            }
+            task_indices = np.arange(window_indices.size, dtype=np.int64)
+
+        start = time.perf_counter()
+        if serial:
+            if provider is not None:
+                # In-process, use the provider in hand (its open maps, LRU
+                # cache) rather than re-opening the store through the spec.
+                results = [
+                    _provider_partition(rows, task_indices, provider)
+                    for rows in partitions
+                ]
+            else:
+                results = [
+                    _run_query_partition(rows, task_indices, spec)
+                    for rows in partitions
+                ]
+        else:
+            ctx = get_context("fork")
+            tasks = [(rows, task_indices) for rows in partitions]
+            with ctx.Pool(
+                processes=len(partitions),
+                initializer=_init_query_worker,
+                initargs=(spec,),
+            ) as pool:
+                results = pool.map(_query_partition_task, tasks)
+        wall = time.perf_counter() - start
+    finally:
+        if shm_block is not None:
+            shm_block.close()
+            shm_block.unlink()
 
     matrix = np.empty((n_series, n_series))
     worker_reads: list[float] = []

@@ -17,7 +17,9 @@ into the query engines::
 from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
 from repro.storage.live import PersistentRealtime
 from repro.storage.memory import MemorySketchStore
+from repro.storage.mmap_store import MmapStore, is_mmap_store
 from repro.storage.serialize import (
+    convert_store,
     load_approx_sketch,
     load_sketch,
     save_approx_sketch,
@@ -31,19 +33,29 @@ __all__ = [
     "WindowRecord",
     "PersistentRealtime",
     "MemorySketchStore",
+    "MmapStore",
+    "is_mmap_store",
     "SqliteSketchStore",
     "load_sketch",
     "save_sketch",
     "load_approx_sketch",
     "save_approx_sketch",
+    "convert_store",
     "SketchProvider",
     "InMemoryProvider",
     "StoreProvider",
     "ChunkedBuildProvider",
+    "MmapProvider",
 ]
 
 _PROVIDER_EXPORTS = frozenset(
-    {"SketchProvider", "InMemoryProvider", "StoreProvider", "ChunkedBuildProvider"}
+    {
+        "SketchProvider",
+        "InMemoryProvider",
+        "StoreProvider",
+        "ChunkedBuildProvider",
+        "MmapProvider",
+    }
 )
 
 

@@ -1,0 +1,382 @@
+"""Zero-copy memory-mapped sketch store (the disk deployment's fast path).
+
+The SQLite store pays a per-record cost at read time: every window record is
+``SELECT``-ed, its blobs are copied out of the database pages, and the packed
+upper-triangle pair matrix is re-inflated into a fresh ``(n, n)`` array. For
+a read-mostly sketch (the paper's historical deployment: write once at
+ingestion, query forever) none of that work is necessary — the sketch is just
+four fixed-shape numeric arrays.
+
+:class:`MmapStore` therefore lays the window records out as contiguous
+little-endian arrays in a directory::
+
+    meta.json     -- JSON sidecar: layout version, n_series, collection meta
+    means.f64     -- float64, shape (n_windows, n)
+    stds.f64      -- float64, shape (n_windows, n)
+    pairs.f64     -- float64, shape (n_windows, n, n)
+    sizes.i64     -- int64,   shape (n_windows,)   (0 marks an unwritten slot)
+
+Reads are served straight from read-only ``numpy.memmap`` views: no SQL, no
+blob copies, no per-record deserialization — the OS page cache is the read
+buffer, and a query touches exactly the bytes it consumes. The dedicated
+:class:`~repro.engine.providers.MmapProvider` slices these arrays directly
+into the Lemma 1 kernels; :class:`MmapStore` also implements the full
+:class:`~repro.storage.base.SketchStore` contract so every generic code path
+(``save_sketch``, ``StoreProvider``, ``tsubasa convert``) runs unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import StorageError
+from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+
+__all__ = ["MmapStore", "is_mmap_store"]
+
+_FORMAT_VERSION = 1
+_META_FILE = "meta.json"
+_ARRAY_FILES = {
+    "means": "means.f64",
+    "stds": "stds.f64",
+    "pairs": "pairs.f64",
+    "sizes": "sizes.i64",
+}
+
+
+def is_mmap_store(path: str | Path) -> bool:
+    """Whether ``path`` looks like an :class:`MmapStore` directory."""
+    return (Path(path) / _META_FILE).is_file()
+
+
+class MmapStore(SketchStore):
+    """Sketch store over contiguous memory-mapped arrays.
+
+    Args:
+        path: Store directory; created (with parents) unless opened
+            read-only.
+        mode: ``"r+"`` (default) opens for reading and writing, creating the
+            directory if needed; ``"r"`` opens an existing store read-only —
+            the mode parallel query workers use to re-map a shared store.
+
+    The number of series is fixed by the first metadata or window write and
+    enforced thereafter. Window slots are committed sizes-last, so a record
+    with ``sizes[j] == 0`` (the unwritten sentinel; real windows are never
+    empty) is reported missing rather than returned half-written.
+    """
+
+    def __init__(self, path: str | Path, mode: str = "r+") -> None:
+        if mode not in ("r", "r+"):
+            raise StorageError(f"mode must be 'r' or 'r+', got {mode!r}")
+        self._dir = Path(path)
+        self._mode = mode
+        # Pathlib arithmetic is a measurable share of a cold open; build
+        # every file path exactly once.
+        self._meta_path = self._dir / _META_FILE
+        self._files = {
+            name: self._dir / filename for name, filename in _ARRAY_FILES.items()
+        }
+        self._n: int | None = None
+        self._collection: StoreMetadata | None = None
+        self._read_maps: dict[str, np.ndarray] | None = None
+        self._write_maps: dict[str, np.ndarray] | None = None
+        has_meta = self._meta_path.is_file()
+        if mode == "r":
+            if not has_meta:
+                raise StorageError(
+                    f"{self._dir} is not an mmap sketch store (no {_META_FILE})"
+                )
+        else:
+            try:
+                self._dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise StorageError(
+                    f"cannot create mmap store directory {self._dir}: {exc}"
+                ) from exc
+        if has_meta:
+            self._load_meta()
+
+    # -- sidecar metadata ----------------------------------------------------
+
+    def _load_meta(self) -> None:
+        try:
+            payload = json.loads(self._meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StorageError(
+                f"cannot read mmap store metadata in {self._dir}: {exc}"
+            ) from exc
+        if payload.get("version") != _FORMAT_VERSION:
+            raise StorageError(
+                f"unsupported mmap store version {payload.get('version')!r} "
+                f"in {self._dir} (expected {_FORMAT_VERSION})"
+            )
+        self._n = int(payload["n_series"]) if payload.get("n_series") else None
+        collection = payload.get("collection")
+        if collection is not None:
+            self._collection = StoreMetadata(
+                names=tuple(collection["names"]),
+                window_size=int(collection["window_size"]),
+                kind=collection["kind"],
+                n_coeffs=int(collection["n_coeffs"]),
+            )
+
+    def _save_meta(self) -> None:
+        collection = None
+        if self._collection is not None:
+            collection = {
+                "names": list(self._collection.names),
+                "window_size": self._collection.window_size,
+                "kind": self._collection.kind,
+                "n_coeffs": self._collection.n_coeffs,
+            }
+        payload = {
+            "version": _FORMAT_VERSION,
+            "n_series": self._n,
+            "collection": collection,
+        }
+        self._meta_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def _require_writable(self) -> None:
+        if self._mode == "r":
+            raise StorageError(f"mmap store {self._dir} is open read-only")
+
+    def _set_n_series(self, n: int) -> None:
+        if self._n is None:
+            self._n = int(n)
+            self._save_meta()
+        elif self._n != n:
+            raise StorageError(
+                f"store {self._dir} holds {self._n}-series records, got {n}"
+            )
+
+    # -- array files ---------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        """Store directory path (workers re-mmap through it)."""
+        return str(self._dir)
+
+    @property
+    def n_series(self) -> int | None:
+        """Number of series per record, or ``None`` before the first write."""
+        return self._n
+
+    def _capacity(self) -> int:
+        try:
+            return self._files["sizes"].stat().st_size // 8
+        except OSError:
+            return 0
+
+    def _shapes(self, capacity: int) -> dict[str, tuple[int, ...]]:
+        assert self._n is not None
+        n = self._n
+        return {
+            "means": (capacity, n),
+            "stds": (capacity, n),
+            "pairs": (capacity, n, n),
+            "sizes": (capacity,),
+        }
+
+    def _dtype(self, name: str) -> str:
+        return "<i8" if name == "sizes" else "<f8"
+
+    def _drop_maps(self) -> None:
+        # Deleting the memmap objects flushes dirty pages and releases the
+        # mappings, so the files can be re-truncated and re-mapped.
+        self._read_maps = None
+        self._write_maps = None
+
+    def _open_maps(self, mode: str) -> dict[str, np.ndarray]:
+        capacity = self._capacity()
+        if capacity == 0 or self._n is None:
+            raise StorageError(f"mmap store {self._dir} holds no window records")
+        shapes = self._shapes(capacity)
+        maps: dict[str, np.ndarray] = {}
+        for name, file_path in self._files.items():
+            expected = 8 * int(np.prod(shapes[name]))
+            try:
+                size = file_path.stat().st_size
+            except OSError:
+                size = -1
+            if size != expected:
+                raise StorageError(
+                    f"mmap store array {file_path} is missing or has the "
+                    f"wrong size (expected {expected} bytes)"
+                )
+            if mode == "r":
+                # Raw mmap + frombuffer instead of np.memmap: ~5x cheaper to
+                # construct, which is most of a cold query's latency budget.
+                # The arrays are read-only views over the mapping (the mmap
+                # object stays alive through .base).
+                fd = os.open(file_path, os.O_RDONLY)
+                try:
+                    buf = mmap.mmap(fd, expected, access=mmap.ACCESS_READ)
+                finally:
+                    os.close(fd)
+                maps[name] = np.frombuffer(buf, dtype=self._dtype(name)).reshape(
+                    shapes[name]
+                )
+            else:
+                maps[name] = np.memmap(
+                    file_path, dtype=self._dtype(name), mode=mode,
+                    shape=shapes[name],
+                )
+        return maps
+
+    def _writable(self) -> dict[str, np.ndarray]:
+        if self._write_maps is None:
+            self._write_maps = self._open_maps("r+")
+        return self._write_maps
+
+    def _readable(self) -> dict[str, np.ndarray]:
+        if self._read_maps is None:
+            self._read_maps = self._open_maps("r")
+        return self._read_maps
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The store's raw arrays as read-only memmap views.
+
+        Returns:
+            ``(means, stds, pairs, sizes)`` of shapes ``(nw, n)``,
+            ``(nw, n)``, ``(nw, n, n)``, ``(nw,)`` — the zero-copy substrate
+            :class:`~repro.engine.providers.MmapProvider` slices from.
+        """
+        maps = self._readable()
+        return maps["means"], maps["stds"], maps["pairs"], maps["sizes"]
+
+    def _ensure_capacity(self, needed: int) -> None:
+        capacity = self._capacity()
+        if needed <= capacity:
+            return
+        self._drop_maps()
+        shapes = self._shapes(needed)
+        for name, file_path in self._files.items():
+            if not file_path.exists():
+                file_path.touch()
+            # Extending with truncate leaves the new (unwritten) slots as
+            # zero pages — exactly the sizes sentinel for "missing".
+            os.truncate(file_path, 8 * int(np.prod(shapes[name])))
+
+    # -- SketchStore contract ------------------------------------------------
+
+    def write_metadata(self, metadata: StoreMetadata) -> None:
+        self._require_writable()
+        self._set_n_series(len(metadata.names))
+        self._collection = metadata
+        self._save_meta()
+
+    def read_metadata(self) -> StoreMetadata:
+        if self._collection is None:
+            raise StorageError(f"no metadata in mmap store {self._dir}")
+        return self._collection
+
+    def write_windows(self, records: list[WindowRecord]) -> None:
+        self._require_writable()
+        if not records:
+            return
+        for record in records:
+            means = np.asarray(record.means, dtype=np.float64)
+            if means.ndim != 1:
+                raise StorageError(
+                    f"window record means must be 1-D, got shape {means.shape}"
+                )
+            self._set_n_series(means.size)
+            n = self._n
+            if np.asarray(record.stds).shape != (n,):
+                raise StorageError(
+                    f"window record {record.index} stds shape "
+                    f"{np.asarray(record.stds).shape} != ({n},)"
+                )
+            if np.asarray(record.pairs).shape != (n, n):
+                raise StorageError(
+                    f"window record {record.index} pairs shape "
+                    f"{np.asarray(record.pairs).shape} != ({n}, {n})"
+                )
+            if record.index < 0:
+                raise StorageError(f"negative window index {record.index}")
+            if record.size <= 0:
+                raise StorageError(
+                    f"window record {record.index} has non-positive size "
+                    f"{record.size}"
+                )
+        self._ensure_capacity(max(record.index for record in records) + 1)
+        maps = self._writable()
+        lo = min(record.index for record in records)
+        hi = max(record.index for record in records) + 1
+        for record in records:
+            j = record.index
+            maps["means"][j] = record.means
+            maps["stds"][j] = record.stds
+            maps["pairs"][j] = np.asarray(record.pairs, dtype=np.float64)
+        # Commit sizes last, behind an msync barrier: the data pages reach
+        # the file before any nonzero size does, so a crash — process or
+        # system — leaves a half-written record with sizes[j] == 0, which
+        # readers treat as missing rather than serving partial data.
+        for name in ("means", "stds", "pairs"):
+            self._flush_records(maps[name], lo, hi)
+        for record in records:
+            maps["sizes"][record.index] = record.size
+        self._flush_records(maps["sizes"], lo, hi)
+
+    @staticmethod
+    def _flush_records(mem: np.ndarray, lo: int, hi: int) -> None:
+        """msync only the pages covering records ``[lo, hi)``.
+
+        ``np.memmap.flush()`` syncs the whole mapping, which turns batched
+        ingestion into quadratic writeback (every batch re-syncs the full
+        file). Flushing the touched byte range keeps each batch's cost
+        proportional to the batch.
+        """
+        raw = getattr(mem, "_mmap", None)
+        if raw is None:  # not a memmap-backed array; nothing to sync
+            return
+        record_bytes = mem.itemsize * int(np.prod(mem.shape[1:], dtype=np.int64))
+        page = mmap.PAGESIZE
+        start = (lo * record_bytes // page) * page
+        stop = min(hi * record_bytes, mem.nbytes)
+        if stop > start:
+            raw.flush(start, stop - start)
+
+    def read_windows(self, indices: list[int]) -> list[WindowRecord]:
+        capacity = self._capacity()
+        if capacity == 0:
+            raise StorageError(
+                f"window records missing from store: {list(indices)}"
+            )
+        maps = self._readable()
+        sizes = maps["sizes"]
+        records: list[WindowRecord] = []
+        for index in indices:
+            i = int(index)
+            if not 0 <= i < capacity or sizes[i] == 0:
+                raise StorageError(f"window record {i} missing from store")
+            records.append(
+                WindowRecord(
+                    index=i,
+                    means=maps["means"][i],
+                    stds=maps["stds"][i],
+                    pairs=maps["pairs"][i],
+                    size=int(sizes[i]),
+                )
+            )
+        return records
+
+    def window_count(self) -> int:
+        if self._capacity() == 0 or self._n is None:
+            return 0
+        return int(np.count_nonzero(self._readable()["sizes"]))
+
+    def size_bytes(self) -> int:
+        total = 0
+        for file_path in (self._meta_path, *self._files.values()):
+            if file_path.exists():
+                total += file_path.stat().st_size
+        return total
+
+    def close(self) -> None:
+        self._drop_maps()

@@ -26,6 +26,7 @@ __all__ = [
     "load_sketch",
     "save_approx_sketch",
     "load_approx_sketch",
+    "convert_store",
 ]
 
 
@@ -102,6 +103,38 @@ def load_sketch(store: SketchStore, indices: list[int] | None = None) -> Sketch:
         covs=pairs,
         sizes=sizes,
     )
+
+
+def convert_store(
+    src: SketchStore, dst: SketchStore, batch_size: int = 64
+) -> int:
+    """Migrate a sketch store between backends, one record batch at a time.
+
+    Streams metadata plus every window record from ``src`` into ``dst``
+    (e.g. SQLite → mmap for the zero-copy read path, or back) without ever
+    holding more than ``batch_size`` records in memory. Window indices are
+    assumed contiguous from 0, which both shipped backends guarantee for
+    complete sketches. The destination must be empty: neither backend
+    deletes records, so converting over a larger existing store would leave
+    stale windows beyond ``src``'s count and silently mix two sketches.
+
+    Returns:
+        The number of window records migrated.
+    """
+    if batch_size <= 0:
+        raise StorageError("batch_size must be positive")
+    existing = dst.window_count()
+    if existing > 0:
+        raise StorageError(
+            f"destination store already holds {existing} window records; "
+            "convert into a fresh store"
+        )
+    dst.write_metadata(src.read_metadata())
+    count = src.window_count()
+    for start in range(0, count, batch_size):
+        indices = list(range(start, min(start + batch_size, count)))
+        dst.write_windows(src.read_windows(indices))
+    return count
 
 
 def save_approx_sketch(

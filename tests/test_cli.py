@@ -92,6 +92,118 @@ class TestQuery:
         assert "not aligned" in capsys.readouterr().err
 
 
+class TestMmapBackend:
+    @pytest.fixture()
+    def mmap_store_dir(self, tmp_path, dataset_file):
+        path = tmp_path / "sketch.mm"
+        code = main(
+            [
+                "sketch",
+                "--data", str(dataset_file),
+                "--window-size", "50",
+                "--store", str(path),
+                "--store-backend", "mmap",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_sketch_into_mmap_store(self, mmap_store_dir, capsys):
+        assert (mmap_store_dir / "meta.json").is_file()
+        assert (mmap_store_dir / "pairs.f64").is_file()
+
+    def test_info_detects_mmap_layout(self, mmap_store_dir, capsys):
+        assert main(["info", "--store", str(mmap_store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "layout=mmap" in out
+        assert "windows=8" in out
+
+    def test_query_backend_mmap(self, mmap_store_dir, capsys):
+        code = main(
+            [
+                "query",
+                "--store", str(mmap_store_dir),
+                "--backend", "mmap",
+                "--end", "399",
+                "--length", "200",
+                "--theta", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mmap backend" in out
+        assert "nodes=12" in out
+
+    def test_query_backends_agree(self, store_file, mmap_store_dir, capsys):
+        for args in (
+            ["--store", str(store_file)],
+            ["--store", str(store_file), "--backend", "store"],
+            ["--store", str(mmap_store_dir), "--backend", "mmap"],
+            ["--store", str(mmap_store_dir), "--backend", "store"],
+            ["--store", str(mmap_store_dir)],
+        ):
+            assert main(
+                ["topk", *args, "--end", "399", "--length", "200", "--k", "3"]
+            ) == 0
+        outputs = capsys.readouterr().out.split("top 3 correlated pairs:")
+        pair_lists = [o.strip() for o in outputs if o.strip()]
+        assert len(pair_lists) == 5
+        assert len(set(pair_lists)) == 1
+
+    def test_backend_mmap_rejects_sqlite_store(self, store_file, capsys):
+        code = main(
+            [
+                "query",
+                "--store", str(store_file),
+                "--backend", "mmap",
+                "--end", "399",
+                "--length", "200",
+            ]
+        )
+        assert code == 1
+        assert "memory-mapped" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_sqlite_to_mmap_and_back(self, store_file, tmp_path, capsys):
+        mm = tmp_path / "conv.mm"
+        code = main(
+            ["convert", "--src", str(store_file), "--dst", str(mm),
+             "--dst-backend", "mmap"]
+        )
+        assert code == 0
+        assert "migrated 8 window records" in capsys.readouterr().out
+        back = tmp_path / "back.db"
+        code = main(
+            ["convert", "--src", str(mm), "--dst", str(back),
+             "--dst-backend", "sqlite", "--batch-size", "3"]
+        )
+        assert code == 0
+        from repro.storage.serialize import load_sketch
+        from repro.storage.sqlite_store import SqliteSketchStore
+
+        with SqliteSketchStore(store_file) as original, \
+                SqliteSketchStore(back) as roundtripped:
+            a = load_sketch(original)
+            b = load_sketch(roundtripped)
+        np.testing.assert_array_equal(a.covs, b.covs)
+        np.testing.assert_array_equal(a.means, b.means)
+        assert a.names == b.names
+
+    def test_converted_store_answers_queries(self, store_file, tmp_path, capsys):
+        mm = tmp_path / "conv.mm"
+        assert main(
+            ["convert", "--src", str(store_file), "--dst", str(mm),
+             "--dst-backend", "mmap"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["query", "--store", str(mm), "--backend", "mmap",
+             "--end", "399", "--length", "200", "--theta", "0.4"]
+        ) == 0
+        assert "nodes=12" in capsys.readouterr().out
+
+
 class TestStream:
     def test_stream_reports_updates(self, dataset_file, capsys):
         code = main(

@@ -1,0 +1,212 @@
+"""Tests for repro.storage.mmap_store (zero-copy memory-mapped store)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import build_sketch
+from repro.exceptions import StorageError
+from repro.storage.base import StoreMetadata, WindowRecord
+from repro.storage.mmap_store import MmapStore, is_mmap_store
+from repro.storage.serialize import convert_store, load_sketch, save_sketch
+from repro.storage.sqlite_store import SqliteSketchStore
+
+
+def _record(index, n=4, size=10, seed=0):
+    rng = np.random.default_rng(seed + index)
+    pairs = rng.normal(size=(n, n))
+    pairs = 0.5 * (pairs + pairs.T)
+    return WindowRecord(
+        index=index,
+        means=rng.normal(size=n),
+        stds=np.abs(rng.normal(size=n)),
+        pairs=pairs,
+        size=size,
+    )
+
+
+class TestLayout:
+    def test_directory_files(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            save_sketch(store, build_sketch(np.random.default_rng(0).normal(
+                size=(3, 100)), 20))
+        names = {p.name for p in (tmp_path / "st").iterdir()}
+        assert names == {"meta.json", "means.f64", "stds.f64",
+                         "pairs.f64", "sizes.i64"}
+        payload = json.loads((tmp_path / "st" / "meta.json").read_text())
+        assert payload["n_series"] == 3
+        assert payload["collection"]["window_size"] == 20
+
+    def test_array_sizes_match_records(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i, n=5) for i in range(7)])
+        assert (tmp_path / "st" / "pairs.f64").stat().st_size == 7 * 5 * 5 * 8
+        assert (tmp_path / "st" / "means.f64").stat().st_size == 7 * 5 * 8
+        assert (tmp_path / "st" / "sizes.i64").stat().st_size == 7 * 8
+
+    def test_is_mmap_store_detection(self, tmp_path):
+        assert not is_mmap_store(tmp_path / "nothing")
+        with MmapStore(tmp_path / "st") as store:
+            store.write_metadata(StoreMetadata(names=("a",), window_size=5))
+        assert is_mmap_store(tmp_path / "st")
+
+
+class TestPersistence:
+    def test_records_survive_reopen(self, tmp_path):
+        records = [_record(i) for i in range(6)]
+        with MmapStore(tmp_path / "st") as store:
+            store.write_metadata(StoreMetadata(names=tuple("abcd"), window_size=10))
+            store.write_windows(records)
+        with MmapStore(tmp_path / "st") as store:
+            assert store.window_count() == 6
+            loaded = store.read_windows([4, 1])
+            assert [r.index for r in loaded] == [4, 1]
+            np.testing.assert_array_equal(loaded[0].pairs, records[4].pairs)
+            np.testing.assert_array_equal(loaded[1].means, records[1].means)
+
+    def test_readonly_mode(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_metadata(StoreMetadata(names=tuple("abcd"), window_size=10))
+            store.write_windows([_record(0)])
+        with MmapStore(tmp_path / "st", mode="r") as store:
+            assert store.window_count() == 1
+            with pytest.raises(StorageError, match="read-only"):
+                store.write_windows([_record(1)])
+            with pytest.raises(StorageError, match="read-only"):
+                store.write_metadata(
+                    StoreMetadata(names=tuple("abcd"), window_size=10)
+                )
+
+    def test_readonly_requires_existing_store(self, tmp_path):
+        with pytest.raises(StorageError, match="not an mmap sketch store"):
+            MmapStore(tmp_path / "missing", mode="r")
+
+    def test_out_of_order_writes_leave_holes(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(3)])
+            assert store.window_count() == 1
+            with pytest.raises(StorageError, match="missing"):
+                store.read_windows([1])
+            store.write_windows([_record(i) for i in range(3)])
+            assert store.window_count() == 4
+            assert [r.index for r in store.read_windows([0, 1, 2, 3])] == [0, 1, 2, 3]
+
+
+class TestZeroCopy:
+    def test_read_windows_returns_mapped_views(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i) for i in range(3)])
+            record = store.read_windows([1])[0]
+            # The record's arrays are read-only views over the mapping, not
+            # deserialized copies.
+            assert not record.pairs.flags.owndata
+            assert not record.pairs.flags.writeable
+            assert not record.means.flags.owndata
+
+    def test_arrays_are_shared_across_reads(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i) for i in range(3)])
+            a = store.read_windows([2])[0]
+            b = store.read_windows([2])[0]
+            assert np.shares_memory(a.pairs, b.pairs)
+
+
+class TestInvalidInput:
+    def test_rejects_bad_mode(self, tmp_path):
+        with pytest.raises(StorageError):
+            MmapStore(tmp_path / "st", mode="w")
+
+    def test_rejects_mismatched_series_count(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(0, n=4)])
+            with pytest.raises(StorageError, match="4-series"):
+                store.write_windows([_record(1, n=5)])
+
+    def test_rejects_mismatched_stds_length(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            with pytest.raises(StorageError, match="stds shape"):
+                store.write_windows(
+                    [WindowRecord(index=0, means=np.zeros(4),
+                                  stds=np.ones(3), pairs=np.eye(4), size=10)]
+                )
+            # The rejected record must not have been half-committed.
+            assert store.window_count() == 0
+
+    def test_rejects_mismatched_pairs_shape(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            with pytest.raises(StorageError, match="pairs shape"):
+                store.write_windows(
+                    [WindowRecord(index=0, means=np.zeros(4),
+                                  stds=np.ones(4), pairs=np.eye(3), size=10)]
+                )
+            assert store.window_count() == 0
+
+    def test_rejects_nonpositive_window_size(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            with pytest.raises(StorageError, match="non-positive"):
+                store.write_windows(
+                    [WindowRecord(index=0, means=np.zeros(2),
+                                  stds=np.zeros(2), pairs=np.zeros((2, 2)),
+                                  size=0)]
+                )
+
+    def test_rejects_corrupt_version(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_metadata(StoreMetadata(names=("a",), window_size=5))
+        meta = tmp_path / "st" / "meta.json"
+        payload = json.loads(meta.read_text())
+        payload["version"] = 99
+        meta.write_text(json.dumps(payload))
+        with pytest.raises(StorageError, match="version"):
+            MmapStore(tmp_path / "st")
+
+    def test_rejects_truncated_array_file(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i) for i in range(4)])
+        pairs = tmp_path / "st" / "pairs.f64"
+        pairs.write_bytes(pairs.read_bytes()[:100])
+        with MmapStore(tmp_path / "st") as store:
+            with pytest.raises(StorageError, match="wrong size"):
+                store.read_windows([0])
+
+
+class TestConvert:
+    def test_sqlite_to_mmap_roundtrip(self, small_sketch, tmp_path):
+        with SqliteSketchStore(tmp_path / "src.db") as src:
+            save_sketch(src, small_sketch)
+            with MmapStore(tmp_path / "dst") as dst:
+                count = convert_store(src, dst, batch_size=5)
+                assert count == 12
+                loaded = load_sketch(dst)
+        np.testing.assert_array_equal(loaded.covs, small_sketch.covs)
+        np.testing.assert_array_equal(loaded.means, small_sketch.means)
+        np.testing.assert_array_equal(loaded.sizes, small_sketch.sizes)
+        assert loaded.names == small_sketch.names
+
+    def test_mmap_to_sqlite_roundtrip(self, small_sketch, tmp_path):
+        with MmapStore(tmp_path / "src") as src:
+            save_sketch(src, small_sketch)
+            with SqliteSketchStore(tmp_path / "dst.db") as dst:
+                convert_store(src, dst)
+                loaded = load_sketch(dst)
+        np.testing.assert_array_equal(loaded.covs, small_sketch.covs)
+
+    def test_rejects_bad_batch_size(self, small_sketch, tmp_path):
+        with MmapStore(tmp_path / "src") as src:
+            save_sketch(src, small_sketch)
+            with pytest.raises(StorageError):
+                convert_store(src, MmapStore(tmp_path / "dst"), batch_size=0)
+
+    def test_rejects_nonempty_destination(self, small_sketch, tmp_path):
+        """Neither backend deletes records, so converting over an existing
+        store would leave stale windows mixed with the new sketch."""
+        with MmapStore(tmp_path / "dst") as dst:
+            save_sketch(dst, small_sketch)
+        with SqliteSketchStore(tmp_path / "src.db") as src:
+            save_sketch(src, small_sketch)
+            with MmapStore(tmp_path / "dst") as dst:
+                with pytest.raises(StorageError, match="already holds"):
+                    convert_store(src, dst)

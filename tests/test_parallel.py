@@ -155,6 +155,19 @@ class TestParallelQuery:
         with pytest.raises(DataError):
             parallel_query(np.arange(3), n_workers=1)
 
+    def test_rejects_sketch_plus_store_path(self, small_matrix, tmp_path):
+        """Ambiguous sources must be rejected: the answering backend must
+        not silently depend on the worker count."""
+        path = tmp_path / "both.db"
+        parallel_sketch(small_matrix, 50, n_workers=1, store_path=path)
+        sketch = build_sketch(small_matrix, window_size=50)
+        for n_workers in (1, 2):
+            with pytest.raises(DataError, match="not both"):
+                parallel_query(
+                    np.arange(12), n_workers=n_workers,
+                    sketch=sketch, store_path=path,
+                )
+
     def test_timing_fields_populated(self, small_matrix):
         sketch = build_sketch(small_matrix, window_size=50)
         result = parallel_query(np.arange(12), n_workers=2, sketch=sketch)
@@ -176,9 +189,55 @@ class TestParallelQuery:
             result.read_seconds + result.calc_seconds
         )
 
-    def test_in_memory_mode_reports_zero_reads(self, small_matrix):
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_in_memory_mode_reports_zero_reads(self, small_matrix, n_workers):
+        """Same backend, same split semantics at any worker count."""
         sketch = build_sketch(small_matrix, window_size=50)
-        result = parallel_query(np.arange(12), n_workers=2, sketch=sketch)
+        result = parallel_query(np.arange(12), n_workers=n_workers, sketch=sketch)
         assert result.worker_read_seconds == [0.0] * result.n_partitions
         assert result.read_seconds == 0.0
         assert result.calc_seconds == result.total_seconds
+
+
+class TestSharedMemoryFanOut:
+    """The sketch= path ships covariances via multiprocessing.shared_memory."""
+
+    def test_sketch_mode_fans_out_without_pickling_covs(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        result = parallel_query(np.arange(12), n_workers=3, sketch=sketch)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+        assert result.n_partitions == 3
+
+    def test_no_shared_memory_leak(self, small_matrix, monkeypatch):
+        """Every segment this query creates is unlinked by the time it
+        returns (tracked by name, so concurrent processes can't interfere)."""
+        from multiprocessing import shared_memory
+
+        from repro.parallel import executor
+
+        created: list[str] = []
+        real = shared_memory.SharedMemory
+
+        def recording(*args, **kwargs):
+            block = real(*args, **kwargs)
+            if kwargs.get("create", False):
+                created.append(block.name)
+            return block
+
+        monkeypatch.setattr(executor.shared_memory, "SharedMemory", recording)
+        sketch = build_sketch(small_matrix, window_size=50)
+        for _ in range(3):
+            parallel_query(np.arange(12), n_workers=2, sketch=sketch)
+        assert len(created) == 3
+        for name in created:
+            with pytest.raises(FileNotFoundError):
+                real(name=name, create=False)
+
+    def test_window_subset_through_shared_memory(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        result = parallel_query(np.arange(3, 9), n_workers=2, sketch=sketch)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix[:, 150:450]), atol=1e-10
+        )

@@ -11,12 +11,15 @@ from repro.core.sketch import build_sketch
 from repro.engine.providers import (
     ChunkedBuildProvider,
     InMemoryProvider,
+    MmapProvider,
     SketchProvider,
     StoreProvider,
+    _LruRecordCache,
 )
 from repro.exceptions import DataError, SketchError, StorageError
 from repro.parallel.executor import parallel_query, parallel_sketch
 from repro.storage.memory import MemorySketchStore
+from repro.storage.mmap_store import MmapStore
 from repro.storage.serialize import load_sketch, save_sketch
 from repro.storage.sqlite_store import SqliteSketchStore
 from repro.streams.ingestion import StreamIngestor
@@ -36,6 +39,25 @@ def memory_store(small_sketch):
     store = MemorySketchStore()
     save_sketch(store, small_sketch)
     return store
+
+
+@pytest.fixture()
+def mmap_dir(small_sketch, tmp_path):
+    """An mmap store directory holding the small sketch (12 windows, B=50)."""
+    path = tmp_path / "prov.mm"
+    with MmapStore(path) as store:
+        save_sketch(store, small_sketch)
+    return path
+
+
+def _forbid_materialize(provider):
+    """Make any materialize() call fail the test (fan-out must not do it)."""
+
+    def boom(indices=None):
+        raise AssertionError("provider.materialize() called before fan-out")
+
+    provider.materialize = boom
+    return provider
 
 
 class TestInMemoryProvider:
@@ -229,6 +251,215 @@ class TestStoreBackedEngine:
         assert got.edge_set() == want.edge_set()
 
 
+class TestLruRecordCache:
+    def test_capacity_zero_never_stores(self):
+        cache = _LruRecordCache(0)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        assert len(cache) == 0
+        assert cache.get(1) is None
+        assert cache.get(2) is None
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_capacity_none_is_unbounded(self):
+        cache = _LruRecordCache(None)
+        for i in range(1000):
+            cache.put(i, i)
+        assert len(cache) == 1000
+        assert cache.get(0) == 0
+        assert cache.get(999) == 999
+
+    def test_eviction_is_least_recently_used(self):
+        cache = _LruRecordCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        assert cache.get(1) == "a"  # refresh 1; 2 is now LRU
+        cache.put(3, "c")
+        assert cache.get(2) is None  # evicted
+        assert cache.get(1) == "a"
+        assert cache.get(3) == "c"
+
+    def test_put_refreshes_recency(self):
+        cache = _LruRecordCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.put(1, "a2")  # re-put refreshes 1; 2 is now LRU
+        cache.put(3, "c")
+        assert cache.get(1) == "a2"
+        assert cache.get(2) is None
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(DataError):
+            _LruRecordCache(-1)
+
+    def test_hit_miss_counters(self):
+        cache = _LruRecordCache(4)
+        cache.put(1, "a")
+        cache.get(1)
+        cache.get(1)
+        cache.get(9)
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+
+class TestMmapProvider:
+    def test_metadata(self, mmap_dir, small_sketch):
+        provider = MmapProvider(mmap_dir)
+        assert provider.names == small_sketch.names
+        assert provider.n_series == 20
+        assert provider.n_windows == 12
+        assert provider.window_size == 50
+        assert provider.length == 600
+        assert not provider.has_raw_data
+        assert provider.path == str(mmap_dir)
+
+    def test_window_stats_and_covs_bit_equal(self, mmap_dir, small_sketch):
+        provider = MmapProvider(mmap_dir)
+        idx = np.array([2, 5, 7])
+        means, stds, sizes = provider.window_stats(idx)
+        np.testing.assert_array_equal(means, small_sketch.means[:, idx])
+        np.testing.assert_array_equal(stds, small_sketch.stds[:, idx])
+        np.testing.assert_array_equal(sizes, small_sketch.sizes[idx])
+        np.testing.assert_array_equal(provider.covs(idx), small_sketch.covs[idx])
+
+    def test_contiguous_selection_is_zero_copy(self, mmap_dir):
+        provider = MmapProvider(mmap_dir)
+        covs = provider.covs(np.arange(3, 9))
+        # A contiguous selection is a view over the mapping: no copy at all.
+        assert not covs.flags.owndata
+        assert not covs.flags.writeable
+        assert np.shares_memory(covs, provider.covs(np.arange(12)))
+        means, stds, _ = provider.window_stats(np.arange(3, 9))
+        assert not means.flags.owndata
+        assert not stds.flags.owndata
+
+    def test_chunks_share_store_memory(self, mmap_dir):
+        provider = MmapProvider(mmap_dir)
+        chunks = list(provider.iter_cov_chunks(np.arange(12), chunk_windows=5))
+        assert [c.shape[0] for c in chunks] == [5, 5, 2]
+        full = provider.covs(np.arange(12))
+        for chunk in chunks:
+            assert np.shares_memory(chunk, full)
+
+    def test_non_contiguous_selection(self, mmap_dir, small_sketch):
+        provider = MmapProvider(mmap_dir)
+        idx = np.array([9, 1, 4])  # out of order: fancy-index fallback
+        np.testing.assert_array_equal(provider.covs(idx), small_sketch.covs[idx])
+        means, _, sizes = provider.window_stats(idx)
+        np.testing.assert_array_equal(means, small_sketch.means[:, idx])
+        np.testing.assert_array_equal(sizes, small_sketch.sizes[idx])
+
+    def test_cov_rows(self, mmap_dir, small_sketch):
+        provider = MmapProvider(mmap_dir)
+        idx = np.arange(6)
+        rows = np.array([0, 7, 19])
+        np.testing.assert_array_equal(
+            provider.cov_rows(idx, rows), small_sketch.covs[idx][:, rows, :]
+        )
+
+    def test_rejects_out_of_range_windows(self, mmap_dir):
+        provider = MmapProvider(mmap_dir)
+        with pytest.raises(SketchError):
+            provider.window_stats(np.array([12]))
+
+    def test_rejects_incomplete_store(self, tmp_path):
+        from repro.storage.base import WindowRecord
+
+        with MmapStore(tmp_path / "holes") as store:
+            from repro.storage.base import StoreMetadata
+
+            store.write_metadata(
+                StoreMetadata(names=("a", "b"), window_size=10)
+            )
+            store.write_windows(
+                [WindowRecord(index=3, means=np.zeros(2), stds=np.ones(2),
+                              pairs=np.eye(2), size=10)]
+            )
+            with pytest.raises(StorageError, match="incomplete"):
+                MmapProvider(store)
+
+    def test_rejects_approx_store(self, small_matrix, tmp_path):
+        from repro.approx.sketch import build_approx_sketch
+        from repro.storage.serialize import save_approx_sketch
+
+        approx = build_approx_sketch(small_matrix, 50, coeff_fraction=0.5)
+        with MmapStore(tmp_path / "approx.mm") as store:
+            save_approx_sketch(store, approx)
+        with pytest.raises(StorageError, match="approx"):
+            MmapProvider(tmp_path / "approx.mm")
+
+    def test_rejects_mismatched_raw_data(self, mmap_dir, rng):
+        with pytest.raises(DataError):
+            MmapProvider(mmap_dir, data=rng.normal(size=(20, 599)))
+
+    def test_engine_aligned_query_bit_identical(self, mmap_dir, small_sketch):
+        engine = TsubasaHistorical(provider=MmapProvider(mmap_dir))
+        reference = TsubasaHistorical(provider=InMemoryProvider(small_sketch))
+        got = engine.correlation_matrix((599, 300))
+        want = reference.correlation_matrix((599, 300))
+        np.testing.assert_array_equal(got.values, want.values)
+
+    @pytest.mark.parametrize(
+        "end,length",
+        [(599, 73), (523, 317), (101, 51), (570, 491), (49, 30)],
+    )
+    def test_fragment_queries_bit_identical(
+        self, mmap_dir, small_sketch, small_matrix, end, length
+    ):
+        """Arbitrary windows (head/tail fragments) match InMemoryProvider
+        bit-for-bit, not just to tolerance."""
+        provider = MmapProvider(mmap_dir, data=small_matrix)
+        engine = TsubasaHistorical(provider=provider)
+        reference = TsubasaHistorical(
+            provider=InMemoryProvider(small_sketch, data=small_matrix)
+        )
+        got = engine.correlation_matrix((end, length))
+        want = reference.correlation_matrix((end, length))
+        np.testing.assert_array_equal(got.values, want.values)
+
+    def test_fragment_without_raw_data_raises(self, mmap_dir):
+        engine = TsubasaHistorical(provider=MmapProvider(mmap_dir))
+        with pytest.raises(SketchError, match="not aligned"):
+            engine.correlation_matrix((599, 123))
+
+
+class TestProvidersBitIdentical:
+    """Acceptance: memory / sqlite / mmap agree bit-for-bit, not approximately."""
+
+    @pytest.mark.parametrize("query", [(599, 600), (599, 300), (549, 250)])
+    def test_aligned_queries(
+        self, small_sketch, sqlite_store, mmap_dir, query
+    ):
+        reference = TsubasaHistorical(
+            provider=InMemoryProvider(small_sketch)
+        ).correlation_matrix(query).values
+        via_sqlite = TsubasaHistorical(
+            provider=StoreProvider(sqlite_store)
+        ).correlation_matrix(query).values
+        via_mmap = TsubasaHistorical(
+            provider=MmapProvider(mmap_dir)
+        ).correlation_matrix(query).values
+        np.testing.assert_array_equal(via_sqlite, reference)
+        np.testing.assert_array_equal(via_mmap, reference)
+
+    def test_arbitrary_window(
+        self, small_sketch, small_matrix, sqlite_store, mmap_dir
+    ):
+        query = (523, 317)
+        reference = TsubasaHistorical(
+            provider=InMemoryProvider(small_sketch, data=small_matrix)
+        ).correlation_matrix(query).values
+        via_sqlite = TsubasaHistorical(
+            provider=StoreProvider(sqlite_store, data=small_matrix)
+        ).correlation_matrix(query).values
+        via_mmap = TsubasaHistorical(
+            provider=MmapProvider(mmap_dir, data=small_matrix)
+        ).correlation_matrix(query).values
+        np.testing.assert_array_equal(via_sqlite, reference)
+        np.testing.assert_array_equal(via_mmap, reference)
+
+
 class TestChunkedBuildProvider:
     def test_covs_match_full_build(self, small_matrix, small_sketch):
         provider = ChunkedBuildProvider(small_matrix, 50, chunk_rows=7)
@@ -281,19 +512,96 @@ class TestProviderParallelQuery:
         path = tmp_path / "pq.db"
         parallel_sketch(small_matrix, 50, n_workers=1, store_path=path)
         with SqliteSketchStore(path) as store:
-            provider = StoreProvider(store)
+            provider = _forbid_materialize(StoreProvider(store))
             result = parallel_query(np.arange(12), n_workers=2, provider=provider)
         np.testing.assert_allclose(
             result.matrix, np.corrcoef(small_matrix), atol=1e-10
         )
         assert result.read_seconds > 0.0
 
-    def test_in_memory_provider_ships_materialized_subset(self, small_sketch, small_matrix):
-        provider = InMemoryProvider(small_sketch)
+    def test_in_memory_provider_fans_out_via_shared_memory(
+        self, small_sketch, small_matrix
+    ):
+        """No pre-fan-out materialize(): the selection's covariances travel
+        through one shared-memory block, never a pickled Sketch."""
+        provider = _forbid_materialize(InMemoryProvider(small_sketch))
         result = parallel_query(np.arange(6, 12), n_workers=2, provider=provider)
         np.testing.assert_allclose(
             result.matrix, np.corrcoef(small_matrix[:, 300:]), atol=1e-10
         )
+        assert result.worker_read_seconds == [0.0] * result.n_partitions
+
+    def test_mmap_provider_fans_out_via_path(self, small_matrix, mmap_dir):
+        provider = _forbid_materialize(MmapProvider(mmap_dir))
+        result = parallel_query(np.arange(12), n_workers=3, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+        # Workers re-mmap and read in their own processes.
+        assert result.read_seconds > 0.0
+
+    def test_mmap_provider_serial(self, small_matrix, mmap_dir):
+        provider = _forbid_materialize(MmapProvider(mmap_dir))
+        result = parallel_query(np.arange(12), n_workers=1, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+        assert result.n_partitions == 1
+
+    def test_serial_store_provider_uses_open_provider(self, sqlite_store, small_matrix):
+        """n_workers=1 reads through the provider in hand (LRU and all)
+        instead of re-opening the store via the worker handoff."""
+        provider = StoreProvider(sqlite_store, cache_windows=None)
+        result = parallel_query(np.arange(12), n_workers=1, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+        assert provider.windows_read == 12  # the reads went through it
+        parallel_query(np.arange(12), n_workers=1, provider=provider)
+        assert provider.windows_read == 12  # second call served by its LRU
+
+    def test_chunked_build_provider_fans_out(self, small_matrix):
+        provider = _forbid_materialize(
+            ChunkedBuildProvider(small_matrix, 50, chunk_rows=8)
+        )
+        result = parallel_query(np.arange(12), n_workers=2, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+
+    def test_memory_backed_store_provider_fans_out(self, memory_store, small_matrix):
+        """A store with no filesystem path still fans out (shared memory)."""
+        provider = _forbid_materialize(StoreProvider(memory_store))
+        result = parallel_query(np.arange(12), n_workers=2, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+
+    def test_store_provider_over_mmap_store_fans_out(self, mmap_dir, small_matrix):
+        """A StoreProvider wrapping an MmapStore must get the mmap handoff,
+        not be mistaken for SQLite because its store exposes a .path."""
+        with MmapStore(mmap_dir) as store:
+            provider = _forbid_materialize(StoreProvider(store))
+            result = parallel_query(np.arange(12), n_workers=2, provider=provider)
+        np.testing.assert_allclose(
+            result.matrix, np.corrcoef(small_matrix), atol=1e-10
+        )
+
+    def test_parallel_matches_all_backends(
+        self, small_sketch, small_matrix, sqlite_store, mmap_dir
+    ):
+        window_indices = np.arange(4, 10)
+        expected = parallel_query(
+            window_indices, n_workers=2, provider=InMemoryProvider(small_sketch)
+        ).matrix
+        via_sqlite = parallel_query(
+            window_indices, n_workers=2, provider=StoreProvider(sqlite_store)
+        ).matrix
+        via_mmap = parallel_query(
+            window_indices, n_workers=2, provider=MmapProvider(mmap_dir)
+        ).matrix
+        np.testing.assert_allclose(via_sqlite, expected, atol=1e-12)
+        np.testing.assert_allclose(via_mmap, expected, atol=1e-12)
 
     def test_rejects_provider_plus_sketch(self, small_sketch):
         with pytest.raises(DataError):
@@ -374,11 +682,14 @@ class TestProviderAbstraction:
         with pytest.raises(DataError):
             TsubasaHistorical()
 
-    def test_providers_share_interface(self, small_matrix, small_sketch, sqlite_store):
+    def test_providers_share_interface(
+        self, small_matrix, small_sketch, sqlite_store, mmap_dir
+    ):
         providers: list[SketchProvider] = [
             InMemoryProvider(small_sketch),
             StoreProvider(sqlite_store),
             ChunkedBuildProvider(small_matrix, 50),
+            MmapProvider(mmap_dir),
         ]
         idx = np.array([3, 8])
         reference = small_sketch.covs[idx]

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.matrix import CorrelationMatrix
 from repro.core.queries import (
+    _top_order,
     degree_at_threshold,
     most_anticorrelated_pairs,
     neighbors,
@@ -52,6 +53,72 @@ class TestTopKPairs:
         rows, cols = np.triu_indices(10, k=1)
         best = np.sort(values[rows, cols])[::-1][:3]
         np.testing.assert_allclose([t[2] for t in top], best)
+
+
+def _tied_matrix():
+    """A matrix whose off-diagonal values repeat heavily (tie torture)."""
+    n = 8
+    values = np.eye(n)
+    rows, cols = np.triu_indices(n, k=1)
+    # Only four distinct correlations across 28 pairs.
+    pool = np.array([0.75, -0.25, 0.75, 0.5])
+    pair_vals = pool[np.arange(rows.size) % pool.size]
+    values[rows, cols] = pair_vals
+    values[cols, rows] = pair_vals
+    return CorrelationMatrix(names=[f"n{i}" for i in range(n)], values=values)
+
+
+class TestTopOrderPartition:
+    """The argpartition fast path must equal the stable full sort exactly."""
+
+    def test_matches_stable_argsort_with_ties(self, rng):
+        for _ in range(50):
+            p = int(rng.integers(1, 60))
+            values = rng.choice(np.round(rng.normal(size=4), 1), size=p)
+            for k in range(1, p + 1):
+                expected = np.argsort(-values, kind="stable")[:k]
+                np.testing.assert_array_equal(_top_order(values, k), expected)
+
+    def test_tie_order_is_row_order(self):
+        matrix = _tied_matrix()
+        rows, cols = np.triu_indices(8, k=1)
+        values = matrix.values[rows, cols]
+        for k in (1, 3, 5, 10, 28):
+            got = top_k_pairs(matrix, k)
+            order = np.argsort(-values, kind="stable")[:k]
+            expected = [
+                (matrix.names[rows[i]], matrix.names[cols[i]], float(values[i]))
+                for i in order
+            ]
+            assert got == expected
+
+    def test_anticorrelated_tie_order(self):
+        matrix = _tied_matrix()
+        rows, cols = np.triu_indices(8, k=1)
+        values = matrix.values[rows, cols]
+        for k in (1, 4, 9, 28):
+            got = most_anticorrelated_pairs(matrix, k)
+            order = np.argsort(values, kind="stable")[:k]
+            expected = [
+                (matrix.names[rows[i]], matrix.names[cols[i]], float(values[i]))
+                for i in order
+            ]
+            assert got == expected
+
+    def test_boundary_all_equal(self):
+        values = np.full(17, 0.5)
+        for k in (1, 8, 17):
+            np.testing.assert_array_equal(_top_order(values, k), np.arange(k))
+
+    def test_nan_values_keep_stable_argsort_behavior(self):
+        """A constant series yields NaN correlations via np.corrcoef; k above
+        the finite count must still return k entries, NaNs ranked last."""
+        values = np.array([np.nan, 0.5, 0.3, 0.7, np.nan, np.nan])
+        for k in range(1, values.size + 1):
+            expected = np.argsort(-values, kind="stable")[:k]
+            np.testing.assert_array_equal(_top_order(values, k), expected)
+            down = np.argsort(values, kind="stable")[:k]
+            np.testing.assert_array_equal(_top_order(-values, k), down)
 
 
 class TestMostAnticorrelated:

@@ -10,6 +10,7 @@ from repro.core.sketch import build_sketch
 from repro.exceptions import StorageError
 from repro.storage.base import StoreMetadata, WindowRecord
 from repro.storage.memory import MemorySketchStore
+from repro.storage.mmap_store import MmapStore
 from repro.storage.serialize import (
     load_approx_sketch,
     load_sketch,
@@ -19,13 +20,16 @@ from repro.storage.serialize import (
 from repro.storage.sqlite_store import SqliteSketchStore
 
 
-@pytest.fixture(params=["memory", "sqlite-file", "sqlite-memory"])
+@pytest.fixture(params=["memory", "sqlite-file", "sqlite-memory", "mmap"])
 def store(request, tmp_path):
     """Every store implementation behind the same interface."""
     if request.param == "memory":
         yield MemorySketchStore()
     elif request.param == "sqlite-memory":
         with SqliteSketchStore(":memory:") as s:
+            yield s
+    elif request.param == "mmap":
+        with MmapStore(tmp_path / "sketch.mm") as s:
             yield s
     else:
         with SqliteSketchStore(tmp_path / "sketch.db") as s:
@@ -81,11 +85,65 @@ class TestStoreContract:
         np.testing.assert_allclose(loaded.means, replacement.means)
 
     def test_size_bytes_grows(self, store):
-        store.write_metadata(StoreMetadata(names=("a",), window_size=10))
+        store.write_metadata(
+            StoreMetadata(names=("a", "b", "c", "d"), window_size=10)
+        )
         store.write_windows([_record(0)])
         first = store.size_bytes()
         store.write_windows([_record(i) for i in range(1, 40)])
         assert store.size_bytes() >= first
+
+
+class TestSqliteBatchedReads:
+    """read_windows issues WHERE idx IN (...) chunks, preserving order."""
+
+    def test_requested_order_preserved(self, tmp_path):
+        with SqliteSketchStore(tmp_path / "order.db") as store:
+            store.write_windows([_record(i) for i in range(10)])
+            wanted = [7, 0, 3, 9, 1]
+            loaded = store.read_windows(wanted)
+            assert [r.index for r in loaded] == wanted
+
+    def test_duplicate_indices_served(self, tmp_path):
+        with SqliteSketchStore(tmp_path / "dup.db") as store:
+            store.write_windows([_record(i) for i in range(4)])
+            loaded = store.read_windows([2, 2, 0, 2])
+            assert [r.index for r in loaded] == [2, 2, 0, 2]
+            np.testing.assert_array_equal(loaded[0].pairs, loaded[1].pairs)
+
+    def test_reads_span_in_clause_chunks(self, tmp_path, monkeypatch):
+        """Selections larger than one IN (...) chunk stay ordered and complete."""
+        from repro.storage import sqlite_store as module
+
+        monkeypatch.setattr(module, "_IN_CLAUSE_LIMIT", 3)
+        with SqliteSketchStore(tmp_path / "chunk.db") as store:
+            records = [_record(i) for i in range(11)]
+            store.write_windows(records)
+            wanted = [10, 4, 9, 0, 8, 1, 7, 2, 6, 3, 5]
+            loaded = store.read_windows(wanted)
+            assert [r.index for r in loaded] == wanted
+            for got in loaded:
+                np.testing.assert_array_equal(got.pairs, records[got.index].pairs)
+                assert got.size == records[got.index].size
+
+    def test_missing_index_raises_across_chunks(self, tmp_path, monkeypatch):
+        from repro.storage import sqlite_store as module
+
+        monkeypatch.setattr(module, "_IN_CLAUSE_LIMIT", 2)
+        with SqliteSketchStore(tmp_path / "miss.db") as store:
+            store.write_windows([_record(i) for i in range(5)])
+            with pytest.raises(StorageError, match="99"):
+                store.read_windows([0, 1, 2, 99, 3])
+
+    def test_batched_read_matches_single_reads(self, tmp_path):
+        with SqliteSketchStore(tmp_path / "eq.db") as store:
+            store.write_windows([_record(i, n=6) for i in range(8)])
+            batched = store.read_windows(list(range(8)))
+            for i, record in enumerate(batched):
+                single = store.read_windows([i])[0]
+                np.testing.assert_array_equal(record.pairs, single.pairs)
+                np.testing.assert_array_equal(record.means, single.means)
+                np.testing.assert_array_equal(record.stds, single.stds)
 
 
 class TestSqliteSpecifics:
