@@ -19,6 +19,14 @@ Times the same Lemma 1 all-pairs query through each sketch backend:
 * ``convert_*`` — the sketch→store conversion cost per backend (the §3.4
   ingestion-side write path).
 
+Beyond the per-query rows, two system-level axes are recorded:
+
+* ``scale`` — the same aligned query at n_stations 60 → 500 (records grow
+  quadratically), tracking the mmap-vs-SQLite crossover as collections grow;
+* ``service`` — :class:`~repro.api.service.TsubasaService` throughput
+  (queries/sec) over one shared provider at client concurrency 1/8/32, with
+  the measured coalesce rate.
+
 Run as a script to emit ``BENCH_provider.json`` at the repository root, so
 the provider-layer performance trajectory accumulates across revisions::
 
@@ -35,6 +43,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.api.client import TsubasaClient
+from repro.api.service import run_specs
+from repro.api.spec import QuerySpec, WindowSpec
 from repro.core.exact import TsubasaHistorical
 from repro.core.sketch import build_sketch
 from repro.data.synthetic import generate_station_dataset
@@ -56,6 +67,17 @@ QUERY = (2999, 2000)  # aligned: 40 basic windows
 ARBITRARY_QUERY = (2971, 1903)  # head/tail fragments at both ends
 REPEATS = 5
 PARALLEL_WORKERS = 4
+
+#: n-stations scale axis: records grow as n^2, tracking where the backends'
+#: cold-query ranking shifts as collections approach deployment size.
+SCALE_STATIONS = (60, 150, 300, 500)
+SCALE_POINTS = 2000
+SCALE_QUERY = (1999, 1500)  # aligned: 30 basic windows
+
+#: Service throughput axis: concurrent clients multiplexed over one shared
+#: provider by TsubasaService.
+SERVICE_CONCURRENCY = (1, 8, 32)
+SERVICE_QUERIES = 64
 
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
@@ -238,11 +260,138 @@ def run(store_dir: Path) -> dict:
             "basic_window": BASIC_WINDOW,
             "repeats": REPEATS,
             "parallel_workers": PARALLEL_WORKERS,
+            "scale_stations": list(SCALE_STATIONS),
+            "scale_points": SCALE_POINTS,
+            "service_concurrency": list(SERVICE_CONCURRENCY),
+            "service_queries": SERVICE_QUERIES,
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
         "results": results,
+        "scale": run_scale(store_dir),
+        "service": run_service(store_dir),
     }
+
+
+def run_scale(store_dir: Path) -> list[dict]:
+    """The n-stations axis: one aligned query per backend per scale point."""
+    rows: list[dict] = []
+    for n_stations in SCALE_STATIONS:
+        dataset = generate_station_dataset(
+            n_stations=n_stations, n_points=SCALE_POINTS, seed=42
+        )
+        sketch = build_sketch(dataset.values, BASIC_WINDOW, names=dataset.names)
+        store_path = store_dir / f"scale_{n_stations}.db"
+        mmap_path = store_dir / f"scale_{n_stations}.mm"
+        with SqliteSketchStore(store_path) as store:
+            save_sketch(store, sketch)
+            store_bytes = store.size_bytes()
+        with MmapStore(mmap_path) as store:
+            save_sketch(store, sketch)
+
+        memory_engine = TsubasaHistorical(provider=InMemoryProvider(sketch))
+        reference = memory_engine.correlation_matrix(SCALE_QUERY).values
+
+        def timed(make_engine) -> float:
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                matrix = make_engine().correlation_matrix(SCALE_QUERY)
+                best = min(best, time.perf_counter() - start)
+            np.testing.assert_array_equal(matrix.values, reference)
+            return best
+
+        with SqliteSketchStore(store_path) as store:
+            rows.append({
+                "backend": "store_cold",
+                "n_stations": n_stations,
+                "seconds": timed(
+                    lambda: TsubasaHistorical(
+                        provider=StoreProvider(store, cache_windows=0)
+                    )
+                ),
+                "store_bytes": store_bytes,
+            })
+        rows.append({
+            "backend": "mmap_cold",
+            "n_stations": n_stations,
+            "seconds": timed(
+                lambda: TsubasaHistorical(provider=MmapProvider(mmap_path))
+            ),
+        })
+        rows.append({
+            "backend": "memory",
+            "n_stations": n_stations,
+            "seconds": timed(
+                lambda: TsubasaHistorical(provider=InMemoryProvider(sketch))
+            ),
+        })
+    return rows
+
+
+def _service_specs() -> list[QuerySpec]:
+    """A dashboard-shaped workload: mixed ops over overlapping windows."""
+    last = N_POINTS - 1
+    windows = [
+        WindowSpec(end=last, length=2000),
+        WindowSpec(end=last, length=1000),
+        WindowSpec(end=last - 500, length=1000),
+        WindowSpec(end=last - 1000, length=1500),
+    ]
+    specs: list[QuerySpec] = []
+    for i in range(SERVICE_QUERIES):
+        window = windows[i % len(windows)]
+        kind = i % 4
+        if kind == 0:
+            specs.append(QuerySpec(op="network", window=window, theta=0.75))
+        elif kind == 1:
+            specs.append(QuerySpec(op="top_k", window=window, k=10))
+        elif kind == 2:
+            specs.append(QuerySpec(op="degree", window=window, theta=0.75))
+        else:
+            specs.append(QuerySpec(op="matrix", window=window))
+    return specs
+
+
+def run_service(store_dir: Path) -> list[dict]:
+    """TsubasaService throughput over one shared provider per backend."""
+    store_path = store_dir / "bench_provider.db"
+    mmap_path = store_dir / "bench_provider.mm"
+    specs = _service_specs()
+    rows: list[dict] = []
+    for concurrency in SERVICE_CONCURRENCY:
+        for name in ("service_store", "service_mmap"):
+            if name == "service_store":
+                store = SqliteSketchStore(store_path)
+                client = TsubasaClient(provider=StoreProvider(store))
+                max_workers = 1  # sqlite handles are not thread-safe
+            else:
+                store = None
+                client = TsubasaClient(provider=MmapProvider(mmap_path))
+                max_workers = 4  # read-only maps share safely
+            start = time.perf_counter()
+            try:
+                _, stats = run_specs(
+                    client, specs, max_workers=max_workers,
+                    concurrency=concurrency,
+                )
+            finally:
+                if store is not None:
+                    store.close()
+            elapsed = time.perf_counter() - start
+            rows.append({
+                "backend": name,
+                "concurrency": concurrency,
+                "queries": len(specs),
+                "seconds": elapsed,
+                "qps": len(specs) / elapsed,
+                "coalesced": stats.coalesced,
+                "coalesce_rate": round(stats.coalesce_rate, 4),
+                "matrices_computed": stats.matrices_computed,
+                "prefetched_windows": stats.prefetched_windows,
+                "service_workers": max_workers,
+            })
+    return rows
 
 
 def main() -> int:
@@ -276,6 +425,15 @@ def main() -> int:
     if "mmap_cold" in by_backend and "store_cold" in by_backend:
         ratio = by_backend["store_cold"] / by_backend["mmap_cold"]
         print(f"  mmap_cold is {ratio:.1f}x faster than store_cold")
+    print("scale (aligned query, 30 windows):")
+    for entry in payload["scale"]:
+        print(f"  {entry['backend']:<12} n={entry['n_stations']:<4} "
+              f"{entry['seconds'] * 1e3:8.2f} ms")
+    print("service throughput (64 mixed queries, shared provider):")
+    for entry in payload["service"]:
+        print(f"  {entry['backend']:<14} c={entry['concurrency']:<3} "
+              f"{entry['qps']:8.1f} q/s  "
+              f"coalesce={entry['coalesce_rate']:.2f}")
     return 0
 
 

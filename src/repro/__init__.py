@@ -14,8 +14,13 @@ SIGMOD 2022). The library provides:
   (:mod:`repro.storage`, :mod:`repro.parallel`),
 * stream ingestion utilities (:mod:`repro.streams`),
 * climate data substrates — synthetic spatially correlated fields plus
-  format loaders (:mod:`repro.data`), and
-* network-science analysis on constructed networks (:mod:`repro.analysis`).
+  format loaders (:mod:`repro.data`),
+* network-science analysis on constructed networks (:mod:`repro.analysis`),
+  and
+* the declarative query API — serializable :class:`~repro.api.spec.QuerySpec`
+  requests executed by the :class:`~repro.api.client.TsubasaClient` facade or
+  multiplexed concurrently by the async
+  :class:`~repro.api.service.TsubasaService` (:mod:`repro.api`).
 
 Quickstart::
 
@@ -29,6 +34,13 @@ Quickstart::
     print(network.n_edges)
 """
 
+from repro.api import (
+    QueryResult,
+    QuerySpec,
+    TsubasaClient,
+    TsubasaService,
+    WindowSpec,
+)
 from repro.approx import (
     ApproxSketch,
     ApproxSlidingState,
@@ -64,6 +76,7 @@ from repro.engine import (
 from repro.exceptions import (
     DataError,
     SegmentationError,
+    ServiceError,
     SketchError,
     StorageError,
     StreamError,
@@ -76,6 +89,11 @@ __all__ = [
     "TsubasaHistorical",
     "TsubasaRealtime",
     "TsubasaApproximate",
+    "TsubasaClient",
+    "TsubasaService",
+    "QuerySpec",
+    "WindowSpec",
+    "QueryResult",
     "BaselineExact",
     "BasicWindowPlan",
     "QueryWindow",
@@ -105,5 +123,6 @@ __all__ = [
     "StorageError",
     "StreamError",
     "DataError",
+    "ServiceError",
     "__version__",
 ]

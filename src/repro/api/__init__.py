@@ -1,0 +1,62 @@
+"""Declarative query API: specs, the client facade, and the async service.
+
+This package is the public *request surface* of the TSUBASA reproduction:
+
+* :mod:`repro.api.spec` — :class:`~repro.api.spec.QuerySpec` /
+  :class:`~repro.api.spec.WindowSpec`, the frozen, validated, serializable
+  description of any supported query, and the
+  :class:`~repro.api.spec.QueryResult` envelope with timings and
+  :class:`~repro.api.spec.Provenance`.
+* :mod:`repro.api.client` — :class:`~repro.api.client.TsubasaClient`, the
+  planner/facade routing any spec to the right engine over any sketch
+  backend, choosing serial vs parallel execution by a pluggable
+  :class:`~repro.api.client.QueryPolicy`.
+* :mod:`repro.api.service` — :class:`~repro.api.service.TsubasaService`, the
+  long-lived :mod:`asyncio` service multiplexing many concurrent specs over
+  one shared provider with in-flight coalescing, batched store reads, and
+  :meth:`~repro.api.service.TsubasaService.stats`.
+
+Every future scaling frontier (HTTP frontend, sharding, PostgreSQL backend)
+plugs in at this layer — clients speak :class:`~repro.api.spec.QuerySpec`,
+never engine internals.
+"""
+
+from repro.api.client import (
+    AutoPolicy,
+    MatrixExecution,
+    ParallelPolicy,
+    QueryPolicy,
+    SerialPolicy,
+    TsubasaClient,
+)
+from repro.api.service import (
+    BackendLatency,
+    ServiceStats,
+    TsubasaService,
+    run_specs,
+)
+from repro.api.spec import (
+    OPS,
+    Provenance,
+    QueryResult,
+    QuerySpec,
+    WindowSpec,
+)
+
+__all__ = [
+    "QuerySpec",
+    "WindowSpec",
+    "QueryResult",
+    "Provenance",
+    "OPS",
+    "TsubasaClient",
+    "QueryPolicy",
+    "SerialPolicy",
+    "ParallelPolicy",
+    "AutoPolicy",
+    "MatrixExecution",
+    "TsubasaService",
+    "ServiceStats",
+    "BackendLatency",
+    "run_specs",
+]

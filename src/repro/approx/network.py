@@ -17,8 +17,8 @@ from repro.approx.combine import eq5_correlation, statstream_correlation
 from repro.approx.sketch import ApproxSketch
 from repro.core.matrix import CorrelationMatrix
 from repro.core.network import ClimateNetwork
-from repro.core.segmentation import BasicWindowPlan, QueryWindow
-from repro.exceptions import DataError, SketchError
+from repro.core.segmentation import QueryWindow
+from repro.exceptions import DataError
 
 __all__ = ["approximate_correlation_matrix", "TsubasaApproximate"]
 
@@ -70,36 +70,46 @@ class TsubasaApproximate:
         coordinates: dict[str, tuple[float, float]] | None = None,
     ) -> None:
         self._sketch = sketch
-        self._plan = BasicWindowPlan(
-            length=int(sketch.sizes.sum()), window_size=sketch.window_size
-        )
         self._coordinates = coordinates
+        self._client = None
 
     @property
     def sketch(self) -> ApproxSketch:
         """The underlying approximate sketch."""
         return self._sketch
 
-    def _window_indices(self, query: QueryWindow | tuple[int, int]) -> np.ndarray:
+    @property
+    def client(self):
+        """The declarative query client this engine delegates to (lazy)."""
+        if self._client is None:
+            from repro.api.client import TsubasaClient
+
+            self._client = TsubasaClient(
+                approx_sketch=self._sketch, coordinates=self._coordinates
+            )
+        return self._client
+
+    def _window_spec(self, query: QueryWindow | tuple[int, int]):
+        from repro.api.spec import WindowSpec
+
         if not isinstance(query, QueryWindow):
             end, length = query
             query = QueryWindow(end=end, length=length)
-        selection = self._plan.align(query)
-        if not selection.is_aligned:
-            raise SketchError(
-                "the DFT-based method only supports query windows that are "
-                "integral multiples of the basic window size (§2.2); use the "
-                "exact TSUBASA engine for arbitrary windows"
-            )
-        return selection.full_windows
+        return WindowSpec(end=query.end, length=query.length)
 
     def correlation_matrix(
         self, query: QueryWindow | tuple[int, int], method: str = "eq5"
     ) -> CorrelationMatrix:
         """Approximate correlation matrix over an aligned query window."""
-        idx = self._window_indices(query)
-        values = approximate_correlation_matrix(self._sketch, idx, method=method)
-        return CorrelationMatrix(names=list(self._sketch.names), values=values)
+        from repro.api.spec import QuerySpec
+
+        spec = QuerySpec(
+            op="matrix",
+            window=self._window_spec(query),
+            engine="approx",
+            method=method,
+        )
+        return self.client.execute(spec).value
 
     def network(
         self,
@@ -114,5 +124,13 @@ class TsubasaApproximate:
         the unit-norm convention); since prefix distances under-estimate,
         the result is a superset of the exact network.
         """
-        matrix = self.correlation_matrix(query, method=method)
-        return ClimateNetwork.from_matrix(matrix, theta, self._coordinates)
+        from repro.api.spec import QuerySpec
+
+        spec = QuerySpec(
+            op="network",
+            window=self._window_spec(query),
+            theta=theta,
+            engine="approx",
+            method=method,
+        )
+        return self.client.execute(spec).value

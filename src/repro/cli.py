@@ -18,6 +18,7 @@ Subcommands mirror the system's life cycle::
     tsubasa topk     --store sketch.db --end 8759 --length 3000 --k 10
     tsubasa sweep    --store sketch.db --windows 15 --stride 5 --theta 0.75
     tsubasa info     --store sketch.db
+    tsubasa serve    --store sketch.mm --backend mmap --workers 4
 
 Datasets travel as ``.npz`` archives with ``values``/``names``/``lats``/
 ``lons`` arrays (see ``tsubasa generate``). Sketches live either in SQLite
@@ -34,17 +35,36 @@ store's arrays (:class:`~repro.engine.providers.MmapProvider`) — the answers
 are identical. Passing ``--data`` enables arbitrary (non-aligned) query
 windows by sketching the partial head/tail fragments from raw data at query
 time.
+
+Query commands are thin shells over the declarative query API
+(:mod:`repro.api`): they build a :class:`~repro.api.spec.QuerySpec` and hand
+it to a :class:`~repro.api.client.TsubasaClient`. ``tsubasa serve`` exposes
+that surface directly as a long-lived JSON-lines service on stdin/stdout:
+each input line is a spec (plus an optional ``"id"``), each output line an
+envelope with the result payload, timings, and provenance; concurrent
+requests over the same window share one matrix computation
+(:class:`~repro.api.service.TsubasaService`).
+
+Failures map :class:`~repro.exceptions.TsubasaError` subclasses to distinct
+exit codes with a one-line message (no tracebacks): sketch/query errors → 2,
+malformed data → 3, bad windows → 4, storage failures → 5, stream errors →
+6, service misuse → 7, any other library error → 1.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 import time
 
 import numpy as np
 
 from repro.analysis.topology import summarize_topology
+from repro.api.client import ParallelPolicy, TsubasaClient
+from repro.api.service import TsubasaService
+from repro.api.spec import QuerySpec, WindowSpec
 from repro.core.exact import TsubasaHistorical
 from repro.core.network import ClimateNetwork
 from repro.core.realtime import TsubasaRealtime
@@ -54,9 +74,18 @@ from repro.engine.providers import (
     ChunkedBuildProvider,
     InMemoryProvider,
     MmapProvider,
+    SketchProvider,
     StoreProvider,
 )
-from repro.exceptions import SketchError, TsubasaError
+from repro.exceptions import (
+    DataError,
+    SegmentationError,
+    ServiceError,
+    SketchError,
+    StorageError,
+    StreamError,
+    TsubasaError,
+)
 from repro.storage.base import SketchStore
 from repro.storage.mmap_store import MmapStore, is_mmap_store
 from repro.storage.serialize import convert_store, load_sketch, save_sketch
@@ -64,7 +93,28 @@ from repro.storage.sqlite_store import SqliteSketchStore
 from repro.streams.ingestion import StreamIngestor
 from repro.streams.sources import ReplaySource
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "exit_code_for"]
+
+#: TsubasaError subclass → process exit code. Order-independent: the most
+#: specific class in the exception's MRO wins.
+_EXIT_CODES: dict[type[TsubasaError], int] = {
+    TsubasaError: 1,
+    SketchError: 2,
+    DataError: 3,
+    SegmentationError: 4,
+    StorageError: 5,
+    StreamError: 6,
+    ServiceError: 7,
+}
+
+
+def exit_code_for(exc: TsubasaError) -> int:
+    """The process exit code for a library error (distinct per subclass)."""
+    for klass in type(exc).__mro__:
+        code = _EXIT_CODES.get(klass)
+        if code is not None:
+            return code
+    return 1
 
 
 def _open_store(path: str, backend: str = "auto") -> SketchStore:
@@ -164,8 +214,10 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
-def _open_engine(store: SketchStore, args: argparse.Namespace) -> TsubasaHistorical:
-    """Build the query engine over the backend selected by ``--backend``."""
+def _open_provider(
+    store: SketchStore, args: argparse.Namespace
+) -> SketchProvider:
+    """Build the sketch backend selected by ``--backend``."""
     data = None
     if getattr(args, "data", None):
         data = _load_dataset(args.data).values
@@ -176,41 +228,54 @@ def _open_engine(store: SketchStore, args: argparse.Namespace) -> TsubasaHistori
                 f"{args.store} is a SQLite database (run 'tsubasa convert' "
                 "first, or use --backend store)"
             )
-        provider = MmapProvider(store, data=data)
-    elif args.backend == "store":
-        provider = StoreProvider(
-            store, cache_windows=args.cache_windows, data=data
-        )
-    else:
-        provider = InMemoryProvider(load_sketch(store), data=data)
-    return TsubasaHistorical(provider=provider)
+        return MmapProvider(store, data=data)
+    if args.backend == "store":
+        return StoreProvider(store, cache_windows=args.cache_windows, data=data)
+    return InMemoryProvider(load_sketch(store), data=data)
+
+
+def _open_client(store: SketchStore, args: argparse.Namespace) -> TsubasaClient:
+    """Build the declarative query client over the selected backend."""
+    policy = None
+    if getattr(args, "parallel", 0):
+        policy = ParallelPolicy(args.parallel)
+    return TsubasaClient(provider=_open_provider(store, args), policy=policy)
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     with _open_store(args.store) as store:
-        engine = _open_engine(store, args)
-        start = time.perf_counter()
+        client = _open_client(store, args)
+        theta = args.theta
+        if args.alpha is not None:
+            from repro.core.significance import critical_correlation
+
+            n = client.n_series
+            theta = critical_correlation(
+                args.length, args.alpha, n_comparisons=n * (n - 1) // 2
+            )
+            print(f"significance level {args.alpha} -> theta={theta:.4f} "
+                  f"(Bonferroni over {n * (n - 1) // 2} pairs)")
+        spec = QuerySpec(
+            op="network",
+            window=WindowSpec(end=args.end, length=args.length),
+            theta=float(theta),
+        )
         try:
-            matrix = engine.correlation_matrix((args.end, args.length))
+            result = client.execute(spec)
         except SketchError as exc:
+            # Same code the global handler would assign, plus the concrete
+            # CLI fix the library message cannot know about.
             print(f"error: {exc}; pass --data or adjust --end/--length",
                   file=sys.stderr)
-            return 2
-        elapsed = time.perf_counter() - start
-    theta = args.theta
-    if args.alpha is not None:
-        from repro.core.significance import critical_correlation
-
-        n = matrix.n_series
-        theta = critical_correlation(
-            args.length, args.alpha, n_comparisons=n * (n - 1) // 2
-        )
-        print(f"significance level {args.alpha} -> theta={theta:.4f} "
-              f"(Bonferroni over {n * (n - 1) // 2} pairs)")
-    network = ClimateNetwork.from_matrix(matrix, theta)
-    print(f"query answered from sketches in {elapsed * 1e3:.1f} ms "
-          f"({args.backend} backend)")
-    _print_network(network, args.max_edges)
+            return exit_code_for(exc)
+    provenance = result.provenance
+    mode = "" if provenance.execution == "serial" else (
+        f", {provenance.execution} x{provenance.n_workers}"
+    )
+    print(f"query answered from sketches in "
+          f"{result.timings['total'] * 1e3:.1f} ms "
+          f"({provenance.backend} backend{mode})")
+    _print_network(result.value, args.max_edges)
     return 0
 
 
@@ -230,21 +295,20 @@ def _cmd_map(args: argparse.Namespace) -> int:
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
-    from repro.core.queries import most_anticorrelated_pairs, top_k_pairs
-
+    window = WindowSpec(end=args.end, length=args.length)
+    specs = [QuerySpec(op="top_k", window=window, k=args.k)]
+    if args.anticorrelated:
+        specs.append(QuerySpec(op="anticorrelated", window=window, k=args.k))
     with _open_store(args.store) as store:
-        engine = _open_engine(store, args)
-        try:
-            matrix = engine.correlation_matrix((args.end, args.length))
-        except SketchError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        client = _open_client(store, args)
+        # execute_many shares the one matrix across both specs.
+        results = client.execute_many(specs)
     print(f"top {args.k} correlated pairs:")
-    for a, b, corr in top_k_pairs(matrix, args.k):
+    for a, b, corr in results[0].value:
         print(f"  {a} -- {b}  corr={corr:+.4f}")
     if args.anticorrelated:
         print(f"top {args.k} anti-correlated pairs:")
-        for a, b, corr in most_anticorrelated_pairs(matrix, args.k):
+        for a, b, corr in results[1].value:
             print(f"  {a} -- {b}  corr={corr:+.4f}")
     return 0
 
@@ -294,10 +358,142 @@ def _cmd_info(args: argparse.Namespace) -> int:
         metadata = store.read_metadata()
         count = store.window_count()
         size = store.size_bytes()
+        generation = (
+            f" generation={store.read_generation()}"
+            if isinstance(store, MmapStore)
+            else ""
+        )
     print(f"kind={metadata.kind} layout={layout} series={len(metadata.names)} "
           f"B={metadata.window_size} windows={count} "
-          f"size={size / 1e6:.2f} MB")
+          f"size={size / 1e6:.2f} MB{generation}")
     return 0
+
+
+def _error_response(request_id, exc: Exception) -> dict:
+    """The ``ok: false`` JSON-lines envelope for one failed request."""
+    error = {"type": type(exc).__name__, "message": str(exc)}
+    if isinstance(exc, TsubasaError):
+        error["code"] = exit_code_for(exc)
+    return {"id": request_id, "ok": False, "error": error}
+
+
+async def _serve_jsonl(
+    client: TsubasaClient,
+    stdin,
+    stdout,
+    max_workers: int,
+    max_batch: int,
+    max_pending: int = 256,
+) -> int:
+    """Serve JSON-lines specs from ``stdin`` until EOF (the ``serve`` loop).
+
+    Requests are submitted as they arrive (so in-flight window selections
+    coalesce) and responses stream back in submission order. The response
+    queue is bounded by ``max_pending``: once that many requests are ahead
+    of the printer, the reader stops consuming stdin until responses drain,
+    so a huge piped batch cannot accumulate unbounded in-flight results.
+    """
+    loop = asyncio.get_running_loop()
+    responses: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
+    hangup = asyncio.Event()  # set once stdout writes start failing
+
+    async def print_responses() -> None:
+        while True:
+            item = await responses.get()
+            if item is None:
+                return
+            request_id, task, ready = item
+            if hangup.is_set():
+                # The consumer hung up: nobody can see further responses.
+                # Keep draining (so the bounded queue never wedges the
+                # reader) and retrieve task outcomes without emitting.
+                if task is not None:
+                    try:
+                        await task
+                    except Exception:  # noqa: BLE001 - outcome discarded
+                        pass
+                continue
+            if ready is not None:
+                envelope = ready
+            else:
+                try:
+                    result = await task
+                    envelope = {
+                        "id": request_id,
+                        "ok": True,
+                        "result": result.payload(),
+                        "seconds": result.timings["total"],
+                        "provenance": result.provenance.to_dict(),
+                    }
+                except Exception as exc:  # noqa: BLE001 - per-request envelope
+                    # Any failure — library error or not — becomes this
+                    # request's error envelope; one bad request must never
+                    # kill the service or drop later responses.
+                    envelope = _error_response(request_id, exc)
+            try:
+                stdout.write(json.dumps(envelope) + "\n")
+                stdout.flush()
+            except OSError:
+                hangup.set()  # e.g. `tsubasa serve | head`
+
+    async with TsubasaService(
+        client, max_workers=max_workers, max_batch=max_batch
+    ) as service:
+        printer = loop.create_task(print_responses())
+        n_lines = 0
+        n_rejected = 0
+        while True:
+            line = await loop.run_in_executor(None, stdin.readline)
+            if not line or hangup.is_set():
+                # EOF, or the consumer hung up — nobody can observe further
+                # responses, so stop submitting work whose results would be
+                # computed and discarded.
+                break
+            line = line.strip()
+            if not line:
+                continue
+            n_lines += 1
+            request_id = n_lines
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise DataError("request must be a JSON object")
+                request_id = request.pop("id", request_id)
+                spec = QuerySpec.from_dict(request)
+            except (ValueError, TsubasaError) as exc:
+                n_rejected += 1
+                await responses.put(
+                    (request_id, None, _error_response(request_id, exc))
+                )
+                continue
+            task = loop.create_task(service.submit(spec))
+            await responses.put((request_id, task, None))
+        await responses.put(None)
+        await printer
+        stats = service.stats()
+        print(
+            f"served {stats.completed} ok / {stats.failed + n_rejected} "
+            f"failed ({n_rejected} malformed, {stats.coalesced} coalesced, "
+            f"{stats.matrices_computed} matrices computed, "
+            f"{stats.prefetched_windows} windows prefetched)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    with _open_store(args.store) as store:
+        client = _open_client(store, args)
+        return asyncio.run(
+            _serve_jsonl(
+                client,
+                sys.stdin,
+                sys.stdout,
+                max_workers=args.workers,
+                max_batch=args.max_batch,
+                max_pending=args.max_pending,
+            )
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
     qr.add_argument("--alpha", type=float, default=None,
                     help="derive theta from a significance level instead")
     qr.add_argument("--max-edges", type=int, default=10)
+    qr.add_argument("--parallel", type=int, default=0,
+                    help="fan the matrix computation out over N worker "
+                         "processes (0 = serial)")
     add_backend_args(qr)
     qr.set_defaults(func=_cmd_query)
 
@@ -403,18 +602,45 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="describe a sketch store")
     info.add_argument("--store", required=True)
     info.set_defaults(func=_cmd_info)
+
+    sv = sub.add_parser(
+        "serve",
+        help="long-lived JSON-lines query service on stdin/stdout",
+        description="Read one QuerySpec JSON object per input line "
+                    "(fields: op, window, theta/k/node/low/high/baseline, "
+                    "optional id) and write one result envelope per line. "
+                    "Concurrent requests over the same window share a "
+                    "single matrix computation.",
+    )
+    sv.add_argument("--store", required=True)
+    sv.add_argument("--workers", type=int, default=1,
+                    help="executor threads computing matrices (keep 1 for "
+                         "--backend store; mmap/memory backends are "
+                         "read-only and can go wider)")
+    sv.add_argument("--max-batch", type=int, default=64,
+                    help="queued requests drained per dispatch round (the "
+                         "unit of batched store prefetch)")
+    sv.add_argument("--max-pending", type=int, default=256,
+                    help="responses allowed ahead of the printer before the "
+                         "reader pauses stdin (bounds in-flight memory)")
+    add_backend_args(sv)
+    sv.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library failures surface as a one-line ``error: ...`` message and a
+    per-subclass exit code (see :func:`exit_code_for`), never a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except TsubasaError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":

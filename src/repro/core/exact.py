@@ -21,6 +21,13 @@ and (optionally) raw data. Raw data may be withheld (``keep_raw=False``, or a
 provider constructed without data) to model the sketch-only deployment; in
 that case only aligned queries are answerable and arbitrary ones raise
 :class:`~repro.exceptions.SketchError`.
+
+Since the declarative query API landed, the engine's query methods are thin
+wrappers: they build a :class:`~repro.api.spec.QuerySpec` and delegate to a
+:class:`~repro.api.client.TsubasaClient` over the same provider, which keeps
+one implementation of the query surface (and makes every engine method
+expressible — and benchmarkable — as a spec). Answers are bit-identical to
+the pre-delegation paths.
 """
 
 from __future__ import annotations
@@ -225,6 +232,7 @@ class TsubasaHistorical:
         self._coordinates = coordinates
         self._chunk_windows = chunk_windows
         self._materialized: Sketch | None = None
+        self._client = None
 
     @property
     def provider(self) -> SketchProvider:
@@ -254,6 +262,25 @@ class TsubasaHistorical:
         end, length = query
         return QueryWindow(end=end, length=length)
 
+    @property
+    def client(self):
+        """The declarative query client this engine delegates to (lazy)."""
+        if self._client is None:
+            from repro.api.client import TsubasaClient
+
+            self._client = TsubasaClient(
+                provider=self._provider,
+                coordinates=self._coordinates,
+                chunk_windows=self._chunk_windows,
+            )
+        return self._client
+
+    def _window_spec(self, query: QueryWindow | tuple[int, int]):
+        from repro.api.spec import WindowSpec
+
+        window = self._resolve(query)
+        return WindowSpec(end=window.end, length=window.length)
+
     def correlation_matrix(
         self, query: QueryWindow | tuple[int, int]
     ) -> CorrelationMatrix:
@@ -265,12 +292,10 @@ class TsubasaHistorical:
         Returns:
             The labeled exact correlation matrix.
         """
-        window = self._resolve(query)
-        selection = self._plan.align(window)
-        values = query_correlation_matrix(
-            self._provider, selection, chunk_windows=self._chunk_windows
-        )
-        return CorrelationMatrix(names=list(self._provider.names), values=values)
+        from repro.api.spec import QuerySpec
+
+        spec = QuerySpec(op="matrix", window=self._window_spec(query))
+        return self.client.execute(spec).value
 
     def network(
         self, query: QueryWindow | tuple[int, int], theta: float
@@ -280,8 +305,12 @@ class TsubasaHistorical:
         This is the full Algorithm 2: exact matrix plus threshold pruning of
         edges (Algorithm 2, lines 6–7).
         """
-        matrix = self.correlation_matrix(query)
-        return ClimateNetwork.from_matrix(matrix, theta, self._coordinates)
+        from repro.api.spec import QuerySpec
+
+        spec = QuerySpec(
+            op="network", window=self._window_spec(query), theta=theta
+        )
+        return self.client.execute(spec).value
 
     def network_pruned(
         self,

@@ -75,6 +75,16 @@ class SketchProvider(abc.ABC):
     row blocks or window chunks so backends can bound memory.
     """
 
+    #: Short backend identifier used in query provenance and CLI output.
+    backend_name = "custom"
+
+    #: Whether concurrent reads from multiple threads are safe. True only
+    #: for backends whose query path touches read-only state (in-memory
+    #: sketches, mmap views); cache-bearing or connection-bearing backends
+    #: must be driven from one thread at a time, and the query service
+    #: enforces that.
+    thread_safe_reads = False
+
     # -- collection metadata -------------------------------------------------
 
     @property
@@ -205,6 +215,22 @@ class SketchProvider(abc.ABC):
         """
         raise SketchError(_NO_RAW_MESSAGE)
 
+    def prefetch(self, indices: np.ndarray) -> int:
+        """Warm the backend for an upcoming read of ``indices``.
+
+        Backends that pay per-record I/O (stores) override this to batch the
+        reads into their cache ahead of time — the query service calls it
+        once with the union of every queued request's windows, so requests
+        that arrive together share one store round-trip. Backends with no
+        read amplification (in-memory, mmap) keep the default no-op.
+
+        Returns:
+            Number of window records actually fetched (0 when nothing was
+            done).
+        """
+        self._check_indices(np.asarray(indices, dtype=np.int64))
+        return 0
+
     def materialize(self, indices: np.ndarray | None = None) -> Sketch:
         """Assemble a full in-memory :class:`Sketch` of the selection.
 
@@ -262,6 +288,9 @@ class InMemoryProvider(SketchProvider):
         data: Optional raw ``(n, L)`` matrix enabling arbitrary
             (non-aligned) query windows via head/tail fragments.
     """
+
+    backend_name = "memory"
+    thread_safe_reads = True  # pure array slicing over an immutable sketch
 
     def __init__(self, sketch: Sketch, data: np.ndarray | None = None) -> None:
         self._sketch = sketch
@@ -337,6 +366,16 @@ class _LruRecordCache:
         self.hits = 0
         self.misses = 0
 
+    @property
+    def capacity(self) -> int | None:
+        """Maximum entries held (``None`` = unbounded)."""
+        return self._capacity
+
+    def __contains__(self, key: int) -> bool:
+        # Pure membership probe: no recency update, no hit/miss accounting
+        # (prefetch planning must not distort query cache statistics).
+        return key in self._entries
+
     def get(self, key: int):
         if key in self._entries:
             self._entries.move_to_end(key)
@@ -376,6 +415,8 @@ class StoreProvider(SketchProvider):
             windows; without it only aligned queries are answerable (the
             sketch-only deployment).
     """
+
+    backend_name = "store"
 
     def __init__(
         self,
@@ -444,6 +485,35 @@ class StoreProvider(SketchProvider):
     def cache_misses(self) -> int:
         """Window records that had to be read from the store."""
         return self._cache.misses
+
+    @property
+    def cache_capacity(self) -> int | None:
+        """LRU capacity in window records (``None`` = unbounded)."""
+        return self._cache.capacity
+
+    def prefetch(self, indices: np.ndarray) -> int:
+        """Batch-read the missing window records of ``indices`` into the LRU.
+
+        The §3.4 batched-read path applied across queued queries: the service
+        layer hands this the deduplicated union of every in-queue request's
+        windows, so each record crosses the store boundary once and the
+        individual queries are then served from the cache. Selections larger
+        than the cache capacity are skipped outright (prefetching would just
+        churn the LRU).
+        """
+        idx = self._check_indices(np.unique(np.asarray(indices, dtype=np.int64)))
+        capacity = self._cache.capacity
+        if capacity == 0:
+            return 0
+        missing = [int(i) for i in idx if int(i) not in self._cache]
+        if not missing or (capacity is not None and len(missing) > capacity):
+            return 0
+        for start in range(0, len(missing), self._read_batch):
+            batch = missing[start : start + self._read_batch]
+            for record in self._store.read_windows(batch):
+                self._cache.put(record.index, record)
+        self.windows_read += len(missing)
+        return len(missing)
 
     def _iter_records(self, indices: np.ndarray) -> Iterator[WindowRecord]:
         """Yield records in order, reading misses from the store in batches."""
@@ -562,6 +632,9 @@ class MmapProvider(SketchProvider):
         data: Optional raw ``(n, L)`` matrix enabling arbitrary
             (non-aligned) query windows via head/tail fragments.
     """
+
+    backend_name = "mmap"
+    thread_safe_reads = True  # read-only mapped arrays, no per-query state
 
     def __init__(
         self,
@@ -682,6 +755,8 @@ class ChunkedBuildProvider(SketchProvider):
         chunk_rows: Row-block height for covariance construction.
         cache_windows: LRU capacity in finished ``(n, n)`` window matrices.
     """
+
+    backend_name = "chunked"
 
     def __init__(
         self,

@@ -13,6 +13,7 @@ __all__ = [
     "StorageError",
     "StreamError",
     "DataError",
+    "ServiceError",
 ]
 
 
@@ -46,3 +47,11 @@ class StreamError(TsubasaError):
 
 class DataError(TsubasaError):
     """Input data is malformed (ragged series, NaNs where disallowed, ...)."""
+
+
+class ServiceError(TsubasaError):
+    """A query-service operation is invalid.
+
+    Examples: submitting a spec to a :class:`~repro.api.service.TsubasaService`
+    that was never started or already closed.
+    """

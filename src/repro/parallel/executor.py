@@ -146,6 +146,17 @@ class ParallelQueryResult:
         """Read plus calculation time (the stacked bars of Fig. 6b)."""
         return self.read_seconds + self.calc_seconds
 
+    def as_matrix(self, names: list[str]):
+        """The assembled result as a labeled correlation matrix.
+
+        Convenience for callers (the declarative query client) that route a
+        parallel run into the same post-processing operators as serial
+        execution.
+        """
+        from repro.core.matrix import CorrelationMatrix
+
+        return CorrelationMatrix(names=list(names), values=self.matrix)
+
 
 def sketch_partition(
     rows: np.ndarray, data: np.ndarray, bounds: np.ndarray

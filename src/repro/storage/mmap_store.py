@@ -68,6 +68,24 @@ class MmapStore(SketchStore):
     enforced thereafter. Window slots are committed sizes-last, so a record
     with ``sizes[j] == 0`` (the unwritten sentinel; real windows are never
     empty) is reported missing rather than returned half-written.
+
+    **Durability and concurrent readers.** Every commit (a ``write_windows``
+    batch or a metadata write) runs behind an fsync barrier: the touched
+    data pages are msync'ed and the JSON sidecar is replaced atomically
+    (write to a temp file, fsync, rename, fsync the directory). A
+    monotonically increasing *generation counter* in ``meta.json`` brackets
+    each batch seqlock-style: it is bumped to an **odd** value before the
+    first data byte is written and back to **even** once the batch (and its
+    sizes) are durable. A reader in another process detects a mid-write
+    store by sampling :meth:`read_generation` around its reads — an odd
+    sample means a write is in progress, and a changed sample means a
+    writer overlapped the read (either way the read may be torn and should
+    be retried)::
+
+        g0 = store.read_generation()
+        records = store.read_windows(indices)
+        if g0 % 2 == 1 or store.read_generation() != g0:
+            ...  # concurrent write; retry
     """
 
     def __init__(self, path: str | Path, mode: str = "r+") -> None:
@@ -82,6 +100,7 @@ class MmapStore(SketchStore):
             name: self._dir / filename for name, filename in _ARRAY_FILES.items()
         }
         self._n: int | None = None
+        self._generation = 0
         self._collection: StoreMetadata | None = None
         self._read_maps: dict[str, np.ndarray] | None = None
         self._write_maps: dict[str, np.ndarray] | None = None
@@ -116,6 +135,8 @@ class MmapStore(SketchStore):
                 f"in {self._dir} (expected {_FORMAT_VERSION})"
             )
         self._n = int(payload["n_series"]) if payload.get("n_series") else None
+        # Stores written before the generation counter existed read as 0.
+        self._generation = int(payload.get("generation", 0))
         collection = payload.get("collection")
         if collection is not None:
             self._collection = StoreMetadata(
@@ -137,15 +158,109 @@ class MmapStore(SketchStore):
         payload = {
             "version": _FORMAT_VERSION,
             "n_series": self._n,
+            "generation": self._generation,
             "collection": collection,
         }
-        self._meta_path.write_text(json.dumps(payload, indent=2) + "\n")
+        # Atomic replace behind an fsync barrier: a reader (or a crash
+        # recovery) sees either the old sidecar or the new one, never a
+        # truncated mix, and the rename is durable once the directory entry
+        # is synced.
+        tmp_path = self._meta_path.with_suffix(".json.tmp")
+        fd = os.open(tmp_path, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, (json.dumps(payload, indent=2) + "\n").encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp_path, self._meta_path)
+        self._fsync_dir()
+
+    def _fsync_dir(self) -> None:
+        """Flush the store directory's entries (rename/truncate durability)."""
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:
+            return  # e.g. platforms without directory fds; best effort
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _sync_meta(self) -> None:
+        """Fold the on-disk sidecar into this handle before rewriting it.
+
+        A second writer handle (or another process) may have committed
+        since this handle loaded its sidecar. Every sidecar rewrite saves
+        this handle's full in-memory view, so a stale handle would both
+        *regress* the published generation (masking commits from readers)
+        and clobber collection metadata another handle wrote. Reloading
+        and merging — newest generation wins, this handle's collection
+        wins only where it has one — keeps sequential use of multiple
+        handles safe. (Truly simultaneous writers remain out of scope:
+        the store is single-writer by design.)
+        """
+        if not self._meta_path.is_file():
+            return  # first-ever write; nothing on disk to fold in
+        mine_n = self._n
+        mine_collection = self._collection
+        mine_generation = self._generation
+        try:
+            self._load_meta()
+        except StorageError:
+            # Unreadable sidecar: keep this handle's view (the rewrite is
+            # the recovery).
+            self._n = mine_n
+            self._collection = mine_collection
+            self._generation = mine_generation
+            return
+        self._generation = max(self._generation, mine_generation)
+        if mine_collection is not None:
+            self._collection = mine_collection
+        if mine_n is not None:
+            if self._n is not None and self._n != mine_n:
+                raise StorageError(
+                    f"store {self._dir} holds {self._n}-series records, "
+                    f"this handle was writing {mine_n}"
+                )
+            self._n = mine_n
+
+    def _begin_commit(self) -> None:
+        """Open the seqlock: advance the generation to the next odd value.
+
+        Published (fsync'ed) *before* any record byte is written, so a
+        concurrent reader sampling an odd generation knows the arrays may
+        be torn mid-overwrite — the sizes-last sentinel only protects
+        never-written slots, not rewrites of existing records.
+
+        The parity is computed, not accumulated: if an earlier commit
+        failed or crashed between begin and finish (leaving an odd value at
+        rest — correctly flagging possibly-torn data), the next commit
+        still opens odd and closes even instead of inverting the protocol.
+        """
+        self._sync_meta()
+        self._generation += 1 + (self._generation % 2)
+        self._save_meta()
+
+    def _finish_commit(self) -> None:
+        """Close the seqlock: advance the generation to the next even value.
+
+        Called after the batch's data and sizes pages are msync'ed; the
+        sidecar replace (itself fsync'ed) publishes the new generation, so
+        an even ``generation`` only ever advances past fully durable data.
+        """
+        self._generation += 2 - (self._generation % 2)
+        self._save_meta()
 
     def _require_writable(self) -> None:
         if self._mode == "r":
             raise StorageError(f"mmap store {self._dir} is open read-only")
 
     def _set_n_series(self, n: int) -> None:
+        if self._n is None:
+            # Another handle may have fixed the series count (and advanced
+            # the generation) since this one opened; fold that in rather
+            # than publishing a stale sidecar.
+            self._sync_meta()
         if self._n is None:
             self._n = int(n)
             self._save_meta()
@@ -165,6 +280,34 @@ class MmapStore(SketchStore):
     def n_series(self) -> int | None:
         """Number of series per record, or ``None`` before the first write."""
         return self._n
+
+    @property
+    def generation(self) -> int:
+        """Commit counter as of this handle's last load or write.
+
+        A writer's own handle tracks its commits; a *reader* polling for
+        another process's writes should use :meth:`read_generation`, which
+        re-reads the sidecar from disk.
+        """
+        return self._generation
+
+    def read_generation(self) -> int:
+        """Re-read the commit counter from the on-disk sidecar.
+
+        Sampling this before and after a batch of reads detects a
+        concurrent writer: an **odd** value means a ``write_windows`` batch
+        is in progress right now, and unequal samples mean a commit landed
+        in between — either way the read may be torn and should be retried
+        (see the class docstring for the pattern). Stores written before
+        the counter existed report 0.
+        """
+        try:
+            payload = json.loads(self._meta_path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StorageError(
+                f"cannot read mmap store metadata in {self._dir}: {exc}"
+            ) from exc
+        return int(payload.get("generation", 0))
 
     def _capacity(self) -> int:
         try:
@@ -228,13 +371,27 @@ class MmapStore(SketchStore):
                 )
         return maps
 
+    def _stale(self, maps: dict[str, np.ndarray] | None) -> bool:
+        """Whether cached maps no longer cover the files' current capacity.
+
+        Another handle (or process) growing the store ftruncates the array
+        files; mappings made before that only cover the old length, so
+        indexing a newly appended record through them would fail even
+        though the fresh capacity check passed. Re-stat and remap instead
+        — outstanding record views stay valid, they keep the old mapping
+        alive through their ``.base``.
+        """
+        return maps is not None and maps["sizes"].shape[0] != self._capacity()
+
     def _writable(self) -> dict[str, np.ndarray]:
-        if self._write_maps is None:
+        if self._write_maps is None or self._stale(self._write_maps):
+            self._write_maps = None
             self._write_maps = self._open_maps("r+")
         return self._write_maps
 
     def _readable(self) -> dict[str, np.ndarray]:
-        if self._read_maps is None:
+        if self._read_maps is None or self._stale(self._read_maps):
+            self._read_maps = None
             self._read_maps = self._open_maps("r")
         return self._read_maps
 
@@ -256,11 +413,17 @@ class MmapStore(SketchStore):
         self._drop_maps()
         shapes = self._shapes(needed)
         for name, file_path in self._files.items():
-            if not file_path.exists():
-                file_path.touch()
             # Extending with truncate leaves the new (unwritten) slots as
-            # zero pages — exactly the sizes sentinel for "missing".
-            os.truncate(file_path, 8 * int(np.prod(shapes[name])))
+            # zero pages — exactly the sizes sentinel for "missing". The
+            # fsync makes the new length durable before any record data is
+            # written into the extension.
+            fd = os.open(file_path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                os.ftruncate(fd, 8 * int(np.prod(shapes[name])))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        self._fsync_dir()
 
     # -- SketchStore contract ------------------------------------------------
 
@@ -268,6 +431,12 @@ class MmapStore(SketchStore):
         self._require_writable()
         self._set_n_series(len(metadata.names))
         self._collection = metadata
+        # The sidecar replace is atomic, so no odd intermediate state is
+        # needed — advance by a whole commit, preserving parity: if an
+        # interrupted batch left the store flagged odd (possibly torn
+        # records), only a *completed* record commit may publish even again.
+        self._sync_meta()
+        self._generation += 2
         self._save_meta()
 
     def read_metadata(self) -> StoreMetadata:
@@ -304,6 +473,7 @@ class MmapStore(SketchStore):
                     f"window record {record.index} has non-positive size "
                     f"{record.size}"
                 )
+        self._begin_commit()
         self._ensure_capacity(max(record.index for record in records) + 1)
         maps = self._writable()
         lo = min(record.index for record in records)
@@ -322,6 +492,10 @@ class MmapStore(SketchStore):
         for record in records:
             maps["sizes"][record.index] = record.size
         self._flush_records(maps["sizes"], lo, hi)
+        # Publish the commit: bump the generation back to even behind its
+        # own fsync barrier so concurrent readers can detect both the
+        # in-progress window (odd) and the completed change (advanced).
+        self._finish_commit()
 
     @staticmethod
     def _flush_records(mem: np.ndarray, lo: int, hi: int) -> None:

@@ -69,12 +69,19 @@ class SqliteSketchStore(SketchStore):
     Args:
         path: Database file path; created if absent. ``":memory:"`` gives an
             ephemeral store useful in tests.
+
+    The connection is opened with ``check_same_thread=False`` so a store
+    handle may move between threads — the async query service computes
+    matrices on an executor thread while the handle was opened on the main
+    one. Access must still be *serialized* (sqlite3 objects are not
+    concurrency-safe); the service guarantees that by running store-backed
+    computations on a single executor thread.
     """
 
     def __init__(self, path: str | Path) -> None:
         self._path = str(path)
         try:
-            self._conn = sqlite3.connect(self._path)
+            self._conn = sqlite3.connect(self._path, check_same_thread=False)
         except sqlite3.Error as exc:
             raise StorageError(f"cannot open sketch database {path}: {exc}") from exc
         self._conn.execute(

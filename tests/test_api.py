@@ -9,6 +9,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.api",
     "repro.core",
     "repro.approx",
     "repro.baseline",
@@ -22,6 +23,9 @@ PACKAGES = [
 MODULES = PACKAGES + [
     "repro.exceptions",
     "repro.cli",
+    "repro.api.spec",
+    "repro.api.client",
+    "repro.api.service",
     "repro.core.stats",
     "repro.core.segmentation",
     "repro.core.lemma1",
@@ -106,6 +110,7 @@ def test_exception_hierarchy():
     from repro.exceptions import (
         DataError,
         SegmentationError,
+        ServiceError,
         SketchError,
         StorageError,
         StreamError,
@@ -113,7 +118,7 @@ def test_exception_hierarchy():
     )
 
     for exc in (SegmentationError, SketchError, StorageError, StreamError,
-                DataError):
+                DataError, ServiceError):
         assert issubclass(exc, TsubasaError)
         assert issubclass(exc, Exception)
 
@@ -124,5 +129,7 @@ def test_top_level_quickstart_surface():
 
     for name in ("TsubasaHistorical", "TsubasaRealtime", "TsubasaApproximate",
                  "BaselineExact", "QueryWindow", "generate_station_dataset",
-                 "similarity_ratio", "build_sketch", "build_approx_sketch"):
+                 "similarity_ratio", "build_sketch", "build_approx_sketch",
+                 "TsubasaClient", "TsubasaService", "QuerySpec", "WindowSpec",
+                 "QueryResult"):
         assert hasattr(repro, name)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import io
+import json
+
 import numpy as np
 import pytest
 
@@ -160,7 +163,7 @@ class TestMmapBackend:
                 "--length", "200",
             ]
         )
-        assert code == 1
+        assert code == 2  # SketchError
         assert "memory-mapped" in capsys.readouterr().err
 
 
@@ -233,7 +236,9 @@ class TestStream:
 
 
 class TestErrorHandling:
-    def test_library_errors_become_exit_code_one(self, tmp_path, dataset_file):
+    """TsubasaError subclasses map to distinct exit codes, no tracebacks."""
+
+    def test_segmentation_error_exit_code(self, tmp_path, dataset_file, capsys):
         # Window size larger than the series -> SegmentationError inside.
         code = main(
             [
@@ -243,7 +248,61 @@ class TestErrorHandling:
                 "--store", str(tmp_path / "x.db"),
             ]
         )
-        assert code == 1
+        assert code == 4
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_sketch_error_exit_code(self, store_file, capsys):
+        # Non-aligned query without raw data -> SketchError.
+        code = main(
+            ["query", "--store", str(store_file), "--end", "399",
+             "--length", "123"]
+        )
+        assert code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_storage_error_exit_code(self, tmp_path, capsys):
+        # A store with no metadata -> StorageError.
+        empty = tmp_path / "empty.db"
+        from repro.storage.sqlite_store import SqliteSketchStore
+
+        with SqliteSketchStore(empty):
+            pass
+        code = main(["info", "--store", str(empty)])
+        assert code == 5
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_exit_codes_are_distinct(self):
+        from repro.cli import exit_code_for
+        from repro.exceptions import (
+            DataError,
+            SegmentationError,
+            ServiceError,
+            SketchError,
+            StorageError,
+            StreamError,
+            TsubasaError,
+        )
+
+        codes = [
+            exit_code_for(exc("boom"))
+            for exc in (TsubasaError, SketchError, DataError,
+                        SegmentationError, StorageError, StreamError,
+                        ServiceError)
+        ]
+        assert codes == [1, 2, 3, 4, 5, 6, 7]
+        assert len(set(codes)) == len(codes)
+
+    def test_unmapped_subclass_inherits_parent_code(self):
+        from repro.cli import exit_code_for
+        from repro.exceptions import StorageError
+
+        class CustomStorageError(StorageError):
+            pass
+
+        assert exit_code_for(CustomStorageError("boom")) == 5
 
 
 class TestTopk:
@@ -273,6 +332,197 @@ class TestTopk:
             ]
         )
         assert code == 2
+
+
+class TestServe:
+    """The JSON-lines query service on stdin/stdout."""
+
+    def serve(self, monkeypatch, capsys, store, lines, extra_args=()):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        code = main(["serve", "--store", str(store), *extra_args])
+        captured = capsys.readouterr()
+        return code, [json.loads(l) for l in captured.out.splitlines()], captured.err
+
+    def test_serves_specs_in_order(self, store_file, monkeypatch, capsys):
+        code, responses, err = self.serve(
+            monkeypatch, capsys, store_file,
+            [
+                '{"id": "net", "op": "network", '
+                '"window": {"end": 399, "length": 200}, "theta": 0.4}',
+                '{"id": "tk", "op": "top_k", '
+                '"window": {"end": 399, "length": 200}, "k": 3}',
+            ],
+        )
+        assert code == 0
+        assert [r["id"] for r in responses] == ["net", "tk"]
+        assert all(r["ok"] for r in responses)
+        assert responses[0]["result"]["n_nodes"] == 12
+        assert len(responses[1]["result"]["pairs"]) == 3
+        assert responses[0]["provenance"]["backend"] == "memory"
+        assert "served 2 ok / 0 failed" in err
+
+    def test_duplicate_windows_coalesce(self, store_file, monkeypatch, capsys):
+        lines = [
+            json.dumps({"op": "degree",
+                        "window": {"end": 399, "length": 200},
+                        "theta": 0.4})
+        ] * 6
+        code, responses, err = self.serve(
+            monkeypatch, capsys, store_file, lines
+        )
+        assert code == 0
+        assert len(responses) == 6
+        assert all(r["ok"] for r in responses)
+        degrees = {json.dumps(r["result"], sort_keys=True) for r in responses}
+        assert len(degrees) == 1
+        assert sum(r["provenance"]["coalesced"] for r in responses) >= 1
+
+    def test_store_backend_serves(self, store_file, monkeypatch, capsys):
+        code, responses, _ = self.serve(
+            monkeypatch, capsys, store_file,
+            ['{"op": "matrix", "window": {"first_window": 0, "n_windows": 4}}'],
+            extra_args=["--backend", "store"],
+        )
+        assert code == 0
+        assert responses[0]["ok"]
+        assert responses[0]["provenance"]["backend"] == "store"
+        assert len(responses[0]["result"]["values"]) == 12
+
+    def test_bad_requests_get_error_envelopes(
+        self, store_file, monkeypatch, capsys
+    ):
+        code, responses, err = self.serve(
+            monkeypatch, capsys, store_file,
+            [
+                "this is not json",
+                '{"op": "nope", "window": {"end": 399, "length": 200}}',
+                '{"op": "matrix", "window": {"end": 399, "length": 123}}',
+                '{"op": "matrix", "window": {"end": 399, "length": 200}}',
+            ],
+        )
+        assert code == 0  # bad requests never kill the service
+        assert [r["ok"] for r in responses] == [False, False, False, True]
+        assert responses[0]["error"]["type"] == "JSONDecodeError"
+        assert responses[1]["error"]["type"] == "DataError"
+        assert responses[1]["error"]["code"] == 3
+        assert responses[2]["error"]["type"] == "SketchError"
+        assert responses[2]["error"]["code"] == 2
+        # The summary counts parse-stage rejections alongside query failures.
+        assert "3 failed" in err
+        assert "2 malformed" in err
+
+    def test_blank_lines_skipped(self, store_file, monkeypatch, capsys):
+        code, responses, _ = self.serve(
+            monkeypatch, capsys, store_file,
+            ["", '{"op": "matrix", "window": {"end": 399, "length": 200}}', ""],
+        )
+        assert code == 0
+        assert len(responses) == 1
+
+    def test_non_library_errors_become_envelopes(
+        self, store_file, monkeypatch, capsys
+    ):
+        """A request whose computation raises an unexpected (non-Tsubasa)
+        error gets an error envelope; later requests still get responses
+        and the process exits cleanly."""
+        from repro.api.client import TsubasaClient
+
+        real = TsubasaClient.compute_matrix
+
+        def explode_on_short_window(self, spec, window):
+            if window.length == 50:
+                raise RuntimeError("numpy blew up")
+            return real(self, spec, window)
+
+        monkeypatch.setattr(TsubasaClient, "compute_matrix",
+                            explode_on_short_window)
+        code, responses, err = self.serve(
+            monkeypatch, capsys, store_file,
+            [
+                '{"op": "matrix", "window": {"end": 399, "length": 50}}',
+                '{"op": "matrix", "window": {"end": 399, "length": 200}}',
+            ],
+        )
+        assert code == 0
+        assert [r["ok"] for r in responses] == [False, True]
+        assert responses[0]["error"]["type"] == "RuntimeError"
+        assert "numpy blew up" in responses[0]["error"]["message"]
+        assert "Traceback" not in err
+
+    def test_bounded_pending_preserves_order(
+        self, store_file, monkeypatch, capsys
+    ):
+        """--max-pending 1 forces the reader to wait on the printer; every
+        response still arrives, in submission order."""
+        lines = [
+            json.dumps({"id": i, "op": "degree",
+                        "window": {"end": 399, "length": 200},
+                        "theta": 0.4})
+            for i in range(10)
+        ]
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        code = main(["serve", "--store", str(store_file),
+                     "--max-pending", "1"])
+        captured = capsys.readouterr()
+        responses = [json.loads(l) for l in captured.out.splitlines()]
+        assert code == 0
+        assert [r["id"] for r in responses] == list(range(10))
+        assert all(r["ok"] for r in responses)
+
+    def test_consumer_hangup_exits_cleanly(
+        self, store_file, monkeypatch, capsys
+    ):
+        """A broken stdout pipe (e.g. `serve | head`) must not crash serve
+        or wedge the reader against the bounded response queue."""
+        import sys as _sys
+
+        class BrokenAfterOne:
+            def __init__(self, real):
+                self.real = real
+                self.writes = 0
+
+            def write(self, text):
+                self.writes += 1
+                if self.writes > 1:
+                    raise BrokenPipeError("consumer gone")
+                return self.real.write(text)
+
+            def flush(self):
+                self.real.flush()
+
+        broken = BrokenAfterOne(_sys.stdout)
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "".join(
+                    json.dumps({"op": "matrix",
+                                "window": {"end": 399, "length": 200}}) + "\n"
+                    for _ in range(6)
+                )
+            ),
+        )
+        monkeypatch.setattr("sys.stdout", broken)
+        code = main(["serve", "--store", str(store_file),
+                     "--max-pending", "2"])
+        captured = capsys.readouterr()
+        assert code == 0  # no traceback, no hang
+        assert len(captured.out.splitlines()) == 1  # one response got out
+
+    def test_store_backend_rejects_multiple_workers(
+        self, store_file, monkeypatch, capsys
+    ):
+        """StoreProvider is not thread-safe; the service refuses workers>1."""
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        code = main(
+            ["serve", "--store", str(store_file), "--backend", "store",
+             "--workers", "4"]
+        )
+        assert code == 7  # ServiceError: service misconfiguration
+        assert "not safe for concurrent reads" in capsys.readouterr().err
 
 
 class TestSweep:

@@ -210,3 +210,210 @@ class TestConvert:
             with MmapStore(tmp_path / "dst") as dst:
                 with pytest.raises(StorageError, match="already holds"):
                     convert_store(src, dst)
+
+
+class TestGenerationCounter:
+    """Commit generation counter + fsync barrier (concurrent-reader support)."""
+
+    def test_fresh_store_starts_at_zero(self, tmp_path):
+        store = MmapStore(tmp_path / "st")
+        assert store.generation == 0
+
+    def test_metadata_write_bumps_generation(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_metadata(StoreMetadata(names=("a", "b"), window_size=5))
+            assert store.generation == 2
+            assert store.read_generation() == 2
+
+    def test_each_batch_commit_bumps_generation(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_metadata(
+                StoreMetadata(names=tuple("abcd"), window_size=10)
+            )
+            g0 = store.generation
+            store.write_windows([_record(0), _record(1)])
+            assert store.generation == g0 + 2
+            store.write_windows([_record(2)])
+            assert store.generation == g0 + 4
+
+    def test_quiescent_generation_is_even(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_metadata(StoreMetadata(names=tuple("abcd"),
+                                               window_size=10))
+            store.write_windows([_record(0)])
+            assert store.generation % 2 == 0
+            assert store.read_generation() % 2 == 0
+
+    def test_reader_handle_detects_concurrent_commit(self, tmp_path):
+        """The documented reader pattern: sample read_generation() around
+        reads; a change means a writer committed in between."""
+        writer = MmapStore(tmp_path / "st")
+        writer.write_windows([_record(i) for i in range(4)])
+        reader = MmapStore(tmp_path / "st", mode="r")
+        g0 = reader.read_generation()
+        reader.read_windows([0, 1])
+        assert reader.read_generation() == g0  # quiescent store: no retry
+        writer.write_windows([_record(4)])
+        assert reader.read_generation() == g0 + 2  # mid-read commit detected
+
+    def test_in_progress_overwrite_reads_odd(self, tmp_path):
+        """The seqlock half of the pattern: a reader sampling *during* a
+        rewrite of an existing record sees an odd generation — the
+        sizes-last sentinel cannot flag overwrites, the parity does."""
+        writer = MmapStore(tmp_path / "st")
+        writer.write_windows([_record(i) for i in range(3)])
+        reader = MmapStore(tmp_path / "st", mode="r")
+        quiescent = reader.read_generation()
+        assert quiescent % 2 == 0
+        observed = []
+        original = MmapStore._flush_records
+
+        class SpyStore(MmapStore):
+            def _flush_records(self, mem, lo, hi):  # mid-write observation
+                observed.append(reader.read_generation())
+                original(mem, lo, hi)
+
+        spy = SpyStore(tmp_path / "st")
+        spy.write_windows([_record(0, seed=99)])  # overwrite record 0
+        assert observed  # flushed at least once mid-write
+        assert all(g == quiescent + 1 for g in observed)  # odd: in progress
+        assert all(g % 2 == 1 for g in observed)
+        assert reader.read_generation() == quiescent + 2  # committed, even
+
+    def test_generation_persists_across_reopen(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(0)])
+            store.write_windows([_record(1)])
+            expected = store.generation
+        assert MmapStore(tmp_path / "st").generation == expected
+
+    def test_pre_generation_store_reads_as_zero(self, tmp_path):
+        """Stores written before the counter existed stay readable."""
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(0)])
+        meta_path = tmp_path / "st" / "meta.json"
+        payload = json.loads(meta_path.read_text())
+        del payload["generation"]
+        meta_path.write_text(json.dumps(payload))
+        reopened = MmapStore(tmp_path / "st", mode="r")
+        assert reopened.generation == 0
+        assert reopened.read_generation() == 0
+        assert reopened.read_windows([0])[0].size == 10
+
+    def test_meta_replace_is_atomic(self, tmp_path):
+        """No temp sidecar survives a commit (write + fsync + rename)."""
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i) for i in range(3)])
+        names = {p.name for p in (tmp_path / "st").iterdir()}
+        assert "meta.json.tmp" not in names
+        assert "meta.json" in names
+
+    def test_sizes_still_committed_last(self, tmp_path):
+        """The generation counter rides on, not instead of, the sizes-last
+        commit: a record is visible only once its size is nonzero."""
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(0), _record(2)])
+            with pytest.raises(StorageError, match="missing"):
+                store.read_windows([1])
+
+    def test_failed_commit_does_not_invert_parity(self, tmp_path):
+        """A commit that dies between begin and finish leaves the store
+        flagged odd (possibly torn); the NEXT successful batch must still
+        open odd and close even — the parity is computed, not accumulated."""
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i) for i in range(3)])
+            quiescent = store.generation
+        assert quiescent % 2 == 0
+
+        class FailingStore(MmapStore):
+            def _ensure_capacity(self, needed):  # simulate ENOSPC
+                raise StorageError("disk full")
+
+        broken = FailingStore(tmp_path / "st")
+        with pytest.raises(StorageError, match="disk full"):
+            broken.write_windows([_record(0, seed=1)])
+        # Interrupted commit: odd at rest, correctly flagging suspect data.
+        recovered = MmapStore(tmp_path / "st")
+        assert recovered.read_generation() % 2 == 1
+
+        reader = MmapStore(tmp_path / "st", mode="r")
+        observed = []
+        original = MmapStore._flush_records
+
+        class SpyStore(MmapStore):
+            def _flush_records(self, mem, lo, hi):
+                observed.append(reader.read_generation())
+                original(mem, lo, hi)
+
+        SpyStore(tmp_path / "st").write_windows([_record(0, seed=2)])
+        assert observed and all(g % 2 == 1 for g in observed)  # still odd mid-write
+        assert reader.read_generation() % 2 == 0  # healed: even once durable
+
+    def test_metadata_write_preserves_torn_flag(self, tmp_path):
+        """Only a completed record batch may clear the odd torn-data flag."""
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(0)])
+
+        class FailingStore(MmapStore):
+            def _ensure_capacity(self, needed):
+                raise StorageError("disk full")
+
+        with pytest.raises(StorageError):
+            FailingStore(tmp_path / "st").write_windows([_record(1)])
+        store = MmapStore(tmp_path / "st")
+        assert store.generation % 2 == 1
+        store.write_metadata(StoreMetadata(names=tuple("abcd"), window_size=10))
+        assert store.generation % 2 == 1  # metadata alone cannot declare clean
+        store.write_windows([_record(1)])
+        assert store.generation % 2 == 0
+
+    def test_second_writer_handle_never_regresses_generation(self, tmp_path):
+        """A writer handle opened before another writer's commits must fold
+        the on-disk generation into its own before publishing, or its next
+        commit would regress the counter and mask the interleaved writes
+        from readers."""
+        a = MmapStore(tmp_path / "st")
+        a.write_windows([_record(0)])
+        b = MmapStore(tmp_path / "st")  # loads generation now
+        a.write_windows([_record(1)])
+        a.write_windows([_record(2)])
+        g_disk = b.read_generation()
+        assert g_disk > b.generation  # b's in-memory view is stale
+        b.write_windows([_record(0, seed=7)])  # overwrite through stale handle
+        g_after = b.read_generation()
+        assert g_after > g_disk  # advanced, never regressed
+        assert g_after % 2 == 0
+
+    def test_stale_handle_does_not_clobber_metadata(self, tmp_path):
+        """A handle opened before another handle wrote collection metadata
+        must fold the on-disk sidecar in before rewriting it — not publish
+        its stale (collection-less, generation-0) view over it."""
+        stale = MmapStore(tmp_path / "st")  # opened first: no metadata yet
+        fresh = MmapStore(tmp_path / "st")
+        fresh.write_metadata(StoreMetadata(names=tuple("abcd"), window_size=10))
+        g_meta = fresh.read_generation()
+        stale.write_windows([_record(0)])  # must not clobber the sidecar
+        reader = MmapStore(tmp_path / "st", mode="r")
+        meta = reader.read_metadata()
+        assert meta.names == tuple("abcd")
+        assert meta.window_size == 10
+        assert reader.read_generation() > g_meta  # advanced, never regressed
+        assert reader.read_generation() % 2 == 0
+
+    def test_reader_remaps_after_writer_grows_store(self, tmp_path):
+        """The documented retry pattern must work when the detected commit
+        *grew* the store: the reader's cached maps are remapped to the new
+        capacity instead of raising IndexError on a fresh index."""
+        writer = MmapStore(tmp_path / "st")
+        writer.write_windows([_record(i) for i in range(4)])
+        reader = MmapStore(tmp_path / "st", mode="r")
+        g0 = reader.read_generation()
+        old = reader.read_windows([0, 1])  # maps cached at capacity 4
+        writer.write_windows([_record(10)])  # grows files to capacity 11
+        assert reader.read_generation() != g0  # pattern: change detected
+        fresh = reader.read_windows([10])[0]  # retry must succeed
+        assert fresh.index == 10
+        np.testing.assert_array_equal(fresh.pairs, _record(10).pairs)
+        # Views taken before the growth stay valid (old mapping kept alive).
+        np.testing.assert_array_equal(old[0].pairs, _record(0).pairs)
+        assert reader.window_count() == 5

@@ -1,0 +1,296 @@
+"""Tests for the async TsubasaService (repro.api.service).
+
+Acceptance bar: ≥32 concurrent in-flight specs over one shared provider,
+answers bit-identical to serial execution, and demonstrated coalescing of
+duplicate window selections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.api.client import TsubasaClient
+from repro.api.service import TsubasaService, run_specs
+from repro.api.spec import QuerySpec, WindowSpec
+from repro.core.sketch import build_sketch
+from repro.engine.providers import InMemoryProvider, MmapProvider, StoreProvider
+from repro.exceptions import ServiceError, SketchError
+from repro.storage.mmap_store import MmapStore
+from repro.storage.serialize import save_sketch
+from repro.storage.sqlite_store import SqliteSketchStore
+
+B = 50
+N_POINTS = 600
+
+
+@pytest.fixture(scope="module")
+def data():
+    from repro.data.synthetic import generate_station_dataset
+
+    return generate_station_dataset(
+        n_stations=14, n_points=N_POINTS, seed=7
+    ).values
+
+
+@pytest.fixture(scope="module")
+def sketch(data):
+    return build_sketch(data, B)
+
+
+def overlapping_specs(n: int) -> list[QuerySpec]:
+    """``n`` specs over a small pool of overlapping windows (duplicates
+    guaranteed, so coalescing must trigger)."""
+    windows = [
+        WindowSpec(end=599, length=200),
+        WindowSpec(end=599, length=400),
+        WindowSpec(end=399, length=200),
+        WindowSpec(start=200, stop=600),
+        WindowSpec(first_window=0, n_windows=8),
+    ]
+    specs: list[QuerySpec] = []
+    for i in range(n):
+        window = windows[i % len(windows)]
+        kind = i % 4
+        if kind == 0:
+            specs.append(QuerySpec(op="matrix", window=window))
+        elif kind == 1:
+            specs.append(QuerySpec(op="network", window=window, theta=0.4))
+        elif kind == 2:
+            specs.append(QuerySpec(op="top_k", window=window, k=5))
+        else:
+            specs.append(QuerySpec(op="degree", window=window, theta=0.3))
+    return specs
+
+
+def values_of(result) -> np.ndarray | object:
+    """A comparable form of a QueryResult's value."""
+    spec = result.spec
+    if spec.op == "matrix":
+        return result.value.values
+    if spec.op == "network":
+        return result.value.edge_set()
+    return result.value
+
+
+def assert_identical_to_serial(results, serial_client, specs):
+    for result, spec in zip(results, specs):
+        expected = serial_client.execute(spec)
+        got = values_of(result)
+        want = values_of(expected)
+        if isinstance(got, np.ndarray):
+            np.testing.assert_array_equal(got, want)
+        else:
+            assert got == want
+
+
+class TestConcurrentStoreProvider:
+    def test_32_concurrent_specs_bit_identical_and_coalesced(
+        self, sketch, data, tmp_path
+    ):
+        store = SqliteSketchStore(tmp_path / "svc.db")
+        save_sketch(store, sketch)
+        shared = StoreProvider(store, cache_windows=64)
+        client = TsubasaClient(provider=shared)
+        specs = overlapping_specs(40)
+
+        async def drive():
+            async with TsubasaService(client) as service:
+                results = await asyncio.gather(
+                    *(service.submit(spec) for spec in specs)
+                )
+                return results, service.stats()
+
+        results, stats = asyncio.run(drive())
+        assert stats.submitted == 40
+        assert stats.completed == 40
+        assert stats.failed == 0
+        # 5 distinct windows, 40 requests: coalescing must have fired.
+        assert stats.coalesced > 0
+        assert stats.matrices_computed < len(specs)
+        assert 0.0 < stats.coalesce_rate <= 1.0
+        # Bit-identity against a fresh serial client on its own provider.
+        serial_store = SqliteSketchStore(tmp_path / "svc.db")
+        serial = TsubasaClient(provider=StoreProvider(serial_store))
+        assert_identical_to_serial(results, serial, specs)
+
+    def test_batched_prefetch_counts_windows(self, sketch, data, tmp_path):
+        store = SqliteSketchStore(tmp_path / "svc2.db")
+        save_sketch(store, sketch)
+        shared = StoreProvider(store, cache_windows=64)
+        client = TsubasaClient(provider=shared)
+        specs = overlapping_specs(32)
+
+        async def drive():
+            async with TsubasaService(client) as service:
+                results = await asyncio.gather(
+                    *(service.submit(spec) for spec in specs)
+                )
+                return results, service.stats()
+
+        _, stats = asyncio.run(drive())
+        # The dispatcher saw the queued batch and batch-read the union of
+        # its windows (12 basic windows across the pool) exactly once.
+        assert stats.prefetched_windows == 12
+        assert shared.windows_read == 12
+
+    def test_prefetch_disabled_reads_more(self, sketch, tmp_path):
+        store = SqliteSketchStore(tmp_path / "svc3.db")
+        save_sketch(store, sketch)
+        shared = StoreProvider(store, cache_windows=0)  # no cache at all
+        client = TsubasaClient(provider=shared)
+        specs = overlapping_specs(8)
+
+        async def drive():
+            async with TsubasaService(client, prefetch=False) as service:
+                await asyncio.gather(*(service.submit(s) for s in specs))
+                return service.stats()
+
+        stats = asyncio.run(drive())
+        assert stats.prefetched_windows == 0
+        assert shared.windows_read > 12  # every matrix re-read its windows
+
+
+class TestConcurrentMmapProvider:
+    def test_32_concurrent_specs_multithreaded(self, sketch, data, tmp_path):
+        with MmapStore(tmp_path / "svc.mm") as store:
+            save_sketch(store, sketch)
+        shared = MmapProvider(tmp_path / "svc.mm")
+        client = TsubasaClient(provider=shared)
+        specs = overlapping_specs(48)
+
+        # The mmap arrays are read-only — multiple executor threads may
+        # compute matrices concurrently over the one shared mapping.
+        results, stats = run_specs(client, specs, max_workers=4)
+        assert stats.completed == 48
+        assert stats.coalesced > 0
+        assert stats.backend_latency["mmap"].count == stats.matrices_computed
+        assert stats.backend_latency["mmap"].mean_seconds > 0.0
+        serial = TsubasaClient(provider=MmapProvider(tmp_path / "svc.mm"))
+        assert_identical_to_serial(results, serial, specs)
+
+    def test_duplicate_specs_coalesce_fully(self, sketch, tmp_path):
+        with MmapStore(tmp_path / "dup.mm") as store:
+            save_sketch(store, sketch)
+        client = TsubasaClient(provider=MmapProvider(tmp_path / "dup.mm"))
+        spec = QuerySpec(op="network", window=WindowSpec(end=599, length=400),
+                         theta=0.4)
+        results, stats = run_specs(client, [spec] * 32)
+        assert stats.matrices_computed == 1
+        assert stats.coalesced == 31
+        edge_sets = {frozenset(r.value.edge_set()) for r in results}
+        assert len(edge_sets) == 1
+        assert sum(r.provenance.coalesced for r in results) == 31
+
+
+class TestDiffNetworkCoalescing:
+    def test_diff_shares_windows_with_plain_queries(self, sketch, tmp_path):
+        with MmapStore(tmp_path / "diff.mm") as store:
+            save_sketch(store, sketch)
+        client = TsubasaClient(provider=MmapProvider(tmp_path / "diff.mm"))
+        current = WindowSpec(end=599, length=200)
+        previous = WindowSpec(end=399, length=200)
+        specs = [
+            QuerySpec(op="network", window=current, theta=0.4),
+            QuerySpec(op="network", window=previous, theta=0.4),
+            QuerySpec(op="diff_network", window=current, baseline=previous,
+                      theta=0.4),
+        ]
+        results, stats = run_specs(client, specs)
+        # Both of the diff's windows ride on the plain queries' matrices.
+        assert stats.matrices_computed == 2
+        assert stats.coalesced == 2
+        appeared, disappeared = results[2].value
+        assert appeared == (
+            results[0].value.edge_set() - results[1].value.edge_set()
+        )
+        assert disappeared == (
+            results[1].value.edge_set() - results[0].value.edge_set()
+        )
+
+
+class TestErrorsAndLifecycle:
+    def test_invalid_window_raises_in_submitter(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        bad = QuerySpec(op="matrix", window=WindowSpec(end=587, length=173))
+
+        async def drive():
+            async with TsubasaService(client) as service:
+                with pytest.raises(SketchError):
+                    await service.submit(bad)
+                # The service keeps serving after a failed request.
+                ok = await service.submit(
+                    QuerySpec(op="matrix", window=WindowSpec(end=599,
+                                                             length=200))
+                )
+                return ok, service.stats()
+
+        ok, stats = asyncio.run(drive())
+        assert stats.failed == 1
+        assert stats.completed == 1
+        assert ok.value.values.shape == (sketch.n_series, sketch.n_series)
+
+    def test_multiworker_rejected_for_unsafe_backend(self, sketch, tmp_path):
+        store = SqliteSketchStore(tmp_path / "mt.db")
+        save_sketch(store, sketch)
+        client = TsubasaClient(provider=StoreProvider(store))
+        with pytest.raises(ServiceError, match="concurrent reads"):
+            TsubasaService(client, max_workers=4)
+
+    def test_submit_requires_started_service(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        service = TsubasaService(client)
+
+        async def drive():
+            with pytest.raises(ServiceError, match="not started"):
+                await service.submit(
+                    QuerySpec(op="matrix", window=WindowSpec(end=599,
+                                                             length=200))
+                )
+
+        asyncio.run(drive())
+
+    def test_submit_after_close_raises(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+
+        async def drive():
+            service = TsubasaService(client)
+            await service.start()
+            await service.aclose()
+            with pytest.raises(ServiceError, match="closed"):
+                await service.submit(
+                    QuerySpec(op="matrix", window=WindowSpec(end=599,
+                                                             length=200))
+                )
+
+        asyncio.run(drive())
+
+    def test_stats_snapshot_before_start(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        stats = TsubasaService(client).stats()
+        assert stats.submitted == 0
+        assert stats.queue_depth == 0
+        assert stats.coalesce_rate == 0.0
+
+    def test_queue_drains_by_close(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        specs = overlapping_specs(16)
+
+        async def drive():
+            service = TsubasaService(client)
+            await service.start()
+            tasks = [
+                asyncio.get_running_loop().create_task(service.submit(s))
+                for s in specs
+            ]
+            await asyncio.sleep(0)  # let every submit reach the queue
+            await service.aclose()  # must drain the accepted requests
+            return await asyncio.gather(*tasks), service.stats()
+
+        results, stats = asyncio.run(drive())
+        assert len(results) == 16
+        assert stats.completed == 16
+        assert stats.queue_depth == 0
+        assert stats.in_flight == 0
