@@ -19,10 +19,16 @@ Times the same Lemma 1 all-pairs query through each sketch backend:
 * ``convert_*`` — the sketch→store conversion cost per backend (the §3.4
   ingestion-side write path).
 
-Beyond the per-query rows, two system-level axes are recorded:
+Beyond the per-query rows, three system-level axes are recorded:
 
 * ``scale`` — the same aligned query at n_stations 60 → 500 (records grow
   quadratically), tracking the mmap-vs-SQLite crossover as collections grow;
+* ``ns_scale`` — the same full-range query at 1k → 50k basic *windows*:
+  ``direct`` streams the whole selection through the Lemma 1 kernel
+  (O(ns * n^2)), ``prefix_cold`` / ``prefix_warm`` answer from the store's
+  persisted prefix-aggregate tables (O(n^2), flat in ``ns``). CI gates on
+  ``prefix_cold`` beating ``direct`` at the largest point
+  (``benchmarks/check_prefix_gate.py``);
 * ``service`` — :class:`~repro.api.service.TsubasaService` throughput
   (queries/sec) over one shared provider at client concurrency 1/8/32, with
   the measured coalesce rate.
@@ -73,6 +79,14 @@ PARALLEL_WORKERS = 4
 SCALE_STATIONS = (60, 150, 300, 500)
 SCALE_POINTS = 2000
 SCALE_QUERY = (1999, 1500)  # aligned: 30 basic windows
+
+#: n-windows scale axis: the direct path reads every selected record, the
+#: prefix path reads two table rows — this axis shows the flat-vs-linear
+#: split. Small n keeps the 50k-window store (and its prefix tables) at a
+#: CI-friendly size.
+NS_SCALE_WINDOWS = (1_000, 5_000, 20_000, 50_000)
+NS_SCALE_STATIONS = 12
+NS_SCALE_BASIC_WINDOW = 8
 
 #: Service throughput axis: concurrent clients multiplexed over one shared
 #: provider by TsubasaService.
@@ -262,6 +276,9 @@ def run(store_dir: Path) -> dict:
             "parallel_workers": PARALLEL_WORKERS,
             "scale_stations": list(SCALE_STATIONS),
             "scale_points": SCALE_POINTS,
+            "ns_scale_windows": list(NS_SCALE_WINDOWS),
+            "ns_scale_stations": NS_SCALE_STATIONS,
+            "ns_scale_basic_window": NS_SCALE_BASIC_WINDOW,
             "service_concurrency": list(SERVICE_CONCURRENCY),
             "service_queries": SERVICE_QUERIES,
             "python": platform.python_version(),
@@ -269,6 +286,7 @@ def run(store_dir: Path) -> dict:
         },
         "results": results,
         "scale": run_scale(store_dir),
+        "ns_scale": run_ns_scale(store_dir),
         "service": run_service(store_dir),
     }
 
@@ -325,6 +343,70 @@ def run_scale(store_dir: Path) -> list[dict]:
             "seconds": timed(
                 lambda: TsubasaHistorical(provider=InMemoryProvider(sketch))
             ),
+        })
+    return rows
+
+
+def run_ns_scale(store_dir: Path) -> list[dict]:
+    """The n-windows axis: full-range query, prefix vs direct combination.
+
+    Each scale point sketches ``ns`` basic windows into an mmap store with
+    persisted prefix tables and times the same all-windows matrix query
+    three ways: ``prefix_cold`` (fresh provider per repeat — open the store,
+    map the tables, combine two rows), ``prefix_warm`` (provider reused),
+    and ``direct`` (prefix serving disabled, the full streaming reduction).
+    Results are cross-checked within the kernel's documented tolerance.
+    """
+    from repro.core.prefix import PREFIX_ATOL
+
+    rng = np.random.default_rng(7)
+    rows: list[dict] = []
+    for n_windows in NS_SCALE_WINDOWS:
+        data = rng.standard_normal(
+            (NS_SCALE_STATIONS, n_windows * NS_SCALE_BASIC_WINDOW)
+        )
+        sketch = build_sketch(data, NS_SCALE_BASIC_WINDOW)
+        mmap_path = store_dir / f"ns_{n_windows}.mm"
+        with MmapStore(mmap_path) as store:
+            save_sketch(store, sketch)
+            store.build_prefix()
+        del sketch, data
+        spec = QuerySpec(
+            op="matrix",
+            window=WindowSpec(first_window=0, n_windows=n_windows),
+        )
+
+        direct_client = TsubasaClient(
+            provider=MmapProvider(mmap_path, prefix=False)
+        )
+        warm_client = TsubasaClient(provider=MmapProvider(mmap_path))
+        reference = direct_client.execute(spec)
+        check = warm_client.execute(spec)
+        assert reference.provenance.path == "direct"
+        assert check.provenance.path == "prefix"
+        np.testing.assert_allclose(
+            check.value.values, reference.value.values,
+            rtol=0.0, atol=PREFIX_ATOL,
+        )
+
+        def prefix_cold():
+            client = TsubasaClient(provider=MmapProvider(mmap_path))
+            assert client.execute(spec).provenance.path == "prefix"
+
+        rows.append({
+            "backend": "prefix_cold",
+            "n_windows": n_windows,
+            "seconds": _best_of(prefix_cold, repeats=3),
+        })
+        rows.append({
+            "backend": "prefix_warm",
+            "n_windows": n_windows,
+            "seconds": _best_of(lambda: warm_client.execute(spec), repeats=3),
+        })
+        rows.append({
+            "backend": "direct",
+            "n_windows": n_windows,
+            "seconds": _best_of(lambda: direct_client.execute(spec), repeats=3),
         })
     return rows
 
@@ -428,6 +510,10 @@ def main() -> int:
     print("scale (aligned query, 30 windows):")
     for entry in payload["scale"]:
         print(f"  {entry['backend']:<12} n={entry['n_stations']:<4} "
+              f"{entry['seconds'] * 1e3:8.2f} ms")
+    print("ns scale (full-range query, prefix vs direct):")
+    for entry in payload["ns_scale"]:
+        print(f"  {entry['backend']:<12} ns={entry['n_windows']:<6} "
               f"{entry['seconds'] * 1e3:8.2f} ms")
     print("service throughput (64 mixed queries, shared provider):")
     for entry in payload["service"]:

@@ -102,6 +102,12 @@ class ParallelPolicy(QueryPolicy):
 class AutoPolicy(QueryPolicy):
     """Fan out only when the selection is large enough to amortize the forks.
 
+    Selections the backend can answer from prefix-aggregate tables
+    (:meth:`~repro.engine.providers.SketchProvider.prefix_range`) always
+    stay serial: the prefix combination is ``O(n_series^2)`` regardless of
+    ``n_windows``, so pre-splitting the window range across processes only
+    adds fork overhead to a query that no longer scales with the range.
+
     Args:
         n_workers: Worker processes used when parallel execution is chosen.
         min_cells: Minimum ``n_series^2 * n_windows`` covariance cells in the
@@ -120,6 +126,8 @@ class AutoPolicy(QueryPolicy):
     def workers(self, spec, selection, provider):
         if not selection.is_aligned:
             return 1
+        if provider.prefix_range(selection) is not None:
+            return 1
         cells = provider.n_series**2 * int(selection.full_windows.size)
         return self.n_workers if cells >= self.min_cells else 1
 
@@ -134,6 +142,10 @@ class MatrixExecution:
         execution: ``"serial"`` or ``"parallel"``.
         n_workers: Workers used.
         seconds: Wall time of the computation.
+        path: ``"prefix"`` (prefix-aggregate combination) or ``"direct"``
+            (streaming Lemma 1 over the selected windows).
+        from_cache: Whether this execution was replayed from the service's
+            result cache rather than computed.
         cache_hits: Provider cache hits during the computation.
         cache_misses: Provider cache misses during the computation.
     """
@@ -143,6 +155,8 @@ class MatrixExecution:
     execution: str
     n_workers: int
     seconds: float
+    path: str = "direct"
+    from_cache: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -285,6 +299,7 @@ class TsubasaClient:
         hits0 = getattr(provider, "cache_hits", 0)
         misses0 = getattr(provider, "cache_misses", 0)
         n_workers = max(int(self._policy.workers(spec, selection, provider)), 1)
+        path = "direct"
         if n_workers > 1 and selection.is_aligned and selection.full_windows.size:
             from repro.parallel.executor import parallel_query
 
@@ -294,12 +309,21 @@ class TsubasaClient:
             matrix = result.as_matrix(provider.names)
             execution = "parallel"
         else:
-            values = query_correlation_matrix(
-                provider,
-                selection,
-                data=self._data,
-                chunk_windows=self._chunk_windows,
-            )
+            # Contiguous aligned ranges go through the backend's prefix
+            # tables when it has them: O(n^2) per query, independent of the
+            # number of selected windows. Everything else streams the direct
+            # Lemma 1 reduction.
+            bounds = provider.prefix_range(selection)
+            if bounds is not None:
+                values = provider.prefix_matrix(*bounds)
+                path = "prefix"
+            else:
+                values = query_correlation_matrix(
+                    provider,
+                    selection,
+                    data=self._data,
+                    chunk_windows=self._chunk_windows,
+                )
             matrix = CorrelationMatrix(names=list(provider.names), values=values)
             execution = "serial"
             n_workers = 1
@@ -309,6 +333,7 @@ class TsubasaClient:
             execution=execution,
             n_workers=n_workers,
             seconds=time.perf_counter() - start,
+            path=path,
             cache_hits=getattr(provider, "cache_hits", 0) - hits0,
             cache_misses=getattr(provider, "cache_misses", 0) - misses0,
         )
@@ -403,8 +428,10 @@ class TsubasaClient:
             backend=lead.backend,
             engine=spec.engine,
             execution=lead.execution,
+            path=lead.path,
             n_workers=lead.n_workers,
             coalesced=coalesced,
+            cache=any(e.from_cache for e in executions),
             cache_hits=sum(e.cache_hits for e in executions),
             cache_misses=sum(e.cache_misses for e in executions),
         )

@@ -10,6 +10,13 @@ one shared sketch provider. Three things make it more than a thread wrapper:
   the duplicates just await the leader's future. Dashboards issuing
   ``network`` + ``top_k`` + ``degree`` over the same window pay for one
   Lemma 1 pass.
+* **Result caching** — with ``result_cache > 0``, *finished* matrices stay
+  in a bounded LRU keyed by the same identity coalescing uses
+  (:meth:`~repro.api.client.TsubasaClient.matrix_key`), so repeat dashboards
+  arriving after the original computation completed are served without
+  recomputation (flagged ``cache=True`` in their provenance). Providers are
+  immutable snapshots, so cached matrices never go stale within a service's
+  lifetime.
 * **Batched store reads** — before a drained batch of queued requests is
   dispatched, the union of every request's basic windows is prefetched
   through the provider's existing LRU in one batched read
@@ -45,8 +52,9 @@ from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.api.client import MatrixExecution, TsubasaClient
 from repro.api.spec import QueryResult, QuerySpec
@@ -88,6 +96,10 @@ class ServiceStats:
         queue_depth: Requests currently waiting for dispatch.
         max_queue_depth: High-water mark of the dispatch queue.
         in_flight: Matrix computations currently running or awaited.
+        result_cache_hits: Matrix demands served from the finished-result
+            LRU (0 when the cache is disabled).
+        result_cache_misses: Matrix demands that missed the result LRU
+            (coalesced and computed demands both count; 0 when disabled).
         backend_latency: Per-backend latency aggregates, keyed by backend
             name.
     """
@@ -101,6 +113,8 @@ class ServiceStats:
     queue_depth: int
     max_queue_depth: int
     in_flight: int
+    result_cache_hits: int = 0
+    result_cache_misses: int = 0
     backend_latency: dict[str, BackendLatency] = field(default_factory=dict)
 
     @property
@@ -108,6 +122,12 @@ class ServiceStats:
         """Fraction of matrix demands served by an in-flight computation."""
         demands = self.matrices_computed + self.coalesced
         return self.coalesced / demands if demands else 0.0
+
+    @property
+    def result_cache_hit_rate(self) -> float:
+        """Fraction of matrix demands served by the result LRU."""
+        demands = self.result_cache_hits + self.result_cache_misses
+        return self.result_cache_hits / demands if demands else 0.0
 
 
 class _Request:
@@ -135,6 +155,10 @@ class TsubasaService:
         prefetch: Batch-read the union of a dispatch round's windows through
             the provider cache before executing (on by default; only
             backends implementing ``prefetch`` do any work).
+        result_cache: Finished matrices kept in a bounded LRU keyed by
+            :meth:`~repro.api.client.TsubasaClient.matrix_key` and replayed
+            to later identical demands. ``0`` (the default) disables the
+            cache. Memory cost is ``O(result_cache * n_series^2)`` floats.
     """
 
     def __init__(
@@ -143,6 +167,7 @@ class TsubasaService:
         max_workers: int = 1,
         max_batch: int = 64,
         prefetch: bool = True,
+        result_cache: int = 0,
     ) -> None:
         if not isinstance(client, TsubasaClient):
             raise DataError(f"expected a TsubasaClient, got {type(client)!r}")
@@ -165,6 +190,8 @@ class TsubasaService:
             )
         if max_batch <= 0:
             raise DataError("max_batch must be positive")
+        if result_cache < 0:
+            raise DataError("result_cache must be >= 0")
         self._client = client
         self._max_workers = max_workers
         self._max_batch = max_batch
@@ -188,6 +215,11 @@ class TsubasaService:
         self._prefetched = 0
         self._max_queue_depth = 0
         self._latency: dict[str, list[float]] = {}
+        # Finished-result LRU (event-loop confined, like the counters).
+        self._result_capacity = result_cache
+        self._results: OrderedDict[tuple, MatrixExecution] = OrderedDict()
+        self._result_hits = 0
+        self._result_misses = 0
 
     @property
     def client(self) -> TsubasaClient:
@@ -313,6 +345,8 @@ class TsubasaService:
                     key = self._client.matrix_key(request.spec, window)
                     if key in self._inflight:
                         continue  # already being computed; cache is warm
+                    if self._result_capacity and key in self._results:
+                        continue  # finished result replayed; no reads at all
                     selection = self._client.selection_for(window)
                 except TsubasaError:
                     continue  # invalid window; _serve_one reports it
@@ -330,14 +364,35 @@ class TsubasaService:
             return  # prefetch is best-effort; queries surface real errors
         self._prefetched += int(fetched)
 
-    def _matrix_task(self, spec: QuerySpec, window) -> tuple[asyncio.Task, bool]:
-        """The (possibly shared) task computing one window's matrix."""
+    def _matrix_task(self, spec: QuerySpec, window) -> tuple[object, bool]:
+        """The (possibly shared) awaitable computing one window's matrix."""
         key = self._client.matrix_key(spec, window)
+        if self._result_capacity:
+            cached = self._results.get(key)
+            if cached is not None:
+                # Replay a finished matrix: no computation, no provider
+                # reads. The execution is re-stamped so the result's
+                # provenance carries cache=True and no stale timings or
+                # provider-cache deltas.
+                self._results.move_to_end(key)
+                self._result_hits += 1
+                future = asyncio.get_running_loop().create_future()
+                future.set_result(
+                    replace(
+                        cached,
+                        from_cache=True,
+                        seconds=0.0,
+                        cache_hits=0,
+                        cache_misses=0,
+                    )
+                )
+                return future, False
+            self._result_misses += 1
         task = self._inflight.get(key)
         if task is not None and not task.done():
             return task, True
         task = asyncio.get_running_loop().create_task(
-            self._compute_matrix(spec, window)
+            self._compute_matrix(spec, window, key)
         )
         self._inflight[key] = task
         task.add_done_callback(
@@ -349,7 +404,9 @@ class TsubasaService:
         )
         return task, False
 
-    async def _compute_matrix(self, spec: QuerySpec, window) -> MatrixExecution:
+    async def _compute_matrix(
+        self, spec: QuerySpec, window, key: tuple
+    ) -> MatrixExecution:
         loop = asyncio.get_running_loop()
         execution = await loop.run_in_executor(
             self._executor, self._client.compute_matrix, spec, window
@@ -358,6 +415,11 @@ class TsubasaService:
         bucket = self._latency.setdefault(execution.backend, [0, 0.0])
         bucket[0] += 1
         bucket[1] += execution.seconds
+        if self._result_capacity:
+            self._results[key] = execution
+            self._results.move_to_end(key)
+            while len(self._results) > self._result_capacity:
+                self._results.popitem(last=False)
         return execution
 
     async def _serve_one(self, request: _Request) -> None:
@@ -410,6 +472,8 @@ class TsubasaService:
             queue_depth=self._queue.qsize() if self._queue is not None else 0,
             max_queue_depth=self._max_queue_depth,
             in_flight=len(self._inflight),
+            result_cache_hits=self._result_hits,
+            result_cache_misses=self._result_misses,
             backend_latency={
                 backend: BackendLatency(count=bucket[0], total_seconds=bucket[1])
                 for backend, bucket in self._latency.items()
@@ -422,6 +486,7 @@ def run_specs(
     specs: list[QuerySpec],
     max_workers: int = 1,
     concurrency: int | None = None,
+    result_cache: int = 0,
 ) -> tuple[list[QueryResult], ServiceStats]:
     """Synchronous convenience: serve ``specs`` through a temporary service.
 
@@ -432,7 +497,9 @@ def run_specs(
     """
 
     async def _run() -> tuple[list[QueryResult], ServiceStats]:
-        async with TsubasaService(client, max_workers=max_workers) as service:
+        async with TsubasaService(
+            client, max_workers=max_workers, result_cache=result_cache
+        ) as service:
             if concurrency is None:
                 results = await asyncio.gather(
                     *(service.submit(spec) for spec in specs)

@@ -307,9 +307,15 @@ class Provenance:
             ``"mmap"``, ``"chunked"``, ...).
         engine: ``"exact"`` or ``"approx"``.
         execution: ``"serial"`` or ``"parallel"``.
+        path: Combination strategy: ``"prefix"`` when the matrix came from
+            prefix-aggregate tables (:mod:`repro.core.prefix`, O(n^2) per
+            query), ``"direct"`` for the streaming Lemma 1 reduction over
+            the selected windows.
         n_workers: Worker processes used (1 for serial execution).
         coalesced: Whether this request shared an in-flight matrix
             computation instead of running its own (service layer).
+        cache: Whether the matrix was served from the service's bounded
+            result cache instead of being computed at all.
         cache_hits: Provider cache hits observed during this query (0 for
             backends without a cache; approximate under concurrent sharing).
         cache_misses: Provider cache misses observed during this query.
@@ -318,8 +324,10 @@ class Provenance:
     backend: str
     engine: str = "exact"
     execution: str = "serial"
+    path: str = "direct"
     n_workers: int = 1
     coalesced: bool = False
+    cache: bool = False
     cache_hits: int = 0
     cache_misses: int = 0
 
@@ -329,8 +337,10 @@ class Provenance:
             "backend": self.backend,
             "engine": self.engine,
             "execution": self.execution,
+            "path": self.path,
             "n_workers": self.n_workers,
             "coalesced": self.coalesced,
+            "cache": self.cache,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
         }

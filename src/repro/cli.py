@@ -6,6 +6,8 @@ Subcommands mirror the system's life cycle::
     tsubasa sketch   --data data.npz --window-size 200 --store sketch.db
     tsubasa sketch   --data data.npz --window-size 200 --store sketch.mm \
                      --store-backend mmap        # zero-copy array layout
+    tsubasa sketch   --data data.npz --window-size 200 --store sketch.mm \
+                     --store-backend mmap --prefix  # + O(n^2)-query tables
     tsubasa sketch   --data data.npz --window-size 200 --store sketch.db \
                      --chunk-rows 512            # memory-bounded build
     tsubasa query    --store sketch.db --end 8759 --length 3000 --theta 0.75
@@ -34,7 +36,10 @@ configuration), and ``mmap`` serves queries zero-copy from a memory-mapped
 store's arrays (:class:`~repro.engine.providers.MmapProvider`) — the answers
 are identical. Passing ``--data`` enables arbitrary (non-aligned) query
 windows by sketching the partial head/tail fragments from raw data at query
-time.
+time. ``--prefix`` wraps any backend in prefix-aggregate tables
+(:mod:`repro.core.prefix`) so contiguous window ranges cost ``O(n^2)``
+regardless of their length; the mmap backend picks up tables persisted with
+``tsubasa sketch --prefix`` automatically.
 
 Query commands are thin shells over the declarative query API
 (:mod:`repro.api`): they build a :class:`~repro.api.spec.QuerySpec` and hand
@@ -74,6 +79,7 @@ from repro.engine.providers import (
     ChunkedBuildProvider,
     InMemoryProvider,
     MmapProvider,
+    PrefixProvider,
     SketchProvider,
     StoreProvider,
 )
@@ -177,6 +183,11 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_sketch(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.data)
+    if args.prefix and args.store_backend != "mmap":
+        raise StorageError(
+            "--prefix requires --store-backend mmap (prefix-aggregate "
+            "tables are persisted as memory-mapped arrays)"
+        )
     start = time.perf_counter()
     with _open_store(args.store, args.store_backend) as store:
         if args.chunk_rows:
@@ -192,25 +203,43 @@ def _cmd_sketch(args: argparse.Namespace) -> int:
             )
             save_sketch(store, sketch)
             n_series, n_windows = sketch.n_series, sketch.n_windows
+        prefix_note = ""
+        if args.prefix:
+            covered = store.build_prefix()
+            prefix_note = f", prefix over {covered} windows"
         elapsed = time.perf_counter() - start
         size = store.size_bytes()
     mode = f"chunked (rows<={args.chunk_rows})" if args.chunk_rows else "in-memory"
     print(f"sketched {n_series} series into {n_windows} "
           f"windows (B={args.window_size}, {mode} build, "
-          f"{args.store_backend} store) in {elapsed:.2f}s; "
+          f"{args.store_backend} store{prefix_note}) in {elapsed:.2f}s; "
           f"store={size / 1e6:.2f} MB")
     return 0
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
+    if args.prefix and args.dst_backend != "mmap":
+        raise StorageError(
+            "--prefix requires --dst-backend mmap (prefix-aggregate tables "
+            "are persisted as memory-mapped arrays)"
+        )
     with _open_store(args.src) as src, \
             _open_store(args.dst, args.dst_backend) as dst:
         start = time.perf_counter()
         count = convert_store(src, dst, batch_size=args.batch_size)
+        # Prefix tables migrate by rebuilding on the destination: cumulative
+        # sums are layout-specific state, not window records. Asked-for
+        # explicitly, or carried over automatically when the source had them.
+        src_prefixed = isinstance(src, MmapStore) and src.prefix_rows >= 2
+        prefix_note = ""
+        if isinstance(dst, MmapStore) and (args.prefix or src_prefixed):
+            covered = dst.build_prefix()
+            prefix_note = f" (+ prefix over {covered} windows)"
         elapsed = time.perf_counter() - start
         size = dst.size_bytes()
     print(f"migrated {count} window records to {args.dst} "
-          f"({args.dst_backend}) in {elapsed:.2f}s; store={size / 1e6:.2f} MB")
+          f"({args.dst_backend}){prefix_note} in {elapsed:.2f}s; "
+          f"store={size / 1e6:.2f} MB")
     return 0
 
 
@@ -228,10 +257,21 @@ def _open_provider(
                 f"{args.store} is a SQLite database (run 'tsubasa convert' "
                 "first, or use --backend store)"
             )
-        return MmapProvider(store, data=data)
-    if args.backend == "store":
-        return StoreProvider(store, cache_windows=args.cache_windows, data=data)
-    return InMemoryProvider(load_sketch(store), data=data)
+        # The mmap backend serves persisted prefix tables on its own;
+        # --prefix additionally covers stores without them (in-memory build).
+        provider: SketchProvider = MmapProvider(store, data=data)
+    elif args.backend == "store":
+        provider = StoreProvider(
+            store, cache_windows=args.cache_windows, data=data
+        )
+    else:
+        provider = InMemoryProvider(load_sketch(store), data=data)
+    if getattr(args, "prefix", False):
+        # The long-lived service may share the provider across executor
+        # threads; an eager build keeps the tables immutable on the query
+        # path. One-shot queries build lazily, only up to the windows asked.
+        provider = PrefixProvider(provider, eager=args.command == "serve")
+    return provider
 
 
 def _open_client(store: SketchStore, args: argparse.Namespace) -> TsubasaClient:
@@ -272,6 +312,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     mode = "" if provenance.execution == "serial" else (
         f", {provenance.execution} x{provenance.n_workers}"
     )
+    if provenance.path != "direct":
+        mode += f", {provenance.path} path"
     print(f"query answered from sketches in "
           f"{result.timings['total'] * 1e3:.1f} ms "
           f"({provenance.backend} backend{mode})")
@@ -358,14 +400,13 @@ def _cmd_info(args: argparse.Namespace) -> int:
         metadata = store.read_metadata()
         count = store.window_count()
         size = store.size_bytes()
-        generation = (
-            f" generation={store.read_generation()}"
-            if isinstance(store, MmapStore)
-            else ""
-        )
+        extras = ""
+        if isinstance(store, MmapStore):
+            extras = f" generation={store.read_generation()}"
+            extras += f" prefix={max(store.prefix_rows - 1, 0)}w"
     print(f"kind={metadata.kind} layout={layout} series={len(metadata.names)} "
           f"B={metadata.window_size} windows={count} "
-          f"size={size / 1e6:.2f} MB{generation}")
+          f"size={size / 1e6:.2f} MB{extras}")
     return 0
 
 
@@ -384,6 +425,7 @@ async def _serve_jsonl(
     max_workers: int,
     max_batch: int,
     max_pending: int = 256,
+    result_cache: int = 0,
 ) -> int:
     """Serve JSON-lines specs from ``stdin`` until EOF (the ``serve`` loop).
 
@@ -437,7 +479,8 @@ async def _serve_jsonl(
                 hangup.set()  # e.g. `tsubasa serve | head`
 
     async with TsubasaService(
-        client, max_workers=max_workers, max_batch=max_batch
+        client, max_workers=max_workers, max_batch=max_batch,
+        result_cache=result_cache,
     ) as service:
         printer = loop.create_task(print_responses())
         n_lines = 0
@@ -475,6 +518,7 @@ async def _serve_jsonl(
             f"served {stats.completed} ok / {stats.failed + n_rejected} "
             f"failed ({n_rejected} malformed, {stats.coalesced} coalesced, "
             f"{stats.matrices_computed} matrices computed, "
+            f"{stats.result_cache_hits} cache hits, "
             f"{stats.prefetched_windows} windows prefetched)",
             file=sys.stderr,
         )
@@ -492,6 +536,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_workers=args.workers,
                 max_batch=args.max_batch,
                 max_pending=args.max_pending,
+                result_cache=args.result_cache,
             )
         )
 
@@ -523,6 +568,10 @@ def build_parser() -> argparse.ArgumentParser:
                     default="sqlite",
                     help="on-disk layout: SQLite database file or zero-copy "
                          "memory-mapped array directory")
+    sk.add_argument("--prefix", action="store_true",
+                    help="also persist prefix-aggregate tables (mmap stores "
+                         "only): contiguous queries then cost O(n^2) "
+                         "regardless of window count")
     sk.set_defaults(func=_cmd_sketch)
 
     cv = sub.add_parser("convert",
@@ -535,6 +584,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="destination layout")
     cv.add_argument("--batch-size", type=int, default=64,
                     help="window records per migration batch")
+    cv.add_argument("--prefix", action="store_true",
+                    help="build prefix-aggregate tables on the destination "
+                         "(mmap only; automatic when the source store "
+                         "already has them)")
     cv.set_defaults(func=_cmd_convert)
 
     def add_backend_args(p: argparse.ArgumentParser) -> None:
@@ -549,6 +602,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--data", default=None,
                        help="raw dataset enabling arbitrary (non-aligned) "
                             "query windows")
+        p.add_argument("--prefix", action="store_true",
+                       help="serve contiguous window ranges from "
+                            "prefix-aggregate tables: O(n^2) per query "
+                            "independent of the range length (the mmap "
+                            "backend uses persisted tables automatically)")
 
     qr = sub.add_parser("query", help="build a network from a sketch store")
     qr.add_argument("--store", required=True)
@@ -623,6 +681,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--max-pending", type=int, default=256,
                     help="responses allowed ahead of the printer before the "
                          "reader pauses stdin (bounds in-flight memory)")
+    sv.add_argument("--result-cache", type=int, default=64,
+                    help="finished matrices kept in a bounded LRU and "
+                         "replayed to repeat queries (0 disables)")
     add_backend_args(sv)
     sv.set_defaults(func=_cmd_serve)
     return parser

@@ -16,6 +16,12 @@ from repro.core.lemma1 import (
     combine_rows,
 )
 from repro.core.lemma2 import SlidingCorrelationState, lemma2_update_pair
+from repro.core.prefix import (
+    PrefixAggregates,
+    build_prefix_aggregates,
+    combine_matrix_prefix,
+    combine_row_prefix,
+)
 from repro.core.matrix import CorrelationMatrix, count_edges, similarity_ratio
 from repro.core.network import ClimateNetwork
 from repro.core.pruning import correlation_bounds, prune_threshold_matrix
@@ -60,6 +66,10 @@ __all__ = [
     "combine_rows",
     "SlidingCorrelationState",
     "lemma2_update_pair",
+    "PrefixAggregates",
+    "build_prefix_aggregates",
+    "combine_matrix_prefix",
+    "combine_row_prefix",
     "CorrelationMatrix",
     "count_edges",
     "similarity_ratio",

@@ -41,6 +41,14 @@ Public kernels:
 * :func:`combine_matrix_streaming` — all pairs with the covariance tensor
   consumed chunk-by-chunk, so a disk-backed query never holds the full
   ``(ns, n, n)`` tensor in memory.
+
+All of these cost ``O(ns)`` in the number of selected windows — they read
+and reduce every selected record. For *contiguous* window ranges (every
+aligned query), :mod:`repro.core.prefix` answers the same combination in
+``O(n^2)`` independent of ``ns`` from precomputed prefix-aggregate tables;
+the kernels here remain the general path (fragments, arbitrary selections,
+row blocks) and the accuracy reference the prefix kernel is fuzz-tested
+against.
 """
 
 from __future__ import annotations

@@ -4,6 +4,7 @@ from repro.engine.providers import (
     ChunkedBuildProvider,
     InMemoryProvider,
     MmapProvider,
+    PrefixProvider,
     SketchProvider,
     StoreProvider,
 )
@@ -14,4 +15,5 @@ __all__ = [
     "StoreProvider",
     "ChunkedBuildProvider",
     "MmapProvider",
+    "PrefixProvider",
 ]

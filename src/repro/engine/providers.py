@@ -30,7 +30,17 @@ Three providers are shipped:
   covariance chunks are *slices of read-only memory-mapped arrays*, with no
   per-record deserialization and no copies for contiguous window ranges
   (the common aligned-query case). Cold queries skip the database entirely
-  and read straight through the OS page cache.
+  and read straight through the OS page cache. Stores carrying persisted
+  ``prefix_*`` tables additionally answer contiguous ranges from two mapped
+  prefix rows (:meth:`SketchProvider.prefix_matrix`), independent of the
+  range length.
+* :class:`PrefixProvider` — a wrapper over *any* of the above: contiguous
+  aligned selections are answered in ``O(n^2)`` from prefix-aggregate
+  tables (:mod:`repro.core.prefix`) — built lazily from one streaming pass
+  over the wrapped backend, or adopted zero-copy from an
+  :class:`~repro.storage.mmap_store.MmapStore`'s persisted tables — while
+  fragmented or non-contiguous selections delegate to the wrapped provider
+  unchanged.
 """
 
 from __future__ import annotations
@@ -58,6 +68,7 @@ __all__ = [
     "StoreProvider",
     "ChunkedBuildProvider",
     "MmapProvider",
+    "PrefixProvider",
 ]
 
 _NO_RAW_MESSAGE = (
@@ -230,6 +241,34 @@ class SketchProvider(abc.ABC):
         """
         self._check_indices(np.asarray(indices, dtype=np.int64))
         return 0
+
+    # -- prefix aggregates ---------------------------------------------------
+
+    def prefix_range(self, selection) -> tuple[int, int] | None:
+        """Window bounds if ``selection`` is answerable from prefix tables.
+
+        Backends holding prefix-aggregate tables (:mod:`repro.core.prefix`)
+        override this to return the half-open basic-window bounds ``(lo,
+        hi)`` of an aligned, contiguous, non-empty selection they can serve
+        in ``O(n^2)`` via :meth:`prefix_matrix`; ``None`` (the default, and
+        for every fragmented/non-contiguous selection) routes the query
+        down the direct streaming path.
+
+        Args:
+            selection: A :class:`~repro.core.segmentation.WindowSelection`.
+        """
+        return None
+
+    def prefix_matrix(self, lo: int, hi: int) -> np.ndarray:
+        """All-pairs correlation over windows ``[lo, hi)`` from prefix tables.
+
+        Only meaningful for bounds previously returned by
+        :meth:`prefix_range`; backends without prefix tables raise.
+        """
+        raise SketchError(
+            f"the {self.backend_name!r} backend holds no prefix-aggregate "
+            "tables"
+        )
 
     def materialize(self, indices: np.ndarray | None = None) -> Sketch:
         """Assemble a full in-memory :class:`Sketch` of the selection.
@@ -616,6 +655,21 @@ def _contiguous_slice(indices: np.ndarray) -> slice | None:
     return None
 
 
+def _prefix_bounds(selection) -> tuple[int, int] | None:
+    """Half-open window bounds of an aligned contiguous selection, else None.
+
+    The shape every prefix-aggregate path requires: no raw head/tail
+    fragments, at least one basic window, and an ascending run of indices.
+    """
+    if not selection.is_aligned:
+        return None
+    indices = np.asarray(selection.full_windows, dtype=np.int64)
+    run = _contiguous_slice(indices)
+    if run is None or run.stop <= run.start:
+        return None
+    return int(run.start), int(run.stop)
+
+
 class MmapProvider(SketchProvider):
     """Zero-copy provider over an :class:`~repro.storage.mmap_store.MmapStore`.
 
@@ -625,12 +679,22 @@ class MmapProvider(SketchProvider):
     copies** — the Lemma 1 kernels consume the mapped pages directly.
     Non-contiguous selections fall back to (vectorized) fancy indexing.
 
+    Stores whose directory carries persisted ``prefix_*`` tables (written by
+    :meth:`~repro.storage.mmap_store.MmapStore.build_prefix`) additionally
+    serve contiguous aligned selections straight from two mapped prefix rows
+    — ``O(n^2)`` per query regardless of how many windows the range spans,
+    and still zero-copy.
+
     Args:
         source: An open :class:`~repro.storage.mmap_store.MmapStore`, or a
             store directory path (opened read-only — the form parallel query
             workers use to re-map a shared store in their own process).
         data: Optional raw ``(n, L)`` matrix enabling arbitrary
             (non-aligned) query windows via head/tail fragments.
+        prefix: Serve contiguous selections from the store's persisted
+            prefix tables when present (default). ``False`` forces every
+            query down the direct streaming path (benchmarks and accuracy
+            cross-checks).
     """
 
     backend_name = "mmap"
@@ -640,6 +704,7 @@ class MmapProvider(SketchProvider):
         self,
         source: "MmapStore | str | Path",
         data: np.ndarray | None = None,
+        prefix: bool = True,
     ) -> None:
         from repro.storage.mmap_store import MmapStore
 
@@ -665,6 +730,7 @@ class MmapProvider(SketchProvider):
         self._stds = stds
         self._pairs = pairs
         self._sizes = sizes
+        self._prefix = store.read_prefix() if prefix else None
         if data is not None:
             data = np.asarray(data, dtype=np.float64)
             expected = (len(metadata.names), int(sizes.sum()))
@@ -700,6 +766,27 @@ class MmapProvider(SketchProvider):
     @property
     def has_raw_data(self) -> bool:
         return self._data is not None
+
+    def persisted_prefix(self):
+        """The store's mapped prefix tables, or ``None`` (wrapper adoption)."""
+        return self._prefix
+
+    def prefix_range(self, selection):
+        if self._prefix is None:
+            return None
+        bounds = _prefix_bounds(selection)
+        if bounds is None or bounds[1] > self._prefix.covered:
+            # Committed prefix rows may trail the store after an append
+            # (until the next build_prefix); such ranges go direct.
+            return None
+        return bounds
+
+    def prefix_matrix(self, lo, hi):
+        if self._prefix is None:
+            return super().prefix_matrix(lo, hi)
+        from repro.core.prefix import combine_matrix_prefix
+
+        return combine_matrix_prefix(self._prefix, lo, hi)
 
     def window_stats(self, indices):
         idx = self._check_indices(indices)
@@ -898,3 +985,185 @@ class ChunkedBuildProvider(SketchProvider):
                 batch = []
         if batch:
             store.write_windows(batch)
+
+
+class PrefixProvider(SketchProvider):
+    """Prefix-aggregate acceleration over any :class:`SketchProvider`.
+
+    Contiguous aligned window selections — every aligned query, and the only
+    shape the direct path pays ``O(ns * n^2)`` for — are answered in
+    ``O(n^2)`` from cumulative Lemma 1 aggregates
+    (:mod:`repro.core.prefix`): two table rows and a subtraction, regardless
+    of how many windows the range spans. Everything else (fragmented
+    windows, genuinely non-contiguous selections, row blocks, raw
+    fragments) delegates to the wrapped provider unchanged, so the wrapper
+    is a drop-in backend for every engine.
+
+    The tables come from one of two places:
+
+    * a wrapped :class:`MmapProvider` whose store carries *persisted*
+      ``prefix_*`` arrays covering the whole store — adopted as read-only
+      zero-copy views (nothing is built in memory);
+    * otherwise an in-memory build: one streaming pass over the wrapped
+      backend (each window record read once), run lazily up to the highest
+      window a query has needed so far — or eagerly at construction with
+      ``eager=True``. In-memory tables cost ``O(ns * n^2)`` floats, the
+      same order as an in-memory sketch.
+
+    Args:
+        base: The wrapped sketch backend.
+        chunk_windows: Window records folded per streaming build step.
+        eager: Build the full tables at construction. Required for
+            multi-threaded service execution over thread-safe bases (a lazy
+            build mutates shared state on the query path).
+    """
+
+    def __init__(
+        self,
+        base: SketchProvider,
+        chunk_windows: int = 256,
+        eager: bool = False,
+    ) -> None:
+        if not isinstance(base, SketchProvider):
+            raise DataError(f"expected a SketchProvider, got {type(base)!r}")
+        if chunk_windows <= 0:
+            raise SketchError("chunk_windows must be positive")
+        self._base = base
+        self._chunk_windows = chunk_windows
+        self._stats: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._aggregates = None
+        persisted = getattr(base, "persisted_prefix", None)
+        if callable(persisted):
+            aggregates = persisted()
+            # Adopt persisted tables only when they cover the whole store;
+            # partially built tables (append since the last build) are
+            # read-only and cannot be extended in place, so fall back to an
+            # in-memory build instead of serving a shrunken range.
+            if aggregates is not None and aggregates.covered >= base.n_windows:
+                self._aggregates = aggregates
+        if eager:
+            self._ensure(self.n_windows)
+
+    def __getattr__(self, name: str):
+        # Backend-specific surface (cache_hits, store, path, ...) passes
+        # through so callers introspect the wrapped provider transparently.
+        # Underscored names stay local: they would recurse before __init__
+        # binds _base, and protocol probes (__getstate__, ...) must see this
+        # object, not the base.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._base, name)
+
+    @property
+    def base(self) -> SketchProvider:
+        """The wrapped sketch backend."""
+        return self._base
+
+    @property
+    def aggregates(self):
+        """The prefix tables built or adopted so far (``None`` before use)."""
+        return self._aggregates
+
+    @property
+    def backend_name(self) -> str:  # type: ignore[override]
+        # Queries through the wrapper still *read* from the base backend;
+        # provenance reports that backend, with path="prefix" marking the
+        # combination strategy.
+        return self._base.backend_name
+
+    @property
+    def thread_safe_reads(self) -> bool:  # type: ignore[override]
+        # A lazy build mutates the tables on the query path; only a fully
+        # built wrapper over a thread-safe base is safe to share.
+        return (
+            self._base.thread_safe_reads
+            and self._aggregates is not None
+            and self._aggregates.covered >= self._base.n_windows
+        )
+
+    @property
+    def names(self) -> list[str]:
+        return self._base.names
+
+    @property
+    def window_size(self) -> int:
+        return self._base.window_size
+
+    @property
+    def sizes(self) -> np.ndarray:
+        return self._base.sizes
+
+    @property
+    def has_raw_data(self) -> bool:
+        return self._base.has_raw_data
+
+    def window_stats(self, indices):
+        return self._base.window_stats(indices)
+
+    def iter_cov_chunks(self, indices, chunk_windows):
+        return self._base.iter_cov_chunks(indices, chunk_windows)
+
+    def iter_window_chunks(self, indices, chunk_windows):
+        return self._base.iter_window_chunks(indices, chunk_windows)
+
+    def covs(self, indices):
+        return self._base.covs(indices)
+
+    def cov_rows(self, indices, rows):
+        return self._base.cov_rows(indices, rows)
+
+    def fragment(self, start, stop):
+        return self._base.fragment(start, stop)
+
+    def prefetch(self, indices):
+        return self._base.prefetch(indices)
+
+    def materialize(self, indices=None):
+        return self._base.materialize(indices)
+
+    def _ensure(self, hi: int):
+        """Tables covering at least window ``hi``, extending lazily."""
+        from repro.core.prefix import PrefixAggregates
+
+        aggregates = self._aggregates
+        if aggregates is None:
+            n_windows = self._base.n_windows
+            indices = np.arange(n_windows, dtype=np.int64)
+            means, stds, sizes = self._base.window_stats(indices)
+            means = np.ascontiguousarray(means, dtype=np.float64)
+            stds = np.ascontiguousarray(stds, dtype=np.float64)
+            sizes = np.asarray(sizes, dtype=np.float64)
+            self._stats = (means, stds, sizes)
+            offsets = means @ sizes / float(sizes.sum())
+            aggregates = PrefixAggregates.allocate(offsets, n_windows)
+            self._aggregates = aggregates
+        while aggregates.covered < hi:
+            start = aggregates.covered
+            stop = min(start + self._chunk_windows, hi)
+            means, stds, sizes = self._stats
+            covs = self._base.covs(np.arange(start, stop, dtype=np.int64))
+            aggregates.extend(
+                means[:, start:stop], stds[:, start:stop], covs,
+                sizes[start:stop],
+            )
+        if aggregates.covered >= self._base.n_windows:
+            # Fully built: the cached O(n * ns) statistics copies exist only
+            # to feed further extensions, so release them.
+            self._stats = None
+        return aggregates
+
+    def prefix_range(self, selection):
+        bounds = _prefix_bounds(selection)
+        if bounds is None or bounds[1] > self.n_windows:
+            return None
+        return bounds
+
+    def prefix_matrix(self, lo, hi):
+        from repro.core.prefix import combine_matrix_prefix
+
+        if not 0 <= lo < hi <= self.n_windows:
+            raise SketchError(
+                f"prefix range [{lo}, {hi}) outside the sketched windows "
+                f"[0, {self.n_windows})"
+            )
+        return combine_matrix_prefix(self._ensure(hi), lo, hi)

@@ -502,9 +502,19 @@ def parallel_query(
                 n_series = len(store.read_metadata().names)
         spec = {"mode": "sqlite", "path": str(store_path)}
     else:
-        from repro.engine.providers import MmapProvider, StoreProvider
+        from repro.engine.providers import (
+            MmapProvider,
+            PrefixProvider,
+            StoreProvider,
+        )
         from repro.storage.mmap_store import MmapStore
 
+        if isinstance(provider, PrefixProvider):
+            # Workers compute row blocks from window records; the wrapper's
+            # prefix tables are irrelevant to them, and unwrapping restores
+            # the wrapped backend's path handoff (mmap re-map / own SQLite
+            # connections) instead of the generic shared-memory ship.
+            provider = provider.base
         n_series = provider.n_series
         if isinstance(provider, MmapProvider):
             spec = {"mode": "mmap", "path": provider.path}

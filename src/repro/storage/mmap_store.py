@@ -47,6 +47,18 @@ _ARRAY_FILES = {
     "pairs": "pairs.f64",
     "sizes": "sizes.i64",
 }
+#: Optional prefix-aggregate tables (see :mod:`repro.core.prefix`): row ``k``
+#: holds cumulative offset-centered Lemma 1 moments over windows ``[0, k)``,
+#: so a contiguous range query is two row reads and a subtraction. ``rows``
+#: in the sidecar's ``prefix`` entry counts the committed rows; everything
+#: past it is stale or unwritten.
+_PREFIX_FILES = {
+    "prefix_offsets": "prefix_offsets.f64",
+    "prefix_count": "prefix_count.f64",
+    "prefix_first": "prefix_first.f64",
+    "prefix_second": "prefix_second.f64",
+    "prefix_cross": "prefix_cross.f64",
+}
 
 
 def is_mmap_store(path: str | Path) -> bool:
@@ -99,8 +111,12 @@ class MmapStore(SketchStore):
         self._files = {
             name: self._dir / filename for name, filename in _ARRAY_FILES.items()
         }
+        self._prefix_files = {
+            name: self._dir / filename for name, filename in _PREFIX_FILES.items()
+        }
         self._n: int | None = None
         self._generation = 0
+        self._prefix_rows = 0
         self._collection: StoreMetadata | None = None
         self._read_maps: dict[str, np.ndarray] | None = None
         self._write_maps: dict[str, np.ndarray] | None = None
@@ -137,6 +153,9 @@ class MmapStore(SketchStore):
         self._n = int(payload["n_series"]) if payload.get("n_series") else None
         # Stores written before the generation counter existed read as 0.
         self._generation = int(payload.get("generation", 0))
+        # Stores without prefix tables (or written before they existed) read
+        # as 0 committed prefix rows.
+        self._prefix_rows = int((payload.get("prefix") or {}).get("rows", 0))
         collection = payload.get("collection")
         if collection is not None:
             self._collection = StoreMetadata(
@@ -159,6 +178,7 @@ class MmapStore(SketchStore):
             "version": _FORMAT_VERSION,
             "n_series": self._n,
             "generation": self._generation,
+            "prefix": {"rows": self._prefix_rows},
             "collection": collection,
         }
         # Atomic replace behind an fsync barrier: a reader (or a crash
@@ -204,6 +224,7 @@ class MmapStore(SketchStore):
         mine_n = self._n
         mine_collection = self._collection
         mine_generation = self._generation
+        mine_prefix_rows = self._prefix_rows
         try:
             self._load_meta()
         except StorageError:
@@ -212,6 +233,7 @@ class MmapStore(SketchStore):
             self._n = mine_n
             self._collection = mine_collection
             self._generation = mine_generation
+            self._prefix_rows = mine_prefix_rows
             return
         self._generation = max(self._generation, mine_generation)
         if mine_collection is not None:
@@ -224,7 +246,7 @@ class MmapStore(SketchStore):
                 )
             self._n = mine_n
 
-    def _begin_commit(self) -> None:
+    def _begin_commit(self, prefix_rows_cap: int | None = None) -> None:
         """Open the seqlock: advance the generation to the next odd value.
 
         Published (fsync'ed) *before* any record byte is written, so a
@@ -236,8 +258,18 @@ class MmapStore(SketchStore):
         failed or crashed between begin and finish (leaving an odd value at
         rest — correctly flagging possibly-torn data), the next commit
         still opens odd and closes even instead of inverting the protocol.
+
+        Args:
+            prefix_rows_cap: When the commit is about to (over)write window
+                records at indices ``>= prefix_rows_cap - 1``, prefix rows
+                past the cap describe sums over records that are changing —
+                truncate them *in the opening sidecar write*, so even a
+                crash mid-batch never leaves stale prefix rows published
+                over rewritten records.
         """
         self._sync_meta()
+        if prefix_rows_cap is not None and self._prefix_rows > prefix_rows_cap:
+            self._prefix_rows = prefix_rows_cap
         self._generation += 1 + (self._generation % 2)
         self._save_meta()
 
@@ -406,6 +438,195 @@ class MmapStore(SketchStore):
         maps = self._readable()
         return maps["means"], maps["stds"], maps["pairs"], maps["sizes"]
 
+    # -- prefix-aggregate tables ---------------------------------------------
+
+    @property
+    def prefix_rows(self) -> int:
+        """Committed prefix-table rows (0 = no prefix tables).
+
+        ``rows`` valid rows cover basic windows ``[0, rows - 1)``; a store
+        needs ``rows >= 2`` before any range can be answered from the
+        tables.
+        """
+        return self._prefix_rows
+
+    def _prefix_shapes(self, capacity: int) -> dict[str, tuple[int, ...]]:
+        assert self._n is not None
+        n = self._n
+        return {
+            "prefix_offsets": (n,),
+            "prefix_count": (capacity + 1,),
+            "prefix_first": (capacity + 1, n),
+            "prefix_second": (capacity + 1, n),
+            "prefix_cross": (capacity + 1, n, n),
+        }
+
+    def build_prefix(self, chunk_windows: int = 256) -> int:
+        """Build — or incrementally extend — the persisted prefix tables.
+
+        Streams the committed window records (the contiguous run from
+        window 0) into cumulative offset-centered Lemma 1 aggregates
+        (:mod:`repro.core.prefix`), picking up from the last committed
+        prefix row, so re-running after an append only processes the new
+        windows. The whole write runs behind the store's fsync/generation
+        barrier like any record batch. The per-series centering offsets are
+        fixed by the first build and reused by every extension.
+
+        Args:
+            chunk_windows: Window records folded per streaming step.
+
+        Returns:
+            The number of basic windows the tables now cover.
+        """
+        from repro.core.prefix import PrefixAggregates
+
+        self._require_writable()
+        if chunk_windows <= 0:
+            raise StorageError("chunk_windows must be positive")
+        capacity = self._capacity()
+        if capacity == 0 or self._n is None:
+            raise StorageError(f"mmap store {self._dir} holds no window records")
+        maps = self._readable()
+        sizes = maps["sizes"]
+        # The tables cover the contiguous committed run from window 0 —
+        # a hole (sizes == 0) ends what any prefix row may aggregate.
+        holes = np.nonzero(np.asarray(sizes) == 0)[0]
+        committed = int(holes[0]) if holes.size else int(sizes.size)
+        if committed == 0:
+            raise StorageError(
+                f"mmap store {self._dir} holds no committed window records"
+            )
+        self._sync_meta()
+        if self._prefix_rows >= committed + 1:
+            return committed  # already covers every committed window
+        self._begin_commit()
+        shapes = self._prefix_shapes(capacity)
+        for name, file_path in self._prefix_files.items():
+            # ftruncate grows zero-filled, preserving committed rows; the
+            # fsync makes the new length durable before rows are written.
+            fd = os.open(file_path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                os.ftruncate(fd, 8 * int(np.prod(shapes[name], dtype=np.int64)))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        self._fsync_dir()
+        tables = {
+            name: np.memmap(
+                file_path, dtype="<f8", mode="r+", shape=shapes[name]
+            )
+            for name, file_path in self._prefix_files.items()
+        }
+        rows = self._prefix_rows
+        if rows == 0:
+            # First build fixes the centering offsets: the weighted grand
+            # mean of the committed windows (exact for any choice; this one
+            # minimizes cancellation for stationary series). Row 0 is the
+            # zero row — already zero pages from the truncate.
+            weights = np.asarray(sizes[:committed], dtype=np.float64)
+            tables["prefix_offsets"][:] = (
+                np.asarray(maps["means"][:committed]).T @ weights
+            ) / float(weights.sum())
+            rows = 1
+        aggregates = PrefixAggregates(
+            offsets=np.asarray(tables["prefix_offsets"]),
+            count=tables["prefix_count"],
+            first=tables["prefix_first"],
+            second=tables["prefix_second"],
+            cross=tables["prefix_cross"],
+            rows=rows,
+        )
+        for start in range(rows - 1, committed, chunk_windows):
+            stop = min(start + chunk_windows, committed)
+            aggregates.extend(
+                np.asarray(maps["means"][start:stop]).T,
+                np.asarray(maps["stds"][start:stop]).T,
+                np.asarray(maps["pairs"][start:stop]),
+                np.asarray(sizes[start:stop], dtype=np.float64),
+            )
+        tables["prefix_offsets"].flush()
+        for name in (
+            "prefix_count", "prefix_first", "prefix_second", "prefix_cross"
+        ):
+            self._flush_records(tables[name], max(rows - 1, 0), aggregates.rows)
+        del aggregates, tables
+        self._prefix_rows = committed + 1
+        self._finish_commit()
+        return committed
+
+    def read_prefix(self):
+        """The committed prefix tables as read-only zero-copy views.
+
+        Returns:
+            A :class:`~repro.core.prefix.PrefixAggregates` whose arrays are
+            read-only mappings of the ``prefix_*`` files (a range query
+            touches only the pages of the two rows it reads), or ``None``
+            when the store has no usable prefix tables (``prefix_rows <
+            2``).
+
+        Raises:
+            StorageError: When the sidecar advertises prefix rows but the
+                table files are missing or shorter than the committed rows.
+        """
+        from repro.core.prefix import PrefixAggregates
+
+        rows = self._prefix_rows
+        if rows < 2 or self._n is None:
+            return None
+        n = self._n
+        flats: dict[str, np.ndarray] = {}
+        for name, file_path in self._prefix_files.items():
+            try:
+                size = file_path.stat().st_size
+            except OSError:
+                size = 0
+            if size <= 0 or size % 8:
+                raise StorageError(
+                    f"prefix table {file_path} is missing or truncated "
+                    f"({rows} rows are committed)"
+                )
+            fd = os.open(file_path, os.O_RDONLY)
+            try:
+                buf = mmap.mmap(fd, size, access=mmap.ACCESS_READ)
+            finally:
+                os.close(fd)
+            flats[name] = np.frombuffer(buf, dtype="<f8")
+        offsets = flats["prefix_offsets"]
+        first = flats["prefix_first"]
+        second = flats["prefix_second"]
+        cross = flats["prefix_cross"]
+        if (
+            offsets.size != n
+            or first.size % n
+            or second.size % n
+            or cross.size % (n * n)
+        ):
+            raise StorageError(
+                f"prefix tables in {self._dir} do not match {n} series"
+            )
+        aggregates_rows = min(
+            flats["prefix_count"].size,
+            first.size // n,
+            second.size // n,
+            cross.size // (n * n),
+        )
+        if aggregates_rows < rows:
+            raise StorageError(
+                f"prefix tables in {self._dir} hold {aggregates_rows} rows, "
+                f"but {rows} are committed"
+            )
+        # Trim every table to the shortest file's row count so the
+        # dataclass's shape validation holds even when a capacity-growing
+        # append resized some files before a rebuild.
+        return PrefixAggregates(
+            offsets=offsets,
+            count=flats["prefix_count"][:aggregates_rows],
+            first=first.reshape(-1, n)[:aggregates_rows],
+            second=second.reshape(-1, n)[:aggregates_rows],
+            cross=cross.reshape(-1, n, n)[:aggregates_rows],
+            rows=rows,
+        )
+
     def _ensure_capacity(self, needed: int) -> None:
         capacity = self._capacity()
         if needed <= capacity:
@@ -473,11 +694,17 @@ class MmapStore(SketchStore):
                     f"window record {record.index} has non-positive size "
                     f"{record.size}"
                 )
-        self._begin_commit()
-        self._ensure_capacity(max(record.index for record in records) + 1)
-        maps = self._writable()
         lo = min(record.index for record in records)
         hi = max(record.index for record in records) + 1
+        # Prefix rows past lo+1 aggregate records this batch is rewriting;
+        # truncating them inside the opening commit keeps readers from ever
+        # combining stale cumulative sums with the new records (regression:
+        # append/overwrite after prefix materialization). Pure appends land
+        # at lo >= old count, so committed rows (<= count + 1) survive and
+        # build_prefix() later extends from the last committed row.
+        self._begin_commit(prefix_rows_cap=lo + 1)
+        self._ensure_capacity(hi)
+        maps = self._writable()
         for record in records:
             j = record.index
             maps["means"][j] = record.means
@@ -547,7 +774,9 @@ class MmapStore(SketchStore):
 
     def size_bytes(self) -> int:
         total = 0
-        for file_path in (self._meta_path, *self._files.values()):
+        for file_path in (
+            self._meta_path, *self._files.values(), *self._prefix_files.values()
+        ):
             if file_path.exists():
                 total += file_path.stat().st_size
         return total

@@ -294,3 +294,138 @@ class TestErrorsAndLifecycle:
         assert stats.completed == 16
         assert stats.queue_depth == 0
         assert stats.in_flight == 0
+
+
+class TestResultCache:
+    """The bounded LRU of finished matrices (result_cache > 0)."""
+
+    def submit_sequentially(self, service, specs):
+        async def drive():
+            results = []
+            for spec in specs:
+                results.append(await service.submit(spec))
+            return results
+
+        return drive()
+
+    def test_repeat_specs_served_from_cache(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        spec = QuerySpec(op="matrix", window=WindowSpec(end=599, length=200))
+
+        async def drive():
+            async with TsubasaService(client, result_cache=8) as service:
+                first = await service.submit(spec)
+                second = await service.submit(spec)
+                third = await service.submit(spec)
+                return first, second, third, service.stats()
+
+        first, second, third, stats = asyncio.run(drive())
+        assert not first.provenance.cache
+        assert second.provenance.cache and third.provenance.cache
+        np.testing.assert_array_equal(first.value.values, second.value.values)
+        np.testing.assert_array_equal(first.value.values, third.value.values)
+        assert stats.matrices_computed == 1
+        assert stats.result_cache_hits == 2
+        assert stats.result_cache_misses == 1
+        assert stats.result_cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_cache_shared_across_ops_via_matrix_key(self, sketch):
+        """Different ops over the same window reuse one cached matrix."""
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        window = WindowSpec(end=599, length=200)
+        specs = [
+            QuerySpec(op="matrix", window=window),
+            QuerySpec(op="network", window=window, theta=0.4),
+            QuerySpec(op="top_k", window=window, k=3),
+        ]
+
+        async def drive():
+            async with TsubasaService(client, result_cache=8) as service:
+                results = await self.submit_sequentially(service, specs)
+                return results, service.stats()
+
+        results, stats = asyncio.run(drive())
+        assert stats.matrices_computed == 1
+        assert stats.result_cache_hits == 2
+        assert [r.provenance.cache for r in results] == [False, True, True]
+
+    def test_disabled_cache_recomputes(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        spec = QuerySpec(op="matrix", window=WindowSpec(end=599, length=200))
+
+        async def drive():
+            async with TsubasaService(client) as service:  # default: off
+                await service.submit(spec)
+                result = await service.submit(spec)
+                return result, service.stats()
+
+        result, stats = asyncio.run(drive())
+        assert not result.provenance.cache
+        assert stats.matrices_computed == 2
+        assert stats.result_cache_hits == 0
+        assert stats.result_cache_misses == 0
+
+    def test_lru_bound_evicts_oldest(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        windows = [
+            WindowSpec(first_window=i, n_windows=2) for i in range(4)
+        ]
+        specs = [QuerySpec(op="matrix", window=w) for w in windows]
+
+        async def drive():
+            async with TsubasaService(client, result_cache=2) as service:
+                for spec in specs:  # fill: 0, 1 evicted by 2, 3
+                    await service.submit(spec)
+                evicted = await service.submit(specs[0])
+                kept = await service.submit(specs[3])
+                return evicted, kept, service.stats()
+
+        evicted, kept, stats = asyncio.run(drive())
+        assert not evicted.provenance.cache  # recomputed after eviction
+        assert kept.provenance.cache
+        assert stats.matrices_computed == 5
+
+    def test_cached_results_match_fresh_store_queries(self, sketch, tmp_path):
+        store = SqliteSketchStore(tmp_path / "cache.db")
+        save_sketch(store, sketch)
+        client = TsubasaClient(provider=StoreProvider(store, cache_windows=64))
+        specs = overlapping_specs(24)
+
+        async def drive():
+            async with TsubasaService(client, result_cache=16) as service:
+                results = await self.submit_sequentially(service, specs)
+                return results, service.stats()
+
+        results, stats = asyncio.run(drive())
+        assert stats.result_cache_hits > 0
+        serial = TsubasaClient(
+            provider=StoreProvider(SqliteSketchStore(tmp_path / "cache.db"))
+        )
+        assert_identical_to_serial(results, serial, specs)
+
+    def test_cached_execution_reports_no_provider_reads(self, sketch, tmp_path):
+        store = SqliteSketchStore(tmp_path / "cache2.db")
+        save_sketch(store, sketch)
+        provider = StoreProvider(store, cache_windows=0)  # no record LRU
+        client = TsubasaClient(provider=provider)
+        spec = QuerySpec(op="matrix", window=WindowSpec(end=599, length=400))
+
+        async def drive():
+            async with TsubasaService(client, result_cache=4) as service:
+                await service.submit(spec)
+                reads_after_first = provider.windows_read
+                result = await service.submit(spec)
+                return result, reads_after_first, provider.windows_read
+
+        result, before, after = asyncio.run(drive())
+        assert result.provenance.cache
+        assert after == before  # replay touched no window records
+        assert result.provenance.cache_hits == 0
+        assert result.provenance.cache_misses == 0
+
+    def test_rejects_negative_capacity(self, sketch):
+        client = TsubasaClient(provider=InMemoryProvider(sketch))
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            TsubasaService(client, result_cache=-1)
