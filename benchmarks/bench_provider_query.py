@@ -31,7 +31,11 @@ Beyond the per-query rows, three system-level axes are recorded:
   (``benchmarks/check_prefix_gate.py``);
 * ``service`` — :class:`~repro.api.service.TsubasaService` throughput
   (queries/sec) over one shared provider at client concurrency 1/8/32, with
-  the measured coalesce rate.
+  the measured coalesce rate. ``service_http`` / ``service_ws`` rows run the
+  same workload through a real :class:`~repro.api.server.TsubasaServer`
+  socket via :class:`~repro.api.remote.TsubasaRemoteClient` threads, so the
+  wire protocol's overhead over the in-process service is measured rather
+  than assumed.
 
 Run as a script to emit ``BENCH_provider.json`` at the repository root, so
 the provider-layer performance trajectory accumulates across revisions::
@@ -473,6 +477,55 @@ def run_service(store_dir: Path) -> list[dict]:
                 "prefetched_windows": stats.prefetched_windows,
                 "service_workers": max_workers,
             })
+    rows.extend(run_service_remote(mmap_path, specs))
+    return rows
+
+
+def run_service_remote(mmap_path: Path, specs: list[QuerySpec]) -> list[dict]:
+    """The same workload over a real socket: HTTP and WebSocket transports.
+
+    One :class:`TsubasaServer` per transport row (mmap backend, 4 executor
+    threads); ``concurrency`` remote clients on their own connections split
+    the workload, so the row is comparable to the in-process ``service_mmap``
+    row at the same concurrency — the delta is the wire protocol.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api.remote import TsubasaRemoteClient
+    from repro.api.server import serve_in_thread
+
+    rows: list[dict] = []
+    for transport in ("http", "ws"):
+        client = TsubasaClient(provider=MmapProvider(mmap_path))
+        handle = serve_in_thread(
+            client, service_kwargs={"max_workers": 4}
+        )
+        try:
+            for concurrency in SERVICE_CONCURRENCY:
+                shares = [specs[i::concurrency] for i in range(concurrency)]
+
+                def worker(share: list[QuerySpec]) -> int:
+                    if not share:
+                        return 0
+                    with TsubasaRemoteClient(
+                        handle.address, transport=transport
+                    ) as remote:
+                        return len(remote.execute_many(share))
+                start = time.perf_counter()
+                with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                    answered = sum(pool.map(worker, shares))
+                elapsed = time.perf_counter() - start
+                assert answered == len(specs)
+                rows.append({
+                    "backend": f"service_{transport}",
+                    "concurrency": concurrency,
+                    "queries": len(specs),
+                    "seconds": elapsed,
+                    "qps": len(specs) / elapsed,
+                    "service_workers": 4,
+                })
+        finally:
+            handle.stop()
     return rows
 
 
@@ -517,9 +570,10 @@ def main() -> int:
               f"{entry['seconds'] * 1e3:8.2f} ms")
     print("service throughput (64 mixed queries, shared provider):")
     for entry in payload["service"]:
+        coalesce = entry.get("coalesce_rate")
+        note = f"coalesce={coalesce:.2f}" if coalesce is not None else "remote"
         print(f"  {entry['backend']:<14} c={entry['concurrency']:<3} "
-              f"{entry['qps']:8.1f} q/s  "
-              f"coalesce={entry['coalesce_rate']:.2f}")
+              f"{entry['qps']:8.1f} q/s  {note}")
     return 0
 
 

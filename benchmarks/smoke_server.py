@@ -1,0 +1,109 @@
+"""CI smoke test for the network server: serve, query remotely, drain.
+
+Exercises the full deployment path as separate processes, the way an
+operator runs it:
+
+1. ``tsubasa generate`` + ``tsubasa sketch --store-backend mmap``
+2. ``tsubasa serve --http 127.0.0.1:0`` as a child process (ephemeral port
+   announced on stderr)
+3. a :class:`~repro.api.remote.TsubasaRemoteClient` batch over HTTP and a
+   pipelined batch over WebSockets, checked bit-identical to in-process
+   execution
+4. SIGTERM → the server drains gracefully and exits 0
+
+Exits non-zero on any mismatch, so CI can gate on it::
+
+    PYTHONPATH=src python benchmarks/smoke_server.py
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.client import TsubasaClient
+from repro.api.remote import TsubasaRemoteClient
+from repro.api.spec import QuerySpec, WindowSpec
+from repro.engine.providers import MmapProvider
+from repro.storage.mmap_store import MmapStore
+
+CLI = [sys.executable, "-m", "repro.cli"]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        data = Path(tmp) / "data.npz"
+        store = Path(tmp) / "sketch.mm"
+        subprocess.run(
+            [*CLI, "generate", "--stations", "20", "--points", "1000",
+             "--seed", "1", "--out", str(data)],
+            check=True,
+        )
+        subprocess.run(
+            [*CLI, "sketch", "--data", str(data), "--window-size", "50",
+             "--store", str(store), "--store-backend", "mmap"],
+            check=True,
+        )
+        window = WindowSpec(end=999, length=600)
+        specs = [
+            QuerySpec(op="network", window=window, theta=0.5),
+            QuerySpec(op="top_k", window=window, k=5),
+            QuerySpec(op="matrix", window=window),
+            QuerySpec(op="degree", window=window, theta=0.5),
+        ]
+        local = TsubasaClient(
+            provider=MmapProvider(MmapStore(store, mode="r"))
+        ).execute_many(specs)
+
+        server = subprocess.Popen(
+            [*CLI, "serve", "--store", str(store), "--backend", "mmap",
+             "--http", "127.0.0.1:0"],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = server.stderr.readline()
+            if "serving on http://" not in banner:
+                print(f"unexpected banner: {banner!r}", file=sys.stderr)
+                return 1
+            address = banner.split("http://", 1)[1].split()[0]
+            print(f"server up at {address}")
+            for transport in ("http", "ws"):
+                with TsubasaRemoteClient(address, transport=transport) as rc:
+                    assert rc.health()["ok"] is True
+                    remote = rc.execute_many(specs)
+                for got, want in zip(remote, local):
+                    if got.spec.op == "matrix":
+                        assert np.array_equal(
+                            got.value.values, want.value.values
+                        ), "matrix mismatch"
+                    elif got.spec.op == "network":
+                        assert got.value.edge_set() == want.value.edge_set()
+                    else:
+                        assert got.value == want.value, got.spec.op
+                print(f"{transport}: {len(remote)} results bit-identical")
+            server.send_signal(signal.SIGTERM)
+            _, stderr = server.communicate(timeout=30)
+            if server.returncode != 0:
+                print(f"server exited {server.returncode}:\n{stderr}",
+                      file=sys.stderr)
+                return 1
+            if "served 8 ok / 0 failed" not in stderr:
+                print(f"unexpected drain summary:\n{stderr}", file=sys.stderr)
+                return 1
+            print("clean shutdown:", stderr.strip().splitlines()[-1])
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.communicate()
+    print("server smoke test passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,8 +38,11 @@ from repro.api import (
     QueryResult,
     QuerySpec,
     TsubasaClient,
+    TsubasaRemoteClient,
+    TsubasaServer,
     TsubasaService,
     WindowSpec,
+    serve_in_thread,
 )
 from repro.approx import (
     ApproxSketch,
@@ -91,6 +94,9 @@ __all__ = [
     "TsubasaApproximate",
     "TsubasaClient",
     "TsubasaService",
+    "TsubasaServer",
+    "TsubasaRemoteClient",
+    "serve_in_thread",
     "QuerySpec",
     "WindowSpec",
     "QueryResult",

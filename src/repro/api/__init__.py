@@ -15,10 +15,20 @@ This package is the public *request surface* of the TSUBASA reproduction:
   long-lived :mod:`asyncio` service multiplexing many concurrent specs over
   one shared provider with in-flight coalescing, batched store reads, and
   :meth:`~repro.api.service.TsubasaService.stats`.
+* :mod:`repro.api.protocol` — the versioned wire protocol (framed
+  :class:`~repro.api.protocol.Request` / :class:`~repro.api.protocol.Response`
+  / :class:`~repro.api.protocol.ErrorEnvelope` /
+  :class:`~repro.api.protocol.StreamEvent` envelopes, ``protocol=1``) every
+  network transport speaks.
+* :mod:`repro.api.server` — :class:`~repro.api.server.TsubasaServer`, the
+  stdlib asyncio HTTP/1.1 + WebSocket frontend over one service, with
+  per-client backpressure and graceful drain.
+* :mod:`repro.api.remote` — :class:`~repro.api.remote.TsubasaRemoteClient`,
+  the drop-in remote mirror of the client's execute/execute_many surface,
+  plus streaming ``subscribe`` consumption.
 
-Every future scaling frontier (HTTP frontend, sharding, PostgreSQL backend)
-plugs in at this layer — clients speak :class:`~repro.api.spec.QuerySpec`,
-never engine internals.
+Clients speak :class:`~repro.api.spec.QuerySpec`, never engine internals —
+in-process and over the network alike.
 """
 
 from repro.api.client import (
@@ -29,6 +39,18 @@ from repro.api.client import (
     SerialPolicy,
     TsubasaClient,
 )
+from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    ErrorEnvelope,
+    Request,
+    Response,
+    StreamEvent,
+    parse_frame,
+    parse_request,
+    value_from_payload,
+)
+from repro.api.remote import TsubasaRemoteClient
+from repro.api.server import ServerHandle, TsubasaServer, serve_in_thread
 from repro.api.service import (
     BackendLatency,
     ServiceStats,
@@ -59,4 +81,16 @@ __all__ = [
     "ServiceStats",
     "BackendLatency",
     "run_specs",
+    "PROTOCOL_VERSION",
+    "Request",
+    "Response",
+    "ErrorEnvelope",
+    "StreamEvent",
+    "parse_request",
+    "parse_frame",
+    "value_from_payload",
+    "TsubasaServer",
+    "ServerHandle",
+    "serve_in_thread",
+    "TsubasaRemoteClient",
 ]

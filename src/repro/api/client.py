@@ -39,7 +39,7 @@ from repro.core.queries import (
 )
 from repro.core.segmentation import BasicWindowPlan, WindowSelection
 from repro.engine.providers import SketchProvider
-from repro.exceptions import DataError, SketchError
+from repro.exceptions import DataError, ServiceError, SketchError
 
 if TYPE_CHECKING:
     from repro.approx.sketch import ApproxSketch
@@ -472,6 +472,12 @@ class TsubasaClient:
     ) -> QueryResult:
         if not isinstance(spec, QuerySpec):
             raise DataError(f"expected a QuerySpec, got {type(spec)!r}")
+        if spec.op == "subscribe":
+            raise ServiceError(
+                "subscribe is a streaming operation with no single result; "
+                "consume it over a push transport (the WebSocket server's "
+                "/v1/ws endpoint or a repro.streams.hub.SnapshotHub)"
+            )
         start = time.perf_counter()
         coalesced = False
         matrix_seconds = 0.0

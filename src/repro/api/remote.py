@@ -1,0 +1,467 @@
+"""Engines-as-a-service: the remote TSUBASA query client.
+
+:class:`TsubasaRemoteClient` mirrors the
+:class:`~repro.api.client.TsubasaClient` execute/execute_many surface over
+the network, so swapping an in-process backend for a
+:class:`~repro.api.server.TsubasaServer` deployment is a one-line change::
+
+    client = TsubasaClient(provider=MmapProvider("sketch.mm"))   # in-process
+    client = TsubasaRemoteClient("127.0.0.1:8787")               # remote
+
+Both return :class:`~repro.api.spec.QueryResult` envelopes whose values are
+the same Python types (:func:`~repro.api.protocol.value_from_payload`
+rebuilds them from the wire payload — numerically bit-identical, since JSON
+floats round-trip through shortest ``repr``), and both raise the same
+:class:`~repro.exceptions.TsubasaError` subclasses on failure (error
+envelopes carry the exception type and are re-raised by name).
+
+Two transports share the protocol:
+
+* ``transport="http"`` — ``POST /v1/query`` per execute and ``POST
+  /v1/batch`` per execute_many over one keep-alive HTTP/1.1 connection.
+* ``transport="ws"`` — one WebSocket connection; ``execute_many`` pipelines
+  every request at once and matches the out-of-order completions by frame
+  id (the protocol's point: slow queries don't convoy fast ones).
+
+:meth:`TsubasaRemoteClient.subscribe` consumes a ``subscribe`` op as an
+iterator of :class:`~repro.api.protocol.StreamEvent` pushes on a dedicated
+WebSocket connection (regardless of the configured transport).
+
+Everything is standard library: ``http.client`` and a minimal RFC 6455
+client over ``socket``.
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+from collections.abc import Iterator
+from dataclasses import fields
+from typing import Any
+
+from repro.api.protocol import (
+    ErrorEnvelope,
+    Request,
+    Response,
+    StreamEvent,
+    parse_frame,
+    value_from_payload,
+)
+from repro.api.server import _apply_mask, encode_ws_frame, ws_accept_value
+from repro.api.spec import Provenance, QueryResult, QuerySpec, WindowSpec
+from repro.exceptions import DataError, ServiceError
+
+__all__ = ["TsubasaRemoteClient"]
+
+_OP_TEXT, _OP_CLOSE, _OP_PING, _OP_PONG = 0x1, 0x8, 0x9, 0xA
+
+
+def _parse_address(address: str) -> tuple[str, int]:
+    """``host:port`` (with or without an http/ws scheme) → ``(host, port)``."""
+    target = address
+    for scheme in ("http://", "ws://", "https://", "wss://"):
+        if target.startswith(scheme):
+            if scheme in ("https://", "wss://"):
+                raise ServiceError(
+                    "TLS transports are not supported; terminate TLS in a "
+                    "proxy and point the client at the plain listener"
+                )
+            target = target[len(scheme):]
+            break
+    target = target.rstrip("/")
+    host, sep, port = target.rpartition(":")
+    if not sep or not port.isdigit():
+        raise DataError(
+            f"address must look like 'host:port', got {address!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+class _WsClientConnection:
+    """A minimal blocking RFC 6455 client connection (text frames)."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        handshake = (
+            f"GET /v1/ws HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n"
+            "\r\n"
+        )
+        self._sock.sendall(handshake.encode("latin-1"))
+        head = self._read_until(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            raise ServiceError(
+                f"WebSocket handshake rejected: {status_line!r}"
+            )
+        accept = None
+        for line in head.split(b"\r\n")[1:]:
+            name, sep, value = line.decode("latin-1").partition(":")
+            if sep and name.strip().lower() == "sec-websocket-accept":
+                accept = value.strip()
+        if accept != ws_accept_value(key):
+            raise ServiceError("WebSocket handshake returned a bad accept key")
+
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServiceError("connection closed during WS handshake")
+            self._buffer += chunk
+        head, self._buffer = self._buffer.split(marker, 1)
+        return head
+
+    def _read_exactly(self, n: int) -> bytes:
+        while len(self._buffer) < n:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServiceError("server closed the WebSocket connection")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:n], self._buffer[n:]
+        return data
+
+    def send_text(self, text: str) -> None:
+        self._sock.sendall(
+            encode_ws_frame(_OP_TEXT, text.encode("utf-8"), mask=True)
+        )
+
+    def recv_message(self) -> str | None:
+        """The next complete text message (``None`` = server closed)."""
+        opcode0: int | None = None
+        buffer = bytearray()
+        while True:
+            head = self._read_exactly(2)
+            fin = head[0] & 0x80
+            opcode = head[0] & 0x0F
+            length = head[1] & 0x7F
+            if length == 126:
+                length = int.from_bytes(self._read_exactly(2), "big")
+            elif length == 127:
+                length = int.from_bytes(self._read_exactly(8), "big")
+            if head[1] & 0x80:  # masked server frame: protocol violation
+                mask = self._read_exactly(4)
+                payload = _apply_mask(self._read_exactly(length), mask)
+            else:
+                payload = self._read_exactly(length)
+            if opcode >= 0x8:
+                if opcode == _OP_CLOSE:
+                    try:
+                        self._sock.sendall(
+                            encode_ws_frame(_OP_CLOSE, payload[:2], mask=True)
+                        )
+                    except OSError:
+                        pass
+                    return None
+                if opcode == _OP_PING:
+                    self._sock.sendall(
+                        encode_ws_frame(_OP_PONG, payload, mask=True)
+                    )
+                continue
+            if opcode0 is None:
+                opcode0 = opcode
+            buffer += payload
+            if fin:
+                return bytes(buffer).decode("utf-8")
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(
+                encode_ws_frame(_OP_CLOSE, (1000).to_bytes(2, "big"), mask=True)
+            )
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class TsubasaRemoteClient:
+    """Execute :class:`~repro.api.spec.QuerySpec` requests against a server.
+
+    Args:
+        address: The server's listening address — ``"host:port"``,
+            optionally with an ``http://`` or ``ws://`` scheme prefix.
+        transport: ``"http"`` (default) or ``"ws"`` for query execution;
+            subscriptions always use a dedicated WebSocket connection.
+        timeout: Socket timeout in seconds for every blocking operation.
+    """
+
+    def __init__(
+        self, address: str, transport: str = "http", timeout: float = 60.0
+    ) -> None:
+        if transport not in ("http", "ws"):
+            raise DataError(
+                f"transport must be 'http' or 'ws', got {transport!r}"
+            )
+        self._host, self._port = _parse_address(address)
+        self._transport = transport
+        self._timeout = timeout
+        self._http: http.client.HTTPConnection | None = None
+        self._ws: _WsClientConnection | None = None
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        """The configured ``host:port``."""
+        return f"{self._host}:{self._port}"
+
+    @property
+    def transport(self) -> str:
+        """The configured execution transport."""
+        return self._transport
+
+    def close(self) -> None:
+        """Close any open connections (idempotent)."""
+        if self._http is not None:
+            self._http.close()
+            self._http = None
+        if self._ws is not None:
+            self._ws.close()
+            self._ws = None
+
+    def __enter__(self) -> "TsubasaRemoteClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    def _http_conn(self) -> http.client.HTTPConnection:
+        if self._http is None:
+            self._http = http.client.HTTPConnection(
+                self._host, self._port, timeout=self._timeout
+            )
+        return self._http
+
+    def _http_round_trip(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> Any:
+        """One HTTP exchange, reconnecting once on a stale keep-alive."""
+        for attempt in (0, 1):
+            conn = self._http_conn()
+            try:
+                headers = {"Content-Type": "application/json"} if body else {}
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError) as exc:
+                self._http.close()
+                self._http = None
+                if attempt:
+                    raise ServiceError(
+                        f"HTTP request to {self.address} failed: {exc}"
+                    ) from exc
+        try:
+            return json.loads(data)
+        except ValueError as exc:
+            raise ServiceError(
+                f"server returned invalid JSON (HTTP {response.status})"
+            ) from exc
+
+    def _ws_conn(self) -> _WsClientConnection:
+        if self._ws is None:
+            self._ws = _WsClientConnection(
+                self._host, self._port, self._timeout
+            )
+        return self._ws
+
+    # -- result assembly -----------------------------------------------------
+
+    @staticmethod
+    def _provenance_from(payload: dict[str, Any] | None) -> Provenance | None:
+        if payload is None:
+            return None
+        known = {f.name for f in fields(Provenance)}
+        return Provenance(
+            **{key: value for key, value in payload.items() if key in known}
+        )
+
+    def _result_from(self, spec: QuerySpec, frame: Response) -> QueryResult:
+        return QueryResult(
+            spec=spec,
+            value=value_from_payload(spec, frame.result),
+            timings={"total": frame.seconds},
+            provenance=self._provenance_from(frame.provenance),
+        )
+
+    def _complete(
+        self, spec: QuerySpec, envelope: dict[str, Any]
+    ) -> QueryResult:
+        frame = parse_frame(envelope)
+        if isinstance(frame, ErrorEnvelope):
+            raise frame.to_exception()
+        if not isinstance(frame, Response):
+            raise ServiceError(
+                f"expected a response frame, got {type(frame).__name__}"
+            )
+        return self._result_from(spec, frame)
+
+    # -- the TsubasaClient surface -------------------------------------------
+
+    def execute(self, spec: QuerySpec) -> QueryResult:
+        """Execute one spec remotely; mirrors ``TsubasaClient.execute``."""
+        if not isinstance(spec, QuerySpec):
+            raise DataError(f"expected a QuerySpec, got {type(spec)!r}")
+        if self._transport == "ws":
+            return self._ws_execute_many([spec])[0]
+        request = Request(spec=spec, id=self._take_id())
+        envelope = self._http_round_trip(
+            "POST", "/v1/query", request.to_json().encode()
+        )
+        return self._complete(spec, envelope)
+
+    def execute_many(self, specs: list[QuerySpec]) -> list[QueryResult]:
+        """Execute several specs remotely, in spec order.
+
+        Over HTTP this is one ``/v1/batch`` round trip; over WebSockets the
+        requests are pipelined on one connection and completions are
+        matched by id as they arrive (out of order).
+        """
+        for spec in specs:
+            if not isinstance(spec, QuerySpec):
+                raise DataError(f"expected a QuerySpec, got {type(spec)!r}")
+        if not specs:
+            return []
+        if self._transport == "ws":
+            return self._ws_execute_many(list(specs))
+        frames = [
+            Request(spec=spec, id=self._take_id()).to_dict() for spec in specs
+        ]
+        envelopes = self._http_round_trip(
+            "POST", "/v1/batch", json.dumps(frames).encode()
+        )
+        if not isinstance(envelopes, list) or len(envelopes) != len(specs):
+            raise ServiceError(
+                f"batch returned {envelopes!r} for {len(specs)} requests"
+            )
+        return [
+            self._complete(spec, envelope)
+            for spec, envelope in zip(specs, envelopes)
+        ]
+
+    def _ws_execute_many(self, specs: list[QuerySpec]) -> list[QueryResult]:
+        conn = self._ws_conn()
+        by_id: dict[int, QuerySpec] = {}
+        order: list[int] = []
+        try:
+            for spec in specs:
+                request_id = self._take_id()
+                by_id[request_id] = spec
+                order.append(request_id)
+                conn.send_text(Request(spec=spec, id=request_id).to_json())
+            answers: dict[int, dict[str, Any]] = {}
+            while len(answers) < len(order):
+                text = conn.recv_message()
+                if text is None:
+                    raise ServiceError(
+                        "server closed the connection with "
+                        f"{len(order) - len(answers)} responses outstanding"
+                    )
+                envelope = json.loads(text)
+                frame_id = envelope.get("id") if isinstance(envelope, dict) else None
+                if frame_id in by_id and frame_id not in answers:
+                    answers[frame_id] = envelope
+                # Anything else (a duplicate, a stray push) is unmatchable
+                # by construction — ids are freshly issued per call and
+                # every call drains its own completions — so drop it rather
+                # than buffer it forever.
+        except (OSError, ServiceError):
+            self.close()
+            raise
+        return [
+            self._complete(by_id[request_id], answers[request_id])
+            for request_id in order
+        ]
+
+    # -- streaming -----------------------------------------------------------
+
+    def subscribe(
+        self,
+        theta: float,
+        window: WindowSpec | None = None,
+        window_points: int | None = None,
+        max_events: int | None = None,
+    ) -> Iterator[StreamEvent]:
+        """Consume a ``subscribe`` op as an iterator of stream events.
+
+        Opens a dedicated WebSocket connection (whatever the configured
+        transport), sends the subscription request, and yields
+        :class:`~repro.api.protocol.StreamEvent` frames in sequence order
+        until the server completes the stream, ``max_events`` is reached,
+        or an error envelope arrives (raised as the matching
+        :class:`~repro.exceptions.TsubasaError` subclass).
+
+        Args:
+            theta: Subscription network threshold (must be at or above the
+                server's base stream threshold).
+            window: The standing query window; must match the server's
+                standing window length.
+            window_points: Convenience alternative to ``window``: the
+                standing window length in raw points (as reported by
+                ``/v1/stats`` under ``realtime.window_points``).
+            max_events: Stop (and close the connection) after this many
+                events; ``None`` consumes until the stream completes.
+        """
+        if (window is None) == (window_points is None):
+            raise DataError(
+                "subscribe needs exactly one of window or window_points"
+            )
+        if window is None:
+            window = WindowSpec(start=0, stop=int(window_points))
+        spec = QuerySpec(op="subscribe", window=window, theta=theta)
+        request = Request(spec=spec, id=self._take_id())
+        return self._subscribe_events(request, max_events)
+
+    def _subscribe_events(
+        self, request: Request, max_events: int | None
+    ) -> Iterator[StreamEvent]:
+        conn = _WsClientConnection(self._host, self._port, self._timeout)
+        try:
+            conn.send_text(request.to_json())
+            # The first frame is the subscription ack (or an error).
+            text = conn.recv_message()
+            if text is None:
+                raise ServiceError("server closed before acknowledging")
+            ack = parse_frame(json.loads(text))
+            if isinstance(ack, ErrorEnvelope):
+                raise ack.to_exception()
+            delivered = 0
+            while max_events is None or delivered < max_events:
+                text = conn.recv_message()
+                if text is None:
+                    return
+                frame = parse_frame(json.loads(text))
+                if isinstance(frame, ErrorEnvelope):
+                    raise frame.to_exception()
+                if isinstance(frame, Response):
+                    return  # stream completed cleanly
+                yield frame
+                delivered += 1
+        finally:
+            conn.close()
+
+    # -- observability -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The server's ``/v1/stats`` payload (server + service counters)."""
+        return self._http_round_trip("GET", "/v1/stats")
+
+    def health(self) -> dict[str, Any]:
+        """The server's ``/healthz`` payload."""
+        return self._http_round_trip("GET", "/healthz")

@@ -129,6 +129,32 @@ class ServiceStats:
         demands = self.result_cache_hits + self.result_cache_misses
         return self.result_cache_hits / demands if demands else 0.0
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible form (the ``/v1/stats`` endpoint's payload)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "coalesced": self.coalesced,
+            "coalesce_rate": self.coalesce_rate,
+            "matrices_computed": self.matrices_computed,
+            "prefetched_windows": self.prefetched_windows,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "in_flight": self.in_flight,
+            "result_cache_hits": self.result_cache_hits,
+            "result_cache_misses": self.result_cache_misses,
+            "result_cache_hit_rate": self.result_cache_hit_rate,
+            "backend_latency": {
+                backend: {
+                    "count": latency.count,
+                    "total_seconds": latency.total_seconds,
+                    "mean_seconds": latency.mean_seconds,
+                }
+                for backend, latency in self.backend_latency.items()
+            },
+        }
+
 
 class _Request:
     __slots__ = ("spec", "future", "submitted_at")
@@ -290,6 +316,12 @@ class TsubasaService:
             )
         if not isinstance(spec, QuerySpec):
             raise DataError(f"expected a QuerySpec, got {type(spec)!r}")
+        if spec.op == "subscribe":
+            raise ServiceError(
+                "subscribe is a streaming operation; the service answers "
+                "request/response specs only (the WebSocket server bridges "
+                "subscriptions to a SnapshotHub)"
+            )
         loop = asyncio.get_running_loop()
         request = _Request(spec, loop.create_future())
         self._submitted += 1

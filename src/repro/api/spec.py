@@ -29,7 +29,11 @@ if TYPE_CHECKING:
 
 __all__ = ["WindowSpec", "QuerySpec", "Provenance", "QueryResult", "OPS"]
 
-#: Supported query operations.
+#: Supported query operations. All but ``subscribe`` are request/response
+#: ops answerable by any client; ``subscribe`` (op family: network_updates)
+#: is a *streaming* op — it registers a standing network-update subscription
+#: and is only meaningful on push-capable transports (the WebSocket server,
+#: :class:`~repro.streams.hub.SnapshotHub`).
 OPS = (
     "matrix",
     "network",
@@ -39,6 +43,7 @@ OPS = (
     "pairs_in_range",
     "degree",
     "diff_network",
+    "subscribe",
 )
 
 #: Supported execution engines.
@@ -150,6 +155,9 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "pairs_in_range": ("low", "high"),
     "degree": ("theta",),
     "diff_network": ("baseline", "theta"),
+    # A subscription's window is the standing query window the realtime
+    # engine maintains; theta is the subscription's network threshold.
+    "subscribe": ("theta",),
 }
 
 
@@ -159,9 +167,11 @@ class QuerySpec:
 
     Attributes:
         op: The operation, one of :data:`OPS`.
-        window: The time window the query is over.
+        window: The time window the query is over. For ``subscribe`` it
+            describes the *standing* query window (only its length is
+            meaningful; the window slides with the stream).
         theta: Correlation threshold (``network``, ``neighbors``, ``degree``,
-            ``diff_network``).
+            ``diff_network``, ``subscribe``).
         k: Result count (``top_k``, ``anticorrelated``).
         node: Anchor series name (``neighbors``).
         low: Lower correlation bound, inclusive (``pairs_in_range``).
@@ -377,6 +387,7 @@ class QueryResult:
         if op == "network":
             edges = sorted(value.edge_set())
             return {
+                "names": list(value.names),
                 "n_nodes": value.n_nodes,
                 "n_edges": value.n_edges,
                 "theta": value.threshold,

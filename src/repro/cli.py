@@ -20,7 +20,10 @@ Subcommands mirror the system's life cycle::
     tsubasa topk     --store sketch.db --end 8759 --length 3000 --k 10
     tsubasa sweep    --store sketch.db --windows 15 --stride 5 --theta 0.75
     tsubasa info     --store sketch.db
+    tsubasa trim     --store sketch.mm           # drop trailing capacity
     tsubasa serve    --store sketch.mm --backend mmap --workers 4
+    tsubasa serve    --store sketch.mm --backend mmap --http 0.0.0.0:8787 \
+                     --stream-data data.npz      # HTTP + WS, live stream
 
 Datasets travel as ``.npz`` archives with ``values``/``names``/``lats``/
 ``lons`` arrays (see ``tsubasa generate``). Sketches live either in SQLite
@@ -44,10 +47,13 @@ regardless of their length; the mmap backend picks up tables persisted with
 Query commands are thin shells over the declarative query API
 (:mod:`repro.api`): they build a :class:`~repro.api.spec.QuerySpec` and hand
 it to a :class:`~repro.api.client.TsubasaClient`. ``tsubasa serve`` exposes
-that surface directly as a long-lived JSON-lines service on stdin/stdout:
-each input line is a spec (plus an optional ``"id"``), each output line an
-envelope with the result payload, timings, and provenance; concurrent
-requests over the same window share one matrix computation
+that surface directly as a long-lived service speaking the versioned wire
+protocol (:mod:`repro.api.protocol`): by default as JSON-lines on
+stdin/stdout (each input line a request frame, each output line a
+completion envelope), or — with ``--http HOST:PORT`` — as a socket server
+speaking HTTP/1.1 and WebSockets (:mod:`repro.api.server`), including
+streaming ``subscribe`` ops when ``--stream-data`` attaches a live replay.
+Concurrent requests over the same window share one matrix computation
 (:class:`~repro.api.service.TsubasaService`).
 
 Failures map :class:`~repro.exceptions.TsubasaError` subclasses to distinct
@@ -85,12 +91,12 @@ from repro.engine.providers import (
 )
 from repro.exceptions import (
     DataError,
-    SegmentationError,
     ServiceError,
     SketchError,
     StorageError,
     StreamError,
     TsubasaError,
+    error_code_for,
 )
 from repro.storage.base import SketchStore
 from repro.storage.mmap_store import MmapStore, is_mmap_store
@@ -101,26 +107,14 @@ from repro.streams.sources import ReplaySource
 
 __all__ = ["main", "build_parser", "exit_code_for"]
 
-#: TsubasaError subclass → process exit code. Order-independent: the most
-#: specific class in the exception's MRO wins.
-_EXIT_CODES: dict[type[TsubasaError], int] = {
-    TsubasaError: 1,
-    SketchError: 2,
-    DataError: 3,
-    SegmentationError: 4,
-    StorageError: 5,
-    StreamError: 6,
-    ServiceError: 7,
-}
-
-
 def exit_code_for(exc: TsubasaError) -> int:
-    """The process exit code for a library error (distinct per subclass)."""
-    for klass in type(exc).__mro__:
-        code = _EXIT_CODES.get(klass)
-        if code is not None:
-            return code
-    return 1
+    """The process exit code for a library error (distinct per subclass).
+
+    The codes are the library-wide failure taxonomy
+    (:func:`repro.exceptions.error_code_for`), shared with the wire
+    protocol's error envelopes.
+    """
+    return error_code_for(exc)
 
 
 def _open_store(path: str, backend: str = "auto") -> SketchStore:
@@ -410,14 +404,6 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _error_response(request_id, exc: Exception) -> dict:
-    """The ``ok: false`` JSON-lines envelope for one failed request."""
-    error = {"type": type(exc).__name__, "message": str(exc)}
-    if isinstance(exc, TsubasaError):
-        error["code"] = exit_code_for(exc)
-    return {"id": request_id, "ok": False, "error": error}
-
-
 async def _serve_jsonl(
     client: TsubasaClient,
     stdin,
@@ -429,54 +415,67 @@ async def _serve_jsonl(
 ) -> int:
     """Serve JSON-lines specs from ``stdin`` until EOF (the ``serve`` loop).
 
-    Requests are submitted as they arrive (so in-flight window selections
-    coalesce) and responses stream back in submission order. The response
-    queue is bounded by ``max_pending``: once that many requests are ahead
-    of the printer, the reader stops consuming stdin until responses drain,
-    so a huge piped batch cannot accumulate unbounded in-flight results.
+    Each line is a wire-protocol request frame
+    (:func:`repro.api.protocol.parse_request` — the framed ``{"protocol": 1,
+    "id": ..., "spec": {...}}`` form or the legacy inline form), each output
+    line a protocol completion envelope. Requests are submitted as they
+    arrive (so in-flight window selections coalesce) and responses stream
+    back in submission order; the per-request ids exist so framed clients
+    can correlate envelopes independent of ordering. The response queue is
+    bounded by ``max_pending``: once that many requests are ahead of the
+    printer, the reader stops consuming stdin until responses drain, so a
+    huge piped batch cannot accumulate unbounded in-flight results.
+
+    The closing stderr summary counts what the *consumer observed*: ``ok``
+    and ``failed`` are envelopes actually emitted (``failed`` includes
+    malformed frames, broken out as ``rejected``), and responses completed
+    after a consumer hangup are reported as ``discarded`` instead of being
+    silently folded into the success count.
     """
+    from repro.api.protocol import ErrorEnvelope, Response, parse_request
+
     loop = asyncio.get_running_loop()
     responses: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
     hangup = asyncio.Event()  # set once stdout writes start failing
+    emitted = {"ok": 0, "failed": 0, "discarded": 0}
 
     async def print_responses() -> None:
         while True:
             item = await responses.get()
             if item is None:
                 return
-            request_id, task, ready = item
+            task, ready = item
             if hangup.is_set():
                 # The consumer hung up: nobody can see further responses.
                 # Keep draining (so the bounded queue never wedges the
-                # reader) and retrieve task outcomes without emitting.
+                # reader), retrieve task outcomes without emitting, and
+                # account for them honestly as discarded.
                 if task is not None:
                     try:
                         await task
                     except Exception:  # noqa: BLE001 - outcome discarded
                         pass
+                emitted["discarded"] += 1
                 continue
-            if ready is not None:
-                envelope = ready
-            else:
-                try:
-                    result = await task
-                    envelope = {
-                        "id": request_id,
-                        "ok": True,
-                        "result": result.payload(),
-                        "seconds": result.timings["total"],
-                        "provenance": result.provenance.to_dict(),
-                    }
-                except Exception as exc:  # noqa: BLE001 - per-request envelope
-                    # Any failure — library error or not — becomes this
-                    # request's error envelope; one bad request must never
-                    # kill the service or drop later responses.
-                    envelope = _error_response(request_id, exc)
+            envelope = ready if ready is not None else await task
             try:
                 stdout.write(json.dumps(envelope) + "\n")
                 stdout.flush()
             except OSError:
                 hangup.set()  # e.g. `tsubasa serve | head`
+                emitted["discarded"] += 1
+                continue
+            emitted["ok" if envelope.get("ok") else "failed"] += 1
+
+    async def answer(request_id, spec: QuerySpec) -> dict:
+        # Any failure — library error or not — becomes this request's
+        # error envelope; one bad request must never kill the service or
+        # drop later responses.
+        try:
+            result = await service.submit(spec)
+        except Exception as exc:  # noqa: BLE001 - per-request envelope
+            return ErrorEnvelope.from_exception(exc, request_id).to_dict()
+        return Response.from_result(result, request_id).to_dict()
 
     async with TsubasaService(
         client, max_workers=max_workers, max_batch=max_batch,
@@ -496,38 +495,189 @@ async def _serve_jsonl(
             if not line:
                 continue
             n_lines += 1
-            request_id = n_lines
+            request_id: int | str = n_lines
             try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise DataError("request must be a JSON object")
-                request_id = request.pop("id", request_id)
-                spec = QuerySpec.from_dict(request)
+                payload = json.loads(line)
+                if isinstance(payload, dict) and isinstance(
+                    payload.get("id"), (str, int)
+                ):
+                    request_id = payload["id"]
+                request = parse_request(payload)
+                if request.spec.op == "subscribe":
+                    raise ServiceError(
+                        "subscribe needs a push transport; run tsubasa "
+                        "serve --http and connect to /v1/ws"
+                    )
             except (ValueError, TsubasaError) as exc:
                 n_rejected += 1
                 await responses.put(
-                    (request_id, None, _error_response(request_id, exc))
+                    (None, ErrorEnvelope.from_exception(exc, request_id).to_dict())
                 )
                 continue
-            task = loop.create_task(service.submit(spec))
-            await responses.put((request_id, task, None))
+            if request.id is not None:
+                request_id = request.id
+            task = loop.create_task(answer(request_id, request.spec))
+            await responses.put((task, None))
         await responses.put(None)
         await printer
         stats = service.stats()
+        hangup_note = (
+            f", {emitted['discarded']} discarded after hangup"
+            if emitted["discarded"]
+            else ""
+        )
         print(
-            f"served {stats.completed} ok / {stats.failed + n_rejected} "
+            f"served {emitted['ok']} ok / {emitted['failed']} "
             f"failed ({n_rejected} malformed, {stats.coalesced} coalesced, "
             f"{stats.matrices_computed} matrices computed, "
             f"{stats.result_cache_hits} cache hits, "
-            f"{stats.prefetched_windows} windows prefetched)",
+            f"{stats.prefetched_windows} windows prefetched"
+            f"{hangup_note})",
             file=sys.stderr,
         )
+    return 0
+
+
+def _replay_forever(values, batch_size: int, start: int):
+    """An endless simulated live feed: replay the dataset, then loop.
+
+    ``serve --stream-data`` streams the tail beyond the sketched range
+    first (genuinely new data), then restarts from the beginning — a
+    perpetually updating feed for subscriptions, the way replay demos
+    drive the real-time engine, until the server shuts down.
+    """
+    cursor = start
+    while True:
+        yield from ReplaySource(values, batch_size, start=cursor)
+        cursor = 0
+
+
+def _parse_listen_address(value: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) → ``(host, port)``."""
+    if value.isdigit():
+        return "127.0.0.1", int(value)
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise DataError(
+            f"--http expects HOST:PORT (or a bare port), got {value!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+async def _serve_http(client: TsubasaClient, args: argparse.Namespace) -> int:
+    """The ``serve --http`` loop: socket server + optional live stream."""
+    import signal
+
+    from repro.api.server import TsubasaServer
+    from repro.streams.hub import SnapshotHub
+
+    host, port = _parse_listen_address(args.http)
+    service = TsubasaService(
+        client,
+        max_workers=args.workers,
+        max_batch=args.max_batch,
+        result_cache=args.result_cache,
+    )
+    hub = None
+    source = None
+    if args.stream_data:
+        provider = client.provider
+        dataset = _load_dataset(args.stream_data)
+        if dataset.n_points < provider.window_size:
+            raise StreamError(
+                f"--stream-data holds {dataset.n_points} points; at least "
+                f"one basic window ({provider.window_size}) is needed to "
+                "stream"
+            )
+        start = provider.length
+        if start >= dataset.n_points:
+            start = 0
+        ingestor = StreamIngestor.from_provider(
+            provider,
+            query_windows=args.stream_windows or provider.n_windows,
+            theta=args.stream_theta,
+            keep_history=False,
+        )
+        source = _replay_forever(
+            dataset.values, provider.window_size, start
+        )
+        hub = SnapshotHub(ingestor, max_pending=args.send_buffer)
+    server = TsubasaServer(
+        service,
+        hub=hub,
+        max_inflight=args.max_inflight,
+        send_buffer=args.send_buffer,
+    )
+    try:
+        await server.start(host=host, port=port)
+    except OSError as exc:
+        # Bind failures (port in use, privileged port) get the CLI's
+        # one-line error contract, not a traceback.
+        raise ServiceError(f"cannot listen on {host}:{port}: {exc}") from exc
+    endpoints = "POST /v1/query /v1/batch, GET /v1/stats /healthz, WS /v1/ws"
+    print(
+        f"serving on http://{server.host}:{server.port} "
+        f"(protocol 1; {endpoints})",
+        file=sys.stderr,
+        flush=True,
+    )
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # platforms without loop signal handlers
+    pump_task = None
+    if hub is not None and source is not None:
+        pump_task = loop.create_task(
+            hub.pump(source, interval=args.stream_interval)
+        )
+
+        def pump_done(task: asyncio.Task, hub=hub) -> None:
+            # A dead stream must be loud, and it must end subscriptions
+            # (otherwise subscribers hang with an ack and no events, and
+            # the failure is only discovered at shutdown).
+            if task.cancelled():
+                return
+            exc = task.exception()
+            if exc is not None:
+                print(f"stream pump failed: {exc}", file=sys.stderr)
+                if not hub.closed:
+                    hub.close()
+
+        pump_task.add_done_callback(pump_done)
+    try:
+        await stop.wait()
+    except KeyboardInterrupt:
+        pass
+    if pump_task is not None:
+        pump_task.cancel()
+        try:
+            await pump_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+    if hub is not None:
+        hub.close()
+    await server.aclose()
+    stats = service.stats()
+    print(
+        f"served {stats.completed} ok / {stats.failed} failed "
+        f"({stats.coalesced} coalesced, {stats.matrices_computed} matrices "
+        f"computed, {stats.result_cache_hits} cache hits, "
+        f"{server.stats['subscriptions_opened']} subscriptions, "
+        f"{server.stats['slow_consumer_disconnects']} slow-consumer "
+        "disconnects)",
+        file=sys.stderr,
+    )
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     with _open_store(args.store) as store:
         client = _open_client(store, args)
+        if args.http:
+            return asyncio.run(_serve_http(client, args))
         return asyncio.run(
             _serve_jsonl(
                 client,
@@ -539,6 +689,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 result_cache=args.result_cache,
             )
         )
+
+
+def _cmd_trim(args: argparse.Namespace) -> int:
+    with _open_store(args.store) as store:
+        if not isinstance(store, MmapStore):
+            raise StorageError(
+                "trim requires a memory-mapped store directory (SQLite "
+                "stores reclaim space with VACUUM)"
+            )
+        before = store.size_bytes()
+        reclaimed = store.trim()
+        count = store.window_count()
+        size = store.size_bytes()
+    print(
+        f"trimmed {args.store}: reclaimed {reclaimed / 1e6:.2f} MB "
+        f"({before / 1e6:.2f} -> {size / 1e6:.2f} MB, "
+        f"{count} committed windows)"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -661,12 +830,28 @@ def build_parser() -> argparse.ArgumentParser:
     info.add_argument("--store", required=True)
     info.set_defaults(func=_cmd_info)
 
+    tr = sub.add_parser(
+        "trim",
+        help="compact an mmap sketch store written out of order",
+        description="Truncate trailing unwritten capacity (and matching "
+                    "prefix-table rows) left by out-of-order or interrupted "
+                    "writes. Runs behind the store's fsync/generation "
+                    "barrier; interior holes are preserved (window indices "
+                    "are semantic).",
+    )
+    tr.add_argument("--store", required=True)
+    tr.set_defaults(func=_cmd_trim)
+
     sv = sub.add_parser(
         "serve",
-        help="long-lived JSON-lines query service on stdin/stdout",
-        description="Read one QuerySpec JSON object per input line "
-                    "(fields: op, window, theta/k/node/low/high/baseline, "
-                    "optional id) and write one result envelope per line. "
+        help="long-lived query service (JSON-lines stdin, or --http socket)",
+        description="By default, read one wire-protocol request frame per "
+                    "input line ({'protocol': 1, 'id': ..., 'spec': {...}} "
+                    "or the inline legacy form) and write one completion "
+                    "envelope per line. With --http HOST:PORT, serve the "
+                    "same protocol over HTTP/1.1 (POST /v1/query, "
+                    "/v1/batch, GET /v1/stats, /healthz) and WebSockets "
+                    "(/v1/ws, including streaming 'subscribe' ops). "
                     "Concurrent requests over the same window share a "
                     "single matrix computation.",
     )
@@ -684,6 +869,31 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--result-cache", type=int, default=64,
                     help="finished matrices kept in a bounded LRU and "
                          "replayed to repeat queries (0 disables)")
+    sv.add_argument("--http", metavar="HOST:PORT", default=None,
+                    help="serve over a socket instead of stdin/stdout: "
+                         "HTTP/1.1 + WebSockets on this address (port 0 "
+                         "binds an ephemeral port, announced on stderr)")
+    sv.add_argument("--max-inflight", type=int, default=64,
+                    help="HTTP/WS mode: concurrent requests allowed per "
+                         "connection before excess ones are rejected")
+    sv.add_argument("--send-buffer", type=int, default=64,
+                    help="HTTP/WS mode: per-client send queue bound in "
+                         "frames; clients that fall further behind are "
+                         "disconnected (slow-consumer policy)")
+    sv.add_argument("--stream-data", default=None,
+                    help="HTTP/WS mode: replay this dataset through a "
+                         "realtime engine as an endless simulated live feed "
+                         "(tail beyond the sketched range first, then "
+                         "looping) so WebSocket clients can 'subscribe' to "
+                         "network updates")
+    sv.add_argument("--stream-theta", type=float, default=0.75,
+                    help="base threshold of the realtime stream "
+                         "(subscriptions may ask for higher)")
+    sv.add_argument("--stream-windows", type=int, default=0,
+                    help="standing query length in basic windows "
+                         "(0 = every window the store holds)")
+    sv.add_argument("--stream-interval", type=float, default=0.05,
+                    help="pause between replayed stream batches, in seconds")
     add_backend_args(sv)
     sv.set_defaults(func=_cmd_serve)
     return parser

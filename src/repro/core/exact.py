@@ -345,8 +345,20 @@ class TsubasaHistorical:
         # Algorithm 5 materializes many anchor rows; on a lazy backend each
         # cov_rows() call would re-stream the whole selection from the store,
         # so load the selection once (a single record pass) and serve every
-        # row from memory.
-        if isinstance(self._provider, InMemoryProvider):
+        # row from memory. Backends with prefix-aggregate tables skip even
+        # that: a contiguous selection's anchor rows come straight from the
+        # tables in O(n) each (combine_row_prefix), independent of how many
+        # windows the selection spans — decisions then match exact
+        # thresholding within the prefix accuracy contract
+        # (repro.core.prefix.PREFIX_ATOL).
+        bounds = self._provider.prefix_range(selection)
+        if bounds is not None:
+            lo, hi = bounds
+
+            def compute_row(i: int) -> np.ndarray:
+                return self._provider.prefix_row(lo, hi, i)
+
+        elif isinstance(self._provider, InMemoryProvider):
             means, stds, sizes = self._provider.window_stats(idx)
 
             def compute_row(i: int) -> np.ndarray:

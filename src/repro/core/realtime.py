@@ -128,6 +128,11 @@ class TsubasaRealtime:
         return self._window_size
 
     @property
+    def query_windows(self) -> int:
+        """Length of the standing query window, in basic windows."""
+        return self._state.n_windows
+
+    @property
     def now(self) -> int:
         """Offset of the most recent point folded into the network."""
         return self._timestamp

@@ -270,6 +270,21 @@ class SketchProvider(abc.ABC):
             "tables"
         )
 
+    def prefix_row(self, lo: int, hi: int, row: int) -> np.ndarray:
+        """One correlation row over windows ``[lo, hi)`` from prefix tables.
+
+        The ``O(n)`` anchor-row primitive Algorithm 5's pruning path uses
+        (:func:`~repro.core.prefix.combine_row_prefix`): only row ``row`` of
+        the cross table is touched, so an anchor row costs ``O(n)`` from the
+        tables instead of re-streaming the whole selection. Only meaningful
+        for bounds previously returned by :meth:`prefix_range`; backends
+        without prefix tables raise.
+        """
+        raise SketchError(
+            f"the {self.backend_name!r} backend holds no prefix-aggregate "
+            "tables"
+        )
+
     def materialize(self, indices: np.ndarray | None = None) -> Sketch:
         """Assemble a full in-memory :class:`Sketch` of the selection.
 
@@ -788,6 +803,13 @@ class MmapProvider(SketchProvider):
 
         return combine_matrix_prefix(self._prefix, lo, hi)
 
+    def prefix_row(self, lo, hi, row):
+        if self._prefix is None:
+            return super().prefix_row(lo, hi, row)
+        from repro.core.prefix import combine_row_prefix
+
+        return combine_row_prefix(self._prefix, lo, hi, row)
+
     def window_stats(self, indices):
         idx = self._check_indices(indices)
         sl = _contiguous_slice(idx)
@@ -1167,3 +1189,13 @@ class PrefixProvider(SketchProvider):
                 f"[0, {self.n_windows})"
             )
         return combine_matrix_prefix(self._ensure(hi), lo, hi)
+
+    def prefix_row(self, lo, hi, row):
+        from repro.core.prefix import combine_row_prefix
+
+        if not 0 <= lo < hi <= self.n_windows:
+            raise SketchError(
+                f"prefix range [{lo}, {hi}) outside the sketched windows "
+                f"[0, {self.n_windows})"
+            )
+        return combine_row_prefix(self._ensure(hi), lo, hi, row)

@@ -14,6 +14,7 @@ __all__ = [
     "StreamError",
     "DataError",
     "ServiceError",
+    "error_code_for",
 ]
 
 
@@ -55,3 +56,27 @@ class ServiceError(TsubasaError):
     Examples: submitting a spec to a :class:`~repro.api.service.TsubasaService`
     that was never started or already closed.
     """
+
+
+#: TsubasaError subclass → stable failure code. The codes double as CLI
+#: process exit codes and as the ``error.code`` field of wire-protocol error
+#: envelopes, so a remote caller sees the same taxonomy a shell script does.
+#: Order-independent: the most specific class in the exception's MRO wins.
+_ERROR_CODES: dict[type[TsubasaError], int] = {
+    TsubasaError: 1,
+    SketchError: 2,
+    DataError: 3,
+    SegmentationError: 4,
+    StorageError: 5,
+    StreamError: 6,
+    ServiceError: 7,
+}
+
+
+def error_code_for(exc: TsubasaError) -> int:
+    """The stable failure code for a library error (distinct per subclass)."""
+    for klass in type(exc).__mro__:
+        code = _ERROR_CODES.get(klass)
+        if code is not None:
+            return code
+    return 1

@@ -627,6 +627,83 @@ class MmapStore(SketchStore):
             rows=rows,
         )
 
+    def trim(self) -> int:
+        """Compact the store: drop trailing unwritten (or stale) capacity.
+
+        Stores written out of order over-allocate: ``_ensure_capacity``
+        grows the array files to the *highest* index ever written, so a
+        batch landing at a large index leaves every file sized for slots
+        that may never be filled (and, after such a batch, oversized
+        ``prefix_*`` tables). ``trim`` truncates all of them back to the
+        last committed record, running behind the same fsync/generation
+        barrier as any record batch, so concurrent readers observe either
+        the old capacity or the new one — never a half-truncated store.
+
+        Interior holes (unwritten slots *below* the last committed record)
+        are preserved: window indices are semantic, and renumbering them
+        would change what every query means. Committed prefix rows always
+        cover a contiguous run from window 0, so they survive unchanged.
+
+        Returns:
+            The number of bytes reclaimed (0 when the store is already
+            compact).
+
+        Raises:
+            StorageError: On a read-only handle or a store with no record
+                arrays.
+        """
+        self._require_writable()
+        capacity = self._capacity()
+        if capacity == 0 or self._n is None:
+            raise StorageError(f"mmap store {self._dir} holds no window records")
+        sizes = np.asarray(self._readable()["sizes"])
+        written = np.nonzero(sizes)[0]
+        committed = int(written[-1]) + 1 if written.size else 0
+        has_prefix_files = any(
+            file_path.exists() for file_path in self._prefix_files.values()
+        )
+        before = self.size_bytes()
+        expected = {
+            name: 8 * int(np.prod(shape, dtype=np.int64))
+            for name, shape in self._shapes(capacity).items()
+        }
+        if has_prefix_files:
+            for name, shape in self._prefix_shapes(capacity).items():
+                expected[name] = 8 * int(np.prod(shape, dtype=np.int64))
+        oversized = any(
+            file_path.exists() and file_path.stat().st_size > expected[name]
+            for name, file_path in (
+                *self._files.items(),
+                *(self._prefix_files.items() if has_prefix_files else ()),
+            )
+        )
+        if committed == capacity and not oversized:
+            return 0
+        self._begin_commit()
+        self._drop_maps()
+        shapes = dict(self._shapes(committed))
+        if has_prefix_files:
+            # Prefix tables are sized capacity+1 rows; committed rows (a
+            # prefix of the committed run) always fit the trimmed size.
+            shapes.update(self._prefix_shapes(committed))
+        targets = dict(self._files)
+        if has_prefix_files:
+            targets.update(self._prefix_files)
+        for name, file_path in targets.items():
+            if name in self._prefix_files and not file_path.exists():
+                continue
+            fd = os.open(file_path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                os.ftruncate(
+                    fd, 8 * int(np.prod(shapes[name], dtype=np.int64))
+                )
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        self._fsync_dir()
+        self._finish_commit()
+        return before - self.size_bytes()
+
     def _ensure_capacity(self, needed: int) -> None:
         capacity = self._capacity()
         if needed <= capacity:

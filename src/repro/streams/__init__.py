@@ -1,6 +1,7 @@
 """Real-time stream ingestion utilities (Algorithm 3's outer loop)."""
 
 from repro.streams.aligner import StreamAligner, align_to_grid
+from repro.streams.hub import SnapshotHub, Subscription
 from repro.streams.ingestion import NetworkSnapshot, StreamIngestor
 from repro.streams.sources import ReplaySource, SyntheticSource
 
@@ -8,7 +9,9 @@ __all__ = [
     "StreamAligner",
     "align_to_grid",
     "NetworkSnapshot",
+    "SnapshotHub",
     "StreamIngestor",
+    "Subscription",
     "ReplaySource",
     "SyntheticSource",
 ]

@@ -1,0 +1,324 @@
+"""Fan real-time network snapshots out to bounded async subscriptions.
+
+:class:`SnapshotHub` is the push half of the streaming story: a
+:class:`~repro.streams.ingestion.StreamIngestor` produces
+:class:`~repro.streams.ingestion.NetworkSnapshot` updates as basic windows
+complete, and the hub delivers each update to every registered
+:class:`Subscription` — the bridge the WebSocket server
+(:mod:`repro.api.server`) uses to turn ``subscribe`` specs into
+:class:`~repro.api.protocol.StreamEvent` pushes.
+
+Two properties make it safe for a long-lived service:
+
+* **Bounded buffers** — every subscription owns a bounded queue. A consumer
+  that stops draining does not grow server memory: once its queue is full,
+  the subscription is marked *lagged*, its buffered events are dropped, and
+  its next read raises :class:`~repro.exceptions.StreamError` (the server
+  maps that to a slow-consumer disconnect). Healthy subscribers are never
+  affected by a slow peer.
+* **Per-subscription thresholds** — a subscription may ask for its own
+  ``theta`` at or above the ingestor's base threshold; the hub re-thresholds
+  each snapshot's network by filtering edge weights (no recomputation) and
+  tracks appeared/disappeared deltas against *that subscription's* previous
+  event, so two dashboards watching different thresholds each see a
+  consistent delta stream.
+
+The hub is an event-loop component: :meth:`publish` must be called on the
+loop (use :meth:`pump` to drive a batch source, running the CPU-bound
+ingestion in an executor), and subscriptions are consumed with
+``async for``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.network import ClimateNetwork
+from repro.exceptions import StreamError
+from repro.streams.ingestion import NetworkSnapshot, StreamIngestor
+
+__all__ = ["SnapshotHub", "Subscription"]
+
+
+class Subscription:
+    """One bounded stream of :class:`NetworkSnapshot` updates.
+
+    Obtained from :meth:`SnapshotHub.subscribe`; consume with ``async for``.
+    Iteration ends cleanly (``StopAsyncIteration``) when the hub closes, and
+    raises :class:`~repro.exceptions.StreamError` when this subscriber
+    lagged past its buffer bound and was dropped.
+    """
+
+    _END = object()  # queue sentinel: hub closed, stream complete
+
+    def __init__(self, hub: "SnapshotHub", theta: float, max_pending: int) -> None:
+        self._hub = hub
+        self._theta = theta
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
+        self._previous_edges: frozenset[tuple[str, str]] | None = None
+        self._lagged = False
+        self._closed = False
+        self.delivered = 0  # snapshots consumed by this subscriber
+
+    @property
+    def theta(self) -> float:
+        """This subscription's network threshold."""
+        return self._theta
+
+    @property
+    def lagged(self) -> bool:
+        """Whether this subscriber fell behind and was dropped."""
+        return self._lagged
+
+    def _offer(self, snapshot: NetworkSnapshot) -> bool:
+        """Enqueue one update; returns False (and drops out) on overflow."""
+        try:
+            self._queue.put_nowait(snapshot)
+        except asyncio.QueueFull:
+            # Slow consumer: drop the buffered backlog (it can no longer
+            # form a gapless stream) and poison the queue so the consumer
+            # fails fast instead of reading a stale prefix.
+            self._lagged = True
+            while not self._queue.empty():
+                self._queue.get_nowait()
+            self._queue.put_nowait(Subscription._END)
+            return False
+        return True
+
+    def _end(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._queue.put_nowait(Subscription._END)
+            except asyncio.QueueFull:
+                pass  # consumer will hit the backlog, then closed state
+
+    def close(self) -> None:
+        """Detach from the hub (idempotent; pending events are discarded)."""
+        self._hub._detach(self)
+        self._end()
+
+    def _rethreshold(self, snapshot: NetworkSnapshot) -> NetworkSnapshot:
+        """The snapshot as seen at this subscription's threshold."""
+        base = snapshot.network
+        if self._theta == self._hub.theta:
+            network = base
+        else:
+            # Edges above a higher threshold are a subset of the base
+            # network's edges, so filtering weights is exact — no matrix
+            # access, no recomputation.
+            adjacency = base.adjacency & (base.weights > self._theta)
+            network = ClimateNetwork(
+                names=list(base.names),
+                adjacency=adjacency,
+                weights=base.weights,
+                threshold=self._theta,
+                coordinates=base.coordinates,
+            )
+        edges = network.edge_set()
+        previous = self._previous_edges
+        if previous is None:
+            # First event: the full standing network is "appeared".
+            appeared = frozenset(edges)
+            disappeared = frozenset()
+        else:
+            appeared = frozenset(edges - previous)
+            disappeared = frozenset(previous - edges)
+        self._previous_edges = frozenset(edges)
+        return NetworkSnapshot(
+            timestamp=snapshot.timestamp,
+            network=network,
+            appeared=appeared,
+            disappeared=disappeared,
+        )
+
+    def __aiter__(self) -> "Subscription":
+        return self
+
+    async def __anext__(self) -> NetworkSnapshot:
+        if self._queue.empty():
+            if self._lagged:
+                raise StreamError(
+                    "subscription lagged: the consumer fell behind its "
+                    f"{self._queue.maxsize}-event buffer and was dropped"
+                )
+            if self._closed:
+                # The END sentinel may have been lost to a full queue at
+                # close time; the closed flag is the durable signal.
+                raise StopAsyncIteration
+        item = await self._queue.get()
+        if item is Subscription._END:
+            if self._lagged:
+                raise StreamError(
+                    "subscription lagged: the consumer fell behind its "
+                    f"{self._queue.maxsize}-event buffer and was dropped"
+                )
+            raise StopAsyncIteration
+        self.delivered += 1
+        return self._rethreshold(item)
+
+
+class SnapshotHub:
+    """Publish one ingestion loop's snapshots to many subscriptions.
+
+    Args:
+        ingestor: The snapshot source. The hub does not start it — drive it
+            with :meth:`pump`, or publish snapshots yourself.
+        max_pending: Default per-subscription buffer bound (events a
+            subscriber may fall behind before being dropped).
+    """
+
+    def __init__(self, ingestor: StreamIngestor, max_pending: int = 16) -> None:
+        if max_pending <= 0:
+            raise StreamError("max_pending must be positive")
+        self._ingestor = ingestor
+        self._max_pending = max_pending
+        self._subscriptions: set[Subscription] = set()
+        self._closed = False
+        self.published = 0
+        self.dropped_subscriptions = 0
+
+    @property
+    def ingestor(self) -> StreamIngestor:
+        """The wrapped ingestion loop."""
+        return self._ingestor
+
+    @property
+    def theta(self) -> float:
+        """The ingestor's base snapshot threshold (subscription minimum)."""
+        return self._ingestor.theta
+
+    @property
+    def window_points(self) -> int:
+        """Length of the standing query window, in raw points."""
+        engine = self._ingestor.engine
+        return engine.window_size * engine.query_windows
+
+    @property
+    def window_size(self) -> int:
+        """Basic window size ``B`` (the granularity of updates)."""
+        return self._ingestor.engine.window_size
+
+    @property
+    def n_subscriptions(self) -> int:
+        """Currently attached subscriptions."""
+        return len(self._subscriptions)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the hub has been closed (no further events)."""
+        return self._closed
+
+    def subscribe(
+        self, theta: float | None = None, max_pending: int | None = None
+    ) -> Subscription:
+        """Open a new subscription.
+
+        Args:
+            theta: Network threshold for this subscriber; defaults to the
+                ingestor's base threshold, and must be **at or above** it
+                (the base network is the substrate higher thresholds filter;
+                lower ones would need a matrix recomputation per event).
+            max_pending: Override the hub's per-subscription buffer bound.
+
+        Raises:
+            StreamError: On a closed hub, a sub-base threshold, or a
+                non-positive buffer bound.
+        """
+        if self._closed:
+            raise StreamError("cannot subscribe to a closed hub")
+        theta = self.theta if theta is None else float(theta)
+        if not np.isfinite(theta) or theta < self.theta:
+            raise StreamError(
+                f"subscription theta {theta} must be >= the hub's base "
+                f"threshold {self.theta}"
+            )
+        bound = self._max_pending if max_pending is None else int(max_pending)
+        if bound <= 0:
+            raise StreamError("max_pending must be positive")
+        subscription = Subscription(self, theta, bound)
+        self._subscriptions.add(subscription)
+        return subscription
+
+    def _detach(self, subscription: Subscription) -> None:
+        self._subscriptions.discard(subscription)
+
+    def publish(self, snapshot: NetworkSnapshot) -> int:
+        """Deliver one snapshot to every subscription (event-loop context).
+
+        Returns:
+            The number of subscriptions that accepted the event; lagged
+            subscriptions are dropped (their next read raises).
+        """
+        if self._closed:
+            raise StreamError("cannot publish to a closed hub")
+        delivered = 0
+        for subscription in list(self._subscriptions):
+            if subscription._offer(snapshot):
+                delivered += 1
+            else:
+                self.dropped_subscriptions += 1
+                self._detach(subscription)
+        self.published += 1
+        return delivered
+
+    async def pump(
+        self,
+        source: Iterable[np.ndarray],
+        max_updates: int | None = None,
+        interval: float = 0.0,
+    ) -> int:
+        """Drive the ingestor from a batch source, publishing every snapshot.
+
+        The CPU-bound ingestion step (sketching + Lemma 2 slides) runs in
+        the default executor so the event loop — and every connected
+        subscriber — stays responsive.
+
+        Args:
+            source: Iterable of ``(n, k)`` observation batches
+                (:mod:`repro.streams.sources`).
+            max_updates: Stop after this many published snapshots
+                (``None`` = drain the source; never pass ``None`` with an
+                endless source).
+            interval: Optional pause in seconds between batches (simulated
+                feed pacing).
+
+        Returns:
+            The number of snapshots published by this call.
+        """
+        loop = asyncio.get_running_loop()
+        iterator = iter(source)
+        published = 0
+        while not self._closed:
+            try:
+                # next() may block on a slow source; keep it off the loop.
+                batch = await loop.run_in_executor(None, next, iterator, None)
+            except asyncio.CancelledError:
+                raise
+            if batch is None:
+                break
+            snapshots = await loop.run_in_executor(
+                None, self._ingestor.push, batch
+            )
+            for snapshot in snapshots:
+                if self._closed:
+                    break
+                self.publish(snapshot)
+                published += 1
+                if max_updates is not None and published >= max_updates:
+                    return published
+            if interval > 0.0:
+                await asyncio.sleep(interval)
+        return published
+
+    def close(self) -> None:
+        """End every subscription cleanly and refuse further events."""
+        if self._closed:
+            return
+        self._closed = True
+        for subscription in list(self._subscriptions):
+            subscription._end()
+        self._subscriptions.clear()

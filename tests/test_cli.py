@@ -588,3 +588,130 @@ class TestMap:
         # The map body has 8 rows of width 30.
         map_lines = [l for l in out.split("\n") if len(l) == 30]
         assert len(map_lines) >= 8
+
+
+class TestServeProtocolFrames:
+    """The JSON-lines mode speaks the versioned wire protocol."""
+
+    def serve(self, monkeypatch, capsys, store, lines, extra_args=()):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(line + "\n" for line in lines))
+        )
+        code = main(["serve", "--store", str(store), *extra_args])
+        captured = capsys.readouterr()
+        return code, [json.loads(l) for l in captured.out.splitlines()], captured.err
+
+    def test_framed_requests(self, store_file, monkeypatch, capsys):
+        code, responses, err = self.serve(
+            monkeypatch, capsys, store_file,
+            [
+                json.dumps({
+                    "protocol": 1,
+                    "id": "framed-1",
+                    "spec": {"op": "top_k",
+                             "window": {"end": 399, "length": 200}, "k": 2},
+                }),
+            ],
+        )
+        assert code == 0
+        assert responses[0]["id"] == "framed-1"
+        assert responses[0]["ok"] is True
+        assert responses[0]["protocol"] == 1
+        assert len(responses[0]["result"]["pairs"]) == 2
+        assert "served 1 ok / 0 failed" in err
+
+    def test_version_mismatch_rejected(self, store_file, monkeypatch, capsys):
+        code, responses, err = self.serve(
+            monkeypatch, capsys, store_file,
+            [
+                json.dumps({
+                    "protocol": 9,
+                    "id": "future",
+                    "spec": {"op": "matrix",
+                             "window": {"end": 399, "length": 200}},
+                }),
+            ],
+        )
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert "unsupported protocol version 9" in responses[0]["error"]["message"]
+        assert responses[0]["id"] == "future"
+        assert "1 malformed" in err
+
+    def test_subscribe_rejected_on_stdin(self, store_file, monkeypatch, capsys):
+        code, responses, _ = self.serve(
+            monkeypatch, capsys, store_file,
+            [
+                json.dumps({"op": "subscribe",
+                            "window": {"start": 0, "stop": 400},
+                            "theta": 0.5}),
+            ],
+        )
+        assert code == 0
+        assert responses[0]["ok"] is False
+        assert "--http" in responses[0]["error"]["message"]
+
+    def test_hangup_reports_discarded_responses(
+        self, store_file, monkeypatch, capsys
+    ):
+        """The summary counts what the consumer saw; completions after a
+        hangup are 'discarded', not silently folded into ok."""
+        import sys as _sys
+
+        class BrokenAfterOne:
+            def __init__(self, real):
+                self.real = real
+                self.writes = 0
+
+            def write(self, text):
+                self.writes += 1
+                if self.writes > 1:
+                    raise BrokenPipeError("consumer gone")
+                return self.real.write(text)
+
+            def flush(self):
+                self.real.flush()
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "".join(
+                    json.dumps({"op": "matrix",
+                                "window": {"end": 399, "length": 200}}) + "\n"
+                    for _ in range(5)
+                )
+            ),
+        )
+        monkeypatch.setattr("sys.stdout", BrokenAfterOne(_sys.stdout))
+        code = main(["serve", "--store", str(store_file)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert len(captured.out.splitlines()) == 1
+        assert "served 1 ok / 0 failed" in captured.err
+        assert "discarded after hangup" in captured.err
+
+
+class TestTrimCli:
+    def test_trim_mmap_store(self, tmp_path, dataset_file, capsys):
+        store = tmp_path / "sketch.mm"
+        assert main(["sketch", "--data", str(dataset_file),
+                     "--window-size", "50", "--store", str(store),
+                     "--store-backend", "mmap"]) == 0
+        from repro.storage.mmap_store import MmapStore
+
+        with MmapStore(store) as handle:
+            handle._ensure_capacity(64)
+        capsys.readouterr()
+        assert main(["trim", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "trimmed" in out
+        assert "8 committed windows" in out
+        # The store still answers queries after compaction.
+        assert main(["query", "--store", str(store), "--backend", "mmap",
+                     "--end", "399", "--length", "200",
+                     "--theta", "0.4"]) == 0
+
+    def test_trim_rejects_sqlite(self, store_file, capsys):
+        code = main(["trim", "--store", str(store_file)])
+        assert code == 5  # StorageError
+        assert "memory-mapped" in capsys.readouterr().err

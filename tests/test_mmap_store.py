@@ -417,3 +417,86 @@ class TestGenerationCounter:
         # Views taken before the growth stay valid (old mapping kept alive).
         np.testing.assert_array_equal(old[0].pairs, _record(0).pairs)
         assert reader.window_count() == 5
+
+
+class TestTrim:
+    """Compaction of trailing capacity left by out-of-order writes."""
+
+    def _sketch(self, n=6, points=300, window=50):
+        rng = np.random.default_rng(42)
+        return build_sketch(rng.normal(size=(n, points)), window)
+
+    def test_compact_store_is_a_noop(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            save_sketch(store, self._sketch())
+            generation = store.read_generation()
+            assert store.trim() == 0
+            assert store.read_generation() == generation
+
+    def test_reclaims_trailing_unwritten_capacity(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i, n=5) for i in range(4)])
+            # An out-of-order batch grew capacity, then never committed
+            # (crash simulation: capacity exists, sizes stay zero).
+            store._ensure_capacity(32)
+            oversized = store.size_bytes()
+            reclaimed = store.trim()
+            assert reclaimed > 0
+            assert store.size_bytes() == oversized - reclaimed
+            assert store.window_count() == 4
+            records = store.read_windows([0, 3])
+            assert [r.index for r in records] == [0, 3]
+            assert (tmp_path / "st" / "sizes.i64").stat().st_size == 4 * 8
+            # Generation advanced to an even (committed) value.
+            assert store.read_generation() % 2 == 0
+
+    def test_interior_holes_are_preserved(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i, n=4) for i in (0, 1, 5)])
+            store._ensure_capacity(20)
+            store.trim()
+            # Capacity shrank to the last committed record...
+            assert (tmp_path / "st" / "sizes.i64").stat().st_size == 6 * 8
+            # ... but the interior hole stays a hole (indices are semantic).
+            with pytest.raises(StorageError, match="missing"):
+                store.read_windows([3])
+            assert store.read_windows([5])[0].index == 5
+
+    def test_trim_preserves_prefix_tables(self, tmp_path):
+        sketch = self._sketch()
+        with MmapStore(tmp_path / "st") as store:
+            save_sketch(store, sketch)
+            covered = store.build_prefix()
+            assert covered == sketch.n_windows
+            store._ensure_capacity(sketch.n_windows + 16)
+            assert store.trim() > 0
+            assert store.prefix_rows == sketch.n_windows + 1
+            aggregates = store.read_prefix()
+            assert aggregates is not None
+            assert aggregates.covered == sketch.n_windows
+        # Reopen from disk: the sidecar and tables agree after the trim.
+        with MmapStore(tmp_path / "st", mode="r") as reopened:
+            assert reopened.read_prefix().covered == sketch.n_windows
+
+    def test_trim_requires_writable_store_with_records(self, tmp_path):
+        with MmapStore(tmp_path / "st") as store:
+            save_sketch(store, self._sketch())
+        with MmapStore(tmp_path / "st", mode="r") as readonly:
+            with pytest.raises(StorageError, match="read-only"):
+                readonly.trim()
+        with MmapStore(tmp_path / "empty") as empty:
+            with pytest.raises(StorageError, match="no window records"):
+                empty.trim()
+
+    def test_reader_detects_concurrent_trim(self, tmp_path):
+        """trim runs behind the generation barrier like any commit."""
+        with MmapStore(tmp_path / "st") as store:
+            store.write_windows([_record(i, n=4) for i in range(3)])
+            store._ensure_capacity(10)
+        reader = MmapStore(tmp_path / "st", mode="r")
+        g0 = reader.read_generation()
+        with MmapStore(tmp_path / "st") as writer:
+            writer.trim()
+        assert reader.read_generation() != g0
+        assert reader.read_generation() % 2 == 0
+        reader.close()

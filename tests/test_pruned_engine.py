@@ -69,3 +69,76 @@ class TestNetworkPruned:
             == n * (n - 1) // 2
         )
         assert result.rows_computed <= n
+
+
+class TestPrefixAnchorRows:
+    """Algorithm 5 anchor rows served from prefix tables (O(n) each)."""
+
+    def _forbid_streaming(self, provider):
+        """Wrap a provider so any selection re-stream fails the test."""
+
+        def boom(*args, **kwargs):
+            raise AssertionError(
+                "pruning touched the streaming path despite prefix tables"
+            )
+
+        provider.materialize = boom
+        provider.cov_rows = boom
+        provider.covs = boom
+        provider.iter_cov_chunks = boom
+        return provider
+
+    def test_prefix_provider_matches_direct(self, small_matrix):
+        from repro.engine.providers import InMemoryProvider, PrefixProvider
+
+        sketch = build_sketch(small_matrix, window_size=50)
+        direct = TsubasaHistorical(provider=InMemoryProvider(sketch))
+        prefixed = TsubasaHistorical(provider=PrefixProvider(InMemoryProvider(sketch)))
+        for theta in (0.4, 0.6):
+            want = direct.network_pruned((599, 600), theta)
+            got = prefixed.network_pruned((599, 600), theta)
+            np.testing.assert_array_equal(got.matrix, want.matrix)
+            assert got.anchors_used == want.anchors_used
+
+    def test_anchor_rows_never_restream(self, small_matrix):
+        from repro.engine.providers import InMemoryProvider, PrefixProvider
+
+        sketch = build_sketch(small_matrix, window_size=50)
+        provider = PrefixProvider(InMemoryProvider(sketch))
+        provider.prefix_matrix(0, sketch.n_windows)  # tables fully built
+        self._forbid_streaming(provider)
+        engine = TsubasaHistorical(provider=provider)
+        result = engine.network_pruned((599, 600), 0.5)
+        exact = np.corrcoef(small_matrix)
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(exact, 0.5)
+        )
+
+    def test_mmap_persisted_tables_serve_anchor_rows(self, small_matrix, tmp_path):
+        from repro.engine.providers import MmapProvider
+        from repro.storage.mmap_store import MmapStore
+        from repro.storage.serialize import save_sketch
+
+        sketch = build_sketch(small_matrix, window_size=50)
+        with MmapStore(tmp_path / "st") as store:
+            save_sketch(store, sketch)
+            store.build_prefix()
+        provider = self._forbid_streaming(MmapProvider(MmapStore(tmp_path / "st")))
+        engine = TsubasaHistorical(provider=provider)
+        result = engine.network_pruned((599, 600), 0.5, max_anchors=5)
+        exact = np.corrcoef(small_matrix)
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(exact, 0.5)
+        )
+        assert len(result.anchors_used) <= 5
+
+    def test_interior_range_via_prefix(self, small_matrix):
+        from repro.engine.providers import InMemoryProvider, PrefixProvider
+
+        sketch = build_sketch(small_matrix, window_size=50)
+        engine = TsubasaHistorical(provider=PrefixProvider(InMemoryProvider(sketch)))
+        result = engine.network_pruned((399, 200), 0.5)
+        exact = np.corrcoef(small_matrix[:, 200:400])
+        np.testing.assert_array_equal(
+            result.matrix, threshold_adjacency(exact, 0.5)
+        )

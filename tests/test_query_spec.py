@@ -28,6 +28,7 @@ def spec_for(op: str, **overrides) -> QuerySpec:
             "baseline": WindowSpec(end=399, length=200),
             "theta": 0.5,
         },
+        "subscribe": {"theta": 0.5},
     }[op]
     defaults.update(overrides)
     return QuerySpec(op=op, window=window, **defaults)

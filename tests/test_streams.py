@@ -144,3 +144,141 @@ class TestStreamIngestor:
         source = SyntheticSource(loadings, batch_size=60, seed=2)
         snapshots = ingestor.run(source, max_updates=5)
         assert len(snapshots) == 5
+
+
+class TestSnapshotHub:
+    """The bounded fan-out bridging ingestion to push subscribers."""
+
+    def _hub(self, matrix, theta=0.4, **kwargs):
+        from repro.streams.hub import SnapshotHub
+
+        engine = TsubasaRealtime(matrix[:, :300], 50)
+        ingestor = StreamIngestor(engine, theta=theta)
+        return SnapshotHub(ingestor, **kwargs), matrix
+
+    def test_pump_publishes_every_snapshot(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix)
+        source = ReplaySource(matrix, 50, start=300)
+
+        async def run():
+            subscription = hub.subscribe()
+            pump = asyncio.get_running_loop().create_task(hub.pump(source))
+            received = []
+            async for snapshot in subscription:
+                received.append(snapshot)
+                if len(received) == 6:
+                    break
+            await pump
+            return received
+
+        received = asyncio.run(run())
+        assert [s.timestamp for s in received] == [350, 400, 450, 500, 550, 600]
+        assert hub.published == 6
+
+    def test_close_ends_subscriptions_cleanly(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix)
+
+        async def run():
+            subscription = hub.subscribe()
+            hub.publish(hub.ingestor.push(matrix[:, 300:350])[0])
+            hub.close()
+            received = [snapshot async for snapshot in subscription]
+            return received
+
+        received = asyncio.run(run())
+        assert len(received) == 1
+        assert hub.closed
+
+    def test_lagged_subscriber_is_dropped(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix, max_pending=2)
+
+        async def run():
+            subscription = hub.subscribe()
+            healthy = hub.subscribe()
+            snapshots = hub.ingestor.push(matrix[:, 300:600])
+            assert len(snapshots) == 6
+            for snapshot in snapshots:
+                hub.publish(snapshot)
+            # The healthy subscriber (bound 2) lagged too -- use a fresh one
+            # to show delivery still works after drops.
+            assert subscription.lagged and healthy.lagged
+            assert hub.dropped_subscriptions == 2
+            assert hub.n_subscriptions == 0
+            with pytest.raises(StreamError, match="lagged"):
+                async for _ in subscription:
+                    pass
+            late = hub.subscribe()
+            hub.publish(snapshots[-1])
+            hub.close()
+            return [snapshot async for snapshot in late]
+
+        received = asyncio.run(run())
+        assert len(received) == 1
+
+    def test_per_subscription_theta(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix, theta=0.2)
+
+        async def run():
+            strict = hub.subscribe(theta=0.7)
+            base = hub.subscribe()
+            snapshot = hub.ingestor.push(matrix[:, 300:350])[0]
+            hub.publish(snapshot)
+            hub.close()
+            strict_events = [s async for s in strict]
+            base_events = [s async for s in base]
+            return strict_events[0], base_events[0]
+
+        strict_snapshot, base_snapshot = asyncio.run(run())
+        assert strict_snapshot.network.threshold == 0.7
+        strict_edges = strict_snapshot.network.edge_set()
+        base_edges = base_snapshot.network.edge_set()
+        assert strict_edges <= base_edges
+        for a, b in strict_edges:
+            assert strict_snapshot.network.edge_weight(a, b) > 0.7
+        # First event reports the standing network as appeared.
+        assert strict_snapshot.appeared == frozenset(strict_edges)
+
+    def test_subscribe_validation(self, small_matrix):
+        hub, _ = self._hub(small_matrix, theta=0.5)
+        with pytest.raises(StreamError, match=">="):
+            hub.subscribe(theta=0.2)
+        with pytest.raises(StreamError):
+            hub.subscribe(max_pending=0)
+        hub.close()
+        with pytest.raises(StreamError, match="closed"):
+            hub.subscribe()
+
+    def test_close_with_full_queue_still_ends(self, small_matrix):
+        """Closing the hub while a subscription's queue is exactly full must
+        not strand the consumer (the END sentinel has no queue slot; the
+        closed flag is the durable signal)."""
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix, max_pending=2)
+
+        async def run():
+            subscription = hub.subscribe()
+            snapshots = hub.ingestor.push(matrix[:, 300:400])  # 2 slides
+            for snapshot in snapshots:
+                hub.publish(snapshot)
+            assert not subscription.lagged  # exactly full, not overflowed
+            hub.close()
+            received = []
+
+            async def consume():
+                async for snapshot in subscription:
+                    received.append(snapshot)
+
+            await asyncio.wait_for(consume(), timeout=5.0)
+            return received
+
+        received = asyncio.run(run())
+        assert len(received) == 2
