@@ -35,7 +35,11 @@ Beyond the per-query rows, three system-level axes are recorded:
   same workload through a real :class:`~repro.api.server.TsubasaServer`
   socket via :class:`~repro.api.remote.TsubasaRemoteClient` threads, so the
   wire protocol's overhead over the in-process service is measured rather
-  than assumed.
+  than assumed. The ``*_v2`` twins pin the binary columnar protocol v2 on
+  the same connections (CI gates v2 beating JSON v1 at the highest
+  concurrency via ``benchmarks/check_wire_gate.py``), and
+  ``service_http_v2_workers`` scales the v2 workload over 1/2/4
+  ``SO_REUSEPORT`` acceptor processes.
 
 Run as a script to emit ``BENCH_provider.json`` at the repository root, so
 the provider-layer performance trajectory accumulates across revisions::
@@ -478,6 +482,7 @@ def run_service(store_dir: Path) -> list[dict]:
                 "service_workers": max_workers,
             })
     rows.extend(run_service_remote(mmap_path, specs))
+    rows.extend(run_service_workers(mmap_path, specs))
     return rows
 
 
@@ -487,7 +492,12 @@ def run_service_remote(mmap_path: Path, specs: list[QuerySpec]) -> list[dict]:
     One :class:`TsubasaServer` per transport row (mmap backend, 4 executor
     threads); ``concurrency`` remote clients on their own connections split
     the workload, so the row is comparable to the in-process ``service_mmap``
-    row at the same concurrency — the delta is the wire protocol.
+    row at the same concurrency — the delta is the wire protocol. Each
+    transport runs twice: pinned to the JSON protocol
+    (``service_http`` / ``service_ws``) and pinned to the binary columnar
+    protocol v2 (``*_v2`` rows) — the delta between the pair is the
+    encoding, measured on identical connections. CI gates on v2 beating v1
+    at the highest concurrency (``benchmarks/check_wire_gate.py``).
     """
     from concurrent.futures import ThreadPoolExecutor
 
@@ -496,36 +506,98 @@ def run_service_remote(mmap_path: Path, specs: list[QuerySpec]) -> list[dict]:
 
     rows: list[dict] = []
     for transport in ("http", "ws"):
-        client = TsubasaClient(provider=MmapProvider(mmap_path))
-        handle = serve_in_thread(
-            client, service_kwargs={"max_workers": 4}
-        )
-        try:
-            for concurrency in SERVICE_CONCURRENCY:
-                shares = [specs[i::concurrency] for i in range(concurrency)]
+        for protocol, suffix in ((1, ""), (2, "_v2")):
+            client = TsubasaClient(provider=MmapProvider(mmap_path))
+            handle = serve_in_thread(
+                client, service_kwargs={"max_workers": 4}
+            )
+            try:
+                for concurrency in SERVICE_CONCURRENCY:
+                    shares = [specs[i::concurrency] for i in range(concurrency)]
 
-                def worker(share: list[QuerySpec]) -> int:
-                    if not share:
-                        return 0
-                    with TsubasaRemoteClient(
-                        handle.address, transport=transport
-                    ) as remote:
-                        return len(remote.execute_many(share))
-                start = time.perf_counter()
-                with ThreadPoolExecutor(max_workers=concurrency) as pool:
-                    answered = sum(pool.map(worker, shares))
-                elapsed = time.perf_counter() - start
-                assert answered == len(specs)
-                rows.append({
-                    "backend": f"service_{transport}",
-                    "concurrency": concurrency,
-                    "queries": len(specs),
-                    "seconds": elapsed,
-                    "qps": len(specs) / elapsed,
-                    "service_workers": 4,
-                })
-        finally:
-            handle.stop()
+                    def worker(share: list[QuerySpec]) -> int:
+                        if not share:
+                            return 0
+                        with TsubasaRemoteClient(
+                            handle.address, transport=transport,
+                            protocol=protocol,
+                        ) as remote:
+                            return len(remote.execute_many(share))
+                    start = time.perf_counter()
+                    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                        answered = sum(pool.map(worker, shares))
+                    elapsed = time.perf_counter() - start
+                    assert answered == len(specs)
+                    rows.append({
+                        "backend": f"service_{transport}{suffix}",
+                        "concurrency": concurrency,
+                        "queries": len(specs),
+                        "seconds": elapsed,
+                        "qps": len(specs) / elapsed,
+                        "service_workers": 4,
+                        "protocol": protocol,
+                    })
+            finally:
+                handle.stop()
+    return rows
+
+
+def run_service_workers(mmap_path: Path, specs: list[QuerySpec]) -> list[dict]:
+    """v2 HTTP throughput against 1/2/4 ``SO_REUSEPORT`` acceptor processes.
+
+    Each row starts an :class:`~repro.api.supervisor.AcceptorSupervisor`
+    over the same mmap store (2 executor threads per worker) and drives the
+    mixed workload at the highest service concurrency. On a multi-core
+    machine throughput should scale near-linearly to ~4 workers; on a
+    single core the rows document the (small) supervisor overhead instead.
+    """
+    import socket
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.api.remote import TsubasaRemoteClient
+    from repro.api.supervisor import AcceptorSupervisor, WorkerConfig
+
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return []
+
+    concurrency = max(SERVICE_CONCURRENCY)
+    rows: list[dict] = []
+    config = WorkerConfig(
+        store=str(mmap_path),
+        backend="mmap",
+        service_kwargs={"max_workers": 2},
+    )
+    for workers in (1, 2, 4):
+        with AcceptorSupervisor(config, workers=workers, port=0) as supervisor:
+            shares = [specs[i::concurrency] for i in range(concurrency)]
+
+            def worker(share: list[QuerySpec]) -> int:
+                if not share:
+                    return 0
+                with TsubasaRemoteClient(
+                    supervisor.address, protocol=2
+                ) as remote:
+                    return len(remote.execute_many(share))
+
+            # One warm-up pass per worker count so every acceptor has
+            # faulted its maps before the timed run.
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                sum(pool.map(worker, shares))
+            start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=concurrency) as pool:
+                answered = sum(pool.map(worker, shares))
+            elapsed = time.perf_counter() - start
+            assert answered == len(specs)
+            rows.append({
+                "backend": "service_http_v2_workers",
+                "workers": workers,
+                "concurrency": concurrency,
+                "queries": len(specs),
+                "seconds": elapsed,
+                "qps": len(specs) / elapsed,
+                "service_workers": 2,
+                "protocol": 2,
+            })
     return rows
 
 
@@ -571,8 +643,13 @@ def main() -> int:
     print("service throughput (64 mixed queries, shared provider):")
     for entry in payload["service"]:
         coalesce = entry.get("coalesce_rate")
-        note = f"coalesce={coalesce:.2f}" if coalesce is not None else "remote"
-        print(f"  {entry['backend']:<14} c={entry['concurrency']:<3} "
+        if coalesce is not None:
+            note = f"coalesce={coalesce:.2f}"
+        elif "workers" in entry:
+            note = f"workers={entry['workers']}"
+        else:
+            note = "remote"
+        print(f"  {entry['backend']:<23} c={entry['concurrency']:<3} "
               f"{entry['qps']:8.1f} q/s  {note}")
     return 0
 

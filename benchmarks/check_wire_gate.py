@@ -1,0 +1,71 @@
+"""CI gate: protocol v2 must beat JSON v1 at the highest concurrency.
+
+Reads ``BENCH_provider.json`` (written by ``bench_provider_query.py``) and
+fails when the binary columnar ``service_http_v2`` / ``service_ws_v2`` rows
+are not at least :data:`MARGIN` times the throughput of their JSON v1 twins
+at the largest service concurrency. The margin is deliberately below the
+typically observed speedup — the point is a cheap sanity gate catching a v2
+path that silently fell back to JSON (or an encode regression that erased
+the columnar win), not a precise performance SLO; the benchmark JSON
+artifact carries the real numbers.
+
+Usage::
+
+    python benchmarks/check_wire_gate.py [BENCH_provider.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: v2 throughput must be at least this many times the v1 throughput.
+MARGIN = 1.5
+
+#: v1-vs-v2 row pairs that must both clear the margin.
+PAIRS = (("service_http", "service_http_v2"), ("service_ws", "service_ws_v2"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = Path(args[0]) if args else Path("BENCH_provider.json")
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"wire gate: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    rows = [
+        row for row in payload.get("service", []) if "workers" not in row
+    ]
+    if not rows:
+        print(f"wire gate: {path} has no service rows", file=sys.stderr)
+        return 1
+    top = max(row["concurrency"] for row in rows)
+    at_top = {
+        row["backend"]: row["qps"] for row in rows if row["concurrency"] == top
+    }
+    failed = False
+    for v1_name, v2_name in PAIRS:
+        missing = {v1_name, v2_name} - set(at_top)
+        if missing:
+            print(
+                f"wire gate: service rows at c={top} are missing "
+                f"{sorted(missing)}", file=sys.stderr,
+            )
+            return 1
+        v1 = at_top[v1_name]
+        v2 = at_top[v2_name]
+        speedup = v2 / v1 if v1 > 0 else float("inf")
+        ok = speedup >= MARGIN
+        failed = failed or not ok
+        print(
+            f"wire gate [{'OK' if ok else 'FAIL'}]: at c={top}, {v2_name} "
+            f"{v2:.1f} q/s vs {v1_name} {v1:.1f} q/s "
+            f"({speedup:.2f}x, required >= {MARGIN}x)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,12 +4,16 @@ Exercises the full deployment path as separate processes, the way an
 operator runs it:
 
 1. ``tsubasa generate`` + ``tsubasa sketch --store-backend mmap``
-2. ``tsubasa serve --http 127.0.0.1:0`` as a child process (ephemeral port
-   announced on stderr)
+2. ``tsubasa serve --http 127.0.0.1:0 --auth-token ...`` as a child process
+   (ephemeral port announced on stderr)
 3. a :class:`~repro.api.remote.TsubasaRemoteClient` batch over HTTP and a
-   pipelined batch over WebSockets, checked bit-identical to in-process
-   execution
+   pipelined batch over WebSockets — once pinned to JSON protocol 1 and
+   once auto-negotiating binary columnar protocol v2 — every result checked
+   bit-identical to in-process execution; a token-less request must be
+   rejected with 401
 4. SIGTERM → the server drains gracefully and exits 0
+5. the same store served by ``--workers 2`` (``SO_REUSEPORT`` acceptor
+   processes): both workers answer on the shared port, SIGTERM drains both
 
 Exits non-zero on any mismatch, so CI can gate on it::
 
@@ -30,9 +34,120 @@ from repro.api.client import TsubasaClient
 from repro.api.remote import TsubasaRemoteClient
 from repro.api.spec import QuerySpec, WindowSpec
 from repro.engine.providers import MmapProvider
+from repro.exceptions import ServiceError
 from repro.storage.mmap_store import MmapStore
 
 CLI = [sys.executable, "-m", "repro.cli"]
+TOKEN = "smoke-secret"
+
+
+def check_results(remote, local) -> None:
+    for got, want in zip(remote, local):
+        if got.spec.op == "matrix":
+            assert np.array_equal(
+                got.value.values, want.value.values
+            ), "matrix mismatch"
+        elif got.spec.op == "network":
+            assert got.value.edge_set() == want.value.edge_set()
+        else:
+            assert got.value == want.value, got.spec.op
+
+
+def single_process(store: Path, specs, local) -> int:
+    server = subprocess.Popen(
+        [*CLI, "serve", "--store", str(store), "--backend", "mmap",
+         "--http", "127.0.0.1:0", "--auth-token", TOKEN],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = server.stderr.readline()
+        if "serving on http://" not in banner:
+            print(f"unexpected banner: {banner!r}", file=sys.stderr)
+            return 1
+        address = banner.split("http://", 1)[1].split()[0]
+        print(f"server up at {address}")
+        try:
+            TsubasaRemoteClient(address).execute(specs[0])
+            print("token-less request was NOT rejected", file=sys.stderr)
+            return 1
+        except ServiceError:
+            print("token-less request rejected (401)")
+        for transport in ("http", "ws"):
+            for protocol in (1, "auto"):
+                with TsubasaRemoteClient(
+                    address, transport=transport, protocol=protocol,
+                    auth_token=TOKEN,
+                ) as rc:
+                    assert rc.health()["ok"] is True
+                    remote = rc.execute_many(specs)
+                    negotiated = rc.negotiated_protocol
+                check_results(remote, local)
+                print(
+                    f"{transport} protocol={protocol}: {len(remote)} "
+                    f"results bit-identical (negotiated {negotiated})"
+                )
+        server.send_signal(signal.SIGTERM)
+        _, stderr = server.communicate(timeout=30)
+        if server.returncode != 0:
+            print(f"server exited {server.returncode}:\n{stderr}",
+                  file=sys.stderr)
+            return 1
+        if "served 16 ok / 0 failed" not in stderr:
+            print(f"unexpected drain summary:\n{stderr}", file=sys.stderr)
+            return 1
+        print("clean shutdown:", stderr.strip().splitlines()[-1])
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+    return 0
+
+
+def multi_worker(store: Path, specs, local) -> int:
+    server = subprocess.Popen(
+        [*CLI, "serve", "--store", str(store), "--backend", "mmap",
+         "--http", "127.0.0.1:0", "--workers", "2"],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = server.stderr.readline()
+        if "2 SO_REUSEPORT workers" not in banner:
+            print(f"unexpected banner: {banner!r}", file=sys.stderr)
+            return 1
+        address = banner.split("http://", 1)[1].split()[0]
+        print(f"supervisor up at {address}")
+        pids = set()
+        for _ in range(40):
+            with TsubasaRemoteClient(address, auth_token=TOKEN) as rc:
+                pids.add(rc.health()["pid"])
+                check_results(rc.execute_many(specs), local)
+            if len(pids) >= 2:
+                break
+        if len(pids) != 2:
+            print(f"expected 2 serving pids, saw {pids}", file=sys.stderr)
+            return 1
+        print(f"both workers answered: pids {sorted(pids)}")
+        server.send_signal(signal.SIGTERM)
+        _, stderr = server.communicate(timeout=60)
+        if server.returncode != 0:
+            print(f"supervisor exited {server.returncode}:\n{stderr}",
+                  file=sys.stderr)
+            return 1
+        if "stopped 2 worker(s)" not in stderr:
+            print(f"unexpected stop summary:\n{stderr}", file=sys.stderr)
+            return 1
+        if stderr.count("drained after") != 2:
+            print(f"expected 2 worker drains:\n{stderr}", file=sys.stderr)
+            return 1
+        print("clean multi-worker shutdown:",
+              stderr.strip().splitlines()[-1])
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+    return 0
 
 
 def main() -> int:
@@ -60,47 +175,12 @@ def main() -> int:
             provider=MmapProvider(MmapStore(store, mode="r"))
         ).execute_many(specs)
 
-        server = subprocess.Popen(
-            [*CLI, "serve", "--store", str(store), "--backend", "mmap",
-             "--http", "127.0.0.1:0"],
-            stderr=subprocess.PIPE,
-            text=True,
-        )
-        try:
-            banner = server.stderr.readline()
-            if "serving on http://" not in banner:
-                print(f"unexpected banner: {banner!r}", file=sys.stderr)
-                return 1
-            address = banner.split("http://", 1)[1].split()[0]
-            print(f"server up at {address}")
-            for transport in ("http", "ws"):
-                with TsubasaRemoteClient(address, transport=transport) as rc:
-                    assert rc.health()["ok"] is True
-                    remote = rc.execute_many(specs)
-                for got, want in zip(remote, local):
-                    if got.spec.op == "matrix":
-                        assert np.array_equal(
-                            got.value.values, want.value.values
-                        ), "matrix mismatch"
-                    elif got.spec.op == "network":
-                        assert got.value.edge_set() == want.value.edge_set()
-                    else:
-                        assert got.value == want.value, got.spec.op
-                print(f"{transport}: {len(remote)} results bit-identical")
-            server.send_signal(signal.SIGTERM)
-            _, stderr = server.communicate(timeout=30)
-            if server.returncode != 0:
-                print(f"server exited {server.returncode}:\n{stderr}",
-                      file=sys.stderr)
-                return 1
-            if "served 8 ok / 0 failed" not in stderr:
-                print(f"unexpected drain summary:\n{stderr}", file=sys.stderr)
-                return 1
-            print("clean shutdown:", stderr.strip().splitlines()[-1])
-        finally:
-            if server.poll() is None:
-                server.kill()
-                server.communicate()
+        code = single_process(store, specs, local)
+        if code:
+            return code
+        code = multi_worker(store, specs, local)
+        if code:
+            return code
     print("server smoke test passed")
     return 0
 

@@ -4,7 +4,9 @@
    socket (here on a background thread; in production, ``tsubasa serve
    --store sketch.mm --http 0.0.0.0:8787``).
 2. Execute the same declarative QuerySpecs remotely over HTTP and over a
-   WebSocket — results are bit-identical to in-process execution.
+   WebSocket, once pinned to JSON protocol 1 and once auto-negotiating the
+   binary columnar protocol v2 — results are bit-identical to in-process
+   execution either way, and every request carries a bearer auth token.
 3. Subscribe to live network updates: a replayed stream drives the
    real-time engine, and each completed basic window is pushed to the
    client as an ordered StreamEvent.
@@ -28,6 +30,9 @@ from repro.streams.ingestion import StreamIngestor
 from repro.streams.sources import ReplaySource
 
 
+TOKEN = "example-secret"
+
+
 def main() -> None:
     dataset = generate_station_dataset(n_stations=24, n_points=1200, seed=7)
     sketch = build_sketch(dataset.values, 100, names=dataset.names)
@@ -39,9 +44,10 @@ def main() -> None:
     ingestor = StreamIngestor(engine, theta=0.5)
     source = ReplaySource(dataset.values, 100, start=800)
     handle = serve_in_thread(
-        client, ingestor=ingestor, source=source, pump_interval=0.3
+        client, ingestor=ingestor, source=source, pump_interval=0.3,
+        server_kwargs={"auth_token": TOKEN},
     )
-    print(f"server listening on http://{handle.address}")
+    print(f"server listening on http://{handle.address} (Bearer auth)")
 
     window = WindowSpec(end=1199, length=400)
     specs = [
@@ -50,24 +56,35 @@ def main() -> None:
         QuerySpec(op="matrix", window=window),
     ]
 
-    # In-process reference vs both remote transports: bit-identical.
+    # In-process reference vs both remote transports, JSON v1 vs binary
+    # columnar v2 ("auto" negotiates v2 here): all bit-identical.
     local = [TsubasaClient(provider=InMemoryProvider(sketch)).execute(s)
              for s in specs]
     for transport in ("http", "ws"):
-        with TsubasaRemoteClient(handle.address, transport=transport) as remote:
-            results = remote.execute_many(specs)
-        matrix_equal = np.array_equal(
-            results[2].value.values, local[2].value.values
-        )
-        print(
-            f"{transport:>4}: network {results[0].value.n_edges} edges, "
-            f"top pair {results[1].value[0][0]}--{results[1].value[0][1]} "
-            f"({results[1].value[0][2]:+.3f}), "
-            f"matrix bit-identical={matrix_equal}"
-        )
+        for protocol in (1, "auto"):
+            with TsubasaRemoteClient(
+                handle.address, transport=transport, protocol=protocol,
+                auth_token=TOKEN,
+            ) as remote:
+                results = remote.execute_many(specs)
+                if transport == "ws" and protocol == "auto":
+                    # The hello exchange lands on binary columnar frames.
+                    assert remote.negotiated_protocol == 2
+            matrix_equal = np.array_equal(
+                results[2].value.values, local[2].value.values
+            )
+            wire = "JSON v1" if protocol == 1 else "v2 frames"
+            print(
+                f"{transport:>4} protocol={protocol!s:>4} ({wire}): "
+                f"network {results[0].value.n_edges} edges, "
+                f"top pair {results[1].value[0][0]}--"
+                f"{results[1].value[0][1]} "
+                f"({results[1].value[0][2]:+.3f}), "
+                f"matrix bit-identical={matrix_equal}"
+            )
 
     # Live subscription: ordered snapshots pushed as basic windows complete.
-    with TsubasaRemoteClient(handle.address) as remote:
+    with TsubasaRemoteClient(handle.address, auth_token=TOKEN) as remote:
         print("subscribing to live network updates (theta=0.5) ...")
         for event in remote.subscribe(
             theta=0.5, window_points=800, max_events=3

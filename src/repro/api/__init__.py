@@ -39,8 +39,16 @@ from repro.api.client import (
     SerialPolicy,
     TsubasaClient,
 )
+from repro.api.frames import (
+    CONTENT_TYPE_V2,
+    decode_frame,
+    encode_frame,
+    value_from_payload_v2,
+)
 from repro.api.protocol import (
+    PROTOCOL_V2,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     ErrorEnvelope,
     Request,
     Response,
@@ -64,6 +72,7 @@ from repro.api.spec import (
     QuerySpec,
     WindowSpec,
 )
+from repro.api.supervisor import AcceptorSupervisor, WorkerConfig
 
 __all__ = [
     "QuerySpec",
@@ -82,6 +91,12 @@ __all__ = [
     "BackendLatency",
     "run_specs",
     "PROTOCOL_VERSION",
+    "PROTOCOL_V2",
+    "SUPPORTED_PROTOCOLS",
+    "CONTENT_TYPE_V2",
+    "encode_frame",
+    "decode_frame",
+    "value_from_payload_v2",
     "Request",
     "Response",
     "ErrorEnvelope",
@@ -93,4 +108,6 @@ __all__ = [
     "ServerHandle",
     "serve_in_thread",
     "TsubasaRemoteClient",
+    "AcceptorSupervisor",
+    "WorkerConfig",
 ]

@@ -1,0 +1,326 @@
+"""Protocol v2: binary columnar frames (JSON sidecar + raw float64 buffers).
+
+Protocol v1 (:mod:`repro.api.protocol`) ships every result as JSON, which
+means a 60x60 correlation matrix costs ~3 ms of per-element float formatting
+per response — several times the engine's own query latency off the prefix
+tables. Version 2 keeps the v1 JSON envelope as a *sidecar* for metadata
+(ids, seconds, provenance, error bodies, small row payloads) but moves bulk
+numeric arrays into raw little-endian buffers taken directly from the kernel
+output (``ndarray.tobytes()``), so neither side ever touches a per-element
+Python object.
+
+Frame layout (all integers little-endian)::
+
+    offset  size  field
+    0       4     magic  b"TSB2"
+    4       2     version (2)
+    6       2     flags (reserved, 0)
+    8       4     meta_len  — length of the UTF-8 JSON sidecar
+    12      8     body_len  — total length of the buffer body
+    20      meta_len   JSON sidecar (the v1 envelope dict; array fields are
+                       replaced by ``{"$buf": i}`` references, and a
+                       ``"buffers"`` table describes dtype/shape/offset)
+    20+meta_len  body_len   concatenated raw buffers
+
+A frame is self-delimiting, so a batch response is simply frames written
+back to back. Buffer-bearing ops are ``matrix`` (one ``(n, n)`` float64
+buffer) and ``network`` (a ``(n_edges, 2)`` uint32 edge-index buffer plus an
+``(n_edges,)`` float64 weight buffer). Every other op's payload is small
+rows and stays JSON inside the sidecar — same bytes as v1, just wrapped in
+the binary framing.
+
+The decoder (:func:`decode_frame`) returns NumPy arrays created with
+``np.frombuffer`` over the received bytes — zero-copy, read-only — and
+:func:`value_from_payload_v2` rebuilds the same value types as the v1 path,
+bit-identical to in-process execution.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.api.protocol import (
+    PROTOCOL_V2,
+    ErrorEnvelope,
+    value_from_payload,
+)
+from repro.api.spec import QueryResult, QuerySpec
+from repro.exceptions import DataError
+
+__all__ = [
+    "MAGIC",
+    "FRAME_HEADER",
+    "CONTENT_TYPE_V2",
+    "encode_frame",
+    "decode_frame",
+    "encode_envelope",
+    "encode_response_v2",
+    "encode_error_v2",
+    "value_from_payload_v2",
+]
+
+#: First four bytes of every v2 frame.
+MAGIC = b"TSB2"
+
+#: magic, version, flags, meta_len, body_len.
+FRAME_HEADER = struct.Struct("<4sHHIQ")
+
+#: The HTTP content type (and ``Accept`` token) that negotiates v2.
+CONTENT_TYPE_V2 = "application/x-tsubasa-frame"
+
+#: Buffer dtypes a decoder will accept (little-endian, fixed width).
+_ALLOWED_DTYPES = {"<f8", "<u4"}
+
+
+def _describe(array: np.ndarray, offset: int) -> dict[str, Any]:
+    return {
+        "dtype": array.dtype.str,
+        "shape": list(array.shape),
+        "offset": offset,
+        "nbytes": array.nbytes,
+    }
+
+
+def encode_frame(meta: dict[str, Any], buffers: list[np.ndarray]) -> bytes:
+    """Pack a sidecar dict plus raw buffers into one binary frame.
+
+    ``meta`` should reference buffers by index via ``{"$buf": i}``
+    placeholders; the buffer table is appended here as ``meta["buffers"]``.
+    """
+    parts: list[bytes] = []
+    table: list[dict[str, Any]] = []
+    offset = 0
+    for array in buffers:
+        array = np.ascontiguousarray(array)
+        if array.dtype.str not in _ALLOWED_DTYPES:
+            raise DataError(
+                f"frame buffers must be one of {sorted(_ALLOWED_DTYPES)}, "
+                f"got {array.dtype.str!r}"
+            )
+        table.append(_describe(array, offset))
+        parts.append(array.tobytes())
+        offset += array.nbytes
+    if table:
+        meta = dict(meta, buffers=table)
+    sidecar = json.dumps(meta).encode("utf-8")
+    header = FRAME_HEADER.pack(MAGIC, PROTOCOL_V2, 0, len(sidecar), offset)
+    return b"".join([header, sidecar, *parts])
+
+
+def decode_frame(
+    data: bytes | bytearray | memoryview, offset: int = 0
+) -> tuple[dict[str, Any], list[np.ndarray], int]:
+    """Unpack one frame starting at ``offset``.
+
+    Returns ``(meta, buffers, next_offset)`` where ``buffers`` are read-only
+    zero-copy views (``np.frombuffer``) over ``data``. Raises
+    :class:`~repro.exceptions.DataError` on any malformed frame: bad magic,
+    truncation, undecodable sidecar, or a buffer table that reaches outside
+    the body.
+    """
+    view = memoryview(data)
+    if offset < 0 or offset > len(view):
+        raise DataError(f"frame offset {offset} outside data of {len(view)} bytes")
+    if len(view) - offset < FRAME_HEADER.size:
+        raise DataError(
+            f"truncated v2 frame: {len(view) - offset} bytes, "
+            f"need at least {FRAME_HEADER.size}"
+        )
+    magic, version, _flags, meta_len, body_len = FRAME_HEADER.unpack_from(
+        view, offset
+    )
+    if magic != MAGIC:
+        raise DataError(f"bad v2 frame magic {bytes(magic)!r}")
+    if version != PROTOCOL_V2:
+        raise DataError(f"unsupported v2 frame version {version}")
+    meta_start = offset + FRAME_HEADER.size
+    body_start = meta_start + meta_len
+    end = body_start + body_len
+    if end > len(view):
+        raise DataError(
+            f"truncated v2 frame: declares {meta_len + body_len} payload "
+            f"bytes, {len(view) - meta_start} available"
+        )
+    try:
+        meta = json.loads(bytes(view[meta_start:body_start]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DataError(f"undecodable v2 frame sidecar: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise DataError(f"v2 frame sidecar must be an object, got {meta!r}")
+    buffers: list[np.ndarray] = []
+    table = meta.pop("buffers", [])
+    if not isinstance(table, list):
+        raise DataError(f"v2 buffer table must be a list, got {table!r}")
+    body = view[body_start:end]
+    for entry in table:
+        if not isinstance(entry, dict):
+            raise DataError(f"malformed v2 buffer descriptor: {entry!r}")
+        try:
+            dtype = str(entry["dtype"])
+            shape = tuple(int(dim) for dim in entry["shape"])
+            buf_offset = int(entry["offset"])
+            nbytes = int(entry["nbytes"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DataError(
+                f"malformed v2 buffer descriptor: {entry!r}"
+            ) from exc
+        if dtype not in _ALLOWED_DTYPES:
+            raise DataError(f"v2 buffer has unsupported dtype {dtype!r}")
+        if buf_offset < 0 or nbytes < 0 or buf_offset + nbytes > len(body):
+            raise DataError(
+                f"v2 buffer [{buf_offset}:{buf_offset + nbytes}] outside "
+                f"body of {len(body)} bytes"
+            )
+        itemsize = np.dtype(dtype).itemsize
+        if nbytes % itemsize:
+            raise DataError(
+                f"v2 buffer of {nbytes} bytes is not a multiple of "
+                f"{dtype!r} items"
+            )
+        try:
+            array = np.frombuffer(
+                body, dtype=np.dtype(dtype), count=nbytes // itemsize,
+                offset=buf_offset,
+            ).reshape(shape)
+        except ValueError as exc:
+            raise DataError(f"v2 buffer does not fit {shape}: {exc}") from exc
+        buffers.append(array)
+    return meta, buffers, end
+
+
+def encode_envelope(envelope: dict[str, Any]) -> bytes:
+    """Wrap a buffer-free v1 envelope dict (ack, error, stream event) as v2."""
+    meta = dict(envelope, protocol=PROTOCOL_V2)
+    return encode_frame(meta, [])
+
+
+def _result_sidecar(result: QueryResult) -> tuple[dict[str, Any], list[np.ndarray]]:
+    """The v2 payload for one result: sidecar dict + buffer list.
+
+    ``matrix`` and ``network`` move their arrays into buffers; every other
+    op reuses the v1 JSON payload unchanged.
+    """
+    value = result.value
+    op = result.spec.op
+    if op == "matrix":
+        payload = {
+            "names": list(value.names),
+            "values": {"$buf": 0},
+        }
+        return payload, [np.ascontiguousarray(value.values, dtype=np.float64)]
+    if op == "network":
+        rows, cols = np.nonzero(np.triu(value.adjacency, k=1))
+        index = np.stack(
+            [rows.astype(np.uint32), cols.astype(np.uint32)], axis=1
+        )
+        weights = np.ascontiguousarray(
+            value.weights[rows, cols], dtype=np.float64
+        )
+        payload = {
+            "names": list(value.names),
+            "n_nodes": value.n_nodes,
+            "n_edges": int(len(rows)),
+            "theta": float(value.threshold),
+            "edge_index": {"$buf": 0},
+            "edge_weights": {"$buf": 1},
+        }
+        return payload, [index, weights]
+    return result.payload(), []
+
+
+def encode_response_v2(
+    result: QueryResult, request_id: str | int | None = None
+) -> bytes:
+    """Encode one successful completion as a binary v2 frame."""
+    payload, buffers = _result_sidecar(result)
+    meta: dict[str, Any] = {
+        "protocol": PROTOCOL_V2,
+        "id": request_id,
+        "ok": True,
+        "result": payload,
+        "seconds": result.timings.get("total", 0.0),
+    }
+    if result.provenance is not None:
+        meta["provenance"] = result.provenance.to_dict()
+    return encode_frame(meta, buffers)
+
+
+def _buffer_ref(field: Any, buffers: list[np.ndarray]) -> np.ndarray:
+    if (
+        not isinstance(field, dict)
+        or set(field) != {"$buf"}
+        or not isinstance(field["$buf"], int)
+    ):
+        raise DataError(f"expected a v2 buffer reference, got {field!r}")
+    index = field["$buf"]
+    if not 0 <= index < len(buffers):
+        raise DataError(
+            f"v2 buffer reference {index} outside table of {len(buffers)}"
+        )
+    return buffers[index]
+
+
+def value_from_payload_v2(
+    spec: QuerySpec, payload: dict[str, Any], buffers: list[np.ndarray]
+) -> Any:
+    """Rebuild the op's natural Python value from a v2 sidecar + buffers.
+
+    The buffer-bearing ops decode their arrays zero-copy; everything else
+    delegates to the v1 :func:`~repro.api.protocol.value_from_payload`.
+    """
+    from repro.core.matrix import CorrelationMatrix
+    from repro.core.network import ClimateNetwork
+
+    if not isinstance(payload, dict):
+        raise DataError(f"result payload must be an object, got {payload!r}")
+    op = spec.op
+    try:
+        if op == "matrix" and isinstance(payload.get("values"), dict):
+            values = _buffer_ref(payload["values"], buffers)
+            names = [str(name) for name in payload["names"]]
+            n = len(names)
+            if values.dtype != np.float64 or values.shape != (n, n):
+                raise DataError(
+                    f"matrix buffer {values.dtype}{values.shape} does not "
+                    f"match {n} names"
+                )
+            return CorrelationMatrix(names=names, values=values)
+        if op == "network" and "edge_index" in payload:
+            index = _buffer_ref(payload["edge_index"], buffers)
+            edge_weights = _buffer_ref(payload["edge_weights"], buffers)
+            names = [str(name) for name in payload["names"]]
+            n = len(names)
+            n_edges = int(payload["n_edges"])
+            if index.shape != (n_edges, 2) or edge_weights.shape != (n_edges,):
+                raise DataError(
+                    f"network buffers {index.shape}/{edge_weights.shape} do "
+                    f"not match {n_edges} edges"
+                )
+            if n_edges and int(index.max(initial=0)) >= n:
+                raise DataError("network edge index outside the node table")
+            adjacency = np.zeros((n, n), dtype=bool)
+            weights = np.zeros((n, n), dtype=np.float64)
+            rows = index[:, 0].astype(np.intp)
+            cols = index[:, 1].astype(np.intp)
+            adjacency[rows, cols] = adjacency[cols, rows] = True
+            weights[rows, cols] = weights[cols, rows] = edge_weights
+            return ClimateNetwork(
+                names=names,
+                adjacency=adjacency,
+                weights=weights,
+                threshold=float(payload["theta"]),
+            )
+    except DataError:
+        raise
+    except (AttributeError, KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed v2 {op!r} result payload: {exc!r}") from exc
+    return value_from_payload(spec, payload)
+
+
+def encode_error_v2(envelope: ErrorEnvelope) -> bytes:
+    """Encode a failed completion as a (buffer-free) binary v2 frame."""
+    return encode_envelope(envelope.to_dict())

@@ -52,6 +52,8 @@ from repro.exceptions import DataError, TsubasaError, error_code_for
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_V2",
+    "SUPPORTED_PROTOCOLS",
     "Request",
     "Response",
     "ErrorEnvelope",
@@ -61,8 +63,15 @@ __all__ = [
     "value_from_payload",
 ]
 
-#: The protocol version this library speaks.
+#: The default protocol version (JSON envelopes, always available).
 PROTOCOL_VERSION = 1
+
+#: The binary columnar protocol (JSON sidecar + raw float64 buffers); see
+#: :mod:`repro.api.frames`. Negotiated per connection, never the default.
+PROTOCOL_V2 = 2
+
+#: Every version this library can speak.
+SUPPORTED_PROTOCOLS = (PROTOCOL_VERSION, PROTOCOL_V2)
 
 
 def _check_id(request_id: Any) -> Any:
@@ -84,13 +93,13 @@ def _check_version(payload: dict[str, Any]) -> int:
     if (
         not isinstance(version, numbers.Integral)
         or isinstance(version, bool)
-        or int(version) != PROTOCOL_VERSION
+        or int(version) not in SUPPORTED_PROTOCOLS
     ):
         raise DataError(
             f"unsupported protocol version {version!r}; this endpoint "
-            f"speaks protocol {PROTOCOL_VERSION}"
+            f"speaks protocols {', '.join(str(v) for v in SUPPORTED_PROTOCOLS)}"
         )
-    return PROTOCOL_VERSION
+    return int(version)
 
 
 @dataclass(frozen=True)

@@ -42,7 +42,10 @@ from collections.abc import Iterator
 from dataclasses import fields
 from typing import Any
 
+from repro.api.frames import CONTENT_TYPE_V2, decode_frame, value_from_payload_v2
 from repro.api.protocol import (
+    PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     ErrorEnvelope,
     Request,
     Response,
@@ -56,7 +59,8 @@ from repro.exceptions import DataError, ServiceError
 
 __all__ = ["TsubasaRemoteClient"]
 
-_OP_TEXT, _OP_CLOSE, _OP_PING, _OP_PONG = 0x1, 0x8, 0x9, 0xA
+_OP_TEXT, _OP_BINARY = 0x1, 0x2
+_OP_CLOSE, _OP_PING, _OP_PONG = 0x8, 0x9, 0xA
 
 
 def _parse_address(address: str) -> tuple[str, int]:
@@ -81,12 +85,21 @@ def _parse_address(address: str) -> tuple[str, int]:
 
 
 class _WsClientConnection:
-    """A minimal blocking RFC 6455 client connection (text frames)."""
+    """A minimal blocking RFC 6455 client connection (text + binary frames)."""
 
-    def __init__(self, host: str, port: int, timeout: float) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._buffer = b""
         key = base64.b64encode(os.urandom(16)).decode("ascii")
+        extra = "".join(
+            f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+        )
         handshake = (
             f"GET /v1/ws HTTP/1.1\r\n"
             f"Host: {host}:{port}\r\n"
@@ -94,6 +107,7 @@ class _WsClientConnection:
             "Connection: Upgrade\r\n"
             f"Sec-WebSocket-Key: {key}\r\n"
             "Sec-WebSocket-Version: 13\r\n"
+            f"{extra}"
             "\r\n"
         )
         self._sock.sendall(handshake.encode("latin-1"))
@@ -134,8 +148,11 @@ class _WsClientConnection:
             encode_ws_frame(_OP_TEXT, text.encode("utf-8"), mask=True)
         )
 
-    def recv_message(self) -> str | None:
-        """The next complete text message (``None`` = server closed)."""
+    def recv_frame(self) -> tuple[int, bytes] | None:
+        """The next complete data message: ``(opcode, payload)``.
+
+        ``None`` means the server closed the connection.
+        """
         opcode0: int | None = None
         buffer = bytearray()
         while True:
@@ -170,7 +187,14 @@ class _WsClientConnection:
                 opcode0 = opcode
             buffer += payload
             if fin:
-                return bytes(buffer).decode("utf-8")
+                return opcode0, bytes(buffer)
+
+    def recv_message(self) -> str | None:
+        """The next complete text message (``None`` = server closed)."""
+        frame = self.recv_frame()
+        if frame is None:
+            return None
+        return frame[1].decode("utf-8")
 
     def close(self) -> None:
         try:
@@ -194,20 +218,43 @@ class TsubasaRemoteClient:
         transport: ``"http"`` (default) or ``"ws"`` for query execution;
             subscriptions always use a dedicated WebSocket connection.
         timeout: Socket timeout in seconds for every blocking operation.
+        protocol: Wire encoding for results. ``"auto"`` (default) prefers
+            the binary columnar v2 and falls back to v1 JSON against
+            older servers (over HTTP the server simply ignores the
+            ``Accept`` header; over WebSockets the hello exchange is
+            rejected with an error envelope). ``1`` forces JSON; ``2``
+            requires v2 (a WebSocket connection to a v1-only server
+            raises :class:`~repro.exceptions.ServiceError`).
+        auth_token: Optional bearer token sent as ``Authorization:
+            Bearer <token>`` on every HTTP request and WebSocket
+            handshake.
     """
 
     def __init__(
-        self, address: str, transport: str = "http", timeout: float = 60.0
+        self,
+        address: str,
+        transport: str = "http",
+        timeout: float = 60.0,
+        protocol: str | int = "auto",
+        auth_token: str | None = None,
     ) -> None:
         if transport not in ("http", "ws"):
             raise DataError(
                 f"transport must be 'http' or 'ws', got {transport!r}"
             )
+        if protocol not in ("auto", 1, 2):
+            raise DataError(
+                f"protocol must be 'auto', 1, or 2, got {protocol!r}"
+            )
         self._host, self._port = _parse_address(address)
         self._transport = transport
         self._timeout = timeout
+        self._protocol = protocol
+        self._want_v2 = protocol in ("auto", 2)
+        self._auth_token = auth_token
         self._http: http.client.HTTPConnection | None = None
         self._ws: _WsClientConnection | None = None
+        self._ws_protocol: int | None = None
         self._next_id = 0
 
     # -- plumbing ------------------------------------------------------------
@@ -222,6 +269,11 @@ class TsubasaRemoteClient:
         """The configured execution transport."""
         return self._transport
 
+    @property
+    def negotiated_protocol(self) -> int | None:
+        """The WebSocket session's wire version (``None`` before connect)."""
+        return self._ws_protocol
+
     def close(self) -> None:
         """Close any open connections (idempotent)."""
         if self._http is not None:
@@ -230,6 +282,7 @@ class TsubasaRemoteClient:
         if self._ws is not None:
             self._ws.close()
             self._ws = None
+            self._ws_protocol = None
 
     def __enter__(self) -> "TsubasaRemoteClient":
         return self
@@ -248,14 +301,31 @@ class TsubasaRemoteClient:
             )
         return self._http
 
+    def _auth_headers(self) -> dict[str, str]:
+        if self._auth_token is None:
+            return {}
+        return {"Authorization": f"Bearer {self._auth_token}"}
+
     def _http_round_trip(
-        self, method: str, path: str, body: bytes | None = None
-    ) -> Any:
-        """One HTTP exchange, reconnecting once on a stale keep-alive."""
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        accept_v2: bool = False,
+    ) -> tuple[int, str, bytes]:
+        """One HTTP exchange, reconnecting once on a stale keep-alive.
+
+        Returns ``(status, content_type, raw_body)`` — the caller picks
+        the decoder off the response content type (v2 negotiation).
+        """
         for attempt in (0, 1):
             conn = self._http_conn()
             try:
-                headers = {"Content-Type": "application/json"} if body else {}
+                headers = self._auth_headers()
+                if body:
+                    headers["Content-Type"] = "application/json"
+                if accept_v2:
+                    headers["Accept"] = CONTENT_TYPE_V2
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 data = response.read()
@@ -267,19 +337,79 @@ class TsubasaRemoteClient:
                     raise ServiceError(
                         f"HTTP request to {self.address} failed: {exc}"
                     ) from exc
+        return (
+            response.status,
+            response.getheader("Content-Type", "") or "",
+            data,
+        )
+
+    def _http_json(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> Any:
+        status, _content_type, data = self._http_round_trip(method, path, body)
         try:
             return json.loads(data)
         except ValueError as exc:
             raise ServiceError(
-                f"server returned invalid JSON (HTTP {response.status})"
+                f"server returned invalid JSON (HTTP {status})"
             ) from exc
 
     def _ws_conn(self) -> _WsClientConnection:
         if self._ws is None:
-            self._ws = _WsClientConnection(
-                self._host, self._port, self._timeout
+            conn = _WsClientConnection(
+                self._host, self._port, self._timeout,
+                headers=self._auth_headers(),
             )
+            self._ws = conn
+            self._ws_protocol = self._negotiate_ws(conn)
         return self._ws
+
+    def _negotiate_ws(self, conn: _WsClientConnection) -> int:
+        """The hello exchange: prefer v2, fall back to v1 on rejection."""
+        if not self._want_v2:
+            return PROTOCOL_VERSION
+        hello = {
+            "protocol": PROTOCOL_VERSION,
+            "id": self._take_id(),
+            "hello": {"protocols": list(SUPPORTED_PROTOCOLS)},
+        }
+        conn.send_text(json.dumps(hello))
+        frame = conn.recv_frame()
+        if frame is None:
+            raise ServiceError("server closed during protocol negotiation")
+        try:
+            envelope = json.loads(frame[1].decode("utf-8"))
+        except ValueError as exc:
+            raise ServiceError(
+                f"malformed protocol negotiation reply: {exc}"
+            ) from exc
+        if (
+            isinstance(envelope, dict)
+            and envelope.get("ok") is True
+            and isinstance(envelope.get("result"), dict)
+            and isinstance(envelope["result"].get("hello"), dict)
+        ):
+            return int(envelope["result"]["hello"]["protocol"])
+        # A v1-only server rejects the unknown "hello" field with an error
+        # envelope — that *is* the downgrade signal.
+        if self._protocol == 2:
+            raise ServiceError(
+                f"server at {self.address} does not speak protocol v2"
+            )
+        return PROTOCOL_VERSION
+
+    def _recv_envelope(
+        self, conn: _WsClientConnection
+    ) -> tuple[Any, list | None] | None:
+        """One server frame as ``(envelope_dict, buffers-or-None)``."""
+        frame = conn.recv_frame()
+        if frame is None:
+            return None
+        opcode, data = frame
+        if opcode == _OP_BINARY:
+            meta, buffers, _end = decode_frame(data)
+            return meta, buffers
+        return json.loads(data.decode("utf-8")), None
 
     # -- result assembly -----------------------------------------------------
 
@@ -292,16 +422,28 @@ class TsubasaRemoteClient:
             **{key: value for key, value in payload.items() if key in known}
         )
 
-    def _result_from(self, spec: QuerySpec, frame: Response) -> QueryResult:
+    def _result_from(
+        self,
+        spec: QuerySpec,
+        frame: Response,
+        buffers: list | None = None,
+    ) -> QueryResult:
+        if buffers is not None:
+            value = value_from_payload_v2(spec, frame.result, buffers)
+        else:
+            value = value_from_payload(spec, frame.result)
         return QueryResult(
             spec=spec,
-            value=value_from_payload(spec, frame.result),
+            value=value,
             timings={"total": frame.seconds},
             provenance=self._provenance_from(frame.provenance),
         )
 
     def _complete(
-        self, spec: QuerySpec, envelope: dict[str, Any]
+        self,
+        spec: QuerySpec,
+        envelope: dict[str, Any],
+        buffers: list | None = None,
     ) -> QueryResult:
         frame = parse_frame(envelope)
         if isinstance(frame, ErrorEnvelope):
@@ -310,7 +452,7 @@ class TsubasaRemoteClient:
             raise ServiceError(
                 f"expected a response frame, got {type(frame).__name__}"
             )
-        return self._result_from(spec, frame)
+        return self._result_from(spec, frame, buffers)
 
     # -- the TsubasaClient surface -------------------------------------------
 
@@ -321,9 +463,19 @@ class TsubasaRemoteClient:
         if self._transport == "ws":
             return self._ws_execute_many([spec])[0]
         request = Request(spec=spec, id=self._take_id())
-        envelope = self._http_round_trip(
-            "POST", "/v1/query", request.to_json().encode()
+        status, content_type, data = self._http_round_trip(
+            "POST", "/v1/query", request.to_json().encode(),
+            accept_v2=self._want_v2,
         )
+        if content_type.startswith(CONTENT_TYPE_V2):
+            meta, buffers, _end = decode_frame(data)
+            return self._complete(spec, meta, buffers)
+        try:
+            envelope = json.loads(data)
+        except ValueError as exc:
+            raise ServiceError(
+                f"server returned invalid JSON (HTTP {status})"
+            ) from exc
         return self._complete(spec, envelope)
 
     def execute_many(self, specs: list[QuerySpec]) -> list[QueryResult]:
@@ -343,9 +495,36 @@ class TsubasaRemoteClient:
         frames = [
             Request(spec=spec, id=self._take_id()).to_dict() for spec in specs
         ]
-        envelopes = self._http_round_trip(
-            "POST", "/v1/batch", json.dumps(frames).encode()
+        status, content_type, data = self._http_round_trip(
+            "POST", "/v1/batch", json.dumps(frames).encode(),
+            accept_v2=self._want_v2,
         )
+        if content_type.startswith(CONTENT_TYPE_V2):
+            decoded: list[tuple[dict[str, Any], list]] = []
+            offset = 0
+            while offset < len(data):
+                meta, buffers, offset = decode_frame(data, offset)
+                decoded.append((meta, buffers))
+            if len(decoded) != len(specs):
+                raise ServiceError(
+                    f"batch returned {len(decoded)} frames for "
+                    f"{len(specs)} requests"
+                )
+            return [
+                self._complete(spec, meta, buffers)
+                for spec, (meta, buffers) in zip(specs, decoded)
+            ]
+        try:
+            envelopes = json.loads(data)
+        except ValueError as exc:
+            raise ServiceError(
+                f"server returned invalid JSON (HTTP {status})"
+            ) from exc
+        if isinstance(envelopes, dict):
+            # A whole-batch failure (bad body, auth) is a single envelope.
+            frame = parse_frame(envelopes)
+            if isinstance(frame, ErrorEnvelope):
+                raise frame.to_exception()
         if not isinstance(envelopes, list) or len(envelopes) != len(specs):
             raise ServiceError(
                 f"batch returned {envelopes!r} for {len(specs)} requests"
@@ -365,18 +544,18 @@ class TsubasaRemoteClient:
                 by_id[request_id] = spec
                 order.append(request_id)
                 conn.send_text(Request(spec=spec, id=request_id).to_json())
-            answers: dict[int, dict[str, Any]] = {}
+            answers: dict[int, tuple[dict[str, Any], list | None]] = {}
             while len(answers) < len(order):
-                text = conn.recv_message()
-                if text is None:
+                received = self._recv_envelope(conn)
+                if received is None:
                     raise ServiceError(
                         "server closed the connection with "
                         f"{len(order) - len(answers)} responses outstanding"
                     )
-                envelope = json.loads(text)
+                envelope, buffers = received
                 frame_id = envelope.get("id") if isinstance(envelope, dict) else None
                 if frame_id in by_id and frame_id not in answers:
-                    answers[frame_id] = envelope
+                    answers[frame_id] = (envelope, buffers)
                 # Anything else (a duplicate, a stray push) is unmatchable
                 # by construction — ids are freshly issued per call and
                 # every call drains its own completions — so drop it rather
@@ -385,7 +564,7 @@ class TsubasaRemoteClient:
             self.close()
             raise
         return [
-            self._complete(by_id[request_id], answers[request_id])
+            self._complete(by_id[request_id], *answers[request_id])
             for request_id in order
         ]
 
@@ -431,22 +610,26 @@ class TsubasaRemoteClient:
     def _subscribe_events(
         self, request: Request, max_events: int | None
     ) -> Iterator[StreamEvent]:
-        conn = _WsClientConnection(self._host, self._port, self._timeout)
+        conn = _WsClientConnection(
+            self._host, self._port, self._timeout,
+            headers=self._auth_headers(),
+        )
         try:
+            self._negotiate_ws(conn)
             conn.send_text(request.to_json())
             # The first frame is the subscription ack (or an error).
-            text = conn.recv_message()
-            if text is None:
+            received = self._recv_envelope(conn)
+            if received is None:
                 raise ServiceError("server closed before acknowledging")
-            ack = parse_frame(json.loads(text))
+            ack = parse_frame(received[0])
             if isinstance(ack, ErrorEnvelope):
                 raise ack.to_exception()
             delivered = 0
             while max_events is None or delivered < max_events:
-                text = conn.recv_message()
-                if text is None:
+                received = self._recv_envelope(conn)
+                if received is None:
                     return
-                frame = parse_frame(json.loads(text))
+                frame = parse_frame(received[0])
                 if isinstance(frame, ErrorEnvelope):
                     raise frame.to_exception()
                 if isinstance(frame, Response):
@@ -460,8 +643,8 @@ class TsubasaRemoteClient:
 
     def stats(self) -> dict[str, Any]:
         """The server's ``/v1/stats`` payload (server + service counters)."""
-        return self._http_round_trip("GET", "/v1/stats")
+        return self._http_json("GET", "/v1/stats")
 
     def health(self) -> dict[str, Any]:
         """The server's ``/healthz`` payload."""
-        return self._http_round_trip("GET", "/healthz")
+        return self._http_json("GET", "/healthz")

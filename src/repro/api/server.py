@@ -50,13 +50,23 @@ import asyncio
 import base64
 import hashlib
 import json
+import logging
 import os
 import socket
 import threading
-from typing import Any
+from time import perf_counter
+from typing import Any, Callable
 
+from repro.api.frames import (
+    CONTENT_TYPE_V2,
+    encode_envelope,
+    encode_error_v2,
+    encode_response_v2,
+)
 from repro.api.protocol import (
+    PROTOCOL_V2,
     PROTOCOL_VERSION,
+    SUPPORTED_PROTOCOLS,
     ErrorEnvelope,
     Request,
     Response,
@@ -83,12 +93,52 @@ _OP_CLOSE, _OP_PING, _OP_PONG = 0x8, 0x9, 0xA
 _HTTP_REASONS = {
     200: "OK",
     400: "Bad Request",
+    401: "Unauthorized",
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+logger = logging.getLogger("repro.api.server")
+
+
+class _Completion:
+    """One finished request: either a result or the exception that ended it.
+
+    Materializing the wire form is deferred so the transport can pick the
+    negotiated encoding (v1 JSON envelope or v2 binary frame) per
+    connection.
+    """
+
+    __slots__ = ("request_id", "result", "error", "overloaded")
+
+    def __init__(self, request_id, result=None, error=None, overloaded=False):
+        self.request_id = request_id
+        self.result = result
+        self.error = error
+        self.overloaded = overloaded
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_dict(self) -> dict[str, Any]:
+        """The v1 JSON envelope."""
+        if self.error is not None:
+            return ErrorEnvelope.from_exception(
+                self.error, self.request_id
+            ).to_dict()
+        return Response.from_result(self.result, self.request_id).to_dict()
+
+    def to_v2_bytes(self) -> bytes:
+        """The binary v2 frame."""
+        if self.error is not None:
+            return encode_error_v2(
+                ErrorEnvelope.from_exception(self.error, self.request_id)
+            )
+        return encode_response_v2(self.result, self.request_id)
 
 
 class _BadRequest(Exception):
@@ -154,11 +204,42 @@ class _WsSession:
         self.tasks: set[asyncio.Task] = set()
         self.closing = False
         self.writer_task: asyncio.Task | None = None
+        #: Negotiated wire version for server→client frames (the WS hello
+        #: exchange switches this to 2; requests stay JSON text either way).
+        self.protocol = PROTOCOL_VERSION
+        #: Per-connection max_inflight rejections (summarized at disconnect).
+        self.rejections = 0
 
     def send_json(self, payload: dict[str, Any]) -> bool:
         """Queue one text frame; on overflow, disconnect the slow consumer."""
         data = json.dumps(payload).encode()
         return self._enqueue((_OP_TEXT, data))
+
+    def send_envelope(self, payload: dict[str, Any]) -> bool:
+        """Queue one buffer-free envelope in the session's wire version."""
+        started = perf_counter()
+        if self.protocol == PROTOCOL_V2:
+            opcode, data = _OP_BINARY, encode_envelope(payload)
+        else:
+            opcode, data = _OP_TEXT, json.dumps(payload).encode()
+        sent = self._enqueue((opcode, data))
+        self.server._account_encode(
+            self.protocol, perf_counter() - started, len(data) if sent else 0
+        )
+        return sent
+
+    def send_completion(self, completion: "_Completion") -> bool:
+        """Queue one request completion in the session's wire version."""
+        started = perf_counter()
+        if self.protocol == PROTOCOL_V2:
+            opcode, data = _OP_BINARY, completion.to_v2_bytes()
+        else:
+            opcode, data = _OP_TEXT, json.dumps(completion.to_dict()).encode()
+        sent = self._enqueue((opcode, data))
+        self.server._account_encode(
+            self.protocol, perf_counter() - started, len(data) if sent else 0
+        )
+        return sent
 
     def send_close(self, code: int = 1000, reason: str = "") -> None:
         body = code.to_bytes(2, "big") + reason.encode()[:100]
@@ -257,6 +338,20 @@ class TsubasaServer:
         max_inflight: Concurrent requests allowed per WebSocket connection
             (and per HTTP batch); excess requests get immediate error
             envelopes.
+        max_inflight_total: Optional server-wide in-flight request budget
+            shared across every connection (per worker process when running
+            multi-process acceptors). When the budget is spent, further
+            requests are shed immediately with a ``ServiceError`` envelope
+            (HTTP 503) instead of queueing; ``None`` disables the budget.
+        auth_token: Optional bearer-token auth hook, checked before any
+            request body is parsed. A string must equal the
+            ``Authorization: Bearer <token>`` header; a callable receives
+            the presented token (or ``None``) and returns truthy to admit.
+            ``GET /healthz`` stays open for liveness probes.
+        enable_v2: Advertise/serve the binary columnar protocol v2. Off,
+            the server behaves exactly like a v1-only build — the knob
+            exists so tests can exercise client fallback against an "old"
+            server.
         send_buffer: Per-WebSocket-client send queue bound, in frames. A
             client that falls this many frames behind is disconnected.
         max_body_bytes: Largest accepted HTTP request body.
@@ -281,6 +376,9 @@ class TsubasaServer:
         max_message_bytes: int = 4 * 1024 * 1024,
         drain_timeout: float = 10.0,
         ws_write_buffer_bytes: int = 64 * 1024,
+        max_inflight_total: int | None = None,
+        auth_token: str | Callable[[str | None], bool] | None = None,
+        enable_v2: bool = True,
     ) -> None:
         if not isinstance(service, TsubasaService):
             raise DataError(f"expected a TsubasaService, got {type(service)!r}")
@@ -288,6 +386,8 @@ class TsubasaServer:
             raise DataError("max_inflight must be positive")
         if send_buffer <= 0:
             raise DataError("send_buffer must be positive")
+        if max_inflight_total is not None and max_inflight_total <= 0:
+            raise DataError("max_inflight_total must be positive or None")
         self._service = service
         self._hub = hub
         self.max_inflight = max_inflight
@@ -296,6 +396,9 @@ class TsubasaServer:
         self.max_message_bytes = max_message_bytes
         self.drain_timeout = drain_timeout
         self.ws_write_buffer_bytes = ws_write_buffer_bytes
+        self.max_inflight_total = max_inflight_total
+        self.auth_token = auth_token
+        self.enable_v2 = enable_v2
         self._server: asyncio.base_events.Server | None = None
         self._closing = False
         self._closed = False
@@ -303,6 +406,7 @@ class TsubasaServer:
         self._request_tasks: set[asyncio.Task] = set()
         self._ws_sessions: set[_WsSession] = set()
         self._auto_id = 0
+        self._inflight_total = 0
         self.stats: dict[str, int] = {
             "connections_total": 0,
             "ws_connections_total": 0,
@@ -311,7 +415,27 @@ class TsubasaServer:
             "subscriptions_opened": 0,
             "slow_consumer_disconnects": 0,
             "overload_rejections": 0,
+            "rejected_global_budget": 0,
+            "auth_failures": 0,
         }
+        #: Wire-side accounting, keyed by protocol version: how many
+        #: requests each version answered, seconds spent encoding
+        #: responses, and response bytes queued to sockets.
+        self.wire: dict[str, dict[str, float]] = {
+            f"v{version}": {
+                "requests": 0,
+                "encode_seconds": 0.0,
+                "bytes_sent": 0,
+            }
+            for version in SUPPORTED_PROTOCOLS
+        }
+
+    def _account_encode(
+        self, version: int, seconds: float, nbytes: int
+    ) -> None:
+        wire = self.wire[f"v{version}"]
+        wire["encode_seconds"] += seconds
+        wire["bytes_sent"] += nbytes
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -340,16 +464,32 @@ class TsubasaServer:
         return str(self._server.sockets[0].getsockname()[0])
 
     async def start(
-        self, host: str = "127.0.0.1", port: int = 0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reuse_port: bool = False,
     ) -> "TsubasaServer":
-        """Bind and start accepting connections (service started too)."""
+        """Bind and start accepting connections (service started too).
+
+        With ``reuse_port`` the listening socket is opened with
+        ``SO_REUSEPORT``, letting several acceptor processes share one port
+        (the kernel load-balances incoming connections across them). Raises
+        :class:`~repro.exceptions.ServiceError` where the platform lacks
+        the option.
+        """
         if self._closed:
             raise ServiceError("server is closed")
         if self._server is not None:
             return self
+        if reuse_port and not hasattr(socket, "SO_REUSEPORT"):
+            raise ServiceError(
+                "SO_REUSEPORT is not available on this platform; run a "
+                "single acceptor"
+            )
         await self._service.start()
+        kwargs: dict[str, Any] = {"reuse_port": True} if reuse_port else {}
         self._server = await asyncio.start_server(
-            self._handle_connection, host=host, port=port
+            self._handle_connection, host=host, port=port, **kwargs
         )
         return self
 
@@ -419,38 +559,52 @@ class TsubasaServer:
                 return request_id
         return None
 
-    async def _answer(self, request: Request) -> dict[str, Any]:
+    async def _answer(self, request: Request) -> _Completion:
         """Execute one parsed request through the service."""
         request_id = request.id if request.id is not None else self._next_id()
         if request.spec.op == "subscribe":
-            return ErrorEnvelope.from_exception(
-                ServiceError(
+            return _Completion(
+                request_id,
+                error=ServiceError(
                     "subscribe is a streaming op; connect to the WebSocket "
                     "endpoint /v1/ws to consume it"
                 ),
+            )
+        if (
+            self.max_inflight_total is not None
+            and self._inflight_total >= self.max_inflight_total
+        ):
+            self.stats["rejected_global_budget"] += 1
+            return _Completion(
                 request_id,
-            ).to_dict()
+                error=ServiceError(
+                    f"server at capacity (global in-flight budget "
+                    f"{self.max_inflight_total} spent); retry later"
+                ),
+                overloaded=True,
+            )
         task = asyncio.get_running_loop().create_task(
             self._service.submit(request.spec)
         )
         self._request_tasks.add(task)
         task.add_done_callback(self._request_tasks.discard)
+        self._inflight_total += 1
         try:
             result = await task
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - per-request envelope
-            return ErrorEnvelope.from_exception(exc, request_id).to_dict()
-        return Response.from_result(result, request_id).to_dict()
+            return _Completion(request_id, error=exc)
+        finally:
+            self._inflight_total -= 1
+        return _Completion(request_id, result=result)
 
-    async def _answer_frame(self, payload: Any) -> dict[str, Any]:
+    async def _answer_frame(self, payload: Any) -> _Completion:
         """Parse + execute one raw frame, never raising."""
         try:
             request = parse_request(payload)
         except TsubasaError as exc:
-            return ErrorEnvelope.from_exception(
-                exc, self._frame_id(payload)
-            ).to_dict()
+            return _Completion(self._frame_id(payload), error=exc)
         return await self._answer(request)
 
     # -- HTTP ----------------------------------------------------------------
@@ -497,16 +651,40 @@ class TsubasaServer:
             if parsed is None:
                 return
             method, path, headers, body = parsed
+            authorized = path == "/healthz" or self._auth_ok(headers)
             if (
                 method == "GET"
                 and "websocket" in headers.get("upgrade", "").lower()
             ):
+                if not authorized:
+                    self.stats["auth_failures"] += 1
+                    self._write_http(
+                        writer, 401, self._auth_error_payload(),
+                        keep_alive=False,
+                    )
+                    await writer.drain()
+                    return
                 await self._websocket_session(reader, writer, path, headers)
                 return
             self.stats["http_requests"] += 1
-            status, payload = await self._route(method, path, body)
+            if not authorized:
+                self.stats["auth_failures"] += 1
+                self._write_http(
+                    writer, 401, self._auth_error_payload(), keep_alive=False
+                )
+                await writer.drain()
+                return
+            wants_v2 = self.enable_v2 and CONTENT_TYPE_V2 in headers.get(
+                "accept", ""
+            )
+            status, payload, version = await self._route(
+                method, path, body, wants_v2
+            )
             keep_alive = headers.get("connection", "").lower() != "close"
-            self._write_http(writer, status, payload, keep_alive=keep_alive)
+            self._write_http(
+                writer, status, payload, keep_alive=keep_alive,
+                version=version,
+            )
             await writer.drain()
             if not keep_alive:
                 return
@@ -548,24 +726,51 @@ class TsubasaServer:
             )
         return method.upper(), target.split("?", 1)[0], headers, body
 
+    def _auth_ok(self, headers: dict[str, str]) -> bool:
+        """Bearer-token check, before any request body is parsed."""
+        if self.auth_token is None:
+            return True
+        header = headers.get("authorization", "")
+        token = header[7:].strip() if header.startswith("Bearer ") else None
+        if callable(self.auth_token):
+            return bool(self.auth_token(token))
+        return token is not None and token == self.auth_token
+
+    @staticmethod
+    def _auth_error_payload() -> dict:
+        return ErrorEnvelope.from_exception(
+            ServiceError(
+                "authentication required: send Authorization: Bearer <token>"
+            )
+        ).to_dict()
+
     def _write_http(
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict | list,
+        payload: dict | list | bytes,
         keep_alive: bool = True,
+        version: int | None = None,
     ) -> None:
-        body = json.dumps(payload).encode()
+        started = perf_counter()
+        if isinstance(payload, (bytes, bytearray)):
+            body = bytes(payload)
+            content_type = CONTENT_TYPE_V2
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         reason = _HTTP_REASONS.get(status, "OK")
         connection = "keep-alive" if keep_alive else "close"
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {connection}\r\n"
             "\r\n"
         )
         writer.write(head.encode("latin-1") + body)
+        if version is not None:
+            self._account_encode(version, perf_counter() - started, len(body))
 
     @staticmethod
     def _parse_body(body: bytes) -> Any:
@@ -574,48 +779,88 @@ class TsubasaServer:
         except ValueError as exc:
             raise DataError(f"request body is not valid JSON: {exc}") from exc
 
+    def _completion_status(self, completion: _Completion) -> int:
+        if completion.ok:
+            return 200
+        return 503 if completion.overloaded else 400
+
+    def _encode_completions_http(
+        self, completions: list[_Completion], wants_v2: bool
+    ) -> dict | list | bytes:
+        """The response body for one or many completions.
+
+        v1 keeps the JSON shapes (a single envelope for ``/v1/query``, an
+        array for ``/v1/batch``); v2 writes binary frames back to back —
+        the frames are self-delimiting, so no array wrapper is needed.
+        """
+        version = PROTOCOL_V2 if wants_v2 else PROTOCOL_VERSION
+        self.wire[f"v{version}"]["requests"] += len(completions)
+        if not wants_v2:
+            return [c.to_dict() for c in completions]
+        started = perf_counter()
+        body = b"".join(c.to_v2_bytes() for c in completions)
+        self._account_encode(PROTOCOL_V2, perf_counter() - started, 0)
+        return body
+
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict | list]:
+        self, method: str, path: str, body: bytes, wants_v2: bool = False
+    ) -> tuple[int, dict | list | bytes, int | None]:
         if path == "/healthz":
             if method != "GET":
-                return 405, self._error_payload("use GET /healthz")
-            return 200, {"ok": True, "protocol": PROTOCOL_VERSION}
+                return 405, self._error_payload("use GET /healthz"), None
+            return 200, {
+                "ok": True,
+                "protocol": PROTOCOL_VERSION,
+                "protocols": list(
+                    SUPPORTED_PROTOCOLS if self.enable_v2
+                    else (PROTOCOL_VERSION,)
+                ),
+                "pid": os.getpid(),
+            }, None
         if path == "/v1/stats":
             if method != "GET":
-                return 405, self._error_payload("use GET /v1/stats")
-            return 200, self._stats_payload()
+                return 405, self._error_payload("use GET /v1/stats"), None
+            return 200, self._stats_payload(), None
         if path == "/v1/query":
             if method != "POST":
-                return 405, self._error_payload("use POST /v1/query")
+                return 405, self._error_payload("use POST /v1/query"), None
             try:
                 payload = self._parse_body(body)
             except DataError as exc:
-                return 400, ErrorEnvelope.from_exception(exc).to_dict()
-            envelope = await self._answer_frame(payload)
-            return (200 if envelope["ok"] else 400), envelope
+                return 400, ErrorEnvelope.from_exception(exc).to_dict(), None
+            completion = await self._answer_frame(payload)
+            encoded = self._encode_completions_http([completion], wants_v2)
+            if not wants_v2:
+                encoded = encoded[0]
+            return (
+                self._completion_status(completion),
+                encoded,
+                PROTOCOL_V2 if wants_v2 else PROTOCOL_VERSION,
+            )
         if path == "/v1/batch":
             if method != "POST":
-                return 405, self._error_payload("use POST /v1/batch")
+                return 405, self._error_payload("use POST /v1/batch"), None
             try:
                 payload = self._parse_body(body)
             except DataError as exc:
-                return 400, ErrorEnvelope.from_exception(exc).to_dict()
+                return 400, ErrorEnvelope.from_exception(exc).to_dict(), None
             if not isinstance(payload, list):
                 return 400, ErrorEnvelope.from_exception(
                     DataError("batch body must be a JSON array of frames")
-                ).to_dict()
+                ).to_dict(), None
             semaphore = asyncio.Semaphore(self.max_inflight)
 
-            async def bounded(frame: Any) -> dict[str, Any]:
+            async def bounded(frame: Any) -> _Completion:
                 async with semaphore:
                     return await self._answer_frame(frame)
 
-            envelopes = await asyncio.gather(
+            completions = await asyncio.gather(
                 *(bounded(frame) for frame in payload)
             )
-            return 200, list(envelopes)
-        return 404, self._error_payload(f"unknown endpoint {path}", code=404)
+            return 200, self._encode_completions_http(
+                list(completions), wants_v2
+            ), PROTOCOL_V2 if wants_v2 else PROTOCOL_VERSION
+        return 404, self._error_payload(f"unknown endpoint {path}", code=404), None
 
     @staticmethod
     def _error_payload(message: str, code: int | None = None) -> dict:
@@ -633,6 +878,9 @@ class TsubasaServer:
                 open_connections=len(self._conn_tasks),
                 ws_sessions=len(self._ws_sessions),
                 inflight_requests=len(self._request_tasks),
+                max_inflight_total=self.max_inflight_total,
+                pid=os.getpid(),
+                wire={key: dict(value) for key, value in self.wire.items()},
             ),
             "service": self._service.stats().to_dict(),
         }
@@ -706,6 +954,13 @@ class TsubasaServer:
         finally:
             self._ws_sessions.discard(session)
             await session.teardown()
+            if session.rejections:
+                peer = writer.get_extra_info("peername")
+                logger.info(
+                    "ws session %s closed: %d request(s) rejected over the "
+                    "per-connection in-flight limit (%d)",
+                    peer, session.rejections, self.max_inflight,
+                )
 
     async def _ws_read_loop(
         self, reader: asyncio.StreamReader, session: _WsSession
@@ -721,28 +976,37 @@ class TsubasaServer:
             try:
                 payload = json.loads(data.decode("utf-8"))
             except (UnicodeDecodeError, ValueError) as exc:
-                session.send_json(
+                session.send_envelope(
                     ErrorEnvelope.from_exception(
                         DataError(f"frame is not valid JSON: {exc}")
                     ).to_dict()
                 )
                 continue
+            if (
+                self.enable_v2
+                and isinstance(payload, dict)
+                and "hello" in payload
+            ):
+                self._handle_ws_hello(session, payload)
+                continue
             try:
                 request = parse_request(payload)
             except TsubasaError as exc:
-                session.send_json(
+                session.send_envelope(
                     ErrorEnvelope.from_exception(
                         exc, self._frame_id(payload)
                     ).to_dict()
                 )
                 continue
             self.stats["ws_requests"] += 1
+            self.wire[f"v{session.protocol}"]["requests"] += 1
             if session.inflight >= self.max_inflight:
                 # Subscriptions count too: each holds a task and a bounded
                 # hub queue for the connection's lifetime, so they spend
                 # the same per-connection budget as requests.
                 self.stats["overload_rejections"] += 1
-                session.send_json(
+                session.rejections += 1
+                session.send_envelope(
                     ErrorEnvelope.from_exception(
                         ServiceError(
                             f"too many in-flight requests on this connection "
@@ -759,12 +1023,65 @@ class TsubasaServer:
             else:
                 session.spawn(self._ws_answer(session, request))
 
+    def _handle_ws_hello(
+        self, session: _WsSession, payload: dict[str, Any]
+    ) -> None:
+        """Negotiate the session's wire version from a client hello.
+
+        The hello is a v1 JSON frame (``{"protocol": 1, "hello":
+        {"protocols": [1, 2]}}``) so a v1-only server rejects it with a
+        clean unknown-field error envelope — which is exactly the signal an
+        auto-negotiating client uses to fall back to v1. The ack is always
+        a v1 text frame; only frames *after* it switch encodings.
+        """
+        unknown = set(payload) - {"protocol", "id", "hello"}
+        hello = payload.get("hello")
+        request_id = self._frame_id(payload)
+        if (
+            unknown
+            or not isinstance(hello, dict)
+            or set(hello) - {"protocols"}
+            or not isinstance(hello.get("protocols"), list)
+        ):
+            session.send_envelope(
+                ErrorEnvelope.from_exception(
+                    DataError(f"malformed hello frame: {payload!r}"),
+                    request_id,
+                ).to_dict()
+            )
+            return
+        offered = {
+            int(v)
+            for v in hello["protocols"]
+            if isinstance(v, int) and not isinstance(v, bool)
+        }
+        usable = offered & set(SUPPORTED_PROTOCOLS)
+        if not usable:
+            session.send_envelope(
+                ErrorEnvelope.from_exception(
+                    DataError(
+                        f"no common protocol version: client offers "
+                        f"{sorted(offered)}, server speaks "
+                        f"{list(SUPPORTED_PROTOCOLS)}"
+                    ),
+                    request_id,
+                ).to_dict()
+            )
+            return
+        chosen = max(usable)
+        ack = Response(
+            result={"hello": {"protocol": chosen, "server": "tsubasa"}},
+            id=request_id,
+        )
+        session.send_envelope(ack.to_dict())
+        session.protocol = chosen
+
     async def _ws_answer(self, session: _WsSession, request: Request) -> None:
         try:
-            envelope = await self._answer(request)
+            completion = await self._answer(request)
         finally:
             session.inflight -= 1
-        session.send_json(envelope)
+        session.send_completion(completion)
 
     async def _run_subscription(
         self, session: _WsSession, request: Request
@@ -781,7 +1098,7 @@ class TsubasaServer:
         request_id = request.id if request.id is not None else self._next_id()
         hub = self._hub
         if hub is None or hub.closed:
-            session.send_json(
+            session.send_envelope(
                 ErrorEnvelope.from_exception(
                     ServiceError(
                         "this server has no live stream attached; "
@@ -793,7 +1110,7 @@ class TsubasaServer:
             return
         points = _window_points(spec.window, hub.window_size)
         if points != hub.window_points:
-            session.send_json(
+            session.send_envelope(
                 ErrorEnvelope.from_exception(
                     StreamError(
                         f"subscribe window selects {points} points, but the "
@@ -812,7 +1129,7 @@ class TsubasaServer:
                 theta=spec.theta, max_pending=self.send_buffer
             )
         except StreamError as exc:
-            session.send_json(
+            session.send_envelope(
                 ErrorEnvelope.from_exception(exc, request_id).to_dict()
             )
             return
@@ -826,7 +1143,7 @@ class TsubasaServer:
             },
             id=request_id,
         )
-        if not session.send_json(ack.to_dict()):
+        if not session.send_envelope(ack.to_dict()):
             subscription.close()
             return
         seq = 0
@@ -835,20 +1152,20 @@ class TsubasaServer:
                 event = StreamEvent.from_snapshot(
                     snapshot, subscription.theta, seq, request_id
                 )
-                if not session.send_json(event.to_dict()):
+                if not session.send_envelope(event.to_dict()):
                     return  # slow consumer: close already queued
                 seq += 1
         except StreamError as exc:
             # The hub dropped this subscriber (its own bound); surface the
             # reason, then disconnect — same policy as the send buffer.
             self.stats["slow_consumer_disconnects"] += 1
-            session.send_json(
+            session.send_envelope(
                 ErrorEnvelope.from_exception(exc, request_id).to_dict()
             )
             session.send_close(1008, "subscription lagged")
         else:
             # Clean end of stream: the hub closed (source drained).
-            session.send_json(
+            session.send_envelope(
                 Response(
                     result={"complete": True, "events": seq}, id=request_id
                 ).to_dict()

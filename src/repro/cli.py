@@ -412,6 +412,10 @@ async def _serve_jsonl(
     max_batch: int,
     max_pending: int = 256,
     result_cache: int = 0,
+    hub=None,
+    source=None,
+    stream_interval: float = 0.05,
+    send_buffer: int = 64,
 ) -> int:
     """Serve JSON-lines specs from ``stdin`` until EOF (the ``serve`` loop).
 
@@ -426,13 +430,28 @@ async def _serve_jsonl(
     printer, the reader stops consuming stdin until responses drain, so a
     huge piped batch cannot accumulate unbounded in-flight results.
 
+    With ``--stream-data`` (a live ``hub``/``source``), ``subscribe``
+    requests work on this transport too: the ack, every
+    :class:`~repro.api.protocol.StreamEvent`, and the closing completion
+    each become one output line, interleaved with query responses. Stdin
+    EOF stops *reading* but leaves open subscriptions streaming — pipe
+    through ``head`` or send SIGINT to stop — so
+    ``printf '{"op": "subscribe", ...}' | tsubasa serve ... | head`` tails
+    the live network.
+
     The closing stderr summary counts what the *consumer observed*: ``ok``
     and ``failed`` are envelopes actually emitted (``failed`` includes
     malformed frames, broken out as ``rejected``), and responses completed
     after a consumer hangup are reported as ``discarded`` instead of being
     silently folded into the success count.
     """
-    from repro.api.protocol import ErrorEnvelope, Response, parse_request
+    from repro.api.protocol import (
+        ErrorEnvelope,
+        Response,
+        StreamEvent,
+        parse_request,
+    )
+    from repro.api.server import _window_points
 
     loop = asyncio.get_running_loop()
     responses: asyncio.Queue = asyncio.Queue(maxsize=max_pending)
@@ -465,7 +484,9 @@ async def _serve_jsonl(
                 hangup.set()  # e.g. `tsubasa serve | head`
                 emitted["discarded"] += 1
                 continue
-            emitted["ok" if envelope.get("ok") else "failed"] += 1
+            # Stream events carry no "ok" flag; they are successes.
+            ok = envelope.get("ok", "event" in envelope)
+            emitted["ok" if ok else "failed"] += 1
 
     async def answer(request_id, spec: QuerySpec) -> dict:
         # Any failure — library error or not — becomes this request's
@@ -477,11 +498,85 @@ async def _serve_jsonl(
             return ErrorEnvelope.from_exception(exc, request_id).to_dict()
         return Response.from_result(result, request_id).to_dict()
 
+    async def run_subscription(request_id, spec: QuerySpec) -> None:
+        # The stdin-transport mirror of the WebSocket subscription loop:
+        # ack, then one StreamEvent line per snapshot, then a completion
+        # (or an error envelope if the hub drops this subscriber).
+        try:
+            points = _window_points(spec.window, hub.window_size)
+            if points != hub.window_points:
+                raise StreamError(
+                    f"subscribe window selects {points} points, but the "
+                    f"standing query window is {hub.window_points} points "
+                    f"({hub.window_points // hub.window_size} basic "
+                    f"windows of {hub.window_size})"
+                )
+            subscription = hub.subscribe(
+                theta=spec.theta, max_pending=send_buffer
+            )
+        except TsubasaError as exc:
+            await responses.put(
+                (None, ErrorEnvelope.from_exception(exc, request_id).to_dict())
+            )
+            return
+        ack = Response(
+            result={
+                "subscribed": True,
+                "theta": subscription.theta,
+                "window_points": hub.window_points,
+                "window_size": hub.window_size,
+            },
+            id=request_id,
+        )
+        seq = 0
+        try:
+            await responses.put((None, ack.to_dict()))
+            async for snapshot in subscription:
+                event = StreamEvent.from_snapshot(
+                    snapshot, subscription.theta, seq, request_id
+                )
+                await responses.put((None, event.to_dict()))
+                seq += 1
+        except StreamError as exc:
+            # The hub dropped this subscriber (it fell behind the bounded
+            # queue); surface the reason, same policy as the WS transport.
+            await responses.put(
+                (None, ErrorEnvelope.from_exception(exc, request_id).to_dict())
+            )
+        else:
+            await responses.put((
+                None,
+                Response(
+                    result={"complete": True, "events": seq}, id=request_id
+                ).to_dict(),
+            ))
+        finally:
+            subscription.close()
+
     async with TsubasaService(
         client, max_workers=max_workers, max_batch=max_batch,
         result_cache=result_cache,
     ) as service:
         printer = loop.create_task(print_responses())
+        subscriptions: set[asyncio.Task] = set()
+        pump_task = None
+        if hub is not None and source is not None:
+            pump_task = loop.create_task(
+                hub.pump(source, interval=stream_interval)
+            )
+
+            def pump_done(task: asyncio.Task, hub=hub) -> None:
+                # A dead stream must be loud, and it must end subscriptions
+                # (see the identical policy in _serve_http).
+                if task.cancelled():
+                    return
+                exc = task.exception()
+                if exc is not None:
+                    print(f"stream pump failed: {exc}", file=sys.stderr)
+                    if not hub.closed:
+                        hub.close()
+
+            pump_task.add_done_callback(pump_done)
         n_lines = 0
         n_rejected = 0
         while True:
@@ -503,10 +598,13 @@ async def _serve_jsonl(
                 ):
                     request_id = payload["id"]
                 request = parse_request(payload)
-                if request.spec.op == "subscribe":
+                if request.spec.op == "subscribe" and (
+                    hub is None or hub.closed
+                ):
                     raise ServiceError(
-                        "subscribe needs a push transport; run tsubasa "
-                        "serve --http and connect to /v1/ws"
+                        "subscribe needs a live stream; run tsubasa serve "
+                        "--stream-data DATA (or --http and connect to "
+                        "/v1/ws)"
                     )
             except (ValueError, TsubasaError) as exc:
                 n_rejected += 1
@@ -516,8 +614,31 @@ async def _serve_jsonl(
                 continue
             if request.id is not None:
                 request_id = request.id
+            if request.spec.op == "subscribe":
+                task = loop.create_task(
+                    run_subscription(request_id, request.spec)
+                )
+                subscriptions.add(task)
+                task.add_done_callback(subscriptions.discard)
+                continue
             task = loop.create_task(answer(request_id, request.spec))
             await responses.put((task, None))
+        # Stdin is done; open subscriptions keep streaming until the
+        # consumer hangs up or the stream itself ends.
+        while subscriptions and not hangup.is_set():
+            await asyncio.wait(subscriptions, timeout=0.2)
+        for task in list(subscriptions):
+            task.cancel()
+        if subscriptions:
+            await asyncio.gather(*subscriptions, return_exceptions=True)
+        if pump_task is not None:
+            pump_task.cancel()
+            try:
+                await pump_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        if hub is not None and not hub.closed:
+            hub.close()
         await responses.put(None)
         await printer
         stats = service.stats()
@@ -564,12 +685,38 @@ def _parse_listen_address(value: str) -> tuple[str, int]:
     return host or "127.0.0.1", int(port)
 
 
+def _open_stream(client: TsubasaClient, args: argparse.Namespace):
+    """Build the ``--stream-data`` live feed: ``(hub, source)`` or Nones."""
+    from repro.streams.hub import SnapshotHub
+
+    if not args.stream_data:
+        return None, None
+    provider = client.provider
+    dataset = _load_dataset(args.stream_data)
+    if dataset.n_points < provider.window_size:
+        raise StreamError(
+            f"--stream-data holds {dataset.n_points} points; at least "
+            f"one basic window ({provider.window_size}) is needed to "
+            "stream"
+        )
+    start = provider.length
+    if start >= dataset.n_points:
+        start = 0
+    ingestor = StreamIngestor.from_provider(
+        provider,
+        query_windows=args.stream_windows or provider.n_windows,
+        theta=args.stream_theta,
+        keep_history=False,
+    )
+    source = _replay_forever(dataset.values, provider.window_size, start)
+    return SnapshotHub(ingestor, max_pending=args.send_buffer), source
+
+
 async def _serve_http(client: TsubasaClient, args: argparse.Namespace) -> int:
     """The ``serve --http`` loop: socket server + optional live stream."""
     import signal
 
     from repro.api.server import TsubasaServer
-    from repro.streams.hub import SnapshotHub
 
     host, port = _parse_listen_address(args.http)
     service = TsubasaService(
@@ -578,35 +725,14 @@ async def _serve_http(client: TsubasaClient, args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         result_cache=args.result_cache,
     )
-    hub = None
-    source = None
-    if args.stream_data:
-        provider = client.provider
-        dataset = _load_dataset(args.stream_data)
-        if dataset.n_points < provider.window_size:
-            raise StreamError(
-                f"--stream-data holds {dataset.n_points} points; at least "
-                f"one basic window ({provider.window_size}) is needed to "
-                "stream"
-            )
-        start = provider.length
-        if start >= dataset.n_points:
-            start = 0
-        ingestor = StreamIngestor.from_provider(
-            provider,
-            query_windows=args.stream_windows or provider.n_windows,
-            theta=args.stream_theta,
-            keep_history=False,
-        )
-        source = _replay_forever(
-            dataset.values, provider.window_size, start
-        )
-        hub = SnapshotHub(ingestor, max_pending=args.send_buffer)
+    hub, source = _open_stream(client, args)
     server = TsubasaServer(
         service,
         hub=hub,
         max_inflight=args.max_inflight,
         send_buffer=args.send_buffer,
+        max_inflight_total=args.max_inflight_total or None,
+        auth_token=args.auth_token or None,
     )
     try:
         await server.start(host=host, port=port)
@@ -615,9 +741,10 @@ async def _serve_http(client: TsubasaClient, args: argparse.Namespace) -> int:
         # one-line error contract, not a traceback.
         raise ServiceError(f"cannot listen on {host}:{port}: {exc}") from exc
     endpoints = "POST /v1/query /v1/batch, GET /v1/stats /healthz, WS /v1/ws"
+    protocols = "protocols 1, 2" if server.enable_v2 else "protocol 1"
     print(
         f"serving on http://{server.host}:{server.port} "
-        f"(protocol 1; {endpoints})",
+        f"({protocols}; {endpoints})",
         file=sys.stderr,
         flush=True,
     )
@@ -673,11 +800,88 @@ async def _serve_http(client: TsubasaClient, args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_supervised(args: argparse.Namespace) -> int:
+    """``serve --http --workers N``: N ``SO_REUSEPORT`` acceptor processes.
+
+    The parent validates the store, spawns the supervisor, prints the
+    resolved address, and sleeps until SIGTERM/SIGINT — then drains every
+    worker before returning.
+    """
+    import signal
+    import threading
+
+    from repro.api.supervisor import AcceptorSupervisor, WorkerConfig
+
+    if args.stream_data:
+        raise ServiceError(
+            "--stream-data needs a single process (the live stream and its "
+            "subscriptions are in-process state); drop --workers"
+        )
+    host, port = _parse_listen_address(args.http)
+    # Fail fast in the parent with the CLI's one-line error contract
+    # instead of a 60s worker-startup timeout.
+    with _open_store(args.store):
+        pass
+    config = WorkerConfig(
+        store=args.store,
+        backend=args.backend,
+        cache_windows=args.cache_windows,
+        data=args.data,
+        prefix=args.prefix,
+        host=host,
+        service_kwargs={
+            "max_workers": 1,
+            "max_batch": args.max_batch,
+            "result_cache": args.result_cache,
+        },
+        server_kwargs={
+            "max_inflight": args.max_inflight,
+            "send_buffer": args.send_buffer,
+            "max_inflight_total": args.max_inflight_total or None,
+            "auth_token": args.auth_token or None,
+        },
+    )
+    supervisor = AcceptorSupervisor(config, workers=args.workers, port=port)
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, lambda *_: stop.set())
+        except (ValueError, OSError):
+            pass  # not the main thread, or an unsupported platform
+    endpoints = "POST /v1/query /v1/batch, GET /v1/stats /healthz, WS /v1/ws"
+    try:
+        with supervisor:
+            print(
+                f"serving on http://{supervisor.address} "
+                f"({args.workers} SO_REUSEPORT workers; protocols 1, 2; "
+                f"{endpoints})",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                stop.wait()
+            except KeyboardInterrupt:
+                pass
+    except OSError as exc:
+        raise ServiceError(f"cannot listen on {host}:{port}: {exc}") from exc
+    print(
+        f"stopped {args.workers} worker(s) "
+        f"({supervisor.restarts} restart(s))",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise DataError("--workers must be >= 1")
+    if args.http and args.workers > 1:
+        return _serve_supervised(args)
     with _open_store(args.store) as store:
         client = _open_client(store, args)
         if args.http:
             return asyncio.run(_serve_http(client, args))
+        hub, source = _open_stream(client, args)
         return asyncio.run(
             _serve_jsonl(
                 client,
@@ -687,6 +891,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 max_batch=args.max_batch,
                 max_pending=args.max_pending,
                 result_cache=args.result_cache,
+                hub=hub,
+                source=source,
+                stream_interval=args.stream_interval,
+                send_buffer=args.send_buffer,
             )
         )
 
@@ -857,9 +1065,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sv.add_argument("--store", required=True)
     sv.add_argument("--workers", type=int, default=1,
-                    help="executor threads computing matrices (keep 1 for "
-                         "--backend store; mmap/memory backends are "
-                         "read-only and can go wider)")
+                    help="stdin mode: executor threads computing matrices "
+                         "(keep 1 for --backend store). With --http, N > 1 "
+                         "instead spawns N SO_REUSEPORT acceptor processes "
+                         "sharing the port, each with its own event loop "
+                         "and service (restarted on crash, drained on "
+                         "SIGTERM)")
     sv.add_argument("--max-batch", type=int, default=64,
                     help="queued requests drained per dispatch round (the "
                          "unit of batched store prefetch)")
@@ -880,12 +1091,24 @@ def build_parser() -> argparse.ArgumentParser:
                     help="HTTP/WS mode: per-client send queue bound in "
                          "frames; clients that fall further behind are "
                          "disconnected (slow-consumer policy)")
+    sv.add_argument("--max-inflight-total", type=int, default=0,
+                    help="HTTP/WS mode: server-wide cap on concurrently "
+                         "executing requests; excess requests are shed "
+                         "with an 'overloaded' error envelope (HTTP 503). "
+                         "0 = unlimited. Per acceptor process with "
+                         "--workers N")
+    sv.add_argument("--auth-token", default=None,
+                    help="HTTP/WS mode: require 'Authorization: Bearer "
+                         "<token>' on every request except /healthz "
+                         "(plaintext on the wire: terminate TLS in front, "
+                         "see README)")
     sv.add_argument("--stream-data", default=None,
-                    help="HTTP/WS mode: replay this dataset through a "
-                         "realtime engine as an endless simulated live feed "
-                         "(tail beyond the sketched range first, then "
-                         "looping) so WebSocket clients can 'subscribe' to "
-                         "network updates")
+                    help="replay this dataset through a realtime engine as "
+                         "an endless simulated live feed (tail beyond the "
+                         "sketched range first, then looping) so clients "
+                         "can 'subscribe' to network updates — over "
+                         "WebSockets with --http, or as JSON lines on "
+                         "stdout in stdin mode")
     sv.add_argument("--stream-theta", type=float, default=0.75,
                     help="base threshold of the realtime stream "
                          "(subscriptions may ask for higher)")

@@ -691,6 +691,93 @@ class TestServeProtocolFrames:
         assert "discarded after hangup" in captured.err
 
 
+class TestServeStdinSubscribe:
+    """`--stream-data` wires the subscribe op through the stdin transport."""
+
+    class _BreaksAfter:
+        """A stdout that hangs up after N lines — the only way to end an
+        endless replay-driven subscription deterministically in a test."""
+
+        def __init__(self, real, allowed):
+            self.real = real
+            self.allowed = allowed
+
+        def write(self, text):
+            if self.allowed <= 0:
+                raise BrokenPipeError("consumer gone")
+            self.allowed -= 1
+            return self.real.write(text)
+
+        def flush(self):
+            self.real.flush()
+
+    def test_subscribe_streams_events_as_json_lines(
+        self, store_file, dataset_file, monkeypatch, capsys
+    ):
+        import sys as _sys
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(json.dumps({
+                "protocol": 1,
+                "id": "sub-1",
+                "spec": {"op": "subscribe",
+                         "window": {"end": 399, "length": 400},
+                         "theta": 0.8},
+            }) + "\n"),
+        )
+        monkeypatch.setattr(
+            "sys.stdout", self._BreaksAfter(_sys.stdout, allowed=3)
+        )
+        code = main([
+            "serve", "--store", str(store_file),
+            "--stream-data", str(dataset_file),
+            "--stream-interval", "0.01",
+        ])
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        assert code == 0
+        assert len(lines) == 3
+        ack, *events = lines
+        assert ack["id"] == "sub-1" and ack["ok"] is True
+        assert ack["result"]["subscribed"] is True
+        assert ack["result"]["window_points"] == 400
+        for seq, event in enumerate(events):
+            assert event["id"] == "sub-1"
+            assert event["seq"] == seq
+            assert "n_edges" in event["event"]
+        assert "served 3 ok / 0 failed" in captured.err
+        assert "discarded after hangup" in captured.err
+
+    def test_subscribe_theta_below_base_is_an_error_envelope(
+        self, store_file, dataset_file, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(json.dumps({
+                "protocol": 1,
+                "id": "low",
+                "spec": {"op": "subscribe",
+                         "window": {"end": 399, "length": 400},
+                         "theta": 0.5},
+            }) + "\n"),
+        )
+        code = main([
+            "serve", "--store", str(store_file),
+            "--stream-data", str(dataset_file),
+            "--stream-interval", "0.01",
+        ])
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        assert code == 0
+        assert len(lines) == 1
+        assert lines[0]["ok"] is False
+        assert lines[0]["id"] == "low"
+        assert "base threshold" in lines[0]["error"]["message"]
+        # A well-formed request the hub refuses is failed, not malformed.
+        assert "0 malformed" in captured.err
+
+
 class TestTrimCli:
     def test_trim_mmap_store(self, tmp_path, dataset_file, capsys):
         store = tmp_path / "sketch.mm"

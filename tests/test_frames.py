@@ -1,0 +1,213 @@
+"""Tests for the binary columnar wire format (protocol v2 frames).
+
+The frame codec is the foundation of wire-speed serving: encoding must be
+a straight memory copy of kernel output, decoding must be zero-copy and
+bit-exact, and every malformed input must be rejected with a
+:class:`~repro.exceptions.DataError` (never a crash, never silent
+garbage) because frames arrive from the network.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api.frames import (
+    CONTENT_TYPE_V2,
+    FRAME_HEADER,
+    MAGIC,
+    decode_frame,
+    encode_envelope,
+    encode_frame,
+    encode_response_v2,
+    value_from_payload_v2,
+)
+from repro.api.protocol import PROTOCOL_V2
+from repro.api.spec import QueryResult, QuerySpec, WindowSpec
+from repro.core.matrix import CorrelationMatrix
+from repro.core.network import ClimateNetwork
+from repro.exceptions import DataError
+
+WINDOW = WindowSpec(end=599, length=200)
+
+
+def make_matrix(n=6, seed=3):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal((n, n))
+    values = (values + values.T) / 2
+    np.fill_diagonal(values, 1.0)
+    names = [f"s{i}" for i in range(n)]
+    return CorrelationMatrix(names=names, values=values)
+
+
+def make_network(n=6, seed=4, theta=0.3):
+    matrix = make_matrix(n, seed)
+    adjacency = np.abs(matrix.values) >= theta
+    np.fill_diagonal(adjacency, False)
+    weights = np.where(adjacency, matrix.values, 0.0)
+    return ClimateNetwork(
+        names=matrix.names,
+        adjacency=adjacency,
+        weights=weights,
+        threshold=theta,
+    )
+
+
+class TestFrameCodec:
+    def test_round_trip_no_buffers(self):
+        meta = {"protocol": PROTOCOL_V2, "id": 7, "ok": True, "result": {}}
+        data = encode_frame(meta, [])
+        decoded, buffers, offset = decode_frame(data)
+        assert decoded == meta
+        assert buffers == []
+        assert offset == len(data)
+
+    def test_round_trip_buffers_bit_exact(self):
+        rng = np.random.default_rng(0)
+        f8 = rng.standard_normal((5, 5))
+        u4 = rng.integers(0, 100, size=(7, 2)).astype(np.uint32)
+        data = encode_frame({"x": {"$buf": 0}, "y": {"$buf": 1}}, [f8, u4])
+        meta, buffers, _ = decode_frame(data)
+        assert meta == {"x": {"$buf": 0}, "y": {"$buf": 1}}
+        assert buffers[0].dtype == np.dtype("<f8")
+        assert buffers[1].dtype == np.dtype("<u4")
+        np.testing.assert_array_equal(buffers[0], f8)
+        np.testing.assert_array_equal(buffers[1], u4)
+
+    def test_decoded_buffers_are_zero_copy_views(self):
+        f8 = np.arange(9.0).reshape(3, 3)
+        data = encode_frame({"x": {"$buf": 0}}, [f8])
+        _, buffers, _ = decode_frame(data)
+        # A view over the received bytes, not a copy — and therefore
+        # read-only, like the transport buffer it aliases.
+        assert not buffers[0].flags.writeable
+        assert not buffers[0].flags.owndata
+
+    def test_frames_are_self_delimiting(self):
+        one = encode_frame({"id": 1}, [np.zeros((2, 2))])
+        two = encode_frame({"id": 2}, [])
+        batch = one + two
+        meta1, _, offset = decode_frame(batch)
+        meta2, _, end = decode_frame(batch, offset)
+        assert (meta1["id"], meta2["id"]) == (1, 2)
+        assert end == len(batch)
+
+    def test_rejects_non_allowed_dtype(self):
+        with pytest.raises(DataError, match="buffers must be one of"):
+            encode_frame({"x": {"$buf": 0}}, [np.zeros(3, dtype=np.float32)])
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: b"NOPE" + d[4:],                      # bad magic
+            lambda d: d[:10],                               # truncated header
+            lambda d: d[:-4],                               # truncated body
+            lambda d: d[:FRAME_HEADER.size] + b"{not json" + d[FRAME_HEADER.size + 9:],
+        ],
+    )
+    def test_rejects_malformed_bytes(self, mutate):
+        data = encode_frame({"x": {"$buf": 0}}, [np.zeros((2, 2))])
+        with pytest.raises(DataError):
+            decode_frame(mutate(data))
+
+    def test_rejects_wrong_version(self):
+        data = bytearray(encode_frame({"a": 1}, []))
+        header = FRAME_HEADER.unpack_from(data)
+        FRAME_HEADER.pack_into(
+            data, 0, MAGIC, 9, header[2], header[3], header[4]
+        )
+        with pytest.raises(DataError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_rejects_buffer_out_of_bounds(self):
+        sidecar = json.dumps({
+            "buffers": [
+                {"dtype": "<f8", "shape": [4], "offset": 0, "nbytes": 64}
+            ]
+        }).encode()
+        body = b"\x00" * 32  # table claims 64 bytes; only 32 present
+        data = (
+            FRAME_HEADER.pack(MAGIC, 2, 0, len(sidecar), len(body))
+            + sidecar
+            + body
+        )
+        with pytest.raises(DataError):
+            decode_frame(data)
+
+    def test_rejects_shape_nbytes_mismatch(self):
+        sidecar = json.dumps({
+            "buffers": [
+                {"dtype": "<f8", "shape": [2, 2], "offset": 0, "nbytes": 24}
+            ]
+        }).encode()
+        body = b"\x00" * 24
+        data = (
+            FRAME_HEADER.pack(MAGIC, 2, 0, len(sidecar), len(body))
+            + sidecar
+            + body
+        )
+        with pytest.raises(DataError):
+            decode_frame(data)
+
+    def test_content_type_is_stable(self):
+        # The negotiation token is part of the wire contract; changing it
+        # breaks deployed clients.
+        assert CONTENT_TYPE_V2 == "application/x-tsubasa-frame"
+        assert struct.calcsize("<4sHHIQ") == FRAME_HEADER.size
+
+
+class TestResultCodec:
+    def test_matrix_round_trip(self):
+        matrix = make_matrix()
+        spec = QuerySpec(op="matrix", window=WINDOW)
+        result = QueryResult(spec=spec, value=matrix)
+        data = encode_response_v2(result, request_id=3)
+        meta, buffers, _ = decode_frame(data)
+        assert meta["protocol"] == PROTOCOL_V2
+        assert meta["ok"] is True and meta["id"] == 3
+        decoded = value_from_payload_v2(spec, meta["result"], buffers)
+        assert decoded.names == matrix.names
+        np.testing.assert_array_equal(decoded.values, matrix.values)
+
+    def test_network_round_trip(self):
+        network = make_network()
+        spec = QuerySpec(op="network", window=WINDOW, theta=0.3)
+        result = network_result(network, spec)
+        meta, buffers, _ = decode_frame(encode_response_v2(result, 1))
+        decoded = value_from_payload_v2(spec, meta["result"], buffers)
+        assert decoded.edge_set() == network.edge_set()
+        for a, b in network.edge_set():
+            assert decoded.edge_weight(a, b) == network.edge_weight(a, b)
+        # The decoded matrices are exactly symmetric by construction.
+        np.testing.assert_array_equal(decoded.weights, decoded.weights.T)
+
+    def test_network_rejects_out_of_range_edge_index(self):
+        network = make_network()
+        spec = QuerySpec(op="network", window=WINDOW, theta=0.3)
+        meta, buffers, _ = decode_frame(encode_response_v2(network_result(network, spec), 1))
+        bad_index = buffers[0].copy()
+        bad_index[0, 0] = 10**6
+        with pytest.raises(DataError):
+            value_from_payload_v2(spec, meta["result"], [bad_index, buffers[1]])
+
+    def test_non_buffer_ops_fall_through_to_v1_payloads(self):
+        spec = QuerySpec(op="top_k", window=WINDOW, k=2)
+        payload = {"pairs": [["a", "b", 0.9], ["a", "c", 0.8]]}
+        value = value_from_payload_v2(spec, payload, [])
+        assert value == payload["pairs"] or value is not None
+
+    def test_envelope_encoding_round_trip(self):
+        envelope = {"protocol": 1, "id": "x", "ok": False,
+                    "error": {"type": "DataError", "message": "no", "code": 2}}
+        meta, buffers, _ = decode_frame(encode_envelope(envelope))
+        assert meta["protocol"] == PROTOCOL_V2
+        assert meta["ok"] is False
+        assert meta["error"]["type"] == "DataError"
+        assert buffers == []
+
+
+def network_result(network, spec):
+    return QueryResult(spec=spec, value=network)

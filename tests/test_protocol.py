@@ -83,12 +83,16 @@ class TestRequestFrames:
             )
 
     def test_version_negotiation(self):
-        frame = {"protocol": 2, "spec": spec_for("matrix").to_dict()}
-        with pytest.raises(DataError, match="unsupported protocol version 2"):
+        frame = {"protocol": 3, "spec": spec_for("matrix").to_dict()}
+        with pytest.raises(DataError, match="unsupported protocol version 3"):
             parse_request(frame)
-        # Explicit current version and omitted version both parse.
+        # Explicit known versions and omitted version all parse; v2 requests
+        # are framed identically to v1 (only completions change encoding).
         assert parse_request(
             {"protocol": 1, "spec": spec_for("matrix").to_dict()}
+        ).spec == spec_for("matrix")
+        assert parse_request(
+            {"protocol": 2, "spec": spec_for("matrix").to_dict()}
         ).spec == spec_for("matrix")
 
     @pytest.mark.parametrize(
@@ -165,7 +169,7 @@ class TestCompletionFrames:
             {"protocol": 1, "ok": True},           # neither result nor event
             {"protocol": 1, "id": 1, "ok": True, "event": {}},  # missing seq
             {"protocol": 1, "id": 1, "ok": "yes", "result": {}},
-            {"protocol": 2, "id": 1, "ok": True, "result": {}},
+            {"protocol": 3, "id": 1, "ok": True, "result": {}},
             {"protocol": 1, "id": 1, "ok": True, "result": {},
              "seconds": "fast"},
             [],

@@ -112,7 +112,11 @@ def assert_results_match(remote, local):
 class TestHttpEndpoints:
     def test_healthz_and_stats(self, server):
         with TsubasaRemoteClient(server.address) as client:
-            assert client.health() == {"ok": True, "protocol": 1}
+            health = client.health()
+            assert health["ok"] is True
+            assert health["protocol"] == 1
+            assert health["protocols"] == [1, 2]
+            assert health["pid"] > 0
             stats = client.stats()
         assert stats["protocol"] == 1
         assert "service" in stats and "server" in stats
@@ -148,12 +152,12 @@ class TestHttpEndpoints:
 
     def test_protocol_version_negotiation(self, server):
         conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
-        frame = {"protocol": 2, "spec": MIXED_SPECS[0].to_dict()}
+        frame = {"protocol": 3, "spec": MIXED_SPECS[0].to_dict()}
         conn.request("POST", "/v1/query", body=json.dumps(frame).encode())
         payload = json.loads(conn.getresponse().read())
         conn.close()
         assert payload["ok"] is False
-        assert "unsupported protocol version 2" in payload["error"]["message"]
+        assert "unsupported protocol version 3" in payload["error"]["message"]
 
     def test_keep_alive_reuses_connection(self, server):
         with TsubasaRemoteClient(server.address) as client:
