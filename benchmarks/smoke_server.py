@@ -13,7 +13,10 @@ operator runs it:
    rejected with 401
 4. SIGTERM → the server drains gracefully and exits 0
 5. the same store served by ``--workers 2`` (``SO_REUSEPORT`` acceptor
-   processes): both workers answer on the shared port, SIGTERM drains both
+   processes): both workers answer on the shared port; one worker is
+   SIGKILLed in the middle of a retrying client's batches and not a single
+   call fails (results stay bit-identical while the supervisor spawns a
+   replacement); SIGTERM then drains both workers
 
 Exits non-zero on any mismatch, so CI can gate on it::
 
@@ -22,16 +25,19 @@ Exits non-zero on any mismatch, so CI can gate on it::
 
 from __future__ import annotations
 
+import os
 import signal
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.api.client import TsubasaClient
 from repro.api.remote import TsubasaRemoteClient
+from repro.api.resilience import RetryPolicy
 from repro.api.spec import QuerySpec, WindowSpec
 from repro.engine.providers import MmapProvider
 from repro.exceptions import ServiceError
@@ -100,7 +106,12 @@ def single_process(store: Path, specs, local) -> int:
     finally:
         if server.poll() is None:
             server.kill()
-            server.communicate()
+            try:
+                # Surviving worker children inherit the stderr pipe, so an
+                # unbounded communicate() can hang after a hard kill.
+                server.communicate(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
     return 0
 
 
@@ -129,6 +140,43 @@ def multi_worker(store: Path, specs, local) -> int:
             print(f"expected 2 serving pids, saw {pids}", file=sys.stderr)
             return 1
         print(f"both workers answered: pids {sorted(pids)}")
+
+        # Kill a worker in the middle of a retrying client's batches: not
+        # a single call may fail (reconnects land on the survivor), and
+        # the supervisor must bring a replacement up on the shared port.
+        with TsubasaRemoteClient(
+            address,
+            retry=RetryPolicy(jitter=False, base_backoff=0.05),
+        ) as rc:
+            # health() pins the keep-alive connection to one worker, so
+            # the batches after the kill are guaranteed to hit a dead
+            # connection first and must transparently re-issue.
+            victim = rc.health()["pid"]
+            check_results(rc.execute_many(specs), local)
+            os.kill(victim, signal.SIGKILL)
+            for _ in range(2):
+                check_results(rc.execute_many(specs), local)
+        print(
+            f"SIGKILLed worker {victim} mid-batch: "
+            f"{3 * len(specs)} calls, 0 failed, all bit-identical"
+        )
+        survivors = set()
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            try:
+                with TsubasaRemoteClient(address) as probe:
+                    survivors.add(probe.health()["pid"])
+            except Exception:
+                pass
+            if len(survivors - {victim}) >= 2:
+                break
+            time.sleep(0.2)
+        if len(survivors - {victim}) < 2:
+            print(f"replacement worker never answered: saw {survivors}",
+                  file=sys.stderr)
+            return 1
+        print(f"replacement up: pids {sorted(survivors - {victim})}")
+
         server.send_signal(signal.SIGTERM)
         _, stderr = server.communicate(timeout=60)
         if server.returncode != 0:
@@ -146,7 +194,12 @@ def multi_worker(store: Path, specs, local) -> int:
     finally:
         if server.poll() is None:
             server.kill()
-            server.communicate()
+            try:
+                # Surviving worker children inherit the stderr pipe, so an
+                # unbounded communicate() can hang after a hard kill.
+                server.communicate(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
     return 0
 
 

@@ -11,6 +11,11 @@
    real-time engine, and each completed basic window is pushed to the
    client as an ordered StreamEvent.
 
+Every remote client here carries a RetryPolicy: connect failures, server
+restarts, and overload sheds are retried with jittered exponential
+backoff behind a per-endpoint circuit breaker, and the subscription
+auto-resumes from its last seen sequence number if the connection drops.
+
 Run:  python examples/remote_client.py
 """
 
@@ -20,6 +25,7 @@ import numpy as np
 
 from repro.api.client import TsubasaClient
 from repro.api.remote import TsubasaRemoteClient
+from repro.api.resilience import RetryPolicy
 from repro.api.server import serve_in_thread
 from repro.api.spec import QuerySpec, WindowSpec
 from repro.core.realtime import TsubasaRealtime
@@ -56,6 +62,11 @@ def main() -> None:
         QuerySpec(op="matrix", window=window),
     ]
 
+    # Production client posture: retry idempotent queries on connection
+    # failures and overload sheds (a circuit breaker is attached
+    # automatically alongside the policy).
+    retry = RetryPolicy(max_attempts=4, base_backoff=0.05)
+
     # In-process reference vs both remote transports, JSON v1 vs binary
     # columnar v2 ("auto" negotiates v2 here): all bit-identical.
     local = [TsubasaClient(provider=InMemoryProvider(sketch)).execute(s)
@@ -64,7 +75,7 @@ def main() -> None:
         for protocol in (1, "auto"):
             with TsubasaRemoteClient(
                 handle.address, transport=transport, protocol=protocol,
-                auth_token=TOKEN,
+                auth_token=TOKEN, retry=retry,
             ) as remote:
                 results = remote.execute_many(specs)
                 if transport == "ws" and protocol == "auto":
@@ -83,8 +94,12 @@ def main() -> None:
                 f"matrix bit-identical={matrix_equal}"
             )
 
-    # Live subscription: ordered snapshots pushed as basic windows complete.
-    with TsubasaRemoteClient(handle.address, auth_token=TOKEN) as remote:
+    # Live subscription: ordered snapshots pushed as basic windows
+    # complete. With a retry policy attached the stream auto-resumes from
+    # its last seen seq if the connection drops mid-stream.
+    with TsubasaRemoteClient(
+        handle.address, auth_token=TOKEN, retry=retry
+    ) as remote:
         print("subscribing to live network updates (theta=0.5) ...")
         for event in remote.subscribe(
             theta=0.5, window_points=800, max_events=3

@@ -26,6 +26,11 @@ This package is the public *request surface* of the TSUBASA reproduction:
 * :mod:`repro.api.remote` — :class:`~repro.api.remote.TsubasaRemoteClient`,
   the drop-in remote mirror of the client's execute/execute_many surface,
   plus streaming ``subscribe`` consumption.
+* :mod:`repro.api.resilience` — client-side fault-tolerance policies:
+  :class:`~repro.api.resilience.RetryPolicy` (bounded, budgeted,
+  full-jitter retries of idempotent queries) and
+  :class:`~repro.api.resilience.CircuitBreaker` (fail fast against a dead
+  endpoint).
 
 Clients speak :class:`~repro.api.spec.QuerySpec`, never engine internals —
 in-process and over the network alike.
@@ -58,6 +63,12 @@ from repro.api.protocol import (
     value_from_payload,
 )
 from repro.api.remote import TsubasaRemoteClient
+from repro.api.resilience import (
+    CircuitBreaker,
+    RetryBudget,
+    RetryPolicy,
+    is_retryable,
+)
 from repro.api.server import ServerHandle, TsubasaServer, serve_in_thread
 from repro.api.service import (
     BackendLatency,
@@ -108,6 +119,10 @@ __all__ = [
     "ServerHandle",
     "serve_in_thread",
     "TsubasaRemoteClient",
+    "RetryPolicy",
+    "RetryBudget",
+    "CircuitBreaker",
+    "is_retryable",
     "AcceptorSupervisor",
     "WorkerConfig",
 ]

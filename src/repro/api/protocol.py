@@ -228,21 +228,34 @@ class ErrorEnvelope:
             non-library failures.
         id: The originating request's id (``None`` when the failure happened
             before an id could be parsed).
+        retryable: The server's assertion that re-issuing the identical
+            request is safe and may succeed (overload shedding, graceful
+            drain). Restored onto the rebuilt exception so
+            :func:`~repro.api.resilience.is_retryable` classifies wire
+            errors exactly like local ones.
     """
 
     type: str
     message: str
     code: int | None = None
     id: str | int | None = None
+    retryable: bool = False
 
     @classmethod
     def from_exception(
-        cls, exc: BaseException, request_id: str | int | None = None
+        cls,
+        exc: BaseException,
+        request_id: str | int | None = None,
+        retryable: bool = False,
     ) -> "ErrorEnvelope":
         """The envelope for one failed request."""
         code = error_code_for(exc) if isinstance(exc, TsubasaError) else None
         return cls(
-            type=type(exc).__name__, message=str(exc), code=code, id=request_id
+            type=type(exc).__name__,
+            message=str(exc),
+            code=code,
+            id=request_id,
+            retryable=retryable or bool(getattr(exc, "retryable", False)),
         )
 
     def to_exception(self) -> Exception:
@@ -259,13 +272,19 @@ class ErrorEnvelope:
             isinstance(klass, type)
             and issubclass(klass, TsubasaError)
         ):
-            return klass(self.message)
-        return TsubasaError(f"{self.type}: {self.message}")
+            exc: Exception = klass(self.message)
+        else:
+            exc = TsubasaError(f"{self.type}: {self.message}")
+        if self.retryable:
+            exc.retryable = True  # type: ignore[attr-defined]
+        return exc
 
     def to_dict(self) -> dict[str, Any]:
         error: dict[str, Any] = {"type": self.type, "message": self.message}
         if self.code is not None:
             error["code"] = self.code
+        if self.retryable:
+            error["retryable"] = True
         return {
             "protocol": PROTOCOL_VERSION,
             "id": self.id,
@@ -283,14 +302,21 @@ class StreamEvent:
 
     Attributes:
         id: The subscription's request id.
-        seq: 0-based per-subscription sequence number; strictly increasing,
-            gapless — a consumer seeing a gap knows the transport (not the
-            protocol) dropped frames.
+        seq: The hub's global monotonic publish sequence number for this
+            snapshot (:class:`~repro.streams.hub.SnapshotHub`). Strictly
+            increasing and contiguous within one hub lifetime, shared by
+            every subscriber — which is what makes it a resume token: a
+            client that saw seq ``s`` reconnects with ``resume_from=s``
+            and the hub replays ``s+1, s+2, ...`` from its ring.
         event: Snapshot payload: ``timestamp`` (offset of the newest point
             folded in), ``theta``, ``n_nodes``/``n_edges``, the full
             ``edges`` list (``[a, b, weight]``), and the
             ``appeared``/``disappeared`` edge deltas against the
-            subscription's previous event.
+            subscription's previous event. A *gap* event instead carries
+            ``{"gap": true, "missed": ..., "next_seq": ...}`` — the one
+            explicit discontinuity marker a resumed subscription may see
+            when requested snapshots aged out of the replay ring (or the
+            hub restarted).
     """
 
     id: str | int | None
@@ -372,6 +398,7 @@ def parse_frame(payload: Any) -> Response | ErrorEnvelope | StreamEvent:
             message=str(error.get("message", "")),
             code=None if code is None else int(code),
             id=request_id,
+            retryable=bool(error.get("retryable", False)),
         )
     if payload.get("ok") is not True:
         raise DataError(f"reply frame must carry ok=true/false: {payload!r}")

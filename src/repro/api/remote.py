@@ -38,8 +38,9 @@ import http.client
 import json
 import os
 import socket
-from collections.abc import Iterator
-from dataclasses import fields
+import time
+from collections.abc import Callable, Iterator
+from dataclasses import fields, replace
 from typing import Any
 
 from repro.api.frames import CONTENT_TYPE_V2, decode_frame, value_from_payload_v2
@@ -53,9 +54,21 @@ from repro.api.protocol import (
     parse_frame,
     value_from_payload,
 )
+from repro.api.resilience import (
+    CircuitBreaker,
+    RetryBudget,
+    RetryPolicy,
+    is_retryable,
+    mark_retryable,
+)
 from repro.api.server import _apply_mask, encode_ws_frame, ws_accept_value
 from repro.api.spec import Provenance, QueryResult, QuerySpec, WindowSpec
-from repro.exceptions import DataError, ServiceError
+from repro.exceptions import (
+    CircuitOpenError,
+    DataError,
+    DeadlineExceeded,
+    ServiceError,
+)
 
 __all__ = ["TsubasaRemoteClient"]
 
@@ -129,7 +142,11 @@ class _WsClientConnection:
         while marker not in self._buffer:
             chunk = self._sock.recv(65536)
             if not chunk:
-                raise ServiceError("connection closed during WS handshake")
+                # Connection-level, not application-level: the request may
+                # never have reached a healthy server, so re-issuing is safe.
+                raise mark_retryable(
+                    ServiceError("connection closed during WS handshake")
+                )
             self._buffer += chunk
         head, self._buffer = self._buffer.split(marker, 1)
         return head
@@ -138,7 +155,9 @@ class _WsClientConnection:
         while len(self._buffer) < n:
             chunk = self._sock.recv(65536)
             if not chunk:
-                raise ServiceError("server closed the WebSocket connection")
+                raise mark_retryable(
+                    ServiceError("server closed the WebSocket connection")
+                )
             self._buffer += chunk
         data, self._buffer = self._buffer[:n], self._buffer[n:]
         return data
@@ -228,6 +247,18 @@ class TsubasaRemoteClient:
         auth_token: Optional bearer token sent as ``Authorization:
             Bearer <token>`` on every HTTP request and WebSocket
             handshake.
+        retry: Optional :class:`~repro.api.resilience.RetryPolicy`. When
+            set, idempotent query calls (``execute``/``execute_many`` —
+            every TSUBASA query is a pure read) are transparently
+            re-issued on connection failures, socket timeouts, and
+            server-side 503 overload shedding, with exponential backoff
+            and a retry budget. ``None`` (default) propagates every
+            failure immediately, exactly as before.
+        circuit_breaker: Optional
+            :class:`~repro.api.resilience.CircuitBreaker` guarding this
+            endpoint. Defaults to a fresh breaker when ``retry`` is set
+            (pass an explicit instance to share one across clients), and
+            to no breaker otherwise.
     """
 
     def __init__(
@@ -237,6 +268,8 @@ class TsubasaRemoteClient:
         timeout: float = 60.0,
         protocol: str | int = "auto",
         auth_token: str | None = None,
+        retry: RetryPolicy | None = None,
+        circuit_breaker: CircuitBreaker | None = None,
     ) -> None:
         if transport not in ("http", "ws"):
             raise DataError(
@@ -246,12 +279,26 @@ class TsubasaRemoteClient:
             raise DataError(
                 f"protocol must be 'auto', 1, or 2, got {protocol!r}"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise DataError(f"retry must be a RetryPolicy, got {retry!r}")
+        if circuit_breaker is not None and not isinstance(
+            circuit_breaker, CircuitBreaker
+        ):
+            raise DataError(
+                f"circuit_breaker must be a CircuitBreaker, got "
+                f"{circuit_breaker!r}"
+            )
         self._host, self._port = _parse_address(address)
         self._transport = transport
         self._timeout = timeout
         self._protocol = protocol
         self._want_v2 = protocol in ("auto", 2)
         self._auth_token = auth_token
+        self._retry = retry
+        if circuit_breaker is None and retry is not None:
+            circuit_breaker = CircuitBreaker()
+        self._breaker = circuit_breaker
+        self._budget = RetryBudget(retry) if retry is not None else None
         self._http: http.client.HTTPConnection | None = None
         self._ws: _WsClientConnection | None = None
         self._ws_protocol: int | None = None
@@ -294,11 +341,146 @@ class TsubasaRemoteClient:
         self._next_id += 1
         return self._next_id
 
-    def _http_conn(self) -> http.client.HTTPConnection:
+    # -- resilience ----------------------------------------------------------
+
+    @property
+    def circuit_breaker(self) -> CircuitBreaker | None:
+        """The endpoint's breaker (``None`` when resilience is off)."""
+        return self._breaker
+
+    @property
+    def retry_policy(self) -> RetryPolicy | None:
+        """The configured retry policy (``None`` = fail fast)."""
+        return self._retry
+
+    def _deadline_from(self, timeout: float | None) -> float | None:
+        """A per-call monotonic deadline from a relative timeout."""
+        if timeout is None:
+            return None
+        if timeout <= 0:
+            raise DataError(f"timeout must be positive, got {timeout!r}")
+        return time.monotonic() + float(timeout)
+
+    def _remaining(self, deadline: float | None) -> float | None:
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                "call deadline expired on the client before the request "
+                "could be (re)sent"
+            )
+        return remaining
+
+    @staticmethod
+    def _stamp(spec: QuerySpec, remaining: float | None) -> QuerySpec:
+        """The spec with ``deadline_ms`` set to the remaining call budget.
+
+        Each attempt re-derives the budget so the server sheds work the
+        client has already given up on. A tighter deadline already on the
+        spec wins.
+        """
+        if remaining is None:
+            return spec
+        budget_ms = max(int(remaining * 1000), 1)
+        if spec.deadline_ms is not None:
+            budget_ms = min(budget_ms, spec.deadline_ms)
+        return replace(spec, deadline_ms=budget_ms)
+
+    def _with_retries(
+        self, attempt: Callable[[float | None], Any], deadline: float | None
+    ) -> Any:
+        """Run ``attempt`` under the client's retry policy and breaker.
+
+        ``attempt`` receives the remaining per-call budget in seconds (or
+        ``None``) and either returns a result or raises. Retryable
+        failures (see :func:`~repro.api.resilience.is_retryable`) are
+        re-issued with full-jitter backoff while attempts, budget tokens,
+        and the call deadline all hold out; everything else propagates
+        immediately. With no policy configured this is a single guarded
+        call — the pre-PR-7 behavior plus breaker accounting.
+        """
+        policy = self._retry
+        failures = 0
+        while True:
+            if self._breaker is not None and not self._breaker.allow():
+                raise CircuitOpenError(
+                    f"circuit for {self.address} is open after repeated "
+                    f"connection failures; failing fast for up to "
+                    f"{self._breaker.reset_timeout:.1f}s"
+                )
+            try:
+                result = attempt(self._remaining(deadline))
+            except Exception as exc:
+                retryable = is_retryable(exc)
+                if self._breaker is not None:
+                    if retryable:
+                        # Transport-level: counts toward opening.
+                        self._breaker.record_failure()
+                    else:
+                        # The server answered (even if with an application
+                        # error) — the endpoint is alive.
+                        self._breaker.record_success()
+                failures += 1
+                if (
+                    policy is None
+                    or not retryable
+                    or failures >= policy.max_attempts
+                    or (self._budget is not None and not self._budget.spend())
+                ):
+                    raise
+                delay = policy.backoff(failures - 1)
+                if deadline is not None and (
+                    time.monotonic() + delay >= deadline
+                ):
+                    raise
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            if self._breaker is not None:
+                self._breaker.record_success()
+            if self._budget is not None:
+                self._budget.refund()
+            return result
+
+    @staticmethod
+    def _shed_ids(
+        answers: dict[Any, tuple[dict[str, Any], list | None]]
+    ) -> list[Any]:
+        """Keys whose answer is a server-marked-retryable error envelope.
+
+        Works for both wire versions: a decoded v2 frame's meta is the
+        same envelope shape as the v1 JSON dict.
+        """
+        return [
+            key
+            for key, (envelope, _buffers) in answers.items()
+            if isinstance(envelope, dict)
+            and isinstance(envelope.get("error"), dict)
+            and envelope["error"].get("retryable")
+        ]
+
+    # -- connections ---------------------------------------------------------
+
+    def _http_conn(self, remaining: float | None = None) -> http.client.HTTPConnection:
         if self._http is None:
             self._http = http.client.HTTPConnection(
                 self._host, self._port, timeout=self._timeout
             )
+        # Bound this attempt by the tighter of the socket timeout and the
+        # call's remaining deadline budget (best effort — ``timeout`` is
+        # picked up at connect; an existing socket is adjusted directly).
+        budget = (
+            self._timeout
+            if remaining is None
+            else min(self._timeout, remaining)
+        )
+        self._http.timeout = budget
+        if self._http.sock is not None:
+            try:
+                self._http.sock.settimeout(budget)
+            except OSError:
+                pass
         return self._http
 
     def _auth_headers(self) -> dict[str, str]:
@@ -312,14 +494,18 @@ class TsubasaRemoteClient:
         path: str,
         body: bytes | None = None,
         accept_v2: bool = False,
+        remaining: float | None = None,
     ) -> tuple[int, str, bytes]:
         """One HTTP exchange, reconnecting once on a stale keep-alive.
 
         Returns ``(status, content_type, raw_body)`` — the caller picks
-        the decoder off the response content type (v2 negotiation).
+        the decoder off the response content type (v2 negotiation). A
+        connection-level failure after the reconnect is raised as a
+        *retryable* :class:`~repro.exceptions.ServiceError` so the retry
+        policy (when configured) can re-issue the call.
         """
         for attempt in (0, 1):
-            conn = self._http_conn()
+            conn = self._http_conn(remaining)
             try:
                 headers = self._auth_headers()
                 if body:
@@ -334,8 +520,10 @@ class TsubasaRemoteClient:
                 self._http.close()
                 self._http = None
                 if attempt:
-                    raise ServiceError(
-                        f"HTTP request to {self.address} failed: {exc}"
+                    raise mark_retryable(
+                        ServiceError(
+                            f"HTTP request to {self.address} failed: {exc}"
+                        )
                     ) from exc
         return (
             response.status,
@@ -456,34 +644,61 @@ class TsubasaRemoteClient:
 
     # -- the TsubasaClient surface -------------------------------------------
 
-    def execute(self, spec: QuerySpec) -> QueryResult:
-        """Execute one spec remotely; mirrors ``TsubasaClient.execute``."""
+    def execute(
+        self, spec: QuerySpec, timeout: float | None = None
+    ) -> QueryResult:
+        """Execute one spec remotely; mirrors ``TsubasaClient.execute``.
+
+        Args:
+            spec: The query to run.
+            timeout: Optional per-call deadline in seconds. Propagated to
+                the server as the spec's ``deadline_ms`` (remaining budget
+                per attempt) so expired work is shed there too; the call
+                raises :class:`~repro.exceptions.DeadlineExceeded` once
+                the budget is spent, retries included.
+        """
         if not isinstance(spec, QuerySpec):
             raise DataError(f"expected a QuerySpec, got {type(spec)!r}")
         if self._transport == "ws":
-            return self._ws_execute_many([spec])[0]
-        request = Request(spec=spec, id=self._take_id())
-        status, content_type, data = self._http_round_trip(
-            "POST", "/v1/query", request.to_json().encode(),
-            accept_v2=self._want_v2,
-        )
-        if content_type.startswith(CONTENT_TYPE_V2):
-            meta, buffers, _end = decode_frame(data)
-            return self._complete(spec, meta, buffers)
-        try:
-            envelope = json.loads(data)
-        except ValueError as exc:
-            raise ServiceError(
-                f"server returned invalid JSON (HTTP {status})"
-            ) from exc
-        return self._complete(spec, envelope)
+            return self._ws_execute_many([spec], timeout=timeout)[0]
+        deadline = self._deadline_from(timeout)
 
-    def execute_many(self, specs: list[QuerySpec]) -> list[QueryResult]:
+        def attempt(remaining: float | None) -> QueryResult:
+            request = Request(
+                spec=self._stamp(spec, remaining), id=self._take_id()
+            )
+            status, content_type, data = self._http_round_trip(
+                "POST", "/v1/query", request.to_json().encode(),
+                accept_v2=self._want_v2, remaining=remaining,
+            )
+            if content_type.startswith(CONTENT_TYPE_V2):
+                meta, buffers, _end = decode_frame(data)
+                return self._complete(spec, meta, buffers)
+            try:
+                envelope = json.loads(data)
+            except ValueError as exc:
+                raise ServiceError(
+                    f"server returned invalid JSON (HTTP {status})"
+                ) from exc
+            return self._complete(spec, envelope)
+
+        return self._with_retries(attempt, deadline)
+
+    def execute_many(
+        self, specs: list[QuerySpec], timeout: float | None = None
+    ) -> list[QueryResult]:
         """Execute several specs remotely, in spec order.
 
         Over HTTP this is one ``/v1/batch`` round trip; over WebSockets the
         requests are pipelined on one connection and completions are
-        matched by id as they arrive (out of order).
+        matched by id as they arrive (out of order). With a retry policy
+        configured, only the requests still missing an answer are
+        re-issued after a failure — completed work is never re-sent.
+
+        Args:
+            specs: The queries to run.
+            timeout: Optional per-call deadline in seconds covering the
+                whole batch, retries included (see :meth:`execute`).
         """
         for spec in specs:
             if not isinstance(spec, QuerySpec):
@@ -491,81 +706,166 @@ class TsubasaRemoteClient:
         if not specs:
             return []
         if self._transport == "ws":
-            return self._ws_execute_many(list(specs))
-        frames = [
-            Request(spec=spec, id=self._take_id()).to_dict() for spec in specs
-        ]
-        status, content_type, data = self._http_round_trip(
-            "POST", "/v1/batch", json.dumps(frames).encode(),
-            accept_v2=self._want_v2,
-        )
-        if content_type.startswith(CONTENT_TYPE_V2):
-            decoded: list[tuple[dict[str, Any], list]] = []
-            offset = 0
-            while offset < len(data):
-                meta, buffers, offset = decode_frame(data, offset)
-                decoded.append((meta, buffers))
-            if len(decoded) != len(specs):
+            return self._ws_execute_many(list(specs), timeout=timeout)
+        return self._http_execute_many(list(specs), timeout)
+
+    def _http_execute_many(
+        self, specs: list[QuerySpec], timeout: float | None
+    ) -> list[QueryResult]:
+        deadline = self._deadline_from(timeout)
+        # Answers survive across attempts, keyed by position in ``specs``:
+        # a retry re-issues only the still-unanswered requests.
+        answers: dict[int, tuple[dict[str, Any], list | None]] = {}
+
+        def attempt(remaining: float | None) -> None:
+            pending = [i for i in range(len(specs)) if i not in answers]
+            ids: dict[Any, int] = {}
+            frames = []
+            for index in pending:
+                request_id = self._take_id()
+                ids[request_id] = index
+                frames.append(
+                    Request(
+                        spec=self._stamp(specs[index], remaining),
+                        id=request_id,
+                    ).to_dict()
+                )
+            status, content_type, data = self._http_round_trip(
+                "POST", "/v1/batch", json.dumps(frames).encode(),
+                accept_v2=self._want_v2, remaining=remaining,
+            )
+            decoded: list[tuple[dict[str, Any], list | None]]
+            if content_type.startswith(CONTENT_TYPE_V2):
+                decoded = []
+                offset = 0
+                while offset < len(data):
+                    meta, buffers, offset = decode_frame(data, offset)
+                    decoded.append((meta, buffers))
+            else:
+                try:
+                    envelopes = json.loads(data)
+                except ValueError as exc:
+                    raise ServiceError(
+                        f"server returned invalid JSON (HTTP {status})"
+                    ) from exc
+                if isinstance(envelopes, dict):
+                    # A whole-batch failure (bad body, auth) is a single
+                    # envelope.
+                    frame = parse_frame(envelopes)
+                    if isinstance(frame, ErrorEnvelope):
+                        raise frame.to_exception()
+                if not isinstance(envelopes, list):
+                    raise ServiceError(
+                        f"batch returned {envelopes!r} for "
+                        f"{len(pending)} requests"
+                    )
+                decoded = [(envelope, None) for envelope in envelopes]
+            if len(decoded) != len(pending):
                 raise ServiceError(
                     f"batch returned {len(decoded)} frames for "
-                    f"{len(specs)} requests"
+                    f"{len(pending)} requests"
                 )
-            return [
-                self._complete(spec, meta, buffers)
-                for spec, (meta, buffers) in zip(specs, decoded)
-            ]
-        try:
-            envelopes = json.loads(data)
-        except ValueError as exc:
-            raise ServiceError(
-                f"server returned invalid JSON (HTTP {status})"
-            ) from exc
-        if isinstance(envelopes, dict):
-            # A whole-batch failure (bad body, auth) is a single envelope.
-            frame = parse_frame(envelopes)
-            if isinstance(frame, ErrorEnvelope):
-                raise frame.to_exception()
-        if not isinstance(envelopes, list) or len(envelopes) != len(specs):
-            raise ServiceError(
-                f"batch returned {envelopes!r} for {len(specs)} requests"
-            )
+            for position, (envelope, buffers) in enumerate(decoded):
+                frame_id = (
+                    envelope.get("id") if isinstance(envelope, dict) else None
+                )
+                answers[ids.get(frame_id, pending[position])] = (
+                    envelope, buffers,
+                )
+            self._reraise_shed(answers)
+
+        self._with_retries(attempt, deadline)
         return [
-            self._complete(spec, envelope)
-            for spec, envelope in zip(specs, envelopes)
+            self._complete(spec, *answers[index])
+            for index, spec in enumerate(specs)
         ]
 
-    def _ws_execute_many(self, specs: list[QuerySpec]) -> list[QueryResult]:
-        conn = self._ws_conn()
-        by_id: dict[int, QuerySpec] = {}
-        order: list[int] = []
-        try:
-            for spec in specs:
-                request_id = self._take_id()
-                by_id[request_id] = spec
-                order.append(request_id)
-                conn.send_text(Request(spec=spec, id=request_id).to_json())
-            answers: dict[int, tuple[dict[str, Any], list | None]] = {}
-            while len(answers) < len(order):
-                received = self._recv_envelope(conn)
-                if received is None:
-                    raise ServiceError(
-                        "server closed the connection with "
-                        f"{len(order) - len(answers)} responses outstanding"
+    def _reraise_shed(
+        self, answers: dict[Any, tuple[dict[str, Any], list | None]]
+    ) -> None:
+        """Convert server-shed answers back into a retryable failure.
+
+        Only when a retry policy is configured: the shed envelopes are
+        dropped from ``answers`` and a retryable error is raised so the
+        next attempt re-issues exactly those requests. Without a policy
+        the envelopes stay put and surface as exceptions at completion
+        time — the pre-PR-7 behavior.
+        """
+        if self._retry is None:
+            return
+        shed = self._shed_ids(answers)
+        if shed:
+            for key in shed:
+                del answers[key]
+            raise mark_retryable(
+                ServiceError(
+                    f"server shed {len(shed)} request(s) under overload"
+                )
+            )
+
+    def _ws_execute_many(
+        self, specs: list[QuerySpec], timeout: float | None = None
+    ) -> list[QueryResult]:
+        deadline = self._deadline_from(timeout)
+        # Ids are issued once per call; answers persist across reconnects
+        # so a retry re-sends only the requests still outstanding.
+        requests = [(self._take_id(), spec) for spec in specs]
+        answers: dict[int, tuple[dict[str, Any], list | None]] = {}
+
+        def attempt(remaining: float | None) -> None:
+            try:
+                conn = self._ws_conn()
+                if remaining is not None:
+                    # Bound this attempt's socket waits by the remaining
+                    # call budget (best effort; a timeout is retryable).
+                    try:
+                        conn._sock.settimeout(min(self._timeout, remaining))
+                    except OSError:
+                        pass
+                for request_id, spec in requests:
+                    if request_id in answers:
+                        continue
+                    conn.send_text(
+                        Request(
+                            spec=self._stamp(spec, remaining), id=request_id
+                        ).to_json()
                     )
-                envelope, buffers = received
-                frame_id = envelope.get("id") if isinstance(envelope, dict) else None
-                if frame_id in by_id and frame_id not in answers:
-                    answers[frame_id] = (envelope, buffers)
-                # Anything else (a duplicate, a stray push) is unmatchable
-                # by construction — ids are freshly issued per call and
-                # every call drains its own completions — so drop it rather
-                # than buffer it forever.
-        except (OSError, ServiceError):
-            self.close()
-            raise
+                by_id = {request_id for request_id, _spec in requests}
+                while len(answers) < len(requests):
+                    received = self._recv_envelope(conn)
+                    if received is None:
+                        raise mark_retryable(
+                            ServiceError(
+                                "server closed the connection with "
+                                f"{len(requests) - len(answers)} responses "
+                                "outstanding"
+                            )
+                        )
+                    envelope, buffers = received
+                    frame_id = (
+                        envelope.get("id")
+                        if isinstance(envelope, dict)
+                        else None
+                    )
+                    if frame_id in by_id and frame_id not in answers:
+                        answers[frame_id] = (envelope, buffers)
+                    # Anything else (a duplicate from a re-issued request,
+                    # a stray push) is unmatchable by construction — so
+                    # drop it rather than buffer it forever.
+            except (OSError, ServiceError):
+                # The connection is suspect; the next attempt (or call)
+                # renegotiates from scratch.
+                self.close()
+                raise
+            # Outside the connection guard: shed answers mean the server
+            # and socket are healthy, so keep the session open and only
+            # re-issue the shed requests.
+            self._reraise_shed(answers)
+
+        self._with_retries(attempt, deadline)
         return [
-            self._complete(by_id[request_id], *answers[request_id])
-            for request_id in order
+            self._complete(spec, *answers[request_id])
+            for request_id, spec in requests
         ]
 
     # -- streaming -----------------------------------------------------------
@@ -576,6 +876,8 @@ class TsubasaRemoteClient:
         window: WindowSpec | None = None,
         window_points: int | None = None,
         max_events: int | None = None,
+        resume_from: int | None = None,
+        auto_resume: bool | None = None,
     ) -> Iterator[StreamEvent]:
         """Consume a ``subscribe`` op as an iterator of stream events.
 
@@ -596,6 +898,17 @@ class TsubasaRemoteClient:
                 ``/v1/stats`` under ``realtime.window_points``).
             max_events: Stop (and close the connection) after this many
                 events; ``None`` consumes until the stream completes.
+            resume_from: The last sequence number already seen (e.g. a
+                previous event's ``seq``). The server replays ``seq+1``
+                onward from its bounded ring, or sends one explicit *gap*
+                event (``event["gap"] is True``) when the requested
+                snapshots aged out or the stream restarted.
+            auto_resume: Transparently reconnect-and-resume from the last
+                delivered seq when the connection drops mid-stream.
+                Defaults to on when the client has a retry policy, off
+                otherwise. Reconnect attempts are bounded by the policy
+                (or :class:`~repro.api.resilience.RetryPolicy` defaults)
+                and reset after each successful event.
         """
         if (window is None) == (window_points is None):
             raise DataError(
@@ -603,41 +916,78 @@ class TsubasaRemoteClient:
             )
         if window is None:
             window = WindowSpec(start=0, stop=int(window_points))
-        spec = QuerySpec(op="subscribe", window=window, theta=theta)
-        request = Request(spec=spec, id=self._take_id())
-        return self._subscribe_events(request, max_events)
+        spec = QuerySpec(
+            op="subscribe", window=window, theta=theta,
+            resume_from=resume_from,
+        )
+        if auto_resume is None:
+            auto_resume = self._retry is not None
+        return self._subscribe_events(spec, max_events, auto_resume)
 
     def _subscribe_events(
-        self, request: Request, max_events: int | None
+        self, spec: QuerySpec, max_events: int | None, auto_resume: bool
     ) -> Iterator[StreamEvent]:
-        conn = _WsClientConnection(
-            self._host, self._port, self._timeout,
-            headers=self._auth_headers(),
-        )
-        try:
-            self._negotiate_ws(conn)
-            conn.send_text(request.to_json())
-            # The first frame is the subscription ack (or an error).
-            received = self._recv_envelope(conn)
-            if received is None:
-                raise ServiceError("server closed before acknowledging")
-            ack = parse_frame(received[0])
-            if isinstance(ack, ErrorEnvelope):
-                raise ack.to_exception()
-            delivered = 0
-            while max_events is None or delivered < max_events:
+        policy = self._retry if self._retry is not None else RetryPolicy()
+        delivered = 0
+        last_seq = spec.resume_from
+        failures = 0  # consecutive connection-level failures
+        while True:
+            current = spec if last_seq is None else replace(
+                spec, resume_from=last_seq
+            )
+            request = Request(spec=current, id=self._take_id())
+            conn: _WsClientConnection | None = None
+            try:
+                conn = _WsClientConnection(
+                    self._host, self._port, self._timeout,
+                    headers=self._auth_headers(),
+                )
+                self._negotiate_ws(conn)
+                conn.send_text(request.to_json())
+                # The first frame is the subscription ack (or an error).
                 received = self._recv_envelope(conn)
                 if received is None:
-                    return
-                frame = parse_frame(received[0])
-                if isinstance(frame, ErrorEnvelope):
-                    raise frame.to_exception()
-                if isinstance(frame, Response):
-                    return  # stream completed cleanly
-                yield frame
-                delivered += 1
-        finally:
-            conn.close()
+                    raise mark_retryable(
+                        ServiceError("server closed before acknowledging")
+                    )
+                ack = parse_frame(received[0])
+                if isinstance(ack, ErrorEnvelope):
+                    raise ack.to_exception()
+                while max_events is None or delivered < max_events:
+                    received = self._recv_envelope(conn)
+                    if received is None:
+                        if auto_resume:
+                            # No complete-response frame: the server (or
+                            # the path to it) died mid-stream. Resume.
+                            raise mark_retryable(
+                                ServiceError("connection lost mid-stream")
+                            )
+                        return
+                    frame = parse_frame(received[0])
+                    if isinstance(frame, ErrorEnvelope):
+                        raise frame.to_exception()
+                    if isinstance(frame, Response):
+                        return  # stream completed cleanly
+                    failures = 0
+                    if not frame.event.get("gap"):
+                        # Gap markers describe missing data; only real
+                        # snapshots advance the resume cursor.
+                        last_seq = frame.seq
+                    yield frame
+                    delivered += 1
+                return
+            except Exception as exc:
+                if not (auto_resume and is_retryable(exc)):
+                    raise
+                failures += 1
+                if failures >= policy.max_attempts:
+                    raise
+                delay = policy.backoff(failures - 1)
+                if delay > 0:
+                    time.sleep(delay)
+            finally:
+                if conn is not None:
+                    conn.close()
 
     # -- observability -------------------------------------------------------
 
@@ -645,6 +995,13 @@ class TsubasaRemoteClient:
         """The server's ``/v1/stats`` payload (server + service counters)."""
         return self._http_json("GET", "/v1/stats")
 
-    def health(self) -> dict[str, Any]:
-        """The server's ``/healthz`` payload."""
-        return self._http_json("GET", "/healthz")
+    def health(self, deep: bool = False) -> dict[str, Any]:
+        """The server's ``/healthz`` payload.
+
+        Args:
+            deep: Ask for the readiness probe (``/healthz?deep=1``):
+                adds store generation, hub liveness, and in-flight budget
+                utilization, with ``ok: false`` when degraded.
+        """
+        path = "/healthz?deep=1" if deep else "/healthz"
+        return self._http_json("GET", path)

@@ -1,0 +1,253 @@
+"""Client-side resilience primitives: retry policies and circuit breakers.
+
+The remote path can fail in ways in-process execution cannot — a worker
+SIGKILLed mid-request, a stale keep-alive, an overloaded server shedding
+with 503, a network reset. Every TSUBASA query except ``subscribe`` is an
+idempotent pure read, so re-issuing one is always safe; this module holds
+the policy pieces :class:`~repro.api.remote.TsubasaRemoteClient` composes
+to do that without melting a struggling server:
+
+- :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *full jitter* (each delay is uniform in ``[0, cap]``, the AWS
+  architecture-blog recipe that decorrelates retry storms).
+- :class:`RetryBudget` — a token bucket refilled by successes, capping
+  the *ratio* of retries to useful work so a hard outage degrades into a
+  trickle of probes instead of an amplification loop.
+- :class:`CircuitBreaker` — closed → open → half-open per endpoint, so a
+  dead server fails fast (:class:`~repro.exceptions.CircuitOpenError`)
+  instead of eating a full connect timeout on every call.
+- :func:`is_retryable` — the single classification point for "safe to
+  re-issue": connection-level failures and errors explicitly marked
+  retryable by the server (503 shed). Application errors — bad specs,
+  auth rejections, expired deadlines — are never retried.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import DataError, TsubasaError
+
+__all__ = [
+    "RetryPolicy",
+    "RetryBudget",
+    "CircuitBreaker",
+    "is_retryable",
+    "mark_retryable",
+]
+
+
+#: Exception classes that indicate the *transport* failed, not the query:
+#: refused/reset/closed connections, DNS trouble, socket timeouts. (OSError
+#: covers ConnectionError and socket.timeout; http.client errors are raised
+#: as ServiceError by the client with ``retryable`` set where appropriate.)
+_CONNECT_ERRORS: tuple[type[BaseException], ...] = (OSError, TimeoutError)
+
+
+def mark_retryable(exc: BaseException) -> BaseException:
+    """Tag an exception as safe to re-issue and return it.
+
+    The tag travels as a plain ``retryable`` attribute so it survives the
+    wire round trip: the server sets it on 503-shed error envelopes and
+    :meth:`~repro.api.protocol.ErrorEnvelope.to_exception` restores it.
+    """
+    exc.retryable = True  # type: ignore[attr-defined]
+    return exc
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether re-issuing the failed call is safe *and* plausibly useful.
+
+    True for connection-level failures (the request may never have
+    reached a healthy server) and for errors the server explicitly
+    marked retryable (overload shedding). False for everything else —
+    malformed specs, auth failures, and expired deadlines will fail the
+    same way again, so retrying only adds load.
+    """
+    if getattr(exc, "retryable", False):
+        return True
+    if isinstance(exc, TsubasaError):
+        # Library errors are application-level unless explicitly marked.
+        return False
+    return isinstance(exc, _CONNECT_ERRORS)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and how hard) to retry idempotent remote calls.
+
+    The defaults suit interactive queries against a LAN server: up to 3
+    retries, first delay ~50 ms, doubling to a 2 s cap, full jitter.
+
+    Args:
+        max_attempts: Total tries including the first (≥ 1; 1 disables
+            retries while keeping budget/breaker bookkeeping).
+        base_backoff: Backoff cap before the first retry, seconds.
+        max_backoff: Upper bound on the backoff cap, seconds.
+        multiplier: Cap growth factor per attempt.
+        jitter: Draw each delay uniformly from ``[0, cap]`` (full
+            jitter). ``False`` sleeps the cap exactly — deterministic,
+            for tests.
+        budget: Token-bucket size shared by all calls on one client; each
+            retry spends a token (see :class:`RetryBudget`). ``0``
+            disables the budget (unbounded retries up to max_attempts).
+        budget_refill: Fraction of a token returned per *successful*
+            call, tying retry capacity to useful throughput.
+    """
+
+    max_attempts: int = 4
+    base_backoff: float = 0.05
+    max_backoff: float = 2.0
+    multiplier: float = 2.0
+    jitter: bool = True
+    budget: float = 16.0
+    budget_refill: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise DataError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise DataError("backoff bounds must be >= 0")
+        if self.multiplier < 1.0:
+            raise DataError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.budget < 0 or self.budget_refill < 0:
+            raise DataError("retry budget values must be >= 0")
+
+    def backoff(self, retry_index: int, rng: random.Random | None = None) -> float:
+        """Delay in seconds before retry number ``retry_index`` (0-based)."""
+        cap = min(
+            self.max_backoff, self.base_backoff * self.multiplier**retry_index
+        )
+        if not self.jitter:
+            return cap
+        return (rng or random).uniform(0.0, cap)
+
+
+class RetryBudget:
+    """Token bucket bounding retries relative to successful calls.
+
+    Starts full at ``policy.budget`` tokens. Each retry spends one;
+    each success refunds ``policy.budget_refill`` (clamped at the cap).
+    When empty, :meth:`spend` refuses and the caller surfaces the
+    original error instead of piling on. Thread-safe: one client may be
+    shared across threads.
+    """
+
+    def __init__(self, policy: RetryPolicy) -> None:
+        self._policy = policy
+        self._tokens = policy.budget
+        self._lock = threading.Lock()
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def spend(self) -> bool:
+        """Take one token; False (refusing the retry) when exhausted."""
+        if self._policy.budget == 0:
+            return True  # budget disabled
+        with self._lock:
+            if self._tokens < 1.0:
+                return False
+            self._tokens -= 1.0
+            return True
+
+    def refund(self) -> None:
+        """Credit a successful call back to the bucket."""
+        if self._policy.budget == 0:
+            return
+        with self._lock:
+            self._tokens = min(
+                self._policy.budget, self._tokens + self._policy.budget_refill
+            )
+
+
+class CircuitBreaker:
+    """Per-endpoint closed → open → half-open breaker.
+
+    *Closed* (healthy): calls flow, consecutive transport failures are
+    counted. At ``failure_threshold`` the breaker *opens*: calls fail
+    fast for ``reset_timeout`` seconds without touching the socket.
+    Then one probe call is let through (*half-open*); success closes the
+    breaker, failure re-opens it for another full timeout.
+
+    Thread-safe. The clock is injectable for deterministic tests.
+
+    Args:
+        failure_threshold: Consecutive retryable failures that open the
+            breaker.
+        reset_timeout: Seconds the breaker stays open before allowing a
+            half-open probe.
+        clock: Monotonic time source (tests inject a fake).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise DataError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout < 0:
+            raise DataError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self.fast_failures = 0  # calls refused while open (observability)
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"``, or ``"half_open"`` (may promote)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half_open"
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In half-open state only the first caller gets the probe; others
+        keep failing fast until the probe reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "closed":
+                return True
+            if self._state == "half_open":
+                # Claim the single probe slot by re-opening pessimistically;
+                # record_success() flips to closed if the probe lands.
+                self._state = "open"
+                self._opened_at = self._clock()
+                return True
+            self.fast_failures += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._state = "open"
+                self._opened_at = self._clock()

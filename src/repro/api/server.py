@@ -56,6 +56,7 @@ import socket
 import threading
 from time import perf_counter
 from typing import Any, Callable
+from urllib.parse import parse_qs
 
 from repro.api.frames import (
     CONTENT_TYPE_V2,
@@ -75,7 +76,13 @@ from repro.api.protocol import (
 )
 from repro.api.service import TsubasaService
 from repro.api.spec import WindowSpec
-from repro.exceptions import DataError, ServiceError, StreamError, TsubasaError
+from repro.exceptions import (
+    DataError,
+    DeadlineExceeded,
+    ServiceError,
+    StreamError,
+    TsubasaError,
+)
 from repro.streams.hub import SnapshotHub
 
 __all__ = [
@@ -99,6 +106,7 @@ _HTTP_REASONS = {
     413: "Payload Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 logger = logging.getLogger("repro.api.server")
@@ -128,7 +136,7 @@ class _Completion:
         """The v1 JSON envelope."""
         if self.error is not None:
             return ErrorEnvelope.from_exception(
-                self.error, self.request_id
+                self.error, self.request_id, retryable=self.overloaded
             ).to_dict()
         return Response.from_result(self.result, self.request_id).to_dict()
 
@@ -136,7 +144,9 @@ class _Completion:
         """The binary v2 frame."""
         if self.error is not None:
             return encode_error_v2(
-                ErrorEnvelope.from_exception(self.error, self.request_id)
+                ErrorEnvelope.from_exception(
+                    self.error, self.request_id, retryable=self.overloaded
+                )
             )
         return encode_response_v2(self.result, self.request_id)
 
@@ -204,6 +214,10 @@ class _WsSession:
         self.tasks: set[asyncio.Task] = set()
         self.closing = False
         self.writer_task: asyncio.Task | None = None
+        #: Monotonic stamp of the last frame header read from this peer
+        #: (any frame counts — data, pong, even an unsolicited ping). The
+        #: keepalive task compares it against the idle timeout.
+        self.last_recv = perf_counter()
         #: Negotiated wire version for server→client frames (the WS hello
         #: exchange switches this to 2; requests stay JSON text either way).
         self.protocol = PROTOCOL_VERSION
@@ -364,6 +378,14 @@ class TsubasaServer:
             what makes the slow-consumer bound real — without it the
             kernel's default send buffer absorbs hundreds of kilobytes
             before backpressure reaches the send queue.
+        ws_ping_interval: Seconds between server-initiated WebSocket
+            pings on otherwise-quiet connections. ``0`` disables
+            keepalive (pre-PR-7 behavior: only client pings are answered).
+        ws_idle_timeout: Seconds of silence — no frame of any kind from
+            the peer, pongs included — after which a connection is
+            declared dead and aborted, freeing its send queue and any
+            subscriptions. Must exceed ``ws_ping_interval`` so a healthy
+            peer always gets a ping to answer before the axe falls.
     """
 
     def __init__(
@@ -379,6 +401,8 @@ class TsubasaServer:
         max_inflight_total: int | None = None,
         auth_token: str | Callable[[str | None], bool] | None = None,
         enable_v2: bool = True,
+        ws_ping_interval: float = 20.0,
+        ws_idle_timeout: float = 60.0,
     ) -> None:
         if not isinstance(service, TsubasaService):
             raise DataError(f"expected a TsubasaService, got {type(service)!r}")
@@ -388,6 +412,17 @@ class TsubasaServer:
             raise DataError("send_buffer must be positive")
         if max_inflight_total is not None and max_inflight_total <= 0:
             raise DataError("max_inflight_total must be positive or None")
+        if ws_ping_interval < 0 or ws_idle_timeout < 0:
+            raise DataError("WebSocket keepalive intervals must be >= 0")
+        if (
+            ws_ping_interval > 0
+            and ws_idle_timeout > 0
+            and ws_idle_timeout <= ws_ping_interval
+        ):
+            raise DataError(
+                "ws_idle_timeout must exceed ws_ping_interval (a healthy "
+                "peer needs at least one ping to answer)"
+            )
         self._service = service
         self._hub = hub
         self.max_inflight = max_inflight
@@ -399,6 +434,8 @@ class TsubasaServer:
         self.max_inflight_total = max_inflight_total
         self.auth_token = auth_token
         self.enable_v2 = enable_v2
+        self.ws_ping_interval = ws_ping_interval
+        self.ws_idle_timeout = ws_idle_timeout
         self._server: asyncio.base_events.Server | None = None
         self._closing = False
         self._closed = False
@@ -417,6 +454,7 @@ class TsubasaServer:
             "overload_rejections": 0,
             "rejected_global_budget": 0,
             "auth_failures": 0,
+            "keepalive_disconnects": 0,
         }
         #: Wire-side accounting, keyed by protocol version: how many
         #: requests each version answered, seconds spent encoding
@@ -650,7 +688,8 @@ class TsubasaServer:
                 return
             if parsed is None:
                 return
-            method, path, headers, body = parsed
+            method, target, headers, body = parsed
+            path, _, query = target.partition("?")
             authorized = path == "/healthz" or self._auth_ok(headers)
             if (
                 method == "GET"
@@ -678,7 +717,7 @@ class TsubasaServer:
                 "accept", ""
             )
             status, payload, version = await self._route(
-                method, path, body, wants_v2
+                method, path, body, wants_v2, query
             )
             keep_alive = headers.get("connection", "").lower() != "close"
             self._write_http(
@@ -724,7 +763,7 @@ class TsubasaServer:
                 400, "chunked request bodies are not supported; send "
                 "Content-Length"
             )
-        return method.upper(), target.split("?", 1)[0], headers, body
+        return method.upper(), target, headers, body
 
     def _auth_ok(self, headers: dict[str, str]) -> bool:
         """Bearer-token check, before any request body is parsed."""
@@ -782,7 +821,11 @@ class TsubasaServer:
     def _completion_status(self, completion: _Completion) -> int:
         if completion.ok:
             return 200
-        return 503 if completion.overloaded else 400
+        if completion.overloaded:
+            return 503
+        if isinstance(completion.error, DeadlineExceeded):
+            return 504
+        return 400
 
     def _encode_completions_http(
         self, completions: list[_Completion], wants_v2: bool
@@ -803,12 +846,17 @@ class TsubasaServer:
         return body
 
     async def _route(
-        self, method: str, path: str, body: bytes, wants_v2: bool = False
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        wants_v2: bool = False,
+        query: str = "",
     ) -> tuple[int, dict | list | bytes, int | None]:
         if path == "/healthz":
             if method != "GET":
                 return 405, self._error_payload("use GET /healthz"), None
-            return 200, {
+            payload = {
                 "ok": True,
                 "protocol": PROTOCOL_VERSION,
                 "protocols": list(
@@ -816,7 +864,12 @@ class TsubasaServer:
                     else (PROTOCOL_VERSION,)
                 ),
                 "pid": os.getpid(),
-            }, None
+            }
+            if parse_qs(query).get("deep", ["0"])[-1] in ("1", "true"):
+                payload.update(self._deep_health())
+                if not payload["ok"]:
+                    return 503, payload, None
+            return 200, payload, None
         if path == "/v1/stats":
             if method != "GET":
                 return 405, self._error_payload("use GET /v1/stats"), None
@@ -862,6 +915,56 @@ class TsubasaServer:
             ), PROTOCOL_V2 if wants_v2 else PROTOCOL_VERSION
         return 404, self._error_payload(f"unknown endpoint {path}", code=404), None
 
+    def _deep_health(self) -> dict[str, Any]:
+        """Readiness detail for ``GET /healthz?deep=1``.
+
+        Reports what a load balancer needs to drain a sick worker *before*
+        it fails requests: the sketch store's commit generation (a reader
+        seeing an odd value mid-probe is harmless — it just means a write
+        is in flight), the realtime hub's liveness, and how much of the
+        in-flight budget is spent. ``ok`` turns false — and the endpoint
+        answers 503 — when the hub died underneath live subscribers or the
+        admission budget is fully spent.
+        """
+        detail: dict[str, Any] = {}
+        degraded: list[str] = []
+        provider = self._service.client.provider
+        read_generation = getattr(provider, "read_generation", None)
+        if callable(read_generation):
+            try:
+                detail["store_generation"] = int(read_generation())
+            except TsubasaError as exc:
+                detail["store_generation"] = None
+                degraded.append(f"store unreadable: {exc}")
+        if self._hub is not None:
+            detail["hub"] = {
+                "closed": self._hub.closed,
+                "published": self._hub.published,
+                "last_seq": self._hub.last_seq,
+                "subscriptions": self._hub.n_subscriptions,
+            }
+            if self._hub.closed:
+                degraded.append("snapshot hub is closed")
+        inflight = self._inflight_total
+        detail["inflight"] = {
+            "current": inflight,
+            "budget": self.max_inflight_total,
+            "utilization": (
+                inflight / self.max_inflight_total
+                if self.max_inflight_total
+                else None
+            ),
+        }
+        if (
+            self.max_inflight_total is not None
+            and inflight >= self.max_inflight_total
+        ):
+            degraded.append("in-flight budget spent")
+        detail["ok"] = not degraded
+        if degraded:
+            detail["degraded"] = degraded
+        return detail
+
     @staticmethod
     def _error_payload(message: str, code: int | None = None) -> dict:
         envelope = ErrorEnvelope.from_exception(ServiceError(message))
@@ -893,6 +996,10 @@ class TsubasaServer:
                 "window_size": self._hub.window_size,
                 "base_theta": self._hub.theta,
                 "closed": self._hub.closed,
+                "last_seq": self._hub.last_seq,
+                "replay_capacity": self._hub.replay_capacity,
+                "resumed_subscriptions": self._hub.resumed_subscriptions,
+                "gapped_resumes": self._hub.gapped_resumes,
             }
         return payload
 
@@ -949,6 +1056,8 @@ class TsubasaServer:
             session.run_writer()
         )
         self._ws_sessions.add(session)
+        if self.ws_ping_interval > 0:
+            session.spawn(self._ws_keepalive(session))
         try:
             await self._ws_read_loop(reader, session)
         finally:
@@ -961,6 +1070,29 @@ class TsubasaServer:
                     "per-connection in-flight limit (%d)",
                     peer, session.rejections, self.max_inflight,
                 )
+
+    async def _ws_keepalive(self, session: _WsSession) -> None:
+        """Ping quiet peers; abort connections that have gone silent.
+
+        Any frame from the peer (data, pong, even an unsolicited ping)
+        refreshes ``session.last_recv``, so a healthy-but-idle client
+        stays connected by answering pings while a dead peer — crashed
+        process, pulled cable, NAT entry expired — stops refreshing and
+        is aborted once the idle timeout elapses. Without this, such
+        connections hold their send queue and subscriptions forever.
+        """
+        while not session.closing:
+            await asyncio.sleep(self.ws_ping_interval)
+            if session.closing:
+                return
+            if (
+                self.ws_idle_timeout > 0
+                and perf_counter() - session.last_recv > self.ws_idle_timeout
+            ):
+                self.stats["keepalive_disconnects"] += 1
+                session.abort()
+                return
+            session._enqueue((_OP_PING, b"tsb"))
 
     async def _ws_read_loop(
         self, reader: asyncio.StreamReader, session: _WsSession
@@ -1126,9 +1258,11 @@ class TsubasaServer:
             # The same bound as the connection's send queue: the documented
             # per-client backpressure limit applies upstream too.
             subscription = hub.subscribe(
-                theta=spec.theta, max_pending=self.send_buffer
+                theta=spec.theta,
+                max_pending=self.send_buffer,
+                resume_from=spec.resume_from,
             )
-        except StreamError as exc:
+        except (StreamError, DataError) as exc:
             session.send_envelope(
                 ErrorEnvelope.from_exception(exc, request_id).to_dict()
             )
@@ -1140,21 +1274,36 @@ class TsubasaServer:
                 "theta": subscription.theta,
                 "window_points": hub.window_points,
                 "window_size": hub.window_size,
+                "last_seq": hub.last_seq,
             },
             id=request_id,
         )
         if not session.send_envelope(ack.to_dict()):
             subscription.close()
             return
-        seq = 0
+        if subscription.pending_gap is not None:
+            # The resume point aged out of the replay ring (or the hub was
+            # restarted). One explicit gap event tells the client exactly
+            # what it missed before normal delivery resumes — silence here
+            # would let it believe the stream is contiguous.
+            gap = StreamEvent(
+                seq=max(spec.resume_from or 0, 0),
+                event=dict(subscription.pending_gap, gap=True),
+                id=request_id,
+            )
+            if not session.send_envelope(gap.to_dict()):
+                subscription.close()
+                return
+        events = 0
         try:
             async for snapshot in subscription:
                 event = StreamEvent.from_snapshot(
-                    snapshot, subscription.theta, seq, request_id
+                    snapshot, subscription.theta, subscription.last_seq,
+                    request_id,
                 )
                 if not session.send_envelope(event.to_dict()):
                     return  # slow consumer: close already queued
-                seq += 1
+                events += 1
         except StreamError as exc:
             # The hub dropped this subscriber (its own bound); surface the
             # reason, then disconnect — same policy as the send buffer.
@@ -1167,7 +1316,12 @@ class TsubasaServer:
             # Clean end of stream: the hub closed (source drained).
             session.send_envelope(
                 Response(
-                    result={"complete": True, "events": seq}, id=request_id
+                    result={
+                        "complete": True,
+                        "events": events,
+                        "last_seq": subscription.last_seq,
+                    },
+                    id=request_id,
                 ).to_dict()
             )
         finally:
@@ -1184,6 +1338,7 @@ class TsubasaServer:
                 head = await reader.readexactly(2)
             except (asyncio.IncompleteReadError, ConnectionError):
                 return None
+            session.last_recv = perf_counter()
             fin = head[0] & 0x80
             opcode = head[0] & 0x0F
             if head[0] & 0x70:

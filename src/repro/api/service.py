@@ -59,7 +59,12 @@ from dataclasses import dataclass, field, replace
 from repro.api.client import MatrixExecution, TsubasaClient
 from repro.api.spec import QueryResult, QuerySpec
 from repro.engine.providers import SketchProvider
-from repro.exceptions import DataError, ServiceError, TsubasaError
+from repro.exceptions import (
+    DataError,
+    DeadlineExceeded,
+    ServiceError,
+    TsubasaError,
+)
 
 __all__ = ["TsubasaService", "ServiceStats", "BackendLatency", "run_specs"]
 
@@ -100,6 +105,10 @@ class ServiceStats:
             LRU (0 when the cache is disabled).
         result_cache_misses: Matrix demands that missed the result LRU
             (coalesced and computed demands both count; 0 when disabled).
+        deadline_shed: Requests failed with
+            :class:`~repro.exceptions.DeadlineExceeded` because their
+            ``deadline_ms`` budget ran out queued or mid-computation
+            (counted in ``failed`` too).
         backend_latency: Per-backend latency aggregates, keyed by backend
             name.
     """
@@ -115,6 +124,7 @@ class ServiceStats:
     in_flight: int
     result_cache_hits: int = 0
     result_cache_misses: int = 0
+    deadline_shed: int = 0
     backend_latency: dict[str, BackendLatency] = field(default_factory=dict)
 
     @property
@@ -145,6 +155,7 @@ class ServiceStats:
             "result_cache_hits": self.result_cache_hits,
             "result_cache_misses": self.result_cache_misses,
             "result_cache_hit_rate": self.result_cache_hit_rate,
+            "deadline_shed": self.deadline_shed,
             "backend_latency": {
                 backend: {
                     "count": latency.count,
@@ -157,12 +168,20 @@ class ServiceStats:
 
 
 class _Request:
-    __slots__ = ("spec", "future", "submitted_at")
+    __slots__ = ("spec", "future", "submitted_at", "deadline")
 
     def __init__(self, spec: QuerySpec, future: asyncio.Future) -> None:
         self.spec = spec
         self.future = future
         self.submitted_at = time.perf_counter()
+        # deadline_ms is a *relative* budget; anchor it to this process's
+        # monotonic clock the moment the request is accepted, so queue
+        # wait counts against it and clock skew never does.
+        self.deadline = (
+            self.submitted_at + spec.deadline_ms / 1000.0
+            if spec.deadline_ms is not None
+            else None
+        )
 
 
 class TsubasaService:
@@ -240,6 +259,7 @@ class TsubasaService:
         self._matrices = 0
         self._prefetched = 0
         self._max_queue_depth = 0
+        self._deadline_shed = 0
         self._latency: dict[str, list[float]] = {}
         # Finished-result LRU (event-loop confined, like the counters).
         self._result_capacity = result_cache
@@ -458,6 +478,15 @@ class TsubasaService:
         spec = request.spec
         try:
             matrix_start = time.perf_counter()
+            if request.deadline is not None and matrix_start >= request.deadline:
+                # The queue wait consumed the whole budget: shed before
+                # doing any work — the caller is no longer listening.
+                self._deadline_shed += 1
+                raise DeadlineExceeded(
+                    f"deadline of {spec.deadline_ms} ms expired after "
+                    f"{(matrix_start - request.submitted_at) * 1000:.0f} ms "
+                    "in queue"
+                )
             coalesced = False
             executions: list[MatrixExecution] = []
             # Resolve both windows' tasks *before* awaiting either, so a
@@ -470,7 +499,24 @@ class TsubasaService:
                     self._coalesced += 1
                 tasks.append(task)
             for task in tasks:
-                executions.append(await task)
+                if request.deadline is None:
+                    executions.append(await task)
+                    continue
+                remaining = request.deadline - time.perf_counter()
+                try:
+                    # Shield: the computation may be coalesced with (or
+                    # cached for) requests that still have time left.
+                    executions.append(
+                        await asyncio.wait_for(
+                            asyncio.shield(task), timeout=max(remaining, 0.0)
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    self._deadline_shed += 1
+                    raise DeadlineExceeded(
+                        f"deadline of {spec.deadline_ms} ms expired while "
+                        "computing the correlation matrix"
+                    ) from None
             matrix_seconds = time.perf_counter() - matrix_start
             result = self._client.build_result(
                 spec,
@@ -506,6 +552,7 @@ class TsubasaService:
             in_flight=len(self._inflight),
             result_cache_hits=self._result_hits,
             result_cache_misses=self._result_misses,
+            deadline_shed=self._deadline_shed,
             backend_latency={
                 backend: BackendLatency(count=bucket[0], total_seconds=bucket[1])
                 for backend, bucket in self._latency.items()

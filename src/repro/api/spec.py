@@ -160,6 +160,12 @@ _REQUIRED: dict[str, tuple[str, ...]] = {
     "subscribe": ("theta",),
 }
 
+# Optional fields an operation additionally *accepts* (beyond the required
+# set and the universal deadline_ms).
+_OPTIONAL: dict[str, tuple[str, ...]] = {
+    "subscribe": ("resume_from",),
+}
+
 
 @dataclass(frozen=True)
 class QuerySpec:
@@ -183,6 +189,17 @@ class QuerySpec:
             DFT-based competitor; aligned windows only).
         method: Approximate combination method (``engine="approx"`` only):
             ``"eq5"``, ``"average"``, or ``"auto"``.
+        deadline_ms: Remaining time budget in milliseconds (any op). A
+            *relative* budget, not a wall-clock timestamp, so it is immune
+            to client/server clock skew; the receiving service anchors it
+            to its own monotonic clock and sheds the request with
+            :class:`~repro.exceptions.DeadlineExceeded` once spent.
+            Excluded from coalescing/cache identity — it describes the
+            caller's patience, not the answer.
+        resume_from: Last stream sequence number already seen
+            (``subscribe`` only). The hub replays newer snapshots from its
+            bounded ring, or opens the stream with an explicit ``gap``
+            event when they have aged out.
     """
 
     op: str
@@ -195,6 +212,8 @@ class QuerySpec:
     baseline: WindowSpec | None = None
     engine: str = "exact"
     method: str | None = None
+    deadline_ms: int | None = None
+    resume_from: int | None = None
 
     def __post_init__(self) -> None:
         if self.op not in OPS:
@@ -217,8 +236,11 @@ class QuerySpec:
         for name in required:
             if getattr(self, name) is None:
                 raise DataError(f"op {self.op!r} requires {name}")
-        for name in ("theta", "k", "node", "low", "high", "baseline"):
-            if getattr(self, name) is not None and name not in required:
+        accepted = required + _OPTIONAL.get(self.op, ())
+        for name in (
+            "theta", "k", "node", "low", "high", "baseline", "resume_from"
+        ):
+            if getattr(self, name) is not None and name not in accepted:
                 raise DataError(f"op {self.op!r} does not accept {name}")
         if self.theta is not None:
             if not isinstance(self.theta, numbers.Real) or isinstance(
@@ -254,6 +276,28 @@ class QuerySpec:
             raise DataError(
                 f"baseline must be a WindowSpec, got {self.baseline!r}"
             )
+        if self.deadline_ms is not None:
+            if (
+                not isinstance(self.deadline_ms, numbers.Integral)
+                or isinstance(self.deadline_ms, bool)
+                or self.deadline_ms <= 0
+            ):
+                raise DataError(
+                    "deadline_ms must be a positive integer of milliseconds, "
+                    f"got {self.deadline_ms!r}"
+                )
+            object.__setattr__(self, "deadline_ms", int(self.deadline_ms))
+        if self.resume_from is not None:
+            if (
+                not isinstance(self.resume_from, numbers.Integral)
+                or isinstance(self.resume_from, bool)
+                or self.resume_from < 0
+            ):
+                raise DataError(
+                    "resume_from must be a sequence number >= 0, got "
+                    f"{self.resume_from!r}"
+                )
+            object.__setattr__(self, "resume_from", int(self.resume_from))
 
     @property
     def windows(self) -> tuple[WindowSpec, ...]:
@@ -265,7 +309,8 @@ class QuerySpec:
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-compatible, ``None`` fields omitted)."""
         payload: dict[str, Any] = {"op": self.op, "window": self.window.to_dict()}
-        for name in ("theta", "k", "node", "low", "high"):
+        for name in ("theta", "k", "node", "low", "high", "deadline_ms",
+                     "resume_from"):
             value = getattr(self, name)
             if value is not None:
                 payload[name] = value

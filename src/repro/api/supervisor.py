@@ -36,6 +36,7 @@ import signal
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -137,7 +138,20 @@ class AcceptorSupervisor:
         port: Listening port; 0 picks an ephemeral port, resolved before
             the first worker starts (read it from :attr:`port`).
         restart_backoff: Seconds to wait before replacing a dead worker.
+            Doubles per rapid successive death (see ``crash_loop_window``)
+            up to ``max_restart_backoff``; a lone crash waits exactly this
+            long.
         start_timeout: Seconds to wait for every worker to start accepting.
+        max_restart_backoff: Upper bound on the per-death restart delay.
+        crash_loop_limit: Give up after this many worker deaths within
+            ``crash_loop_window`` seconds: :attr:`failed` is set,
+            :attr:`failure_reason` explains, and no further replacements
+            are spawned — a worker that dies instantly on every start
+            (corrupt store, bad config) must surface as a supervisor
+            failure, not an infinite respawn loop. ``0`` disables the
+            guard.
+        crash_loop_window: Sliding window (seconds) for the crash-loop
+            death count.
     """
 
     _MONITOR_INTERVAL = 0.2
@@ -149,11 +163,22 @@ class AcceptorSupervisor:
         port: int = 0,
         restart_backoff: float = 0.5,
         start_timeout: float = 60.0,
+        max_restart_backoff: float = 30.0,
+        crash_loop_limit: int = 5,
+        crash_loop_window: float = 30.0,
     ) -> None:
         if not isinstance(config, WorkerConfig):
             raise DataError(f"expected a WorkerConfig, got {type(config)!r}")
         if workers < 1:
             raise DataError("workers must be >= 1")
+        if max_restart_backoff < restart_backoff:
+            raise DataError(
+                "max_restart_backoff must be >= restart_backoff"
+            )
+        if crash_loop_limit < 0 or crash_loop_window <= 0:
+            raise DataError(
+                "crash_loop_limit must be >= 0 and crash_loop_window > 0"
+            )
         if not hasattr(socket, "SO_REUSEPORT"):
             raise ServiceError(
                 "SO_REUSEPORT is not available on this platform; run a "
@@ -163,7 +188,15 @@ class AcceptorSupervisor:
         self.workers = workers
         self.restart_backoff = restart_backoff
         self.start_timeout = start_timeout
+        self.max_restart_backoff = max_restart_backoff
+        self.crash_loop_limit = crash_loop_limit
+        self.crash_loop_window = crash_loop_window
         self.restarts = 0
+        #: Set when the crash-loop guard trips; the supervisor stops
+        #: replacing workers and the caller should stop() and exit nonzero.
+        self.failed = threading.Event()
+        self.failure_reason: str | None = None
+        self._deaths: deque[float] = deque()
         self._requested_port = port
         self._port: int | None = None
         self._placeholder: socket.socket | None = None
@@ -255,6 +288,33 @@ class AcceptorSupervisor:
         self._monitor.start()
         return self
 
+    def _record_death(self) -> float | None:
+        """Count one worker death; the backoff before its replacement.
+
+        ``None`` means the crash-loop guard tripped: ``crash_loop_limit``
+        deaths landed within ``crash_loop_window`` seconds, so replacing
+        the worker would almost certainly just burn another spawn.
+        """
+        now = time.monotonic()
+        self._deaths.append(now)
+        while self._deaths and now - self._deaths[0] > self.crash_loop_window:
+            self._deaths.popleft()
+        if self.crash_loop_limit and len(self._deaths) >= self.crash_loop_limit:
+            self.failure_reason = (
+                f"crash loop: {len(self._deaths)} worker deaths within "
+                f"{self.crash_loop_window:.0f}s "
+                f"(limit {self.crash_loop_limit}); gave up restarting — "
+                "check worker stderr for the underlying startup failure"
+            )
+            self.failed.set()
+            return None
+        # A lone crash waits restart_backoff; rapid successive deaths
+        # back off exponentially so a flapping worker can't spin the CPU.
+        return min(
+            self.restart_backoff * 2.0 ** (len(self._deaths) - 1),
+            self.max_restart_backoff,
+        )
+
     def _monitor_loop(self) -> None:
         """Replace workers that die unexpectedly (crash, OOM kill, ...)."""
         while not self._stopping.wait(self._MONITOR_INTERVAL):
@@ -264,7 +324,10 @@ class AcceptorSupervisor:
                 if proc.is_alive() or self._stopping.is_set():
                     continue
                 proc.join(timeout=0)
-                time.sleep(self.restart_backoff)
+                backoff = self._record_death()
+                if backoff is None:
+                    return  # crash loop: stop replacing workers
+                time.sleep(backoff)
                 if self._stopping.is_set():
                     return
                 replacement, ready = self._spawn_worker()
@@ -275,7 +338,16 @@ class AcceptorSupervisor:
                         self.restarts += 1
                     else:
                         replacement.terminate()
-                ready.wait(timeout=self.start_timeout)
+                # Wait for the replacement to come up, but bail early if
+                # it dies before signalling ready (a stillborn worker —
+                # e.g. its store vanished): the next monitor pass counts
+                # that death instead of blocking a full start_timeout.
+                deadline = time.monotonic() + self.start_timeout
+                while time.monotonic() < deadline:
+                    if ready.wait(timeout=self._MONITOR_INTERVAL):
+                        break
+                    if not replacement.is_alive():
+                        break
 
     def stop(self, timeout: float = 30.0) -> None:
         """SIGTERM every worker, wait for drains, reap stragglers."""

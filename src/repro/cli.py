@@ -512,7 +512,8 @@ async def _serve_jsonl(
                     f"windows of {hub.window_size})"
                 )
             subscription = hub.subscribe(
-                theta=spec.theta, max_pending=send_buffer
+                theta=spec.theta, max_pending=send_buffer,
+                resume_from=spec.resume_from,
             )
         except TsubasaError as exc:
             await responses.put(
@@ -525,18 +526,27 @@ async def _serve_jsonl(
                 "theta": subscription.theta,
                 "window_points": hub.window_points,
                 "window_size": hub.window_size,
+                "last_seq": hub.last_seq,
             },
             id=request_id,
         )
-        seq = 0
+        events = 0
         try:
             await responses.put((None, ack.to_dict()))
+            if subscription.pending_gap is not None:
+                gap = StreamEvent(
+                    seq=max(spec.resume_from or 0, 0),
+                    event=dict(subscription.pending_gap, gap=True),
+                    id=request_id,
+                )
+                await responses.put((None, gap.to_dict()))
             async for snapshot in subscription:
                 event = StreamEvent.from_snapshot(
-                    snapshot, subscription.theta, seq, request_id
+                    snapshot, subscription.theta, subscription.last_seq,
+                    request_id,
                 )
                 await responses.put((None, event.to_dict()))
-                seq += 1
+                events += 1
         except StreamError as exc:
             # The hub dropped this subscriber (it fell behind the bounded
             # queue); surface the reason, same policy as the WS transport.
@@ -547,7 +557,12 @@ async def _serve_jsonl(
             await responses.put((
                 None,
                 Response(
-                    result={"complete": True, "events": seq}, id=request_id
+                    result={
+                        "complete": True,
+                        "events": events,
+                        "last_seq": subscription.last_seq,
+                    },
+                    id=request_id,
                 ).to_dict(),
             ))
         finally:
@@ -859,11 +874,22 @@ def _serve_supervised(args: argparse.Namespace) -> int:
                 flush=True,
             )
             try:
-                stop.wait()
+                # Poll so a tripped crash-loop guard ends the process
+                # instead of supervising an ever-shrinking worker pool.
+                while not stop.wait(0.2):
+                    if supervisor.failed.is_set():
+                        break
             except KeyboardInterrupt:
                 pass
     except OSError as exc:
         raise ServiceError(f"cannot listen on {host}:{port}: {exc}") from exc
+    if supervisor.failed.is_set():
+        print(
+            f"supervisor failed: {supervisor.failure_reason} "
+            f"({supervisor.restarts} restart(s) attempted)",
+            file=sys.stderr,
+        )
+        return 1
     print(
         f"stopped {args.workers} worker(s) "
         f"({supervisor.restarts} restart(s))",

@@ -766,6 +766,15 @@ class MmapProvider(SketchProvider):
         """Store directory path — the parallel executor's worker handoff."""
         return self._store.path
 
+    def read_generation(self) -> int:
+        """The store's on-disk commit counter (seqlock sample).
+
+        Passed through for readiness probes (``/healthz?deep=1`` reports
+        it as ``store_generation``) and for torn-read detection: an odd
+        value means a writer is mid-commit against the mapped files.
+        """
+        return self._store.read_generation()
+
     @property
     def names(self) -> list[str]:
         return list(self._metadata.names)

@@ -14,6 +14,8 @@ __all__ = [
     "StreamError",
     "DataError",
     "ServiceError",
+    "DeadlineExceeded",
+    "CircuitOpenError",
     "error_code_for",
 ]
 
@@ -58,6 +60,25 @@ class ServiceError(TsubasaError):
     """
 
 
+class DeadlineExceeded(ServiceError):
+    """A request's deadline expired before (or while) it was served.
+
+    Carried end-to-end: a :class:`~repro.api.spec.QuerySpec` with
+    ``deadline_ms`` set is shed by the service once the budget is spent,
+    the server maps it to HTTP 504, and the remote client re-raises it.
+    Deliberately **not retryable** — the caller's time budget is gone.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """A client-side circuit breaker is open and the call failed fast.
+
+    Raised by :class:`~repro.api.remote.TsubasaRemoteClient` without
+    touching the network when recent calls against the endpoint failed;
+    see :class:`~repro.api.resilience.CircuitBreaker`.
+    """
+
+
 #: TsubasaError subclass → stable failure code. The codes double as CLI
 #: process exit codes and as the ``error.code`` field of wire-protocol error
 #: envelopes, so a remote caller sees the same taxonomy a shell script does.
@@ -70,6 +91,8 @@ _ERROR_CODES: dict[type[TsubasaError], int] = {
     StorageError: 5,
     StreamError: 6,
     ServiceError: 7,
+    DeadlineExceeded: 8,
+    CircuitOpenError: 9,
 }
 
 

@@ -844,6 +844,62 @@ class MmapStore(SketchStore):
             )
         return records
 
+    def read_windows_consistent(
+        self, indices: list[int], attempts: int = 8, backoff: float = 0.005
+    ) -> list[WindowRecord]:
+        """Seqlock-validated :meth:`read_windows` for concurrent writers.
+
+        Materializes (copies) the requested records between two
+        :meth:`read_generation` samples and retries while a commit is in
+        progress (odd generation) or landed mid-read (samples differ).
+        The copies matter: plain ``read_windows`` returns zero-copy mmap
+        views, which stay live — and tearable — after validation.
+
+        Args:
+            indices: Window indices to read.
+            attempts: Read attempts before giving up (a writer that
+                commits continuously can starve readers; bound the wait).
+            backoff: Seconds to sleep between attempts.
+
+        Raises:
+            StorageError: When a record is missing, or no consistent
+                snapshot landed within ``attempts`` tries.
+        """
+        import time as _time
+
+        if attempts < 1:
+            raise StorageError("read_windows_consistent needs attempts >= 1")
+        for attempt in range(attempts):
+            before = self.read_generation()
+            if before % 2 == 1:  # a commit is in flight right now
+                _time.sleep(backoff)
+                continue
+            try:
+                records = [
+                    WindowRecord(
+                        index=record.index,
+                        means=np.array(record.means, copy=True),
+                        stds=np.array(record.stds, copy=True),
+                        pairs=np.array(record.pairs, copy=True),
+                        size=record.size,
+                    )
+                    for record in self.read_windows(indices)
+                ]
+            except StorageError:
+                # The store may be mid-grow (files being swapped); only
+                # trust the error once a quiet generation confirms it.
+                if self.read_generation() == before:
+                    raise
+                _time.sleep(backoff)
+                continue
+            if self.read_generation() == before:
+                return records
+            _time.sleep(backoff)
+        raise StorageError(
+            f"no consistent read of windows {list(indices)} within "
+            f"{attempts} attempts; a writer is committing continuously"
+        )
+
     def window_count(self) -> int:
         if self._capacity() == 0 or self._n is None:
             return 0

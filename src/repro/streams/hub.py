@@ -23,6 +23,14 @@ Two properties make it safe for a long-lived service:
   event, so two dashboards watching different thresholds each see a
   consistent delta stream.
 
+* **Global sequence numbers + bounded replay** — every published snapshot
+  is stamped with one hub-wide monotonic ``seq`` and retained in a small
+  replay ring. ``subscribe(resume_from=s)`` replays the snapshots after
+  ``s`` straight from the ring, so a client that lost its connection
+  resumes without missing (or re-seeing) an update; when the requested
+  snapshots have aged out — or the hub itself restarted — the subscription
+  starts with one explicit *gap* marker instead of silently skipping.
+
 The hub is an event-loop component: :meth:`publish` must be called on the
 loop (use :meth:`pump` to drive a batch source, running the CPU-bound
 ingestion in an executor), and subscriptions are consumed with
@@ -32,6 +40,7 @@ ingestion in an executor), and subscriptions are consumed with
 from __future__ import annotations
 
 import asyncio
+from collections import deque
 from collections.abc import Iterable
 
 import numpy as np
@@ -62,6 +71,17 @@ class Subscription:
         self._lagged = False
         self._closed = False
         self.delivered = 0  # snapshots consumed by this subscriber
+        #: Hub sequence number of the most recently consumed snapshot
+        #: (-1 before the first). This is the resume token a transport
+        #: should hand to its client after each delivered event.
+        self.last_seq = -1
+        #: Set at subscribe time when a ``resume_from`` request could not
+        #: be served gaplessly from the replay ring: a dict with
+        #: ``missed`` (aged-out snapshot count, or ``None`` after a hub
+        #: restart, when the old numbering is unknowable) and
+        #: ``next_seq`` (the seq the stream continues at). Transports
+        #: surface it as one explicit gap event before the first snapshot.
+        self.pending_gap: dict | None = None
 
     @property
     def theta(self) -> float:
@@ -73,10 +93,10 @@ class Subscription:
         """Whether this subscriber fell behind and was dropped."""
         return self._lagged
 
-    def _offer(self, snapshot: NetworkSnapshot) -> bool:
+    def _offer(self, seq: int, snapshot: NetworkSnapshot) -> bool:
         """Enqueue one update; returns False (and drops out) on overflow."""
         try:
-            self._queue.put_nowait(snapshot)
+            self._queue.put_nowait((seq, snapshot))
         except asyncio.QueueFull:
             # Slow consumer: drop the buffered backlog (it can no longer
             # form a gapless stream) and poison the queue so the consumer
@@ -157,8 +177,10 @@ class Subscription:
                     f"{self._queue.maxsize}-event buffer and was dropped"
                 )
             raise StopAsyncIteration
+        seq, snapshot = item
         self.delivered += 1
-        return self._rethreshold(item)
+        self.last_seq = seq
+        return self._rethreshold(snapshot)
 
 
 class SnapshotHub:
@@ -169,17 +191,35 @@ class SnapshotHub:
             with :meth:`pump`, or publish snapshots yourself.
         max_pending: Default per-subscription buffer bound (events a
             subscriber may fall behind before being dropped).
+        replay: Snapshots retained for ``resume_from`` replay. The ring
+            holds full snapshots (network + deltas), so keep it modest;
+            a resume reaching past it gets an explicit gap marker. ``0``
+            disables replay (every resume gaps).
     """
 
-    def __init__(self, ingestor: StreamIngestor, max_pending: int = 16) -> None:
+    def __init__(
+        self,
+        ingestor: StreamIngestor,
+        max_pending: int = 16,
+        replay: int = 64,
+    ) -> None:
         if max_pending <= 0:
             raise StreamError("max_pending must be positive")
+        if replay < 0:
+            raise StreamError("replay must be >= 0")
         self._ingestor = ingestor
         self._max_pending = max_pending
         self._subscriptions: set[Subscription] = set()
         self._closed = False
+        self._seq = -1  # seq of the most recently published snapshot
+        self._ring: deque[tuple[int, NetworkSnapshot]] = deque(
+            maxlen=replay if replay > 0 else 1
+        )
+        self._replay = replay
         self.published = 0
         self.dropped_subscriptions = 0
+        self.resumed_subscriptions = 0
+        self.gapped_resumes = 0
 
     @property
     def ingestor(self) -> StreamIngestor:
@@ -212,8 +252,21 @@ class SnapshotHub:
         """Whether the hub has been closed (no further events)."""
         return self._closed
 
+    @property
+    def last_seq(self) -> int:
+        """Seq of the most recently published snapshot (-1 before any)."""
+        return self._seq
+
+    @property
+    def replay_capacity(self) -> int:
+        """Snapshots the replay ring retains for ``resume_from``."""
+        return self._replay
+
     def subscribe(
-        self, theta: float | None = None, max_pending: int | None = None
+        self,
+        theta: float | None = None,
+        max_pending: int | None = None,
+        resume_from: int | None = None,
     ) -> Subscription:
         """Open a new subscription.
 
@@ -223,6 +276,12 @@ class SnapshotHub:
                 (the base network is the substrate higher thresholds filter;
                 lower ones would need a matrix recomputation per event).
             max_pending: Override the hub's per-subscription buffer bound.
+            resume_from: Last seq the subscriber already consumed.
+                Snapshots ``resume_from+1 ...`` still in the replay ring
+                (and fitting the buffer bound) are pre-queued; anything
+                older — or a token from a previous hub lifetime — sets
+                :attr:`Subscription.pending_gap` so the transport can
+                announce the discontinuity exactly once.
 
         Raises:
             StreamError: On a closed hub, a sub-base threshold, or a
@@ -240,8 +299,56 @@ class SnapshotHub:
         if bound <= 0:
             raise StreamError("max_pending must be positive")
         subscription = Subscription(self, theta, bound)
+        if resume_from is not None:
+            if int(resume_from) < 0:
+                raise StreamError(
+                    f"resume_from must be >= 0, got {resume_from!r}"
+                )
+            self._resume(subscription, int(resume_from), bound)
         self._subscriptions.add(subscription)
         return subscription
+
+    def _resume(
+        self, subscription: Subscription, resume_from: int, bound: int
+    ) -> None:
+        """Pre-queue the replayable tail after ``resume_from``, or gap."""
+        self.resumed_subscriptions += 1
+        subscription.last_seq = resume_from
+        if resume_from > self._seq:
+            # A token from beyond this hub's history: the stream (or the
+            # whole server) restarted and the old numbering is gone. The
+            # honest answer is one explicit gap; live events follow with
+            # the new numbering.
+            subscription.pending_gap = {
+                "missed": None,
+                "next_seq": self._seq + 1,
+                "reason": "stream restarted; sequence numbers reset",
+            }
+            self.gapped_resumes += 1
+            return
+        replayable = [
+            (seq, snapshot) for seq, snapshot in self._ring
+            if seq > resume_from
+        ]
+        if self._replay == 0:
+            replayable = []
+        # Replay can't exceed the subscriber's own buffer bound: keep the
+        # newest `bound` entries and fold the overflow into the gap.
+        if len(replayable) > bound:
+            replayable = replayable[-bound:]
+        first_needed = resume_from + 1
+        first_available = (
+            replayable[0][0] if replayable else self._seq + 1
+        )
+        if first_available > first_needed:
+            subscription.pending_gap = {
+                "missed": first_available - first_needed,
+                "next_seq": first_available,
+                "reason": "requested snapshots aged out of the replay ring",
+            }
+            self.gapped_resumes += 1
+        for seq, snapshot in replayable:
+            subscription._offer(seq, snapshot)
 
     def _detach(self, subscription: Subscription) -> None:
         self._subscriptions.discard(subscription)
@@ -255,9 +362,13 @@ class SnapshotHub:
         """
         if self._closed:
             raise StreamError("cannot publish to a closed hub")
+        self._seq += 1
+        seq = self._seq
+        if self._replay > 0:
+            self._ring.append((seq, snapshot))
         delivered = 0
         for subscription in list(self._subscriptions):
-            if subscription._offer(snapshot):
+            if subscription._offer(seq, snapshot):
                 delivered += 1
             else:
                 self.dropped_subscriptions += 1

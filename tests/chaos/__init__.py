@@ -1,0 +1,8 @@
+"""Fault-injection chaos suite.
+
+Exercises the resilience layer end to end: a TCP proxy that resets,
+truncates, and drops connections (:mod:`tests.chaos.fault_proxy`),
+SIGKILLed supervisor workers, and torn mmap reads. Every test here also
+runs under the plain tier-1 ``pytest`` invocation; CI additionally runs
+the directory as a dedicated ``chaos`` job with ``pytest-timeout``.
+"""

@@ -1,0 +1,195 @@
+"""A fault-injecting TCP proxy for chaos tests (stdlib only).
+
+Sits between a :class:`~repro.api.remote.TsubasaRemoteClient` and a real
+server and misbehaves on demand:
+
+* :meth:`FaultProxy.fail_next` — RST the next *n* accepted connections
+  before a single byte flows (connect storms, dead upstreams).
+* :meth:`FaultProxy.truncate_next` — forward only *n* bytes of the next
+  connection's server→client stream, then reset both sides: a response
+  cut mid-frame.
+* :attr:`FaultProxy.reset_all` — while true, RST every new connection
+  (a hard outage; flip back to heal).
+* :meth:`FaultProxy.kill_live` — reset every currently-proxied
+  connection (mid-stream network partition).
+
+Resets use ``SO_LINGER(1, 0)`` so the peer sees a TCP RST, not a tidy
+FIN — the failure mode retry logic most often gets wrong.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+__all__ = ["FaultProxy"]
+
+_RST_LINGER = struct.pack("ii", 1, 0)
+
+
+def _rst(sock: socket.socket) -> None:
+    """Close a socket so the peer sees a reset (best effort).
+
+    ``shutdown(SHUT_RD)`` first: it acts on the open file description
+    immediately, waking any pump thread blocked in ``recv`` on this
+    socket. Without it the blocked syscall keeps the kernel's file alive
+    past ``close()`` and the linger-RST would never hit the wire.
+    """
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, _RST_LINGER)
+    except OSError:
+        pass
+    try:
+        sock.shutdown(socket.SHUT_RD)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+class FaultProxy:
+    """Forward ``127.0.0.1:<port>`` to an upstream, injecting faults."""
+
+    def __init__(self, upstream_host: str, upstream_port: int) -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self.port: int = self._listener.getsockname()[1]
+        #: Total connections accepted (including ones reset at accept).
+        self.connections = 0
+        self.reset_all = False
+        self._resets_pending = 0
+        self._truncate_pending: int | None = None
+        self._lock = threading.Lock()
+        self._live: set[socket.socket] = set()
+        self._closed = False
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="fault-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    @property
+    def address(self) -> str:
+        """``host:port`` clients should connect to."""
+        return f"127.0.0.1:{self.port}"
+
+    # -- fault plan ----------------------------------------------------------
+
+    def fail_next(self, n: int = 1) -> None:
+        """RST the next ``n`` accepted connections immediately."""
+        with self._lock:
+            self._resets_pending += n
+
+    def truncate_next(self, n_bytes: int) -> None:
+        """Cut the next connection after ``n_bytes`` of upstream data."""
+        with self._lock:
+            self._truncate_pending = int(n_bytes)
+
+    def kill_live(self) -> None:
+        """Reset every currently-open proxied connection."""
+        with self._lock:
+            live = list(self._live)
+            self._live.clear()
+        for sock in live:
+            _rst(sock)
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.kill_live()
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _addr = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            with self._lock:
+                if self.reset_all or self._resets_pending > 0:
+                    if self._resets_pending > 0:
+                        self._resets_pending -= 1
+                    doomed = True
+                    truncate = None
+                else:
+                    doomed = False
+                    truncate = self._truncate_pending
+                    self._truncate_pending = None
+            if doomed:
+                _rst(client)
+                continue
+            threading.Thread(
+                target=self._proxy_connection,
+                args=(client, truncate),
+                name="fault-proxy-conn",
+                daemon=True,
+            ).start()
+
+    def _proxy_connection(
+        self, client: socket.socket, truncate: int | None
+    ) -> None:
+        try:
+            upstream = socket.create_connection(self._upstream, timeout=10.0)
+        except OSError:
+            _rst(client)
+            return
+        with self._lock:
+            self._live.update((client, upstream))
+        # Budget is shared by reference so the upstream→client pump can
+        # decrement it as bytes flow; None means unlimited.
+        budget = [truncate]
+        pumps = [
+            threading.Thread(
+                target=self._pump, args=(client, upstream, [None]),
+                daemon=True,
+            ),
+            threading.Thread(
+                target=self._pump, args=(upstream, client, budget),
+                daemon=True,
+            ),
+        ]
+        for pump in pumps:
+            pump.start()
+
+    def _pump(
+        self,
+        src: socket.socket,
+        dst: socket.socket,
+        budget: list[int | None],
+    ) -> None:
+        try:
+            while True:
+                data = src.recv(65536)
+                if not data:
+                    break
+                if budget[0] is not None:
+                    data = data[: budget[0]]
+                    budget[0] -= len(data)
+                if data:
+                    dst.sendall(data)
+                if budget[0] is not None and budget[0] <= 0:
+                    break  # truncation point reached: cut mid-frame
+        except OSError:
+            pass
+        finally:
+            with self._lock:
+                self._live.discard(src)
+                self._live.discard(dst)
+            _rst(src)
+            _rst(dst)

@@ -1,0 +1,395 @@
+"""Network fault injection against a live server through a hostile proxy.
+
+Each test stands up a real serve_in_thread stack, puts a
+:class:`~tests.chaos.fault_proxy.FaultProxy` in front of it, and checks
+the remote client's resilience contract: retried queries return results
+bit-identical to in-process execution, non-retrying clients surface the
+failure, the circuit breaker opens under a hard outage and recovers, and
+subscriptions resume across dropped connections without losing or
+duplicating a sequence number.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.client import TsubasaClient
+from repro.api.remote import TsubasaRemoteClient
+from repro.api.resilience import CircuitBreaker, RetryPolicy
+from repro.api.server import serve_in_thread
+from repro.api.spec import QuerySpec, WindowSpec
+from repro.core.realtime import TsubasaRealtime
+from repro.core.sketch import build_sketch
+from repro.engine.providers import InMemoryProvider
+from repro.exceptions import CircuitOpenError, DeadlineExceeded, ServiceError
+from repro.streams.ingestion import StreamIngestor
+from repro.streams.sources import ReplaySource
+
+from .fault_proxy import FaultProxy
+
+WINDOW = WindowSpec(end=599, length=200)
+
+SPECS = [
+    QuerySpec(op="matrix", window=WINDOW),
+    QuerySpec(op="network", window=WINDOW, theta=0.4),
+    QuerySpec(op="top_k", window=WINDOW, k=5),
+    QuerySpec(op="matrix", window=WindowSpec(end=599, length=300)),
+]
+
+# Fast deterministic backoff: chaos tests should not sleep for real.
+FAST_RETRY = RetryPolicy(jitter=False, base_backoff=0.01, max_backoff=0.05)
+
+
+def _make_client(small_dataset):
+    sketch = build_sketch(
+        small_dataset.values, 50, names=small_dataset.names
+    )
+    return TsubasaClient(provider=InMemoryProvider(sketch))
+
+
+@pytest.fixture(scope="module")
+def local_results(small_dataset):
+    client = _make_client(small_dataset)
+    return [client.execute(spec) for spec in SPECS]
+
+
+@pytest.fixture()
+def stack(small_dataset):
+    """A live server with a fault proxy in front of it."""
+    handle = serve_in_thread(_make_client(small_dataset))
+    proxy = FaultProxy(handle.host, handle.port)
+    yield handle, proxy
+    proxy.close()
+    handle.stop()
+
+
+def assert_matches_local(remote, local):
+    assert remote.spec == local.spec
+    if remote.spec.op == "matrix":
+        assert remote.value.names == local.value.names
+        np.testing.assert_array_equal(remote.value.values, local.value.values)
+    elif remote.spec.op == "network":
+        assert remote.value.edge_set() == local.value.edge_set()
+    else:
+        assert remote.value == local.value
+
+
+class TestConnectionResets:
+    def test_http_retry_recovers_from_resets(self, stack, local_results):
+        """Reset connections until the policy loop must fire; results stay
+        bit-identical to in-process execution."""
+        _handle, proxy = stack
+        # The HTTP path burns up to two connections per policy attempt
+        # (the internal stale-keepalive reconnect), so three resets force
+        # at least one real policy retry before the call can succeed.
+        proxy.fail_next(3)
+        with TsubasaRemoteClient(proxy.address, retry=FAST_RETRY) as client:
+            results = client.execute_many(SPECS)
+        for remote, local in zip(results, local_results):
+            assert_matches_local(remote, local)
+        assert proxy.connections >= 4  # 3 resets + at least 1 good conn
+
+    def test_without_retry_the_reset_surfaces(self, stack):
+        _handle, proxy = stack
+        proxy.fail_next(2)  # both internal HTTP tries
+        with TsubasaRemoteClient(proxy.address) as client:
+            with pytest.raises((ServiceError, OSError)):
+                client.execute(SPECS[0])
+
+    def test_ws_truncated_mid_frame_reissues_unanswered(
+        self, stack, local_results
+    ):
+        """A response cut mid-frame forces a reconnect + renegotiate; the
+        retried batch still matches in-process execution exactly."""
+        _handle, proxy = stack
+        # Enough for the 101 handshake and the hello ack, but nowhere
+        # near a full matrix response frame: the cut lands mid-stream.
+        proxy.truncate_next(400)
+        with TsubasaRemoteClient(
+            proxy.address, transport="ws", retry=FAST_RETRY
+        ) as client:
+            results = client.execute_many(SPECS)
+        for remote, local in zip(results, local_results):
+            assert_matches_local(remote, local)
+        assert proxy.connections == 2  # truncated conn + its replacement
+
+
+class TestCircuitBreaker:
+    def test_opens_under_outage_and_recovers(self, stack, local_results):
+        _handle, proxy = stack
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=0.3)
+        with TsubasaRemoteClient(
+            proxy.address,
+            retry=RetryPolicy(max_attempts=1, jitter=False),
+            circuit_breaker=breaker,
+        ) as client:
+            proxy.reset_all = True
+            for _ in range(2):
+                with pytest.raises((ServiceError, OSError)):
+                    client.execute(SPECS[0])
+            assert breaker.state == "open"
+            started = time.monotonic()
+            with pytest.raises(CircuitOpenError):
+                client.execute(SPECS[0])
+            assert time.monotonic() - started < 0.5  # failed fast
+            assert breaker.fast_failures >= 1
+
+            # Heal the network; after reset_timeout the half-open probe
+            # goes through and closes the circuit again.
+            proxy.reset_all = False
+            time.sleep(0.35)
+            assert_matches_local(client.execute(SPECS[0]), local_results[0])
+            assert breaker.state == "closed"
+
+
+class TestDeadlines:
+    class _SlowClient(TsubasaClient):
+        def compute_matrix(self, spec, window):
+            time.sleep(0.5)
+            return super().compute_matrix(spec, window)
+
+    @pytest.fixture()
+    def slow_server(self, small_dataset):
+        sketch = build_sketch(
+            small_dataset.values, 50, names=small_dataset.names
+        )
+        client = self._SlowClient(provider=InMemoryProvider(sketch))
+        handle = serve_in_thread(client, service_kwargs={"max_workers": 1})
+        yield handle
+        handle.stop()
+
+    def test_expired_deadline_is_shed_not_retried(self, slow_server):
+        spec = QuerySpec(op="matrix", window=WINDOW, deadline_ms=100)
+        with TsubasaRemoteClient(
+            slow_server.address, retry=FAST_RETRY
+        ) as client:
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceeded):
+                client.execute(spec)
+            # A DeadlineExceeded must not be retried: four policy
+            # attempts at 0.5s of compute each would take > 2s.
+            assert time.monotonic() - started < 1.0
+            assert client.stats()["service"]["deadline_shed"] >= 1
+
+
+class TestSubscriptionResume:
+    def test_resume_across_dropped_connection(self, small_dataset):
+        """Kill the WS mid-stream; the generator reconnects with
+        resume_from and the hub's replay ring fills the hole — every
+        delivered seq is contiguous, none duplicated, no gap event."""
+        client_side = _make_client(small_dataset)
+        engine = TsubasaRealtime(
+            small_dataset.values[:, :300], 50, names=small_dataset.names
+        )
+        ingestor = StreamIngestor(engine, theta=0.4)
+        source = ReplaySource(small_dataset.values, 50, start=300)
+        handle = serve_in_thread(
+            client_side,
+            ingestor=ingestor,
+            source=source,
+            pump_interval=0.15,
+        )
+        proxy = FaultProxy(handle.host, handle.port)
+        try:
+            events = []
+            with TsubasaRemoteClient(
+                proxy.address,
+                transport="ws",
+                retry=RetryPolicy(jitter=False, base_backoff=0.02),
+            ) as client:
+                for event in client.subscribe(
+                    theta=0.4, window_points=300, max_events=5
+                ):
+                    events.append(event)
+                    if len(events) == 2:
+                        proxy.kill_live()
+            assert len(events) == 5
+            seqs = [event.seq for event in events]
+            assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+            assert not any(event.event.get("gap") for event in events)
+            assert proxy.connections >= 2  # original + at least one resume
+        finally:
+            proxy.close()
+            handle.stop()
+
+    def test_resume_across_server_restart_yields_explicit_gap(
+        self, small_dataset
+    ):
+        """A restarted server cannot replay the old stream: resuming past
+        its fresh hub must produce one explicit gap event, then clean
+        events under the new numbering — never silent duplicates."""
+        def live_handle(port=0):
+            engine = TsubasaRealtime(
+                small_dataset.values[:, :300], 50, names=small_dataset.names
+            )
+            return serve_in_thread(
+                _make_client(small_dataset),
+                ingestor=StreamIngestor(engine, theta=0.4),
+                source=ReplaySource(small_dataset.values, 50, start=300),
+                pump_interval=0.1,
+                port=port,
+            )
+
+        first = live_handle()
+        port = first.port
+        try:
+            with TsubasaRemoteClient(first.address, transport="ws") as client:
+                before = list(
+                    client.subscribe(theta=0.4, window_points=300)
+                )
+            assert before, "expected events before the restart"
+            last_seq = before[-1].seq
+        finally:
+            first.stop()
+
+        # Give the kernel a beat to release the port, then restart on it.
+        second = None
+        for _ in range(20):
+            try:
+                second = live_handle(port=port)
+                break
+            except Exception:
+                time.sleep(0.1)
+        assert second is not None, f"could not rebind port {port}"
+        try:
+            with TsubasaRemoteClient(second.address, transport="ws") as client:
+                resumed = list(
+                    client.subscribe(
+                        theta=0.4,
+                        window_points=300,
+                        resume_from=last_seq + 50,
+                        max_events=3,
+                    )
+                )
+            gap = resumed[0]
+            assert gap.event.get("gap") is True
+            assert "restarted" in gap.event.get("reason", "")
+            clean = [event for event in resumed[1:]]
+            assert clean, "expected live events after the gap marker"
+            assert not any(event.event.get("gap") for event in clean)
+            seqs = [event.seq for event in clean]
+            assert seqs == list(range(seqs[0], seqs[0] + len(seqs)))
+        finally:
+            second.stop()
+
+
+class TestKeepalive:
+    def test_subscriber_pongs_survive_an_aggressive_idle_timeout(
+        self, small_dataset
+    ):
+        """A subscriber blocked in recv auto-answers pings, so it stays
+        connected even when events arrive slower than ws_idle_timeout —
+        pong traffic alone counts as liveness."""
+        engine = TsubasaRealtime(
+            small_dataset.values[:, :300], 50, names=small_dataset.names
+        )
+        handle = serve_in_thread(
+            _make_client(small_dataset),
+            ingestor=StreamIngestor(engine, theta=0.4),
+            source=ReplaySource(small_dataset.values, 50, start=300),
+            pump_interval=0.4,  # events arrive far slower than the timeout
+            server_kwargs={
+                "ws_ping_interval": 0.05,
+                "ws_idle_timeout": 0.2,
+            },
+        )
+        try:
+            with TsubasaRemoteClient(
+                handle.address, transport="ws"
+            ) as client:
+                events = list(
+                    client.subscribe(
+                        theta=0.4, window_points=300, max_events=3
+                    )
+                )
+                assert len(events) == 3
+                assert (
+                    client.stats()["server"]["keepalive_disconnects"] == 0
+                )
+        finally:
+            handle.stop()
+
+    def test_reaped_idle_client_reconnects_transparently(
+        self, small_dataset, local_results
+    ):
+        """A synchronous client idle between calls cannot answer pings
+        (nothing is reading the socket), so the server reaps it; the next
+        call on a retrying client transparently reconnects."""
+        handle = serve_in_thread(
+            _make_client(small_dataset),
+            server_kwargs={
+                "ws_ping_interval": 0.1,
+                "ws_idle_timeout": 0.3,
+            },
+        )
+        try:
+            with TsubasaRemoteClient(
+                handle.address, transport="ws", retry=FAST_RETRY
+            ) as client:
+                assert_matches_local(client.execute(SPECS[0]), local_results[0])
+                time.sleep(1.0)  # well past ws_idle_timeout; get reaped
+                assert_matches_local(client.execute(SPECS[0]), local_results[0])
+                assert (
+                    client.stats()["server"]["keepalive_disconnects"] >= 1
+                )
+        finally:
+            handle.stop()
+
+    def test_idle_timeout_reaps_a_silent_peer(self, small_dataset):
+        """A raw socket that upgrades to WS and then goes silent (never
+        answering pings) is aborted once ws_idle_timeout elapses."""
+        import base64
+        import os as _os
+
+        handle = serve_in_thread(
+            _make_client(small_dataset),
+            server_kwargs={
+                "ws_ping_interval": 0.1,
+                "ws_idle_timeout": 0.3,
+            },
+        )
+        try:
+            raw = socket.create_connection(
+                (handle.host, handle.port), timeout=5.0
+            )
+            key = base64.b64encode(_os.urandom(16)).decode()
+            raw.sendall(
+                (
+                    "GET /v1/ws HTTP/1.1\r\n"
+                    f"Host: {handle.host}\r\n"
+                    "Upgrade: websocket\r\n"
+                    "Connection: Upgrade\r\n"
+                    f"Sec-WebSocket-Key: {key}\r\n"
+                    "Sec-WebSocket-Version: 13\r\n\r\n"
+                ).encode()
+            )
+            raw.settimeout(5.0)
+            assert b"101" in raw.recv(4096)
+            # Read without ever writing: a dead peer from the server's
+            # point of view. The keepalive loop must abort it.
+            raw.settimeout(3.0)
+            try:
+                while raw.recv(4096):
+                    pass
+                closed = True
+            except (ConnectionError, OSError):
+                closed = True
+            assert closed
+            raw.close()
+            deadline = time.monotonic() + 3.0
+            while time.monotonic() < deadline:
+                with TsubasaRemoteClient(handle.address) as probe:
+                    if (
+                        probe.stats()["server"]["keepalive_disconnects"]
+                        >= 1
+                    ):
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("server never reaped the silent WS peer")
+        finally:
+            handle.stop()

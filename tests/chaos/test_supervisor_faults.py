@@ -1,0 +1,168 @@
+"""Process-level chaos: SIGKILLed workers and crash loops.
+
+The supervisor contract under fire: killing a worker in the middle of a
+client batch must not surface a single failed call when the client
+retries (results stay bit-identical to in-process execution), and a
+worker that can never come back must trip the crash-loop guard instead
+of burning spawns forever.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.api.client import TsubasaClient
+from repro.api.remote import TsubasaRemoteClient
+from repro.api.resilience import RetryPolicy
+from repro.api.spec import QuerySpec, WindowSpec
+from repro.api.supervisor import AcceptorSupervisor, WorkerConfig
+from repro.core.sketch import build_sketch
+from repro.engine.providers import MmapProvider
+from repro.storage.mmap_store import MmapStore
+from repro.storage.serialize import save_sketch
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="SO_REUSEPORT is not available on this platform",
+)
+
+# 16 distinct cacheable specs per batch: aligned windows over two ends.
+BATCH = [
+    QuerySpec(op="matrix", window=WindowSpec(end=end, length=50 * k))
+    for end in (599, 549)
+    for k in range(1, 9)
+]
+
+
+@pytest.fixture()
+def store_path(small_dataset, tmp_path):
+    path = tmp_path / "sketch.mm"
+    sketch = build_sketch(
+        small_dataset.values, 50, names=small_dataset.names
+    )
+    with MmapStore(path) as store:
+        save_sketch(store, sketch)
+    return path
+
+
+class TestWorkerKilledMidBatch:
+    def test_sigkill_mid_batch_loses_zero_calls(self, store_path):
+        """SIGKILL one of two workers while a batch is in flight: the
+        retrying client completes every call, bit-identical to local
+        execution, and the supervisor replaces the dead worker."""
+        local = TsubasaClient(provider=MmapProvider(str(store_path)))
+        reference = [local.execute(spec) for spec in BATCH]
+
+        config = WorkerConfig(store=str(store_path), backend="mmap")
+        supervisor = AcceptorSupervisor(
+            config, workers=2, port=0, restart_backoff=0.1
+        )
+        with supervisor:
+            with TsubasaRemoteClient(
+                supervisor.address,
+                retry=RetryPolicy(jitter=False, base_backoff=0.05),
+            ) as client:
+                # health() rides the keep-alive connection, so this pid is
+                # the worker the batch below will hit first.
+                victim = client.health()["pid"]
+                assert victim in supervisor.pids()
+
+                killer = threading.Timer(
+                    0.01, os.kill, args=(victim, signal.SIGKILL)
+                )
+                killer.start()
+                try:
+                    batches = [
+                        client.execute_many(BATCH) for _ in range(3)
+                    ]
+                finally:
+                    killer.cancel()
+
+            for results in batches:
+                for remote, expected in zip(results, reference):
+                    assert remote.spec == expected.spec
+                    np.testing.assert_array_equal(
+                        remote.value.values, expected.value.values
+                    )
+
+            # The monitor replaces the victim (0.2s poll + backoff).
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                if supervisor.restarts >= 1 and supervisor.n_alive() == 2:
+                    break
+                time.sleep(0.05)
+            assert supervisor.restarts >= 1
+            assert supervisor.n_alive() == 2
+            assert not supervisor.failed.is_set()
+
+
+class TestCrashLoopGuard:
+    def test_unrestartable_worker_trips_the_guard(self, store_path):
+        """Delete the store out from under the supervisor, then kill the
+        worker: every replacement dies at startup, and after
+        crash_loop_limit rapid deaths the supervisor gives up with an
+        explicit failure instead of spinning."""
+        config = WorkerConfig(store=str(store_path), backend="mmap")
+        supervisor = AcceptorSupervisor(
+            config,
+            workers=1,
+            port=0,
+            restart_backoff=0.05,
+            max_restart_backoff=0.1,
+            crash_loop_limit=3,
+            crash_loop_window=60.0,
+            start_timeout=15.0,
+        )
+        with supervisor:
+            victim = supervisor.pids()[0]
+            # The running worker holds its mmaps; only replacements need
+            # the files, and they will now fail to open the store.
+            shutil.rmtree(store_path)
+            os.kill(victim, signal.SIGKILL)
+
+            # Deaths: the kill, then two stillborn replacements. Each
+            # failed respawn costs up to start_timeout in ready.wait.
+            assert supervisor.failed.wait(timeout=60.0), (
+                "crash-loop guard never tripped"
+            )
+            assert supervisor.failure_reason is not None
+            assert "crash loop" in supervisor.failure_reason
+            assert "3 worker deaths" in supervisor.failure_reason
+        # stop() after failure is clean (context manager exit).
+
+    def test_record_death_escalates_then_gives_up(self, store_path):
+        """Unit-level: successive rapid deaths back off exponentially up
+        to the cap, then the guard trips (no processes involved)."""
+        supervisor = AcceptorSupervisor(
+            WorkerConfig(store=str(store_path)),
+            workers=1,
+            restart_backoff=0.1,
+            max_restart_backoff=0.4,
+            crash_loop_limit=4,
+            crash_loop_window=60.0,
+        )
+        assert supervisor._record_death() == pytest.approx(0.1)
+        assert supervisor._record_death() == pytest.approx(0.2)
+        assert supervisor._record_death() == pytest.approx(0.4)  # capped
+        assert supervisor._record_death() is None  # limit reached
+        assert supervisor.failed.is_set()
+        assert "crash loop" in supervisor.failure_reason
+
+    def test_zero_limit_disables_the_guard(self, store_path):
+        supervisor = AcceptorSupervisor(
+            WorkerConfig(store=str(store_path)),
+            workers=1,
+            restart_backoff=0.1,
+            crash_loop_limit=0,
+        )
+        for _ in range(20):
+            assert supervisor._record_death() is not None
+        assert not supervisor.failed.is_set()

@@ -1,0 +1,156 @@
+"""Torn-read chaos for the mmap store's seqlock protocol.
+
+A cross-process writer brackets every commit with an odd/even generation
+counter in ``meta.json``; readers that sample the counter around their
+reads can detect (and retry past) a torn read. These tests drive the
+reader-side machinery deterministically: a commit frozen mid-flight, a
+generation that moves between the two samples, and the deep-health probe
+that surfaces the counter to load balancers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.client import TsubasaClient
+from repro.api.remote import TsubasaRemoteClient
+from repro.api.server import serve_in_thread
+from repro.core.sketch import build_sketch
+from repro.engine.providers import MmapProvider
+from repro.exceptions import StorageError
+from repro.storage.mmap_store import MmapStore
+from repro.storage.serialize import save_sketch
+
+
+@pytest.fixture()
+def store_dir(small_dataset, tmp_path):
+    path = tmp_path / "store"
+    sketch = build_sketch(
+        small_dataset.values, 50, names=small_dataset.names
+    )
+    with MmapStore(path) as store:
+        save_sketch(store, sketch)
+    return path
+
+
+class TestConsistentReads:
+    def test_returns_owning_copies(self, store_dir):
+        with MmapStore(store_dir, mode="r") as reader:
+            records = reader.read_windows_consistent([0, 1, 2])
+            plain = reader.read_windows([0, 1, 2])
+            for copied, view in zip(records, plain):
+                assert copied.index == view.index
+                assert copied.size == view.size
+                np.testing.assert_array_equal(copied.means, view.means)
+                np.testing.assert_array_equal(copied.pairs, view.pairs)
+                # The whole point: validated records own their memory, so
+                # a later commit cannot tear them retroactively.
+                assert copied.means.flags.owndata
+                assert copied.pairs.flags.owndata
+
+    def test_commit_in_flight_blocks_validated_reads(self, store_dir):
+        """A writer frozen mid-commit (odd generation on disk) starves
+        seqlock readers until the commit finishes."""
+        with MmapStore(store_dir) as writer, MmapStore(
+            store_dir, mode="r"
+        ) as reader:
+            writer._begin_commit()
+            assert reader.read_generation() % 2 == 1
+            with pytest.raises(StorageError, match="no consistent read"):
+                reader.read_windows_consistent(
+                    [0, 1], attempts=3, backoff=0.005
+                )
+            writer._finish_commit()
+            assert reader.read_generation() % 2 == 0
+            records = reader.read_windows_consistent([0, 1])
+            assert [record.index for record in records] == [0, 1]
+
+    def test_generation_moving_mid_read_forces_a_retry(
+        self, store_dir, monkeypatch
+    ):
+        """Deterministic torn read: the first before/after sample pair
+        disagrees (a commit landed mid-read), the second agrees."""
+        with MmapStore(store_dir, mode="r") as reader:
+            samples = iter([0, 2, 2, 2])
+            calls = {"n": 0}
+
+            def scripted_generation():
+                calls["n"] += 1
+                return next(samples)
+
+            monkeypatch.setattr(
+                reader, "read_generation", scripted_generation
+            )
+            records = reader.read_windows_consistent(
+                [0, 1], attempts=4, backoff=0.0
+            )
+            assert calls["n"] == 4  # two sample pairs: one torn, one clean
+            assert [record.index for record in records] == [0, 1]
+
+    def test_odd_first_sample_backs_off_then_succeeds(
+        self, store_dir, monkeypatch
+    ):
+        """A commit in flight at the first sample (odd) is waited out."""
+        with MmapStore(store_dir, mode="r") as reader:
+            samples = iter([1, 2, 2])
+            monkeypatch.setattr(
+                reader, "read_generation", lambda: next(samples)
+            )
+            records = reader.read_windows_consistent(
+                [3], attempts=3, backoff=0.0
+            )
+            assert records[0].index == 3
+
+    def test_rejects_zero_attempts(self, store_dir):
+        with MmapStore(store_dir, mode="r") as reader:
+            with pytest.raises(StorageError, match="attempts"):
+                reader.read_windows_consistent([0], attempts=0)
+
+
+class TestProviderGeneration:
+    def test_mmap_provider_exposes_the_commit_counter(self, store_dir):
+        provider = MmapProvider(str(store_dir))
+        generation = provider.read_generation()
+        assert isinstance(generation, int)
+        assert generation % 2 == 0  # quiescent store
+
+
+class TestDeepHealth:
+    def test_deep_probe_reports_store_generation(self, store_dir):
+        client_side = TsubasaClient(provider=MmapProvider(str(store_dir)))
+        handle = serve_in_thread(client_side)
+        try:
+            with TsubasaRemoteClient(handle.address) as client:
+                shallow = client.health()
+                assert shallow["ok"] is True
+                assert "store_generation" not in shallow
+
+                deep = client.health(deep=True)
+                assert deep["ok"] is True
+                assert isinstance(deep["store_generation"], int)
+                assert deep["store_generation"] % 2 == 0
+                assert deep["inflight"]["current"] >= 0
+                assert deep["inflight"]["budget"] is None or isinstance(
+                    deep["inflight"]["budget"], int
+                )
+        finally:
+            handle.stop()
+
+    def test_memory_backend_has_no_store_generation(self, small_dataset):
+        from repro.engine.providers import InMemoryProvider
+
+        sketch = build_sketch(
+            small_dataset.values, 50, names=small_dataset.names
+        )
+        handle = serve_in_thread(
+            TsubasaClient(provider=InMemoryProvider(sketch))
+        )
+        try:
+            with TsubasaRemoteClient(handle.address) as client:
+                deep = client.health(deep=True)
+                assert deep["ok"] is True
+                assert "store_generation" not in deep
+                assert "inflight" in deep
+        finally:
+            handle.stop()

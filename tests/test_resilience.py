@@ -1,0 +1,348 @@
+"""Tests for the resilience layer (repro.api.resilience + deadlines).
+
+Unit-level coverage: retry policy backoff/budget math, the circuit
+breaker state machine under an injected clock, retryable-error
+classification and its wire round trip, per-request deadlines validated
+in the spec and enforced (shed) by the service, and the hub's
+resume/replay bookkeeping surfaced through QuerySpec.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.api.client import TsubasaClient
+from repro.api.protocol import ErrorEnvelope, parse_frame
+from repro.api.resilience import (
+    CircuitBreaker,
+    RetryBudget,
+    RetryPolicy,
+    is_retryable,
+    mark_retryable,
+)
+from repro.api.service import TsubasaService
+from repro.api.spec import QuerySpec, WindowSpec
+from repro.core.sketch import build_sketch
+from repro.engine.providers import InMemoryProvider
+from repro.exceptions import (
+    CircuitOpenError,
+    DataError,
+    DeadlineExceeded,
+    ServiceError,
+    error_code_for,
+)
+
+WINDOW = WindowSpec(end=599, length=200)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.budget > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_backoff": -1.0},
+            {"multiplier": 0.5},
+            {"budget": -1.0},
+            {"budget_refill": -0.1},
+        ],
+    )
+    def test_rejects_bad_args(self, kwargs):
+        with pytest.raises(DataError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(
+            base_backoff=0.1, multiplier=2.0, max_backoff=0.5, jitter=False
+        )
+        assert [policy.backoff(i) for i in range(4)] == [
+            0.1, 0.2, 0.4, 0.5  # capped at max_backoff
+        ]
+
+    def test_full_jitter_stays_within_cap(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0, jitter=True)
+        import random
+
+        rng = random.Random(7)
+        for retry_index in range(5):
+            cap = min(2.0, 0.1 * 2.0**retry_index)
+            for _ in range(50):
+                delay = policy.backoff(retry_index, rng=rng)
+                assert 0.0 <= delay <= cap
+
+
+class TestRetryBudget:
+    def test_spend_and_refund(self):
+        budget = RetryBudget(RetryPolicy(budget=2.0, budget_refill=0.5))
+        assert budget.spend() and budget.spend()
+        assert not budget.spend()  # empty
+        budget.refund()
+        budget.refund()  # 2 successes = 1 full token
+        assert budget.spend()
+
+    def test_refund_clamps_at_cap(self):
+        budget = RetryBudget(RetryPolicy(budget=1.0, budget_refill=5.0))
+        budget.refund()
+        assert budget.tokens == 1.0
+
+    def test_zero_budget_disables_accounting(self):
+        budget = RetryBudget(RetryPolicy(budget=0.0))
+        assert all(budget.spend() for _ in range(100))
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(clock=lambda: clock["now"], **kwargs)
+        return breaker, clock
+
+    def test_opens_after_threshold_and_fails_fast(self):
+        breaker, _clock = self._breaker(failure_threshold=3, reset_timeout=5.0)
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+
+    def test_half_open_single_probe_then_close(self):
+        breaker, clock = self._breaker(failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock["now"] = 6.0
+        assert breaker.state == "half_open"
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failed_probe_reopens_for_full_timeout(self):
+        breaker, clock = self._breaker(failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        clock["now"] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        clock["now"] = 10.0  # < 6 + 5: still open
+        assert not breaker.allow()
+        clock["now"] = 11.5
+        assert breaker.allow()
+
+    def test_success_resets_failure_count(self):
+        breaker, _clock = self._breaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DataError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(DataError):
+            CircuitBreaker(reset_timeout=-1.0)
+
+
+class TestRetryableClassification:
+    def test_connection_errors_are_retryable(self):
+        assert is_retryable(ConnectionRefusedError("refused"))
+        assert is_retryable(TimeoutError("timed out"))
+        assert is_retryable(OSError("reset"))
+
+    def test_library_errors_are_not_unless_marked(self):
+        assert not is_retryable(DataError("bad spec"))
+        assert not is_retryable(ServiceError("no"))
+        assert not is_retryable(DeadlineExceeded("expired"))
+        assert is_retryable(mark_retryable(ServiceError("shed")))
+
+    def test_plain_application_errors_are_not(self):
+        assert not is_retryable(ValueError("nope"))
+
+    def test_retryable_survives_the_wire(self):
+        """Server-marked-shed errors round-trip retryability end to end."""
+        envelope = ErrorEnvelope.from_exception(
+            ServiceError("budget spent"), request_id=7, retryable=True
+        )
+        payload = envelope.to_dict()
+        assert payload["error"]["retryable"] is True
+        rebuilt = parse_frame(payload)
+        exc = rebuilt.to_exception()
+        assert isinstance(exc, ServiceError)
+        assert is_retryable(exc)
+
+    def test_unmarked_errors_serialize_without_the_flag(self):
+        payload = ErrorEnvelope.from_exception(DataError("bad")).to_dict()
+        assert "retryable" not in payload["error"]
+        exc = parse_frame(payload).to_exception()
+        assert not is_retryable(exc)
+
+
+class TestErrorCodes:
+    def test_new_exception_codes_are_stable(self):
+        assert error_code_for(DeadlineExceeded("x")) == 8
+        assert error_code_for(CircuitOpenError("x")) == 9
+
+
+class TestDeadlineSpec:
+    def test_deadline_ms_round_trips(self):
+        spec = QuerySpec(op="matrix", window=WINDOW, deadline_ms=250)
+        payload = spec.to_dict()
+        assert payload["deadline_ms"] == 250
+        assert QuerySpec.from_dict(payload) == spec
+
+    def test_omitted_when_unset(self):
+        assert "deadline_ms" not in QuerySpec(op="matrix", window=WINDOW).to_dict()
+
+    @pytest.mark.parametrize("bad", [0, -5, 1.5, "100"])
+    def test_rejects_bad_deadlines(self, bad):
+        with pytest.raises(DataError):
+            QuerySpec(op="matrix", window=WINDOW, deadline_ms=bad)
+
+    def test_resume_from_only_on_subscribe(self):
+        spec = QuerySpec(
+            op="subscribe", window=WINDOW, theta=0.4, resume_from=11
+        )
+        assert QuerySpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(DataError):
+            QuerySpec(op="matrix", window=WINDOW, resume_from=3)
+        with pytest.raises(DataError):
+            QuerySpec(op="subscribe", window=WINDOW, theta=0.4, resume_from=-1)
+
+
+class _SlowClient(TsubasaClient):
+    """A client whose matrix computation takes a configurable nap."""
+
+    compute_delay = 0.0
+
+    def compute_matrix(self, spec, window):
+        time.sleep(self.compute_delay)
+        return super().compute_matrix(spec, window)
+
+
+class TestServiceDeadlines:
+    @pytest.fixture()
+    def slow_client(self, small_matrix):
+        sketch = build_sketch(small_matrix, window_size=50)
+        return _SlowClient(provider=InMemoryProvider(sketch))
+
+    def test_mid_compute_deadline_is_shed(self, slow_client):
+        slow_client.compute_delay = 0.5
+
+        async def run():
+            async with TsubasaService(slow_client, max_workers=1) as service:
+                with pytest.raises(DeadlineExceeded):
+                    await service.submit(
+                        QuerySpec(op="matrix", window=WINDOW, deadline_ms=50)
+                    )
+                return service.stats()
+
+        stats = asyncio.run(run())
+        assert stats.deadline_shed == 1
+        assert stats.to_dict()["deadline_shed"] == 1
+
+    def test_queue_expired_work_is_shed_before_compute(self, slow_client):
+        slow_client.compute_delay = 0.4
+
+        async def run():
+            async with TsubasaService(slow_client, max_workers=1) as service:
+                # Occupy the single worker, then queue a request whose
+                # deadline expires while it waits its turn.
+                blocker = asyncio.ensure_future(
+                    service.submit(QuerySpec(op="matrix", window=WINDOW))
+                )
+                await asyncio.sleep(0.05)
+                with pytest.raises(DeadlineExceeded) as excinfo:
+                    await service.submit(
+                        QuerySpec(
+                            op="matrix",
+                            window=WindowSpec(end=599, length=400),
+                            deadline_ms=100,
+                        )
+                    )
+                assert "in queue" in str(excinfo.value) or "expired" in str(
+                    excinfo.value
+                )
+                await blocker
+                return service.stats()
+
+        stats = asyncio.run(run())
+        assert stats.deadline_shed >= 1
+
+    def test_generous_deadline_does_not_interfere(self, slow_client):
+        slow_client.compute_delay = 0.0
+
+        async def run():
+            async with TsubasaService(slow_client) as service:
+                spec = QuerySpec(op="matrix", window=WINDOW, deadline_ms=30_000)
+                result = await service.submit(spec)
+                baseline = await service.submit(
+                    QuerySpec(op="matrix", window=WINDOW)
+                )
+                return result, baseline, service.stats()
+
+        result, baseline, stats = asyncio.run(run())
+        assert stats.deadline_shed == 0
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            result.value.values, baseline.value.values
+        )
+
+    def test_deadline_is_not_part_of_coalescing_identity(self, slow_client):
+        """Two specs differing only in deadline coalesce to one compute."""
+        slow_client.compute_delay = 0.05
+
+        async def run():
+            async with TsubasaService(slow_client, max_workers=4) as service:
+                a = service.submit(
+                    QuerySpec(op="matrix", window=WINDOW, deadline_ms=30_000)
+                )
+                b = service.submit(QuerySpec(op="matrix", window=WINDOW))
+                ra, rb = await asyncio.gather(a, b)
+                return ra, rb, service.stats()
+
+        ra, rb, stats = asyncio.run(run())
+        import numpy as np
+
+        np.testing.assert_array_equal(ra.value.values, rb.value.values)
+        assert stats.coalesced >= 1
+
+
+class TestRemoteClientValidation:
+    def test_rejects_non_policy_retry(self):
+        from repro.api.remote import TsubasaRemoteClient
+
+        with pytest.raises(DataError):
+            TsubasaRemoteClient("127.0.0.1:1", retry=3)
+        with pytest.raises(DataError):
+            TsubasaRemoteClient("127.0.0.1:1", circuit_breaker=object())
+
+    def test_breaker_defaults_with_retry(self):
+        from repro.api.remote import TsubasaRemoteClient
+
+        client = TsubasaRemoteClient("127.0.0.1:1", retry=RetryPolicy())
+        assert isinstance(client.circuit_breaker, CircuitBreaker)
+        assert client.retry_policy.max_attempts == 4
+        plain = TsubasaRemoteClient("127.0.0.1:1")
+        assert plain.circuit_breaker is None
+        assert plain.retry_policy is None
+
+    def test_open_breaker_fails_fast_without_touching_the_socket(self):
+        from repro.api.remote import TsubasaRemoteClient
+
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=60.0)
+        breaker.record_failure()
+        client = TsubasaRemoteClient(
+            "127.0.0.1:1", retry=RetryPolicy(max_attempts=1),
+            circuit_breaker=breaker,
+        )
+        started = time.monotonic()
+        with pytest.raises(CircuitOpenError):
+            client.execute(QuerySpec(op="matrix", window=WINDOW))
+        assert time.monotonic() - started < 0.5  # no connect timeout burned

@@ -282,3 +282,135 @@ class TestSnapshotHub:
 
         received = asyncio.run(run())
         assert len(received) == 2
+
+
+class TestSubscriptionResume:
+    """Hub-global sequence numbers, the replay ring, and gap signalling."""
+
+    def _hub(self, matrix, theta=0.4, **kwargs):
+        from repro.streams.hub import SnapshotHub
+
+        engine = TsubasaRealtime(matrix[:, :300], 50)
+        ingestor = StreamIngestor(engine, theta=theta)
+        return SnapshotHub(ingestor, **kwargs), matrix
+
+    def _publish(self, hub, matrix, start, stop):
+        snapshots = hub.ingestor.push(matrix[:, start:stop])
+        for snapshot in snapshots:
+            hub.publish(snapshot)
+        return snapshots
+
+    def test_seq_is_global_and_contiguous(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix)
+
+        async def run():
+            early = hub.subscribe()
+            self._publish(hub, matrix, 300, 400)  # seqs 0, 1
+            late = hub.subscribe()
+            self._publish(hub, matrix, 400, 500)  # seqs 2, 3
+            hub.close()
+            await _drain(early)
+            await _drain(late)
+            return early, late
+
+        early, late = asyncio.run(run())
+        assert early.last_seq == 3
+        assert late.last_seq == 3
+        assert hub.last_seq == 3
+
+    def test_resume_replays_from_the_ring(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix)
+
+        async def run():
+            published = self._publish(hub, matrix, 300, 600)  # seqs 0..5
+            resumed = hub.subscribe(resume_from=2)
+            hub.close()
+            replayed = await _collect(resumed)
+            return published, resumed, replayed
+
+        published, resumed, replayed = asyncio.run(run())
+        assert resumed.pending_gap is None
+        assert [s.timestamp for s in replayed] == [
+            s.timestamp for s in published[3:]
+        ]
+        assert resumed.last_seq == 5
+        assert hub.resumed_subscriptions == 1
+        assert hub.gapped_resumes == 0
+
+    def test_resume_past_the_ring_signals_a_gap(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix, replay=2)
+
+        async def run():
+            self._publish(hub, matrix, 300, 600)  # seqs 0..5, ring holds 4, 5
+            resumed = hub.subscribe(resume_from=0)
+            hub.close()
+            replayed = await _collect(resumed)
+            return resumed, replayed
+
+        resumed, replayed = asyncio.run(run())
+        assert resumed.pending_gap is not None
+        assert resumed.pending_gap["missed"] == 3  # seqs 1, 2, 3 aged out
+        assert resumed.pending_gap["next_seq"] == 4
+        assert len(replayed) == 2  # seqs 4, 5 from the ring
+        assert hub.gapped_resumes == 1
+
+    def test_resume_beyond_live_seq_means_restart(self, small_matrix):
+        """A resume token from a previous hub life yields a restart gap."""
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix)
+
+        async def run():
+            self._publish(hub, matrix, 300, 400)  # seqs 0, 1
+            resumed = hub.subscribe(resume_from=57)
+            hub.close()
+            replayed = await _collect(resumed)
+            return resumed, replayed
+
+        resumed, replayed = asyncio.run(run())
+        assert resumed.pending_gap is not None
+        assert resumed.pending_gap["missed"] is None
+        assert "restarted" in resumed.pending_gap["reason"]
+        assert replayed == []
+
+    def test_resume_at_the_live_edge_replays_nothing(self, small_matrix):
+        import asyncio
+
+        hub, matrix = self._hub(small_matrix)
+
+        async def run():
+            self._publish(hub, matrix, 300, 400)  # seqs 0, 1
+            resumed = hub.subscribe(resume_from=1)
+            more = self._publish(hub, matrix, 400, 450)  # seq 2
+            hub.close()
+            replayed = await _collect(resumed)
+            return more, resumed, replayed
+
+        more, resumed, replayed = asyncio.run(run())
+        assert resumed.pending_gap is None
+        assert [s.timestamp for s in replayed] == [more[0].timestamp]
+        assert resumed.last_seq == 2
+
+    def test_replay_capacity_and_validation(self, small_matrix):
+        from repro.exceptions import DataError
+
+        hub, _ = self._hub(small_matrix, replay=16)
+        assert hub.replay_capacity == 16
+        assert hub.last_seq == -1
+        with pytest.raises((StreamError, DataError)):
+            hub.subscribe(resume_from=-1)
+
+
+async def _collect(subscription):
+    return [snapshot async for snapshot in subscription]
+
+
+async def _drain(subscription):
+    async for _snapshot in subscription:
+        pass
