@@ -188,6 +188,12 @@ def decode_frame(
             ).reshape(shape)
         except ValueError as exc:
             raise DataError(f"v2 buffer does not fit {shape}: {exc}") from exc
+        # Freeze the view: over a `bytes` payload frombuffer is already
+        # read-only, but over a writable receive buffer (bytearray /
+        # memoryview) it would not be — and these arrays are handed out as
+        # zero-copy results that must never alias back into the socket
+        # buffer as writes.
+        array.setflags(write=False)
         buffers.append(array)
     return meta, buffers, end
 

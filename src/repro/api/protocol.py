@@ -42,13 +42,16 @@ from __future__ import annotations
 import json
 import numbers
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro import exceptions
 from repro.api.spec import QueryResult, QuerySpec
 from repro.exceptions import DataError, TsubasaError, error_code_for
+
+if TYPE_CHECKING:
+    from repro.streams.ingestion import NetworkSnapshot
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -333,7 +336,7 @@ class StreamEvent:
     @classmethod
     def from_snapshot(
         cls,
-        snapshot,
+        snapshot: "NetworkSnapshot",
         theta: float,
         seq: int,
         request_id: str | int | None = None,

@@ -28,6 +28,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.exceptions import DataError, TsubasaError
 
@@ -190,7 +191,7 @@ class CircuitBreaker:
         self,
         failure_threshold: int = 5,
         reset_timeout: float = 5.0,
-        clock=time.monotonic,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if failure_threshold < 1:
             raise DataError(

@@ -151,8 +151,13 @@ class _Completion:
         return encode_response_v2(self.result, self.request_id)
 
 
-class _BadRequest(Exception):
-    """An HTTP request that cannot be served (maps to a 4xx envelope)."""
+class _BadRequest(DataError):
+    """An HTTP request that cannot be served (maps to a 4xx envelope).
+
+    A :class:`~repro.exceptions.DataError` subclass so the library's one
+    error taxonomy stays total (malformed input, code 3); additionally
+    carries the HTTP status the connection loop should answer with.
+    """
 
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)

@@ -104,10 +104,13 @@ class WindowSpec:
                     f"window field values must be integers, got {value!r}"
                 )
             object.__setattr__(self, field_name, int(value))
-        if name == "start/stop" and not 0 <= self.start < self.stop:
-            raise DataError(
-                f"window span [{self.start}, {self.stop}) is empty or negative"
-            )
+        if name == "start/stop":
+            assert self.start is not None and self.stop is not None
+            if not 0 <= self.start < self.stop:
+                raise DataError(
+                    f"window span [{self.start}, {self.stop}) is empty or "
+                    f"negative"
+                )
 
     def resolve(self, plan: "BasicWindowPlan") -> "QueryWindow":
         """The concrete :class:`QueryWindow` this spec selects under ``plan``.
@@ -117,10 +120,15 @@ class WindowSpec:
         """
         from repro.core.segmentation import QueryWindow
 
+        # __post_init__ guarantees the chosen form's fields come in pairs;
+        # the asserts surface that invariant to type checkers.
         if self.end is not None:
+            assert self.length is not None
             return QueryWindow(end=self.end, length=self.length)
         if self.start is not None:
+            assert self.stop is not None
             return QueryWindow(end=self.stop - 1, length=self.stop - self.start)
+        assert self.first_window is not None and self.n_windows is not None
         return plan.aligned_query(self.first_window, self.n_windows)
 
     def to_dict(self) -> dict[str, int]:
@@ -270,6 +278,7 @@ class QuerySpec:
                 if not isinstance(value, numbers.Real) or isinstance(value, bool):
                     raise DataError(f"{name} must be a number, got {value!r}")
                 object.__setattr__(self, name, float(value))
+            assert self.high is not None  # op validation pairs low/high
             if self.low > self.high:
                 raise DataError(f"empty range [{self.low}, {self.high}]")
         if self.baseline is not None and not isinstance(self.baseline, WindowSpec):

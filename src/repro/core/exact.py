@@ -32,6 +32,8 @@ the pre-delegation paths.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterator
+
 import numpy as np
 
 from repro.core.lemma1 import combine_matrix_chunked, combine_row
@@ -41,6 +43,11 @@ from repro.core.segmentation import BasicWindowPlan, QueryWindow, WindowSelectio
 from repro.core.sketch import Sketch, build_sketch
 from repro.engine.providers import InMemoryProvider, SketchProvider
 from repro.exceptions import DataError, SketchError
+
+if TYPE_CHECKING:
+    from repro.api.client import TsubasaClient
+    from repro.api.spec import WindowSpec
+    from repro.core.pruning import PruningResult
 
 __all__ = [
     "fragment_stats",
@@ -146,7 +153,9 @@ def query_correlation_matrix(
         else:
             fragments.append(provider.fragment(*fragment))
 
-    def chunks():
+    def chunks() -> Iterator[
+        tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    ]:
         if idx.size:
             yield from provider.iter_window_chunks(idx, chunk_windows)
         for mean, std, cov, size in fragments:
@@ -263,7 +272,7 @@ class TsubasaHistorical:
         return QueryWindow(end=end, length=length)
 
     @property
-    def client(self):
+    def client(self) -> "TsubasaClient":
         """The declarative query client this engine delegates to (lazy)."""
         if self._client is None:
             from repro.api.client import TsubasaClient
@@ -275,7 +284,7 @@ class TsubasaHistorical:
             )
         return self._client
 
-    def _window_spec(self, query: QueryWindow | tuple[int, int]):
+    def _window_spec(self, query: QueryWindow | tuple[int, int]) -> "WindowSpec":
         from repro.api.spec import WindowSpec
 
         window = self._resolve(query)
@@ -317,7 +326,7 @@ class TsubasaHistorical:
         query: QueryWindow | tuple[int, int],
         theta: float,
         max_anchors: int | None = None,
-    ):
+    ) -> "PruningResult":
         """Algorithm 5 network construction: infer entries from Eq. 7 bounds.
 
         Computes anchor *rows* of the correlation matrix from the provider

@@ -456,7 +456,9 @@ def combine_matrix_streaming(
     means, stds, sizes = _check_window_stats(means, stds, sizes)
     ns = means.shape[1]
 
-    def stat_chunks():
+    def stat_chunks() -> Iterable[
+        tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+    ]:
         offset = 0
         for chunk in cov_chunks:
             chunk = np.asarray(chunk, dtype=np.float64)

@@ -33,6 +33,7 @@ thresholding: inference never contradicts the exact network.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -95,7 +96,7 @@ class PruningResult:
 
 
 def prune_threshold_matrix(
-    compute_row,
+    compute_row: Callable[[int], np.ndarray],
     n_series: int,
     theta: float,
     max_anchors: int | None = None,

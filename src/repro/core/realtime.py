@@ -15,6 +15,8 @@ edges, the "blinking links" of the climate literature) is exposed through
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.lemma2 import SlidingCorrelationState
@@ -22,6 +24,9 @@ from repro.core.matrix import CorrelationMatrix
 from repro.core.network import ClimateNetwork
 from repro.core.sketch import Sketch, build_sketch
 from repro.exceptions import DataError, StreamError
+
+if TYPE_CHECKING:
+    from repro.engine.providers import SketchProvider
 
 __all__ = ["TsubasaRealtime"]
 
@@ -73,7 +78,7 @@ class TsubasaRealtime:
     @classmethod
     def from_provider(
         cls,
-        provider,
+        provider: "SketchProvider",
         query_windows: int | None = None,
         coordinates: dict[str, tuple[float, float]] | None = None,
     ) -> "TsubasaRealtime":

@@ -59,7 +59,7 @@ _PROVIDER_EXPORTS = frozenset(
 )
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _PROVIDER_EXPORTS:
         from repro.engine import providers
 

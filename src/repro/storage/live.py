@@ -11,9 +11,15 @@ appended to the store as it is folded into the sliding network.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.realtime import TsubasaRealtime
+
+if TYPE_CHECKING:
+    from repro.core.matrix import CorrelationMatrix
+    from repro.core.network import ClimateNetwork
 from repro.core.sketch import build_sketch
 from repro.exceptions import StreamError
 from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
@@ -159,10 +165,10 @@ class PersistentRealtime:
     def _pending_buffer(self) -> np.ndarray:
         return self._engine._buffer  # shared internal, same package
 
-    def network(self, theta: float):
+    def network(self, theta: float) -> "ClimateNetwork":
         """Current climate network (delegates to the engine)."""
         return self._engine.network(theta)
 
-    def correlation_matrix(self):
+    def correlation_matrix(self) -> "CorrelationMatrix":
         """Current correlation matrix (delegates to the engine)."""
         return self._engine.correlation_matrix()

@@ -31,11 +31,15 @@ import json
 import mmap
 import os
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import StorageError
 from repro.storage.base import SketchStore, StoreMetadata, WindowRecord
+
+if TYPE_CHECKING:
+    from repro.core.prefix import PrefixAggregates
 
 __all__ = ["MmapStore", "is_mmap_store"]
 
@@ -554,7 +558,7 @@ class MmapStore(SketchStore):
         self._finish_commit()
         return committed
 
-    def read_prefix(self):
+    def read_prefix(self) -> "PrefixAggregates | None":
         """The committed prefix tables as read-only zero-copy views.
 
         Returns:

@@ -1,0 +1,21 @@
+"""tsulint — project-invariant AST linter for the TSUBASA reproduction.
+
+A tiny, dependency-free (stdlib ``ast``) linter that checks the invariants
+this codebase's correctness actually rests on, at commit time instead of
+minutes into CI: no blocking calls inside the asyncio serving stack, no
+threading locks held across ``await``, seqlock discipline around
+``MmapStore`` reads, a single total error-code taxonomy, read-only
+zero-copy wire decodes, and no drift between the wire layer and the
+``QuerySpec`` dataclasses.
+
+Run it with ``python -m tsulint src tests`` (with ``tools/`` on
+``PYTHONPATH``); see :mod:`tsulint.rules` for the rule table and
+suppression syntax.
+"""
+
+from tsulint.engine import Diagnostic, lint_files
+from tsulint.rules import RULES, Rule, rule_by_code
+
+__all__ = ["Diagnostic", "lint_files", "RULES", "Rule", "rule_by_code"]
+
+__version__ = "1.0.0"

@@ -1,0 +1,7 @@
+"""Entry point: ``python -m tsulint <paths>``."""
+
+import sys
+
+from tsulint.cli import main
+
+sys.exit(main())

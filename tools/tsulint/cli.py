@@ -1,0 +1,110 @@
+"""``python -m tsulint`` — run the project-invariant linter.
+
+Usage::
+
+    PYTHONPATH=tools python -m tsulint src tests
+    PYTHONPATH=tools python -m tsulint --list-rules
+    PYTHONPATH=tools python -m tsulint --select TSU001,TSU004 src
+    PYTHONPATH=tools python -m tsulint --require-reasons src tests   # CI mode
+
+Exit status: 0 clean, 1 diagnostics found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from tsulint.engine import lint_files
+from tsulint.rules import RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tsulint",
+        description=(
+            "AST linter for TSUBASA project invariants (blocking calls in "
+            "async code, locks across await, seqlock discipline, the error "
+            "taxonomy, zero-copy decode guards, spec field drift)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (directories recurse over *.py)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--require-reasons",
+        action="store_true",
+        help=(
+            "treat suppression comments without a `-- reason` justification "
+            "as errors (CI mode)"
+        ),
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.code}  {rule.name}")
+            print(f"        {rule.description}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("tsulint: error: no paths given", file=sys.stderr)
+        return 2
+    select: set[str] | None = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+        known = {rule.code for rule in RULES}
+        unknown = select - known
+        if unknown:
+            print(
+                f"tsulint: error: unknown rule codes {sorted(unknown)}; "
+                f"known: {sorted(known)}",
+                file=sys.stderr,
+            )
+            return 2
+    diagnostics, n_files = lint_files(
+        args.paths,
+        RULES,
+        select=select,
+        require_reasons=args.require_reasons,
+    )
+    for diag in diagnostics:
+        print(diag.render())
+    if not args.quiet:
+        status = (
+            f"{len(diagnostics)} finding(s)" if diagnostics else "clean"
+        )
+        print(
+            f"tsulint: {n_files} file(s), {len(RULES)} rule(s): {status}",
+            file=sys.stderr,
+        )
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,460 @@
+"""tsulint engine: file walking, suppression comments, the project index.
+
+The linter is two passes over stdlib-``ast`` trees:
+
+1. **Index pass** — every file is parsed once and cross-file facts are
+   collected into a :class:`ProjectIndex`: the project exception class
+   hierarchy (who transitively derives from ``TsubasaError``), the
+   ``_ERROR_CODES`` registration map from ``exceptions.py``, and the
+   ``QuerySpec`` surface (dataclass fields, methods, properties) plus the
+   ``_REQUIRED``/``_OPTIONAL``/``OPS`` literals from ``api/spec.py``.
+2. **Rule pass** — each registered rule walks each file (or, for project
+   rules, the index) and yields :class:`Diagnostic` records.
+
+Suppression: a trailing comment ``# tsulint: disable=TSU001`` (optionally
+``disable=TSU001,TSU004`` or ``disable=all``, optionally followed by
+``-- reason``) on the flagged line, on the first line of the flagged
+statement, or on the immediately preceding comment-only line, silences the
+diagnostic. Suppressions are expected to carry a reason; the CLI's
+``--require-reasons`` flag (used by CI) turns a bare suppression into its
+own diagnostic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "ProjectIndex",
+    "Suppressions",
+    "collect_files",
+    "dotted_name",
+    "iter_async_functions",
+    "walk_without_functions",
+    "build_index",
+    "lint_files",
+]
+
+#: Matches one suppression comment. Group 1 is the rule list, group 2 the
+#: optional justification after ``--``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*tsulint:\s*disable=([A-Za-z0-9_,]+|all)\s*(?:--\s*(.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule violation at a file/line/column."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# tsulint: disable=...`` comment."""
+
+    line: int
+    rules: frozenset[str]  # empty set means "all"
+    reason: str
+
+    def covers(self, rule: str) -> bool:
+        return not self.rules or rule in self.rules
+
+
+class Suppressions:
+    """Per-file suppression comments, looked up by diagnostic line."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, Suppression] = {}
+        self._comment_only: set[int] = set()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(iter(source.splitlines(True)).__next__)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            tokens = []
+        code_lines: set[int] = set()
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                match = _SUPPRESS_RE.match(tok.string)
+                if match:
+                    rules_text = match.group(1)
+                    rules = (
+                        frozenset()
+                        if rules_text == "all"
+                        else frozenset(
+                            r.strip().upper()
+                            for r in rules_text.split(",")
+                            if r.strip()
+                        )
+                    )
+                    self._by_line[tok.start[0]] = Suppression(
+                        line=tok.start[0],
+                        rules=rules,
+                        reason=(match.group(2) or "").strip(),
+                    )
+            elif tok.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENCODING,
+                tokenize.ENDMARKER,
+            ):
+                code_lines.add(tok.start[0])
+        self._comment_only = set(self._by_line) - code_lines
+
+    def all(self) -> list[Suppression]:
+        return sorted(self._by_line.values(), key=lambda s: s.line)
+
+    def active_for(self, rule: str, *lines: int) -> Suppression | None:
+        """The suppression covering ``rule`` at any of the candidate lines.
+
+        Candidates are the diagnostic's own line(s); additionally a
+        comment-only line directly above the first candidate counts
+        (black-style standalone suppression).
+        """
+        candidates = set(lines)
+        if lines:
+            first = min(lines)
+            if first - 1 in self._comment_only:
+                candidates.add(first - 1)
+        for line in candidates:
+            suppression = self._by_line.get(line)
+            if suppression is not None and suppression.covers(rule):
+                return suppression
+        return None
+
+
+@dataclass
+class SpecSurface:
+    """What ``api/spec.py`` declares, for the drift rule (TSU006)."""
+
+    path: str = ""
+    #: dataclass field names per class (QuerySpec, WindowSpec, ...).
+    fields: dict[str, set[str]] = field(default_factory=dict)
+    #: every attribute a class exposes: fields + methods + properties.
+    surface: dict[str, set[str]] = field(default_factory=dict)
+    #: the OPS tuple literal.
+    ops: set[str] = field(default_factory=set)
+    #: op -> field-name tuple literals from _REQUIRED / _OPTIONAL, with
+    #: the line each string constant sits on.
+    op_fields: list[tuple[str, str, int]] = field(default_factory=list)
+    #: op keys of _REQUIRED / _OPTIONAL with their lines.
+    op_keys: list[tuple[str, int]] = field(default_factory=list)
+
+
+@dataclass
+class ExceptionTaxonomy:
+    """What ``exceptions.py`` declares, for the taxonomy rule (TSU004)."""
+
+    path: str = ""
+    #: class name -> error code, straight from the _ERROR_CODES literal.
+    codes: dict[str, int] = field(default_factory=dict)
+    #: line of each _ERROR_CODES entry.
+    code_lines: dict[str, int] = field(default_factory=dict)
+    #: classes defined in exceptions.py deriving from TsubasaError.
+    declared: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class ProjectIndex:
+    """Cross-file facts shared by every rule."""
+
+    #: class name -> set of base-class terminal names, across all files.
+    class_bases: dict[str, set[str]] = field(default_factory=dict)
+    #: class name -> (path, line) where defined.
+    class_sites: dict[str, tuple[str, int]] = field(default_factory=dict)
+    spec: SpecSurface = field(default_factory=SpecSurface)
+    taxonomy: ExceptionTaxonomy = field(default_factory=ExceptionTaxonomy)
+
+    def tsubasa_subclasses(self) -> set[str]:
+        """Every class name transitively deriving from ``TsubasaError``."""
+        derived = {"TsubasaError"}
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in self.class_bases.items():
+                if name not in derived and bases & derived:
+                    derived.add(name)
+                    changed = True
+        return derived
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule sees for one source file."""
+
+    path: str  # posix-relative display path
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    index: ProjectIndex
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last component of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def walk_without_functions(body: Iterable[ast.stmt]) -> Iterator[ast.AST]:
+    """Yield every node under ``body`` without entering nested functions.
+
+    Used to scope "inside this async def" checks to the function's own
+    frame: a synchronous helper defined inside it runs on its own call
+    stack and is judged separately.
+    """
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_async_functions(
+    tree: ast.Module,
+) -> Iterator[ast.AsyncFunctionDef]:
+    """Every ``async def`` in the module, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            yield node
+
+
+def _string_elts(node: ast.AST) -> list[tuple[str, int]]:
+    """String constants (with lines) inside a tuple/list/set literal."""
+    out: list[tuple[str, int]] = []
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        for elt in node.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out.append((elt.value, elt.lineno))
+    return out
+
+
+def _index_spec(index: ProjectIndex, path: str, tree: ast.Module) -> None:
+    spec = index.spec
+    spec.path = path
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            fields: set[str] = set()
+            surface: set[str] = set()
+            for item in node.body:
+                if isinstance(item, ast.AnnAssign) and isinstance(
+                    item.target, ast.Name
+                ):
+                    fields.add(item.target.id)
+                    surface.add(item.target.id)
+                elif isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    surface.add(item.name)
+            spec.fields[node.name] = fields
+            spec.surface[node.name] = surface
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id == "OPS":
+                spec.ops = {name for name, _ in _string_elts(node.value)}
+            elif target.id in ("_REQUIRED", "_OPTIONAL") and isinstance(
+                node.value, ast.Dict
+            ):
+                for key, value in zip(node.value.keys, node.value.values):
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        spec.op_keys.append((key.value, key.lineno))
+                        for name, line in _string_elts(value):
+                            spec.op_fields.append((name, key.value, line))
+
+
+def _index_exceptions(
+    index: ProjectIndex, path: str, tree: ast.Module
+) -> None:
+    taxonomy = index.taxonomy
+    taxonomy.path = path
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            taxonomy.declared[node.name] = node.lineno
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "_ERROR_CODES"
+            and isinstance(node.value, ast.Dict)
+        ) or (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == "_ERROR_CODES"
+            and isinstance(node.value, ast.Dict)
+        ):
+            assert isinstance(node.value, ast.Dict)
+            for key, value in zip(node.value.keys, node.value.values):
+                name = terminal_name(key) if key is not None else None
+                if name is None:
+                    continue
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, int
+                ):
+                    taxonomy.codes[name] = value.value
+                    taxonomy.code_lines[name] = key.lineno
+
+
+def build_index(files: dict[str, ast.Module]) -> ProjectIndex:
+    """First pass: collect cross-file facts from every parsed file."""
+    index = ProjectIndex()
+    for path, tree in files.items():
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                bases = {
+                    name
+                    for name in (terminal_name(b) for b in node.bases)
+                    if name is not None
+                }
+                index.class_bases[node.name] = bases
+                index.class_sites.setdefault(node.name, (path, node.lineno))
+        posix = path.replace("\\", "/")
+        if posix.endswith("repro/api/spec.py"):
+            _index_spec(index, path, tree)
+        elif posix.endswith("repro/exceptions.py"):
+            _index_exceptions(index, path, tree)
+    return index
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand path arguments into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(
+                    part.startswith(".") or part == "__pycache__"
+                    for part in candidate.parts
+                ):
+                    continue
+                out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def lint_files(
+    paths: Iterable[str | Path],
+    rules: Iterable[object],
+    select: set[str] | None = None,
+    require_reasons: bool = False,
+) -> tuple[list[Diagnostic], int]:
+    """Lint the given files with the given rules.
+
+    Returns ``(diagnostics, n_files)``. Unparseable files produce a
+    ``TSU000`` diagnostic instead of crashing the run. A suppression
+    without a ``-- reason`` justification produces a ``TSU900``
+    diagnostic when ``require_reasons`` is set (CI mode).
+    """
+    rules = list(rules)
+    files = collect_files(paths)
+    sources: dict[str, str] = {}
+    trees: dict[str, ast.Module] = {}
+    diagnostics: list[Diagnostic] = []
+    for file_path in files:
+        display = file_path.as_posix()
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            trees[display] = ast.parse(source, filename=display)
+            sources[display] = source
+        except (OSError, SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            diagnostics.append(
+                Diagnostic(
+                    rule="TSU000",
+                    path=display,
+                    line=line,
+                    col=0,
+                    message=f"could not parse file: {exc}",
+                )
+            )
+    index = build_index(trees)
+    suppression_cache: dict[str, Suppressions] = {
+        display: Suppressions(source) for display, source in sources.items()
+    }
+
+    def admit(diag: Diagnostic) -> None:
+        suppressions = suppression_cache.get(diag.path)
+        if suppressions is not None and suppressions.active_for(
+            diag.rule, diag.line
+        ):
+            return
+        diagnostics.append(diag)
+
+    for display, tree in trees.items():
+        ctx = FileContext(
+            path=display,
+            tree=tree,
+            source=sources[display],
+            suppressions=suppression_cache[display],
+            index=index,
+        )
+        for rule in rules:
+            if select is not None and rule.code not in select:
+                continue
+            if not rule.applies_to(display):
+                continue
+            for diag in rule.check(ctx):
+                admit(diag)
+        if require_reasons:
+            for suppression in suppression_cache[display].all():
+                if not suppression.reason:
+                    diagnostics.append(
+                        Diagnostic(
+                            rule="TSU900",
+                            path=display,
+                            line=suppression.line,
+                            col=0,
+                            message=(
+                                "suppression without a justification; "
+                                "append `-- <reason>`"
+                            ),
+                        )
+                    )
+    # Project-wide rules run once over the cross-file index.
+    for rule in rules:
+        if select is not None and rule.code not in select:
+            continue
+        for diag in rule.check_project(index):
+            admit(diag)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.rule))
+    return diagnostics, len(files)

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Strict-typing ratchet gate: ``python tools/typegate.py``.
+
+Runs ``mypy --strict`` over the typed surface of the package —
+``src/repro/core/``, ``src/repro/storage/``, ``src/repro/exceptions.py``,
+and the wire-facing API modules (``spec``/``protocol``/``resilience``/
+``frames``) — and fails on any error in a module that is **not** listed in
+the ratchet baseline (``tools/typing_baseline.txt``).
+
+The baseline is the list of not-yet-strict modules. The gate *ratchets*:
+
+* errors in a baselined module are reported but do not fail the gate;
+* errors in any other module fail the gate (exit 1);
+* a baselined module that comes back clean is reported so its entry can be
+  deleted — shrinking the baseline is the only allowed direction. Use
+  ``--strict-baseline`` (CI does) to also fail when a baseline entry no
+  longer matches any file (stale entries hide typos).
+
+When mypy is not installed (the bare dev container), the gate prints a
+notice and exits 0 — CI installs mypy and enforces it on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "tools" / "typing_baseline.txt"
+
+#: The strict target set. Paths are repo-root-relative.
+STRICT_TARGETS = [
+    "src/repro/exceptions.py",
+    "src/repro/py.typed",  # marker, skipped by mypy; listed for visibility
+    "src/repro/core",
+    "src/repro/storage",
+    "src/repro/api/spec.py",
+    "src/repro/api/protocol.py",
+    "src/repro/api/resilience.py",
+    "src/repro/api/frames.py",
+]
+
+
+def load_baseline() -> list[str]:
+    entries: list[str] = []
+    if not BASELINE.exists():
+        return entries
+    for line in BASELINE.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.append(line)
+    return entries
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail on stale baseline entries that match no file (CI mode)",
+    )
+    args = parser.parse_args(argv)
+
+    if shutil.which("mypy") is None:
+        print(
+            "typegate: mypy not installed; skipping locally "
+            "(CI installs and enforces this gate)"
+        )
+        return 0
+
+    baseline = load_baseline()
+    stale = [
+        entry
+        for entry in baseline
+        if not (REPO_ROOT / entry).exists()
+    ]
+    if stale:
+        print(f"typegate: stale baseline entries (no such file): {stale}")
+        if args.strict_baseline:
+            return 1
+
+    targets = [
+        target
+        for target in STRICT_TARGETS
+        if not target.endswith("py.typed")
+    ]
+    proc = subprocess.run(
+        ["mypy", "--strict", *targets],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    lines = proc.stdout.splitlines()
+    gating: list[str] = []
+    baselined: list[str] = []
+    clean_baseline = set(baseline)
+    for line in lines:
+        if ": error:" not in line and ": note:" not in line:
+            continue
+        path = line.split(":", 1)[0].replace("\\", "/")
+        entry = next((b for b in baseline if path.startswith(b)), None)
+        if entry is not None:
+            baselined.append(line)
+            clean_baseline.discard(entry)
+        elif ": error:" in line:
+            gating.append(line)
+
+    if baselined:
+        print(
+            f"typegate: {len(baselined)} error(s) in baselined "
+            f"(not-yet-strict) modules — tolerated:"
+        )
+        for line in baselined:
+            print(f"  [baseline] {line}")
+    now_clean = sorted(
+        entry for entry in clean_baseline if (REPO_ROOT / entry).exists()
+    )
+    if now_clean and proc.returncode in (0, 1):
+        print(
+            "typegate: these baseline entries are now strict-clean; "
+            "ratchet by deleting them from tools/typing_baseline.txt:"
+        )
+        for entry in now_clean:
+            print(f"  [ratchet] {entry}")
+    if gating:
+        print(f"typegate: {len(gating)} gating error(s) in strict modules:")
+        for line in gating:
+            print(f"  {line}")
+        return 1
+    if proc.returncode not in (0, 1):
+        # mypy crashed or was misconfigured; surface everything.
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        return proc.returncode
+    print(
+        f"typegate: strict surface clean "
+        f"({len(baseline)} module(s) still baselined)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
